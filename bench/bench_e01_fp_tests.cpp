@@ -1,0 +1,78 @@
+// E1 (§2.1): utilization-based tests vs exact response-time analysis for
+// fixed-priority RM scheduling. Regenerates the classic acceptance-ratio
+// curve: Liu–Layland drops toward ln 2 as n grows; the hyperbolic bound sits
+// between; the Joseph–Pandya RTA is exact and dominates both.
+#include "common.hpp"
+
+#include "core/schedulability.hpp"
+#include "core/utilization.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace profisched;
+using bench::Table;
+
+constexpr int kSetsPerCell = 400;
+
+void run_experiment() {
+  bench::banner("E1", "Liu-Layland / hyperbolic bound / exact RTA acceptance ratios (RM, D=T)");
+
+  std::printf("\nLeast upper bound n(2^(1/n)-1):\n");
+  Table bounds({"n", "LL bound"});
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 8u, 16u, 64u}) {
+    bounds.row({std::to_string(n), bench::fmt(liu_layland_bound(n), 4)});
+  }
+  bounds.print();
+
+  std::printf("\nAcceptance ratio vs utilization (%d UUniFast sets per cell):\n", kSetsPerCell);
+  Table t({"n", "U", "LL accept", "hyperbolic", "exact RTA"});
+  sim::Rng rng(20'260'612);
+  for (const std::size_t n : {3u, 6u, 12u}) {
+    for (double u = 0.65; u <= 1.001; u += 0.05) {
+      int ll = 0, hb = 0, rta = 0;
+      for (int s = 0; s < kSetsPerCell; ++s) {
+        workload::TaskSetParams p;
+        p.n = n;
+        p.total_u = u;
+        p.t_min = 100;
+        p.t_max = 10'000;
+        const TaskSet ts = workload::random_task_set(p, rng);
+        ll += liu_layland_test(ts);
+        hb += hyperbolic_bound_test(ts);
+        rta += analyze(ts, Policy::RateMonotonic).schedulable;
+      }
+      t.row({std::to_string(n), bench::fmt(u, 2), bench::pct(1.0 * ll / kSetsPerCell),
+             bench::pct(1.0 * hb / kSetsPerCell), bench::pct(1.0 * rta / kSetsPerCell)});
+    }
+  }
+  t.print();
+  std::printf("\nExpected shape: LL <= hyperbolic <= RTA for every cell; LL collapses\n"
+              "first as U approaches 1, RTA keeps accepting harmonic-friendly sets.\n");
+}
+
+void BM_ExactRtaAnalysis(benchmark::State& state) {
+  sim::Rng rng(1);
+  workload::TaskSetParams p;
+  p.n = static_cast<std::size_t>(state.range(0));
+  p.total_u = 0.8;
+  const TaskSet ts = workload::random_task_set(p, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(ts, Policy::RateMonotonic).schedulable);
+  }
+}
+BENCHMARK(BM_ExactRtaAnalysis)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UtilizationTest(benchmark::State& state) {
+  sim::Rng rng(1);
+  workload::TaskSetParams p;
+  p.n = 64;
+  p.total_u = 0.8;
+  const TaskSet ts = workload::random_task_set(p, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(liu_layland_test(ts));
+}
+BENCHMARK(BM_UtilizationTest);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

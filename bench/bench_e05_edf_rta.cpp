@@ -1,0 +1,92 @@
+// E5 (§2.2, eqs. 6–8): Spuri's preemptive-EDF worst-case response times.
+// Regenerates the key structural result: the worst case is NOT always the
+// synchronous release — we count how often the critical offset is non-zero —
+// and compares EDF response times against fixed-priority DM on the same sets.
+#include "common.hpp"
+
+#include "core/response_time_edf.hpp"
+#include "core/schedulability.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace profisched;
+using bench::Table;
+
+constexpr int kSetsPerCell = 150;
+
+void run_experiment() {
+  bench::banner("E5", "preemptive EDF response-time analysis (Spuri, eqs. 6-8)");
+
+  std::printf("\nCritical-offset statistics and EDF-vs-DM response comparison\n"
+              "(%d sets per cell, n=4, D in [0.7T, T]):\n", kSetsPerCell);
+  Table t({"U", "tasks w/ a*>0", "mean offsets/task", "mean R_EDF/D", "mean R_DM/D",
+           "EDF sched%", "DM sched%"});
+  sim::Rng rng(17);
+  for (const double u : {0.50, 0.65, 0.80, 0.90, 0.95}) {
+    int async_critical = 0, tasks_total = 0;
+    double offsets_sum = 0, redf = 0, rdm = 0;
+    int edf_ok = 0, dm_ok = 0, samples = 0;
+    for (int s = 0; s < kSetsPerCell; ++s) {
+      workload::TaskSetParams p;
+      p.n = 4;
+      p.total_u = u;
+      p.t_min = 50;
+      p.t_max = 2'000;
+      p.deadline_lo = 0.7;
+      const TaskSet ts = workload::random_task_set(p, rng);
+      const EdfAnalysis edf = analyze_preemptive_edf(ts);
+      const Verdict dm = analyze(ts, Policy::DeadlineMonotonic);
+      edf_ok += edf.schedulable;
+      dm_ok += dm.schedulable;
+      bool all_converged = true;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!edf.per_task[i].converged) {
+          all_converged = false;
+          continue;
+        }
+        ++tasks_total;
+        async_critical += edf.per_task[i].critical_offset > 0;
+        offsets_sum += static_cast<double>(edf.per_task[i].offsets_examined);
+      }
+      if (all_converged && dm.schedulable) {
+        double we = 0, wd = 0;
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          we = std::max(we, static_cast<double>(edf.per_task[i].response) /
+                                static_cast<double>(ts[i].D));
+          wd = std::max(wd, static_cast<double>(dm.per_task[i].response) /
+                                static_cast<double>(ts[i].D));
+        }
+        redf += we;
+        rdm += wd;
+        ++samples;
+      }
+    }
+    const double d = samples > 0 ? samples : 1;
+    const double tt = tasks_total > 0 ? tasks_total : 1;
+    t.row({bench::fmt(u, 2), bench::pct(async_critical / tt), bench::fmt(offsets_sum / tt, 1),
+           bench::fmt(redf / d), bench::fmt(rdm / d), bench::pct(1.0 * edf_ok / kSetsPerCell),
+           bench::pct(1.0 * dm_ok / kSetsPerCell)});
+  }
+  t.print();
+  std::printf("\nExpected shape: a non-trivial share of tasks have their worst case at\n"
+              "a > 0 (Spuri's point about the invalid FP critical instant); EDF's\n"
+              "schedulable%% dominates DM's, with the gap widening as U grows.\n");
+}
+
+void BM_EdfRta(benchmark::State& state) {
+  sim::Rng rng(19);
+  workload::TaskSetParams p;
+  p.n = static_cast<std::size_t>(state.range(0));
+  p.total_u = 0.8;
+  p.t_min = 50;
+  p.t_max = 1'000;
+  p.deadline_lo = 0.8;
+  const TaskSet ts = workload::random_task_set(p, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_preemptive_edf(ts).schedulable);
+}
+BENCHMARK(BM_EdfRta)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

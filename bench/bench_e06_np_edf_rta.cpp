@@ -1,0 +1,90 @@
+// E6 (§2.2, eqs. 9–10): George et al.'s non-preemptive EDF response-time
+// analysis. Quantifies the non-preemption penalty — the response inflation
+// relative to preemptive EDF — which is exactly the effect the PROFIBUS
+// message analysis of §4.3 inherits (message cycles are non-preemptable).
+#include "common.hpp"
+
+#include "core/response_time_edf.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace profisched;
+using bench::Table;
+
+constexpr int kSetsPerCell = 120;
+
+void run_experiment() {
+  bench::banner("E6", "non-preemptive EDF response times vs preemptive (eqs. 9-10 vs 6-8)");
+
+  std::printf("\nNon-preemption penalty (%d sets per cell, n=4, D in [0.7T, T]):\n",
+              kSetsPerCell);
+  Table t({"U", "mean (R_np - R_p)/C_max", "max (R_np - R_p)/C_max", "NP sched%",
+           "P sched%"});
+  sim::Rng rng(23);
+  for (const double u : {0.40, 0.55, 0.70, 0.85}) {
+    double penalty_sum = 0, penalty_max = 0;
+    int np_ok = 0, p_ok = 0, samples = 0;
+    for (int s = 0; s < kSetsPerCell; ++s) {
+      workload::TaskSetParams p;
+      p.n = 4;
+      p.total_u = u;
+      p.t_min = 50;
+      p.t_max = 2'000;
+      p.deadline_lo = 0.7;
+      const TaskSet ts = workload::random_task_set(p, rng);
+      const EdfAnalysis pre = analyze_preemptive_edf(ts);
+      const EdfAnalysis np = analyze_nonpreemptive_edf(ts);
+      np_ok += np.schedulable;
+      p_ok += pre.schedulable;
+      const double cmax = static_cast<double>(ts.max_execution());
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!pre.per_task[i].converged || !np.per_task[i].converged) continue;
+        const double pen =
+            static_cast<double>(np.per_task[i].response - pre.per_task[i].response) / cmax;
+        penalty_sum += pen;
+        penalty_max = std::max(penalty_max, pen);
+        ++samples;
+      }
+    }
+    const double d = samples > 0 ? samples : 1;
+    t.row({bench::fmt(u, 2), bench::fmt(penalty_sum / d), bench::fmt(penalty_max),
+           bench::pct(1.0 * np_ok / kSetsPerCell), bench::pct(1.0 * p_ok / kSetsPerCell)});
+  }
+  t.print();
+
+  std::printf("\nPer-task anatomy on a fixed 3-task set (C, D, T shown):\n");
+  const TaskSet ts{{
+      Task{.C = 2, .D = 10, .T = 15, .J = 0, .name = "short"},
+      Task{.C = 5, .D = 25, .T = 40, .J = 0, .name = "mid"},
+      Task{.C = 9, .D = 60, .T = 90, .J = 0, .name = "long"},
+  }};
+  const EdfAnalysis pre = analyze_preemptive_edf(ts);
+  const EdfAnalysis np = analyze_nonpreemptive_edf(ts);
+  Table a({"task", "C", "D", "T", "R preemptive", "R non-preemptive", "critical a (np)"});
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    a.row({ts[i].name, bench::fmt_t(ts[i].C), bench::fmt_t(ts[i].D), bench::fmt_t(ts[i].T),
+           bench::fmt_t(pre.per_task[i].response), bench::fmt_t(np.per_task[i].response),
+           bench::fmt_t(np.per_task[i].critical_offset)});
+  }
+  a.print();
+  std::printf("\nExpected shape: penalties are positive and bounded by roughly one\n"
+              "C_max (a single blocking); short-deadline tasks pay the most.\n");
+}
+
+void BM_NpEdfRta(benchmark::State& state) {
+  sim::Rng rng(29);
+  workload::TaskSetParams p;
+  p.n = static_cast<std::size_t>(state.range(0));
+  p.total_u = 0.7;
+  p.t_min = 50;
+  p.t_max = 1'000;
+  p.deadline_lo = 0.8;
+  const TaskSet ts = workload::random_task_set(p, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_nonpreemptive_edf(ts).schedulable);
+}
+BENCHMARK(BM_NpEdfRta)->Arg(3)->Arg(5)->Arg(8);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

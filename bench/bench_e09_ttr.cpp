@@ -1,0 +1,65 @@
+// E9 (§3.4, eq. 15): setting the T_TR parameter. Sweeps T_TR across the
+// feasible range and shows the schedulability frontier for all three
+// dispatching policies, plus the exact eq.-15 boundary.
+#include "common.hpp"
+
+#include "profibus/dispatching.hpp"
+#include "profibus/ttr_setting.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace profisched;
+using namespace profisched::profibus;
+using bench::Table;
+
+void run_experiment() {
+  bench::banner("E9", "T_TR parameter setting and the eq.-15 schedulability frontier");
+
+  Network net = workload::scenarios::factory_cell();
+  const TtrRange range = ttr_range_fcfs(net);
+  std::printf("\nfactory_cell: T_del = %lld ticks, eq.-15 feasible T_TR range = [%lld, %lld]\n",
+              static_cast<long long>(t_del(net)), static_cast<long long>(range.min),
+              static_cast<long long>(range.max));
+
+  std::printf("\nSchedulability vs T_TR (sweep across and beyond the frontier):\n");
+  Table t({"T_TR", "T_cycle", "FCFS", "DM", "EDF"});
+  std::vector<Ticks> sweep;
+  for (int i = 1; i <= 4; ++i) sweep.push_back(range.min + (range.max - range.min) * i / 4);
+  sweep.push_back(range.max + 1);
+  sweep.push_back(range.max * 3 / 2);
+  sweep.push_back(range.max * 3);
+  for (const Ticks ttr : sweep) {
+    net.ttr = ttr;
+    const auto verdict = [&](ApPolicy p) {
+      return analyze_network(net, p).schedulable ? std::string("yes") : std::string("NO");
+    };
+    t.row({bench::fmt_t(ttr), bench::fmt_t(t_cycle(net)), verdict(ApPolicy::Fcfs),
+           verdict(ApPolicy::Dm), verdict(ApPolicy::Edf)});
+  }
+  t.print();
+
+  std::printf("\nBoundary exactness: eq. 15 maximum vs one tick beyond:\n");
+  Table b({"setting", "T_TR", "FCFS schedulable"});
+  net.ttr = range.max;
+  b.row({"eq.15 max", bench::fmt_t(net.ttr),
+         analyze_network(net, ApPolicy::Fcfs).schedulable ? "yes" : "NO"});
+  net.ttr = range.max + 1;
+  b.row({"max + 1", bench::fmt_t(net.ttr),
+         analyze_network(net, ApPolicy::Fcfs).schedulable ? "yes" : "NO"});
+  b.print();
+
+  std::printf("\nExpected shape: FCFS flips from yes to NO exactly past the eq.-15\n"
+              "maximum; DM/EDF tolerate strictly larger T_TR (more low-priority\n"
+              "bandwidth per rotation) before their tighter per-stream bounds break.\n");
+}
+
+void BM_TtrRange(benchmark::State& state) {
+  const Network net = workload::scenarios::factory_cell();
+  for (auto _ : state) benchmark::DoNotOptimize(ttr_range_fcfs(net).max);
+}
+BENCHMARK(BM_TtrRange);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

@@ -1,0 +1,112 @@
+// E10 (§4.3 eq. 16 vs §3.2 eq. 11) — THE HEADLINE EXPERIMENT: the DM-ordered
+// AP queue vs the stock FCFS queue. Regenerates the paper's concluding claim:
+// "the use of priority-based dispatching mechanism at the application process
+// level allows the support of messages with more tight deadlines" — tight
+// streams gain, lax streams pay, and whole stream sets become schedulable
+// that FCFS cannot support.
+#include "common.hpp"
+
+#include "profibus/dispatching.hpp"
+#include "workload/generators.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace profisched;
+using namespace profisched::profibus;
+using bench::Table;
+
+void per_stream_table() {
+  const Network net = workload::scenarios::tight_deadline_mix();
+  const NetworkAnalysis fcfs = analyze_network(net, ApPolicy::Fcfs);
+  const NetworkAnalysis dm = analyze_network(net, ApPolicy::Dm);
+
+  std::printf("\ntight_deadline_mix, per-stream worst-case response (ms @500kbit/s):\n");
+  Table t({"stream", "D (ms)", "R FCFS (ms)", "meets?", "R DM (ms)", "meets?"});
+  for (std::size_t i = 0; i < net.masters[0].nh(); ++i) {
+    const auto& s = net.masters[0].high_streams[i];
+    t.row({s.name, bench::ms_from_ticks(s.D),
+           bench::ms_from_ticks(fcfs.masters[0].streams[i].response),
+           fcfs.masters[0].streams[i].meets_deadline ? "yes" : "NO",
+           bench::ms_from_ticks(dm.masters[0].streams[i].response),
+           dm.masters[0].streams[i].meets_deadline ? "yes" : "NO"});
+  }
+  t.print();
+  std::printf("Set schedulable: FCFS=%s DM=%s\n", fcfs.schedulable ? "yes" : "NO",
+              dm.schedulable ? "yes" : "NO");
+}
+
+void acceptance_sweep() {
+  std::printf("\nSchedulable-set ratio vs deadline spread (400 random single-master\n"
+              "networks per cell, nh=5; deadlines drawn in [beta_lo*T, T]):\n");
+  Table t({"beta_lo", "FCFS sched%", "DM sched%", "DM-only", "FCFS-only"});
+  for (const double beta : {1.0, 0.7, 0.5, 0.3, 0.2}) {
+    sim::Rng rng(static_cast<std::uint64_t>(beta * 1000) + 5);
+    int f = 0, d = 0, dm_only = 0, fcfs_only = 0;
+    for (int s = 0; s < 400; ++s) {
+      workload::NetworkParams p;
+      p.n_masters = 1;
+      p.streams_per_master = 5;
+      p.deadline_lo = beta;
+      p.ttr = 0;  // auto eq.-15 or fallback
+      const workload::GeneratedNetwork g = workload::random_network(p, rng);
+      const bool fs = analyze_network(g.net, ApPolicy::Fcfs).schedulable;
+      const bool ds = analyze_network(g.net, ApPolicy::Dm).schedulable;
+      f += fs;
+      d += ds;
+      dm_only += (ds && !fs);
+      fcfs_only += (fs && !ds);
+    }
+    t.row({bench::fmt(beta, 1), bench::pct(f / 400.0), bench::pct(d / 400.0),
+           std::to_string(dm_only), std::to_string(fcfs_only)});
+  }
+  t.print();
+}
+
+void improvement_factor() {
+  std::printf("\nTightest-stream improvement factor (FCFS bound / DM bound) vs nh:\n");
+  Table t({"nh", "R FCFS", "R DM (tightest)", "factor"});
+  for (const std::size_t nh : {2u, 4u, 8u, 12u}) {
+    Network net;
+    net.ttr = 20'000;
+    Master m;
+    for (std::size_t i = 0; i < nh; ++i) {
+      m.high_streams.push_back(MessageStream{.Ch = 600,
+                                             .D = 30'000 + 50'000 * static_cast<Ticks>(i),
+                                             .T = 400'000,
+                                             .J = 0,
+                                             .name = ""});
+    }
+    net.masters = {m};
+    const Ticks rf = analyze_network(net, ApPolicy::Fcfs).masters[0].streams[0].response;
+    const Ticks rd = analyze_network(net, ApPolicy::Dm).masters[0].streams[0].response;
+    t.row({std::to_string(nh), bench::fmt_t(rf), bench::fmt_t(rd),
+           bench::fmt(static_cast<double>(rf) / static_cast<double>(rd), 2)});
+  }
+  t.print();
+}
+
+void run_experiment() {
+  bench::banner("E10", "HEADLINE: DM application-process queue vs stock FCFS (eq. 16 vs eq. 11)");
+  per_stream_table();
+  acceptance_sweep();
+  improvement_factor();
+  std::printf("\nExpected shape: the tight stream misses only under FCFS; DM-only wins\n"
+              "grow as deadlines spread (beta_lo shrinking), FCFS-only stays rare (it\n"
+              "needs short periods that punish DM's multiple-interference terms); the\n"
+              "tightest-stream factor approaches nh/2.\n");
+}
+
+void BM_DmNetworkAnalysis(benchmark::State& state) {
+  sim::Rng rng(77);
+  workload::NetworkParams p;
+  p.n_masters = 4;
+  p.streams_per_master = static_cast<std::size_t>(state.range(0));
+  const workload::GeneratedNetwork g = workload::random_network(p, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(analyze_dm(g.net).schedulable);
+}
+BENCHMARK(BM_DmNetworkAnalysis)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

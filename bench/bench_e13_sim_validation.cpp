@@ -1,0 +1,94 @@
+// E13 (cross-cutting): simulator-vs-analysis validation. For every policy and
+// a battery of generated networks with adversarial phasing, reports the
+// largest observed/bound ratio — all ratios must stay at or below 1.0, and
+// ratios near 1.0 show the bounds are tight, not just safe.
+#include "common.hpp"
+
+#include "profibus/dispatching.hpp"
+#include "sim/network_sim.hpp"
+#include "workload/generators.hpp"
+#include "workload/scenarios.hpp"
+
+namespace {
+
+using namespace profisched;
+using namespace profisched::profibus;
+using bench::Table;
+
+struct Ratios {
+  double worst_response_ratio = 0;
+  double worst_trr_ratio = 0;
+  std::uint64_t misses_when_schedulable = 0;
+  int networks = 0;
+};
+
+void accumulate(const Network& net, ApPolicy policy, std::uint64_t seed, Ratios& out) {
+  const NetworkAnalysis a = analyze_network(net, policy);
+
+  sim::SimConfig cfg;
+  cfg.net = net;
+  cfg.policy = policy;
+  cfg.horizon = std::min<Ticks>(t_cycle(net) * 80, 20'000'000);
+  cfg.seed = seed;
+  const sim::SimReport r = sim::simulate(cfg);
+
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    out.worst_trr_ratio = std::max(out.worst_trr_ratio, static_cast<double>(r.token[k].max_trr) /
+                                                            static_cast<double>(a.tcycle));
+    for (std::size_t i = 0; i < net.masters[k].nh(); ++i) {
+      const Ticks bound = a.masters[k].streams[i].response;
+      if (bound == kNoBound) continue;
+      out.worst_response_ratio =
+          std::max(out.worst_response_ratio, static_cast<double>(r.hp[k][i].max_response) /
+                                                 static_cast<double>(bound));
+    }
+  }
+  if (a.schedulable) out.misses_when_schedulable += r.total_misses();
+  ++out.networks;
+}
+
+void run_experiment() {
+  bench::banner("E13", "validation: observed/bound ratios across policies and networks");
+
+  std::printf("\n40 random networks per policy + the two named scenarios, synchronous\n"
+              "release, worst-case cycle durations (the analyses' adversarial regime):\n");
+  Table t({"policy", "networks", "max R_obs/R_bound", "max TRR/T_cycle",
+           "misses when analysis says schedulable"});
+  for (const ApPolicy policy : {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf}) {
+    Ratios ratios;
+    sim::Rng rng(1'000 + static_cast<std::uint64_t>(policy));
+    for (int n = 0; n < 40; ++n) {
+      workload::NetworkParams p;
+      p.n_masters = 1 + static_cast<std::size_t>(rng.uniform(2));
+      p.streams_per_master = 2 + static_cast<std::size_t>(rng.uniform(3));
+      p.deadline_lo = 0.4;
+      const workload::GeneratedNetwork g = workload::random_network(p, rng);
+      accumulate(g.net, policy, rng.next(), ratios);
+    }
+    accumulate(workload::scenarios::factory_cell(), policy, 99, ratios);
+    accumulate(workload::scenarios::tight_deadline_mix(), policy, 98, ratios);
+    t.row({std::string(to_string(policy)), std::to_string(ratios.networks),
+           bench::fmt(ratios.worst_response_ratio), bench::fmt(ratios.worst_trr_ratio),
+           std::to_string(ratios.misses_when_schedulable)});
+  }
+  t.print();
+  std::printf("\nExpected shape: every ratio <= 1.000 and the miss column identically 0\n"
+              "(a violation would falsify the corresponding analysis); FCFS ratios run\n"
+              "closest to 1 because eq. 11's worst case is the easiest to realize.\n");
+}
+
+void BM_FullValidationRun(benchmark::State& state) {
+  const Network net = workload::scenarios::factory_cell();
+  for (auto _ : state) {
+    sim::SimConfig cfg;
+    cfg.net = net;
+    cfg.policy = ApPolicy::Dm;
+    cfg.horizon = 500'000;
+    benchmark::DoNotOptimize(sim::simulate(cfg).events);
+  }
+}
+BENCHMARK(BM_FullValidationRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCH_MAIN(run_experiment)

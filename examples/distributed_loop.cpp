@@ -1,0 +1,62 @@
+// distributed_loop — a control loop that crosses three masters: sense on the
+// conveyor PLC, decide on the cell controller, actuate through the robot
+// controller. Shows the holistic analysis (§4.2 extended per the paper's
+// references [33,34]) and the per-stage latency budget it produces.
+//
+//   $ ./distributed_loop
+#include <cstdio>
+
+#include "profibus/holistic.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace profisched;
+using namespace profisched::profibus;
+
+namespace {
+double ms(Ticks v) { return static_cast<double>(v) / 500.0; }
+}  // namespace
+
+int main() {
+  const Network net = workload::scenarios::factory_cell();
+
+  Transaction loop;
+  loop.name = "pick-and-place";
+  loop.period = 100'000;   // 200 ms
+  loop.deadline = 90'000;  // 180 ms end-to-end
+  loop.stages = {
+      TransactionStage{.master = 2, .stream = 0, .task_c = 500},   // conveyor.photo-eye
+      TransactionStage{.master = 0, .stream = 0, .task_c = 1'500}, // cell decision
+      TransactionStage{.master = 1, .stream = 2, .task_c = 700},   // robot.gripper-cmd
+  };
+
+  std::printf("pick-and-place loop across %zu masters, period %.0f ms, deadline %.0f ms\n\n",
+              net.n_masters(), ms(loop.period), ms(loop.deadline));
+
+  for (const ApPolicy policy : {ApPolicy::Dm, ApPolicy::Edf}) {
+    HolisticOptions opt;
+    opt.policy = policy;
+    const HolisticResult r = analyze_holistic(net, {loop}, opt);
+    std::printf("--- %s AP queues ---\n", std::string(to_string(policy)).c_str());
+    if (!r.converged) {
+      std::printf("  holistic iteration diverged: the loop cannot be guaranteed\n\n");
+      continue;
+    }
+    const char* stage_names[] = {"sense  (conveyor.photo-eye)", "decide (cell.production-status)",
+                                 "act    (robot.gripper-cmd)"};
+    Ticks prev = 0;
+    for (std::size_t s = 0; s < r.stage_response[0].size(); ++s) {
+      std::printf("  %-32s +%7.2f ms  (cumulative %7.2f ms)\n", stage_names[s],
+                  ms(r.stage_response[0][s] - prev), ms(r.stage_response[0][s]));
+      prev = r.stage_response[0][s];
+    }
+    std::printf("  end-to-end worst case: %.2f ms vs deadline %.0f ms — %s\n"
+                "  (fixed point in %d iterations)\n\n",
+                ms(r.response[0]), ms(loop.deadline),
+                r.schedulable ? "GUARANTEED" : "NOT guaranteed", r.iterations);
+  }
+
+  std::printf("The per-stage figures are a latency budget: they show where the\n"
+              "end-to-end time goes (token rotations dominate; host tasks are minor),\n"
+              "which is what you need when tightening a distributed control loop.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// fcfs_vs_priority — the paper's concluding claim, demonstrated live: the
+// same network, the same traffic, three dispatching policies side by side in
+// the discrete-event simulator, with the analytic bounds alongside.
+//
+//   $ ./fcfs_vs_priority
+#include <cstdio>
+
+#include "profibus/dispatching.hpp"
+#include "sim/network_sim.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace profisched;
+using namespace profisched::profibus;
+
+namespace {
+
+double ms(Ticks v) { return static_cast<double>(v) / 500.0; }
+
+}  // namespace
+
+int main() {
+  const Network net = workload::scenarios::tight_deadline_mix();
+  std::printf("tight_deadline_mix: one master, %zu streams; the e-stop stream's\n"
+              "deadline (%.0f ms) is far below the FCFS bound nh*T_cycle = %.0f ms.\n\n",
+              net.masters[0].nh(), ms(net.masters[0].high_streams[0].D),
+              ms(4 * t_cycle(net)));
+
+  // Adversarial traffic: every lax stream releases just before the urgent
+  // one (maximizing the FCFS priority inversion), and a saturating stream of
+  // low-priority parametrisation traffic keeps the token budget exhausted —
+  // the regime in which the analysis's one-HP-message-per-visit worst case
+  // actually materializes on the wire.
+  sim::SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 2'500'000;  // 5 s
+  cfg.hp_traffic = {{
+      sim::TrafficConfig{.phase = 10},  // urgent released last
+      sim::TrafficConfig{.phase = 0},
+      sim::TrafficConfig{.phase = 0},
+      sim::TrafficConfig{.phase = 0},
+  }};
+  cfg.lp_traffic = {{sim::LpTraffic{
+      .period = 1'000, .cycle_len = net.masters[0].longest_low_cycle, .phase = 0}}};
+
+  std::printf("%-20s | %-22s | %-22s | %-22s\n", "stream (D ms)", "FCFS obs/bound (ms)",
+              "DM obs/bound (ms)", "EDF obs/bound (ms)");
+  const ApPolicy policies[] = {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf};
+  NetworkAnalysis analyses[3];
+  sim::SimReport reports[3];
+  for (int p = 0; p < 3; ++p) {
+    analyses[p] = analyze_network(net, policies[p]);
+    cfg.policy = policies[p];
+    reports[p] = sim::simulate(cfg);
+  }
+  for (std::size_t i = 0; i < net.masters[0].nh(); ++i) {
+    const auto& s = net.masters[0].high_streams[i];
+    char label[64];
+    std::snprintf(label, sizeof label, "%s (%.0f)", s.name.c_str(), ms(s.D));
+    std::printf("%-20s |", label);
+    for (int p = 0; p < 3; ++p) {
+      std::printf(" %8.2f / %-11.2f |", ms(reports[p].hp[0][i].max_response),
+                  ms(analyses[p].masters[0].streams[i].response));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDeadline misses over 5 simulated seconds: FCFS=%llu DM=%llu EDF=%llu\n",
+              static_cast<unsigned long long>(reports[0].total_misses()),
+              static_cast<unsigned long long>(reports[1].total_misses()),
+              static_cast<unsigned long long>(reports[2].total_misses()));
+  std::printf("\nThe analysis is the verdict that matters for hard real-time: FCFS cannot\n"
+              "GUARANTEE the 30 ms e-stop deadline (bound 50 ms), while the DM/EDF AP\n"
+              "queues can (bound 25 ms). The simulation shows the same ordering in the\n"
+              "observed tails — and every observation stays under its bound — but a\n"
+              "finite run can never prove a deadline safe; only the analysis can.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// quickstart — the 5-minute tour of profisched.
+//
+// Builds a one-master PROFIBUS network from frame-level message specs,
+// derives the worst-case message cycle lengths, sets T_TR by eq. 15, and
+// compares the three dispatching policies' worst-case response times.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "profibus/dispatching.hpp"
+#include "profibus/ttr_setting.hpp"
+
+using namespace profisched;
+using namespace profisched::profibus;
+
+int main() {
+  // 1. Bus parameters: 11-bit chars, 1 retry, defaults sized for a
+  //    500 kbit/s segment. One tick = one bit-time.
+  BusParameters bus;
+
+  // 2. Message streams: a sensor poll, an actuator update, a status read.
+  //    Ch (worst-case cycle incl. retries) comes from the frame sizes.
+  const auto make_stream = [&](const char* name, Ticks req_chars, Ticks resp_chars,
+                               Ticks period_ms, Ticks deadline_ms) {
+    MessageStream s;
+    s.Ch = worst_case_cycle_time(bus, MessageCycleSpec{req_chars, resp_chars});
+    s.T = period_ms * 500;  // 500 ticks per ms at 500 kbit/s
+    s.D = deadline_ms * 500;
+    s.name = name;
+    return s;
+  };
+
+  Master plc;
+  plc.name = "plc";
+  plc.high_streams = {
+      make_stream("pressure-sensor", 10, 14, 50, 25),
+      make_stream("valve-actuator", 16, 8, 80, 60),
+      make_stream("status-read", 12, 30, 200, 200),
+  };
+  plc.longest_low_cycle = worst_case_cycle_time(bus, MessageCycleSpec{30, 30});
+
+  Network net;
+  net.bus = bus;
+  net.masters = {plc};
+  net.ttr = 1;  // placeholder until eq. 15 picks the real value
+
+  // 3. Set T_TR to the eq.-15 maximum (largest low-priority bandwidth that
+  //    keeps the FCFS analysis schedulable), if one exists.
+  if (const auto best = max_schedulable_ttr(net)) {
+    net.ttr = *best;
+    std::printf("T_TR set by eq. 15: %lld ticks (%.2f ms)\n", static_cast<long long>(net.ttr),
+                static_cast<double>(net.ttr) / 500.0);
+  } else {
+    net.ttr = net.ring_latency() + 1'000;
+    std::printf("FCFS-infeasible for any T_TR; using fallback %lld ticks\n",
+                static_cast<long long>(net.ttr));
+  }
+  std::printf("T_del = %lld ticks, T_cycle = %lld ticks (%.2f ms)\n\n",
+              static_cast<long long>(t_del(net)), static_cast<long long>(t_cycle(net)),
+              static_cast<double>(t_cycle(net)) / 500.0);
+
+  // 4. Compare dispatching policies.
+  std::printf("%-16s %10s | %12s %12s %12s\n", "stream", "D (ms)", "R FCFS (ms)", "R DM (ms)",
+              "R EDF (ms)");
+  const NetworkAnalysis fcfs = analyze_network(net, ApPolicy::Fcfs);
+  const NetworkAnalysis dm = analyze_network(net, ApPolicy::Dm);
+  const NetworkAnalysis edf = analyze_network(net, ApPolicy::Edf);
+  for (std::size_t i = 0; i < plc.nh(); ++i) {
+    const auto ms = [](Ticks v) { return static_cast<double>(v) / 500.0; };
+    std::printf("%-16s %10.1f | %12.2f %12.2f %12.2f\n", plc.high_streams[i].name.c_str(),
+                ms(plc.high_streams[i].D), ms(fcfs.masters[0].streams[i].response),
+                ms(dm.masters[0].streams[i].response), ms(edf.masters[0].streams[i].response));
+  }
+  std::printf("\nschedulable: FCFS=%s DM=%s EDF=%s\n", fcfs.schedulable ? "yes" : "no",
+              dm.schedulable ? "yes" : "no", edf.schedulable ? "yes" : "no");
+  std::printf("\nNote how the tight-deadline pressure-sensor stream improves under the\n"
+              "priority-based AP queues, at the cost of the lax status-read stream —\n"
+              "the paper's central trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// ttr_tuning — how to choose the network-wide T_TR parameter (§3.4, eq. 15).
+//
+// T_TR trades real-time guarantees against background bandwidth: a larger
+// value admits more low-priority traffic per token rotation but inflates
+// T_cycle and with it every worst-case response. This example sweeps T_TR
+// over and past the feasible range and reports, for each policy, whether the
+// stream set stays schedulable and how much low-priority budget remains.
+//
+//   $ ./ttr_tuning
+#include <cstdio>
+
+#include "profibus/dispatching.hpp"
+#include "profibus/ttr_setting.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace profisched;
+using namespace profisched::profibus;
+
+namespace {
+
+double ms(Ticks v) { return static_cast<double>(v) / 500.0; }
+
+/// Low-priority budget per rotation in the steady (token on time) case:
+/// T_TR minus the ring latency minus the *rate-weighted* high-priority
+/// demand of one rotation (each stream sends Ch every T, so it consumes
+/// Ch·(T_cycle/T) per rotation on average).
+double lp_budget_per_rotation(const Network& net) {
+  const double rotation = static_cast<double>(t_cycle(net));
+  double hp_demand = static_cast<double>(net.ring_latency());
+  for (const Master& m : net.masters) {
+    for (const MessageStream& s : m.high_streams) {
+      hp_demand += static_cast<double>(s.Ch) * rotation / static_cast<double>(s.T);
+    }
+  }
+  return std::max(static_cast<double>(net.ttr) - hp_demand, 0.0);
+}
+
+}  // namespace
+
+int main() {
+  Network net = workload::scenarios::factory_cell();
+  const TtrRange range = ttr_range_fcfs(net);
+  std::printf("factory_cell: T_del = %.2f ms\n", ms(t_del(net)));
+  std::printf("eq. 15 feasible T_TR range for FCFS: [%.2f, %.2f] ms\n\n", ms(range.min),
+              ms(range.max));
+
+  std::printf("%10s %10s | %5s %4s %4s | %18s\n", "T_TR (ms)", "T_cyc (ms)", "FCFS", "DM",
+              "EDF", "LP budget/rot (ms)");
+  for (double frac : {0.25, 0.5, 0.75, 1.0, 1.25, 2.0, 3.0, 5.0}) {
+    net.ttr = std::max<Ticks>(static_cast<Ticks>(static_cast<double>(range.max) * frac),
+                              range.min);
+    const auto ok = [&](ApPolicy p) {
+      return analyze_network(net, p).schedulable ? "yes" : "NO";
+    };
+    std::printf("%10.2f %10.2f | %5s %4s %4s | %18.2f\n", ms(net.ttr), ms(t_cycle(net)),
+                ok(ApPolicy::Fcfs), ok(ApPolicy::Dm), ok(ApPolicy::Edf),
+                lp_budget_per_rotation(net) / 500.0);
+  }
+
+  std::printf("\nReading the table: FCFS dies exactly past the eq.-15 maximum; the\n"
+              "priority-based queues keep the guarantees alive while T_TR (and with it\n"
+              "the background-traffic budget) grows several-fold — the practical payoff\n"
+              "of the paper's architecture.\n");
+  return 0;
+}

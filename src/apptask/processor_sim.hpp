@@ -1,0 +1,53 @@
+// processor_sim.hpp — an exact event-driven uniprocessor scheduler simulator.
+//
+// Substrate S7 (DESIGN.md): the paper's §4 rests on uniprocessor
+// schedulability results, so the test suite cross-validates every analytical
+// bound in core/ against this simulator — for any release phasing, the
+// observed response of each task must never exceed the analytic worst case,
+// and for the critical phasings it should reach (or closely approach) it.
+//
+// Supports the four policy combinations of §2: fixed-priority and EDF, each
+// preemptive and non-preemptive. Execution times are the worst case C (the
+// analyses bound exactly that situation); releases are strictly periodic from
+// per-task phases, which is how the adversarial phasings of the analyses are
+// expressed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/priority_assignment.hpp"
+#include "core/task.hpp"
+
+namespace profisched::apptask {
+
+using profisched::PriorityOrder;
+using profisched::TaskSet;
+using profisched::Ticks;
+
+/// Scheduler variants of §2 of the paper.
+enum class ProcPolicy {
+  FpPreemptive,     ///< fixed priority, preemptive (Joseph–Pandya regime)
+  FpNonPreemptive,  ///< fixed priority, non-preemptive (paper eqs. 1–2)
+  EdfPreemptive,    ///< EDF, preemptive (paper eqs. 6–8)
+  EdfNonPreemptive, ///< EDF, non-preemptive (paper eqs. 9–10)
+};
+
+/// Per-task observations over one simulation run.
+struct ProcSimResult {
+  std::vector<Ticks> max_response;      ///< 0 when no job completed
+  std::vector<std::uint64_t> jobs_completed;
+  std::vector<std::uint64_t> deadline_misses;
+};
+
+/// Simulate the task set on one processor over [0, horizon].
+///
+/// `phases[i]` is task i's first release (empty span = synchronous release at
+/// 0). For fixed-priority policies `order` gives the priority order (highest
+/// first); when null, deadline-monotonic order is used. EDF breaks deadline
+/// ties by task index (any tie-break is admissible w.r.t. the bounds).
+[[nodiscard]] ProcSimResult simulate_processor(const TaskSet& ts, ProcPolicy policy, Ticks horizon,
+                                               std::span<const Ticks> phases = {},
+                                               const PriorityOrder* order = nullptr);
+
+}  // namespace profisched::apptask

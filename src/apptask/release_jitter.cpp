@@ -1,0 +1,60 @@
+#include "apptask/release_jitter.hpp"
+
+#include <stdexcept>
+
+namespace profisched::apptask {
+
+JitterResult derive_release_jitter(const std::vector<SenderTask>& senders, TaskModel model,
+                                   Policy processor_policy) {
+  if (processor_policy != Policy::DeadlineMonotonic && processor_policy != Policy::Edf) {
+    throw std::invalid_argument(
+        "derive_release_jitter: the AP processor is preemptive — use "
+        "Policy::DeadlineMonotonic or Policy::Edf");
+  }
+
+  // Build the analysed task set: one "pre" task per sender (the part whose
+  // response time is the jitter), plus under model A one "post" task per
+  // sender carrying the response-processing load.
+  std::vector<profisched::Task> tasks;
+  std::vector<std::size_t> pre_index(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    const SenderTask& s = senders[i];
+    if (s.C_pre < 1 || s.T < 1 || s.D < 1) {
+      throw std::invalid_argument("derive_release_jitter: sender fields must be positive");
+    }
+    pre_index[i] = tasks.size();
+    tasks.push_back(profisched::Task{.C = s.C_pre, .D = s.D, .T = s.T, .J = 0,
+                                     .name = "pre" + std::to_string(i)});
+  }
+  if (model == TaskModel::AutoSuspend) {
+    for (std::size_t i = 0; i < senders.size(); ++i) {
+      const SenderTask& s = senders[i];
+      if (s.C_post > 0) {
+        tasks.push_back(profisched::Task{.C = s.C_post, .D = s.D, .T = s.T, .J = 0,
+                                         .name = "post" + std::to_string(i)});
+      }
+    }
+  }
+  const TaskSet ts{std::move(tasks)};
+  const profisched::Verdict v = profisched::analyze(ts, processor_policy);
+
+  JitterResult out;
+  out.jitter.resize(senders.size());
+  out.generation.resize(senders.size());
+  out.all_bounded = true;
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    const Ticks r = v.per_task[pre_index[i]].response;
+    out.generation[i] = r;
+    if (r == profisched::kNoBound) {
+      out.jitter[i] = profisched::kNoBound;
+      out.all_bounded = false;
+    } else {
+      // J = worst-case − best-case response of the queue-inserting part;
+      // best case is the part running immediately and uninterrupted.
+      out.jitter[i] = r - senders[i].C_pre;
+    }
+  }
+  return out;
+}
+
+}  // namespace profisched::apptask

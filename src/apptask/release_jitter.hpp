@@ -1,0 +1,73 @@
+// release_jitter.hpp — deriving message release jitter from the application
+// task layer (§4.1 of the paper).
+//
+// Messages "inherit from sending tasks both their period and priority level".
+// The paper describes two task models:
+//
+//  * Model A (AutoSuspend): one task generates the request (initial part,
+//    C_pre), auto-suspends until the response arrives, then processes it
+//    (final part, C_post). The message's release jitter is the worst-case
+//    response time of the *initial part*.
+//
+//  * Model B (SeparateTasks): a sending task and a receiving task. The
+//    message's release jitter is the worst-case response time of the whole
+//    sending task: "the message can be released close to the worst-case
+//    response time of the task; and in the subsequent release ... as soon as
+//    the arrival of that new task's instance".
+//
+// In both cases J_i = R_part − BCR_part, where BCR is the best-case response
+// of the relevant part. We use BCR = C_part (the part runs immediately and
+// uninterrupted), the standard conservative choice: it can only enlarge J,
+// never shrink it, so the message-level bounds of §4.3 stay safe.
+//
+// The processor schedules the application tasks preemptively (the paper:
+// "most probably in a preemptive context") under fixed priorities or EDF.
+#pragma once
+
+#include <vector>
+
+#include "core/schedulability.hpp"
+
+namespace profisched::apptask {
+
+using profisched::Policy;
+using profisched::TaskSet;
+using profisched::Ticks;
+
+/// One message-generating application task.
+struct SenderTask {
+  Ticks C_pre = 0;   ///< generate + queue the request (model A: initial part;
+                     ///  model B: the whole sending task's C)
+  Ticks C_post = 0;  ///< process the response (model A only; 0 for model B)
+  Ticks D = 0;       ///< the task's relative deadline
+  Ticks T = 0;       ///< period — inherited by the message stream
+};
+
+/// §4.1's two application task models.
+enum class TaskModel {
+  AutoSuspend,    ///< model A — jitter from the initial part's response time
+  SeparateTasks,  ///< model B — jitter from the sending task's response time
+};
+
+/// Per-stream derived values.
+struct JitterResult {
+  std::vector<Ticks> jitter;      ///< J_i for each sender (kNoBound if unbounded)
+  std::vector<Ticks> generation;  ///< g_i — worst-case generation delay (= R of
+                                  ///  the queue-inserting part; feeds E = g+Q+C+d)
+  bool all_bounded = false;
+};
+
+/// Compute release jitter for every sender under the given processor
+/// scheduling policy (preemptive fixed-priority DM or preemptive EDF — the
+/// §2 analyses of this library).
+///
+/// The analysed task set contains, for each sender, the part that ends with
+/// queue insertion (C_pre) plus — as additional interference under model A —
+/// the response-processing part (C_post) modelled as a separate task of the
+/// same period (it competes for the processor like any other work; paper:
+/// each pair of sending/receiving parts is never runnable simultaneously, so
+/// this is conservative, never optimistic).
+[[nodiscard]] JitterResult derive_release_jitter(const std::vector<SenderTask>& senders,
+                                                 TaskModel model, Policy processor_policy);
+
+}  // namespace profisched::apptask

@@ -1,0 +1,137 @@
+#include "config/ini.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace profisched::config {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string_view strip_comment(std::string_view s) {
+  const std::size_t pos = s.find_first_of("#;");
+  return pos == std::string_view::npos ? s : s.substr(0, pos);
+}
+
+}  // namespace
+
+std::optional<std::string> IniSection::get(std::string_view key) const {
+  for (const IniEntry& e : entries) {
+    if (e.key == key) return e.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<Ticks> IniSection::get_ticks(std::string_view key) const {
+  for (const IniEntry& e : entries) {
+    if (e.key != key) continue;
+    Ticks v = 0;
+    const char* first = e.value.data();
+    const char* last = first + e.value.size();
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc{} || ptr != last) {
+      throw IniError(e.line, "expected an integer for '" + e.key + "', got '" + e.value + "'");
+    }
+    return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> IniSection::get_double(std::string_view key) const {
+  for (const IniEntry& e : entries) {
+    if (e.key != key) continue;
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(e.value, &consumed);
+      if (consumed != e.value.size()) throw std::invalid_argument("");
+      return v;
+    } catch (const std::exception&) {
+      throw IniError(e.line, "expected a number for '" + e.key + "', got '" + e.value + "'");
+    }
+  }
+  return std::nullopt;
+}
+
+std::string IniSection::require(std::string_view key) const {
+  if (auto v = get(key)) return *v;
+  throw IniError(line, "section [" + name + "] is missing required key '" + std::string(key) +
+                           "'");
+}
+
+Ticks IniSection::require_ticks(std::string_view key) const {
+  if (auto v = get_ticks(key)) return *v;
+  throw IniError(line, "section [" + name + "] is missing required key '" + std::string(key) +
+                           "'");
+}
+
+const IniSection* IniFile::find(std::string_view name) const {
+  for (const IniSection& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+IniFile parse_ini(std::string_view text) {
+  IniFile file;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    std::string_view raw = text.substr(
+        start, eol == std::string_view::npos ? text.size() - start : eol - start);
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw IniError(line_no, "malformed section header '" + std::string(line) + "'");
+      }
+      IniSection section;
+      section.name = std::string(trim(line.substr(1, line.size() - 2)));
+      section.line = line_no;
+      if (section.name.empty()) throw IniError(line_no, "empty section name");
+      file.sections.push_back(std::move(section));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw IniError(line_no, "expected 'key = value', got '" + std::string(line) + "'");
+    }
+    if (file.sections.empty()) {
+      throw IniError(line_no, "entry before any [section]");
+    }
+    IniEntry entry;
+    entry.key = std::string(trim(line.substr(0, eq)));
+    entry.value = std::string(trim(line.substr(eq + 1)));
+    entry.line = line_no;
+    if (entry.key.empty()) throw IniError(line_no, "empty key");
+    file.sections.back().entries.push_back(std::move(entry));
+  }
+  return file;
+}
+
+IniFile parse_ini_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_ini(buf.str());
+}
+
+}  // namespace profisched::config

@@ -1,0 +1,71 @@
+// ini.hpp — a minimal INI reader for network description files.
+//
+// Grammar (deliberately tiny, no external dependencies):
+//   * sections:   [name]          — repeatable; order preserved
+//   * entries:    key = value     — whitespace-trimmed, value up to EOL
+//   * comments:   '#' or ';' to end of line (start of line or after value)
+//   * blank lines ignored
+//
+// The reader keeps sections in file order because the network format relies
+// on it ("a [stream] belongs to the most recent [master]"). Errors carry
+// 1-based line numbers.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace profisched::config {
+
+/// Parse error with location.
+class IniError : public std::runtime_error {
+ public:
+  IniError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct IniEntry {
+  std::string key;
+  std::string value;
+  std::size_t line = 0;
+};
+
+struct IniSection {
+  std::string name;
+  std::size_t line = 0;
+  std::vector<IniEntry> entries;
+
+  /// First value for `key`, if present.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Typed accessors; throw IniError (with the entry's line) on bad syntax.
+  [[nodiscard]] std::optional<Ticks> get_ticks(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+
+  /// Required variants: throw IniError when the key is missing.
+  [[nodiscard]] std::string require(std::string_view key) const;
+  [[nodiscard]] Ticks require_ticks(std::string_view key) const;
+};
+
+/// Parsed file: sections in order of appearance.
+struct IniFile {
+  std::vector<IniSection> sections;
+
+  [[nodiscard]] const IniSection* find(std::string_view name) const;
+};
+
+/// Parse INI text. Throws IniError on malformed input.
+[[nodiscard]] IniFile parse_ini(std::string_view text);
+
+/// Read and parse a file. Throws std::runtime_error if unreadable.
+[[nodiscard]] IniFile parse_ini_file(const std::string& path);
+
+}  // namespace profisched::config

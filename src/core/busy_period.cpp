@@ -1,0 +1,31 @@
+#include "core/busy_period.hpp"
+
+namespace profisched {
+
+BusyPeriod synchronous_busy_period(const TaskSet& ts, int fuel) {
+  BusyPeriod out;
+  if (ts.empty()) return out;
+  if (ts.utilization() > 1.0) {
+    out.length = kNoBound;
+    return out;
+  }
+
+  Ticks L = ts.total_execution();
+  for (int it = 0; it < fuel; ++it) {
+    Ticks next = 0;
+    for (const Task& t : ts) {
+      next = sat_add(next, sat_mul(ceil_div_plus(sat_add(L, t.J), t.T), t.C));
+    }
+    out.iterations = it + 1;
+    if (next == L) {
+      out.length = L;
+      return out;
+    }
+    if (next == kNoBound) break;
+    L = next;
+  }
+  out.length = kNoBound;
+  return out;
+}
+
+}  // namespace profisched

@@ -1,0 +1,93 @@
+#include "core/edf_feasibility.hpp"
+
+#include <algorithm>
+
+namespace profisched {
+
+Ticks demand_bound(const TaskSet& ts, Ticks t, Formulation form) {
+  Ticks h = 0;
+  for (const Task& task : ts) {
+    const Ticks arg = t - task.D;
+    const Ticks jobs = (form == Formulation::PaperLiteral) ? ceil_div_plus(arg, task.T)
+                                                           : floor_div_plus1(arg, task.T);
+    h = sat_add(h, sat_mul(jobs, task.C));
+  }
+  return h;
+}
+
+std::vector<Ticks> deadline_checkpoints(const TaskSet& ts, Ticks limit) {
+  std::vector<Ticks> points;
+  for (const Task& task : ts) {
+    for (Ticks t = task.D; t <= limit; t = sat_add(t, task.T)) {
+      points.push_back(t);
+      if (t == kNoBound) break;
+    }
+  }
+  std::ranges::sort(points);
+  const auto dup = std::ranges::unique(points);
+  points.erase(dup.begin(), dup.end());
+  return points;
+}
+
+namespace {
+
+/// Shared driver: checks `demand_plus_blocking(t) <= t` over all deadline
+/// checkpoints within the synchronous busy period.
+template <typename DemandFn>
+FeasibilityResult check_over_checkpoints(const TaskSet& ts, Ticks min_t, DemandFn demand) {
+  FeasibilityResult out;
+  if (ts.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (ts.utilization() > 1.0) {
+    out.feasible = false;
+    out.first_violation = 0;
+    return out;
+  }
+  const BusyPeriod bp = synchronous_busy_period(ts);
+  if (!bp.bounded()) {
+    out.feasible = false;
+    return out;
+  }
+  out.horizon = bp.length;
+  for (const Ticks t : deadline_checkpoints(ts, bp.length)) {
+    if (t < min_t) continue;
+    ++out.checkpoints;
+    if (demand(t) > t) {
+      out.first_violation = t;
+      out.feasible = false;
+      return out;
+    }
+  }
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace
+
+FeasibilityResult edf_preemptive_feasible(const TaskSet& ts, Formulation form) {
+  return check_over_checkpoints(ts, /*min_t=*/0,
+                                [&](Ticks t) { return demand_bound(ts, t, form); });
+}
+
+FeasibilityResult np_edf_feasible_zheng_shin(const TaskSet& ts, Formulation form) {
+  const Ticks cmax = ts.max_execution();
+  // The paper states the condition for t >= min_i D_i; below that no deadline
+  // exists, so there is nothing to check.
+  return check_over_checkpoints(ts, ts.min_deadline(), [&](Ticks t) {
+    return sat_add(demand_bound(ts, t, form), cmax);
+  });
+}
+
+FeasibilityResult np_edf_feasible_george(const TaskSet& ts, Formulation form) {
+  return check_over_checkpoints(ts, /*min_t=*/0, [&](Ticks t) {
+    Ticks blocking = 0;
+    for (const Task& task : ts) {
+      if (task.D > t) blocking = std::max(blocking, task.C - 1);
+    }
+    return sat_add(demand_bound(ts, t, form), blocking);
+  });
+}
+
+}  // namespace profisched

@@ -1,0 +1,26 @@
+// formulation.hpp — selects between the paper's printed equations and the
+// standard/refined literature forms where the two differ (see DESIGN.md §1,
+// "Paper-literal vs refined formulations").
+#pragma once
+
+namespace profisched {
+
+enum class Formulation {
+  /// Exactly the equations as printed in Tovar & Vasques (1999):
+  ///  * non-preemptive FP interference uses ⌈w/T⌉ and B = max C_lp (eqs. 1–2)
+  ///  * the EDF demand function uses ⌈(t−D)/T⌉⁺ (eq. 3 / eq. 4)
+  PaperLiteral,
+
+  /// The refined forms from George, Rivierre & Spuri (1996) that later
+  /// literature settled on:
+  ///  * non-preemptive FP start-time interference uses ⌊w/T⌋ + 1 and
+  ///    B = max (C_lp − 1)
+  ///  * the demand-bound function uses (⌊(t−D)/T⌋ + 1)⁺
+  Refined,
+};
+
+/// Library-wide default: Refined (the correct forms). Benches that reproduce
+/// the paper's own numbers pass PaperLiteral explicitly.
+inline constexpr Formulation kDefaultFormulation = Formulation::Refined;
+
+}  // namespace profisched

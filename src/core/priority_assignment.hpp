@@ -1,0 +1,55 @@
+// priority_assignment.hpp — fixed-priority assignment schemes (§2 of the
+// paper): rate monotonic (RM), deadline monotonic (DM), and — as the standard
+// completion of the fixed-priority toolbox — Audsley's optimal priority
+// assignment (OPA).
+//
+// A priority order is represented as a permutation of task indices,
+// highest priority first. Keeping the order separate from the TaskSet lets
+// one set be analysed under several assignments.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/task.hpp"
+
+namespace profisched {
+
+/// Permutation of task indices, element 0 = highest priority.
+using PriorityOrder = std::vector<std::size_t>;
+
+/// Rate monotonic: shorter period => higher priority (ties by index, which
+/// makes the assignment deterministic and the analysis reproducible).
+[[nodiscard]] PriorityOrder rate_monotonic_order(const TaskSet& ts);
+
+/// Deadline monotonic: shorter relative deadline => higher priority
+/// (ties by index).
+[[nodiscard]] PriorityOrder deadline_monotonic_order(const TaskSet& ts);
+
+/// Inverse view: priority_rank[i] = position of task i in `order`
+/// (0 = highest). Useful for O(1) "is j higher priority than i" queries.
+[[nodiscard]] std::vector<std::size_t> priority_ranks(const PriorityOrder& order);
+
+/// Predicate type for Audsley's algorithm: decide whether `task_index` is
+/// schedulable at the current level given the tasks above it
+/// (`higher_priority`, the still-unassigned ones) and below it
+/// (`lower_priority`, the already-fixed ones — they matter for non-preemptive
+/// blocking).
+using LevelFeasibility =
+    std::function<bool(const TaskSet& ts, std::size_t task_index,
+                       const std::vector<std::size_t>& higher_priority,
+                       const std::vector<std::size_t>& lower_priority)>;
+
+/// Audsley's optimal priority assignment. Works bottom-up: finds some task
+/// feasible at the lowest priority level given all others above it, fixes it,
+/// and recurses on the rest. Returns a full priority order (highest first)
+/// iff one exists under `feasible`; std::nullopt otherwise.
+///
+/// `feasible` must be order-independent w.r.t. the relative order of the
+/// higher-priority set (true for all response-time analyses in this library),
+/// otherwise OPA's optimality argument does not apply.
+[[nodiscard]] std::optional<PriorityOrder> audsley_optimal_order(const TaskSet& ts,
+                                                                 const LevelFeasibility& feasible);
+
+}  // namespace profisched

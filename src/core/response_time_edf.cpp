@@ -1,0 +1,164 @@
+#include "core/response_time_edf.hpp"
+
+#include <algorithm>
+
+namespace profisched {
+
+std::vector<Ticks> edf_candidate_offsets(const TaskSet& ts, std::size_t i, Ticks horizon) {
+  std::vector<Ticks> offsets{0};
+  const Ticks di = ts[i].D;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    const Task& tj = ts[j];
+    const Ticks base = tj.D - tj.J - di;
+    // First k with k·T_j + base >= 0.
+    Ticks k0 = base >= 0 ? 0 : ceil_div(-base, tj.T);
+    for (Ticks k = k0;; ++k) {
+      const Ticks a = sat_add(sat_mul(k, tj.T), base);
+      if (a > horizon || a == kNoBound) break;
+      offsets.push_back(a);
+    }
+  }
+  std::ranges::sort(offsets);
+  const auto dup = std::ranges::unique(offsets);
+  offsets.erase(dup.begin(), dup.end());
+  return offsets;
+}
+
+namespace {
+
+/// Higher-priority workload W_i(a, t) (preemptive) or W*_i(a, t)
+/// (non-preemptive start-time form): jobs of other tasks with absolute
+/// deadline no later than a + D_i.
+Ticks hp_workload(const TaskSet& ts, std::size_t i, Ticks a, Ticks t, bool start_time_form) {
+  const Ticks abs_deadline = sat_add(a, ts[i].D);
+  Ticks sum = 0;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (j == i) continue;
+    const Task& tj = ts[j];
+    if (tj.D - tj.J > abs_deadline) continue;  // deadline after i's: not higher priority
+    const Ticks by_deadline = floor_div_plus1(abs_deadline - tj.D + tj.J, tj.T);
+    const Ticks by_time = start_time_form ? floor_div_plus1(sat_add(t, tj.J), tj.T)
+                                          : ceil_div_plus(sat_add(t, tj.J), tj.T);
+    sum = sat_add(sum, sat_mul(std::min(by_time, by_deadline), tj.C));
+  }
+  return sum;
+}
+
+/// Blocking by a later-deadline (lower-priority) non-preemptable job
+/// (eq. 9's leading max term).
+Ticks np_blocking(const TaskSet& ts, std::size_t i, Ticks a) {
+  const Ticks abs_deadline = sat_add(a, ts[i].D);
+  Ticks b = 0;
+  for (std::size_t j = 0; j < ts.size(); ++j) {
+    if (j == i) continue;
+    const Task& tj = ts[j];
+    if (tj.D - tj.J > abs_deadline) b = std::max(b, tj.C - 1);
+  }
+  return b;
+}
+
+struct OffsetResult {
+  bool converged = false;
+  Ticks response = kNoBound;
+};
+
+/// r_i(a) for preemptive EDF (eqs. 6).
+OffsetResult response_at_offset_preemptive(const TaskSet& ts, std::size_t i, Ticks a, int fuel) {
+  const Task& ti = ts[i];
+  const Ticks own = sat_mul(floor_div_plus1(a, ti.T), ti.C);  // (1 + ⌊a/T_i⌋)·C_i
+  Ticks L = own;
+  for (int it = 0; it < fuel; ++it) {
+    const Ticks next = sat_add(hp_workload(ts, i, a, L, /*start_time_form=*/false), own);
+    if (next == L) return {true, std::max(ti.C, L - a)};
+    if (next == kNoBound) return {};
+    L = next;
+  }
+  return {};
+}
+
+/// r_i(a) for non-preemptive EDF (eqs. 9).
+OffsetResult response_at_offset_nonpreemptive(const TaskSet& ts, std::size_t i, Ticks a,
+                                              int fuel) {
+  const Task& ti = ts[i];
+  const Ticks blocking = np_blocking(ts, i, a);
+  const Ticks own_prior = sat_mul(floor_div(a, ti.T), ti.C);  // ⌊a/T_i⌋·C_i
+  Ticks L = 0;
+  for (int it = 0; it < fuel; ++it) {
+    const Ticks next = sat_add(
+        blocking, sat_add(hp_workload(ts, i, a, L, /*start_time_form=*/true), own_prior));
+    if (next == L) return {true, sat_add(ti.C, std::max<Ticks>(0, L - a))};
+    if (next == kNoBound) return {};
+    L = next;
+  }
+  return {};
+}
+
+template <typename PerOffsetFn>
+EdfRtaResult max_over_offsets(const TaskSet& ts, std::size_t i, const EdfRtaOptions& opt,
+                              PerOffsetFn per_offset) {
+  EdfRtaResult out;
+  if (ts.utilization() > 1.0) return out;  // busy period unbounded: report unschedulable
+  const BusyPeriod bp = synchronous_busy_period(ts);
+  if (!bp.bounded()) return out;
+
+  const std::vector<Ticks> offsets = edf_candidate_offsets(ts, i, bp.length);
+  if (offsets.size() > opt.max_offsets) return out;
+
+  Ticks best = 0;
+  Ticks best_a = 0;
+  for (const Ticks a : offsets) {
+    ++out.offsets_examined;
+    const OffsetResult r = per_offset(a);
+    if (!r.converged) return out;
+    if (r.response > best) {
+      best = r.response;
+      best_a = a;
+    }
+  }
+  out.converged = true;
+  out.response = sat_add(best, ts[i].J);  // measured from event arrival
+  out.critical_offset = best_a;
+  return out;
+}
+
+}  // namespace
+
+EdfRtaResult edf_response_time_preemptive(const TaskSet& ts, std::size_t i,
+                                          const EdfRtaOptions& opt) {
+  return max_over_offsets(ts, i, opt, [&](Ticks a) {
+    return response_at_offset_preemptive(ts, i, a, opt.fixed_point_fuel);
+  });
+}
+
+EdfRtaResult edf_response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
+                                             const EdfRtaOptions& opt) {
+  return max_over_offsets(ts, i, opt, [&](Ticks a) {
+    return response_at_offset_nonpreemptive(ts, i, a, opt.fixed_point_fuel);
+  });
+}
+
+namespace {
+
+template <typename PerTaskFn>
+EdfAnalysis analyze(const TaskSet& ts, PerTaskFn per_task) {
+  EdfAnalysis out;
+  out.per_task.resize(ts.size());
+  out.schedulable = true;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out.per_task[i] = per_task(i);
+    if (!out.per_task[i].meets(ts[i].D)) out.schedulable = false;
+  }
+  return out;
+}
+
+}  // namespace
+
+EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt) {
+  return analyze(ts, [&](std::size_t i) { return edf_response_time_preemptive(ts, i, opt); });
+}
+
+EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt) {
+  return analyze(ts, [&](std::size_t i) { return edf_response_time_nonpreemptive(ts, i, opt); });
+}
+
+}  // namespace profisched

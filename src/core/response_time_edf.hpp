@@ -1,0 +1,84 @@
+// response_time_edf.hpp — worst-case response-time analysis under EDF
+// (§2.2, paper eqs. 6–10).
+//
+// Spuri showed that under EDF the critical instant is *not* necessarily the
+// synchronous release: the worst case for task i appears inside a "deadline
+// busy period" in which all other tasks are released synchronously and at
+// maximum rate, while i's analysed instance is released at some offset a >= 0
+// (with i's earlier instances released as soon as possible).
+//
+// Preemptive (eqs. 6–8):
+//     r_i(a) = max{ C_i, L_i(a) − a }
+//     L_i^{m+1}(a) = W_i(a, L_i^m(a)) + (1 + ⌊a/T_i⌋) · C_i
+//     W_i(a, t) = Σ_{j≠i, D_j−J_j <= a+D_i}
+//                   min{ ⌈(t+J_j)/T_j⌉, 1 + ⌊(a + D_i − D_j + J_j)/T_j⌋ } · C_j
+//     R_i = J_i + max_{a ∈ A} r_i(a)
+//
+// Non-preemptive (eqs. 9–10): a later-deadline instance can block, and the
+// busy period of interest is the one preceding the *start* of execution:
+//     r_i(a) = C_i + max{ 0, L_i(a) − a }
+//     L_i^{m+1}(a) = max_{D_j−J_j > a+D_i}{C_j − 1}
+//                    + W*_i(a, L_i^m(a)) + ⌊a/T_i⌋ · C_i
+//     W*_i(a, t) = Σ_{j≠i, D_j−J_j <= a+D_i}
+//                   min{ 1 + ⌊(t+J_j)/T_j⌋, 1 + ⌊(a + D_i − D_j + J_j)/T_j⌋ } · C_j
+//
+// Candidate offsets (eqs. 8/10): A = ∪_j { k·T_j + D_j − J_j − D_i : k ∈ ℕ }
+// ∩ [0, L], where L is the synchronous busy period — the maximum length of
+// any deadline busy period, hence a valid (if slightly generous) horizon.
+//
+// Release jitter terms follow Spuri's holistic analysis [34]; with all J = 0
+// the formulas reduce exactly to the paper's. The same code, with C replaced
+// by T_cycle, yields the PROFIBUS message analysis of §4.3 (see
+// profibus/edf_analysis.hpp, which reuses these routines via a TaskSet whose
+// C fields are T_cycle).
+#pragma once
+
+#include <vector>
+
+#include "core/busy_period.hpp"
+#include "core/task.hpp"
+
+namespace profisched {
+
+/// Outcome of an EDF worst-case response-time computation for one task.
+struct EdfRtaResult {
+  bool converged = false;      ///< false => horizon/iteration budget exhausted
+  Ticks response = kNoBound;   ///< worst-case response time (from event arrival)
+  Ticks critical_offset = 0;   ///< the offset a achieving the maximum
+  std::size_t offsets_examined = 0;
+
+  [[nodiscard]] bool meets(Ticks deadline) const noexcept {
+    return converged && response <= deadline;
+  }
+};
+
+/// Per-set EDF analysis outcome.
+struct EdfAnalysis {
+  std::vector<EdfRtaResult> per_task;
+  bool schedulable = false;
+};
+
+/// Options bounding the (potentially large) offset enumeration.
+struct EdfRtaOptions {
+  std::size_t max_offsets = 1 << 22;  ///< abort (converged=false) beyond this
+  int fixed_point_fuel = 1 << 16;     ///< per-offset iteration bound
+};
+
+/// Candidate offsets A for task i within [0, horizon] (paper eqs. 8 and 10).
+[[nodiscard]] std::vector<Ticks> edf_candidate_offsets(const TaskSet& ts, std::size_t i,
+                                                       Ticks horizon);
+
+/// Worst-case response time of task i under preemptive EDF (eqs. 6–8).
+[[nodiscard]] EdfRtaResult edf_response_time_preemptive(const TaskSet& ts, std::size_t i,
+                                                        const EdfRtaOptions& opt = {});
+
+/// Worst-case response time of task i under non-preemptive EDF (eqs. 9–10).
+[[nodiscard]] EdfRtaResult edf_response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
+                                                           const EdfRtaOptions& opt = {});
+
+/// Whole-set analyses.
+[[nodiscard]] EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt = {});
+[[nodiscard]] EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts,
+                                                    const EdfRtaOptions& opt = {});
+
+}  // namespace profisched

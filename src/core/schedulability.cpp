@@ -1,0 +1,82 @@
+#include "core/schedulability.hpp"
+
+#include <algorithm>
+
+namespace profisched {
+
+std::string_view to_string(Policy p) {
+  switch (p) {
+    case Policy::RateMonotonic: return "RM";
+    case Policy::DeadlineMonotonic: return "DM";
+    case Policy::NpDeadlineMonotonic: return "NP-DM";
+    case Policy::Edf: return "EDF";
+    case Policy::NpEdf: return "NP-EDF";
+  }
+  return "?";
+}
+
+double Verdict::worst_normalized_response(const TaskSet& ts) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < per_task.size(); ++i) {
+    if (per_task[i].response == kNoBound) return std::numeric_limits<double>::infinity();
+    worst = std::max(worst, static_cast<double>(per_task[i].response) /
+                                static_cast<double>(ts[i].D));
+  }
+  return worst;
+}
+
+namespace {
+
+Verdict from_fp(const TaskSet& ts, Policy policy, const FpAnalysis& fp) {
+  Verdict v;
+  v.policy = policy;
+  v.schedulable = fp.schedulable;
+  v.per_task.resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    v.per_task[i].response = fp.per_task[i].response;
+    v.per_task[i].meets_deadline = fp.per_task[i].meets(ts[i].D);
+  }
+  return v;
+}
+
+Verdict from_edf(const TaskSet& ts, Policy policy, const EdfAnalysis& edf) {
+  Verdict v;
+  v.policy = policy;
+  v.schedulable = edf.schedulable;
+  v.per_task.resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    v.per_task[i].response = edf.per_task[i].response;
+    v.per_task[i].meets_deadline = edf.per_task[i].meets(ts[i].D);
+  }
+  return v;
+}
+
+}  // namespace
+
+Verdict analyze(const TaskSet& ts, Policy policy, Formulation form) {
+  switch (policy) {
+    case Policy::RateMonotonic:
+      return from_fp(ts, policy, analyze_preemptive_fp(ts, rate_monotonic_order(ts)));
+    case Policy::DeadlineMonotonic:
+      return from_fp(ts, policy, analyze_preemptive_fp(ts, deadline_monotonic_order(ts)));
+    case Policy::NpDeadlineMonotonic:
+      return from_fp(ts, policy,
+                     analyze_nonpreemptive_fp(ts, deadline_monotonic_order(ts), form));
+    case Policy::Edf:
+      return from_edf(ts, policy, analyze_preemptive_edf(ts));
+    case Policy::NpEdf:
+      return from_edf(ts, policy, analyze_nonpreemptive_edf(ts));
+  }
+  return {};
+}
+
+std::vector<Verdict> analyze_all_policies(const TaskSet& ts, Formulation form) {
+  std::vector<Verdict> out;
+  for (const Policy p : {Policy::RateMonotonic, Policy::DeadlineMonotonic,
+                         Policy::NpDeadlineMonotonic, Policy::Edf, Policy::NpEdf}) {
+    out.push_back(analyze(ts, p, form));
+  }
+  return out;
+}
+
+}  // namespace profisched

@@ -1,0 +1,51 @@
+// schedulability.hpp — one-call façade over the §2 analyses: pick a policy,
+// get per-task worst-case response times and a verdict. Used by the examples
+// and benches so that policy comparisons are a loop over an enum rather than
+// four differently-shaped call sites.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/formulation.hpp"
+#include "core/response_time_edf.hpp"
+#include "core/response_time_fp.hpp"
+
+namespace profisched {
+
+/// The scheduling policies surveyed in §2 of the paper.
+enum class Policy {
+  RateMonotonic,       ///< fixed priorities by period, preemptive
+  DeadlineMonotonic,   ///< fixed priorities by deadline, preemptive
+  NpDeadlineMonotonic, ///< fixed priorities by deadline, non-preemptive (eqs. 1–2)
+  Edf,                 ///< dynamic priorities, preemptive (eqs. 6–8)
+  NpEdf,               ///< dynamic priorities, non-preemptive (eqs. 9–10)
+};
+
+[[nodiscard]] std::string_view to_string(Policy p);
+
+/// Uniform per-task record across policies.
+struct TaskVerdict {
+  Ticks response = kNoBound;  ///< worst-case response time (kNoBound if divergent)
+  bool meets_deadline = false;
+};
+
+/// Whole-set verdict under one policy.
+struct Verdict {
+  Policy policy{};
+  std::vector<TaskVerdict> per_task;
+  bool schedulable = false;
+
+  /// max_i R_i / D_i over the set (>1 means a miss); handy scalar for sweeps.
+  [[nodiscard]] double worst_normalized_response(const TaskSet& ts) const;
+};
+
+/// Run the worst-case response-time analysis for `policy` over `ts`.
+[[nodiscard]] Verdict analyze(const TaskSet& ts, Policy policy,
+                              Formulation form = kDefaultFormulation);
+
+/// Convenience: analyse under every policy in the enum order above.
+[[nodiscard]] std::vector<Verdict> analyze_all_policies(const TaskSet& ts,
+                                                        Formulation form = kDefaultFormulation);
+
+}  // namespace profisched

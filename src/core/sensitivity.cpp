@@ -1,0 +1,97 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+namespace profisched {
+
+namespace {
+
+/// Scale C by q/1024, rounding up (pessimistic), clamped to [1, T].
+Ticks scale_c(Ticks c, Ticks q1024, Ticks period) {
+  const Ticks scaled = ceil_div(sat_mul(c, q1024), 1024);
+  return std::clamp<Ticks>(scaled, 1, period);
+}
+
+/// Rebuild the set with selected tasks' C scaled by q/1024.
+/// `which` < 0 scales every task.
+TaskSet with_scaled(const TaskSet& ts, std::ptrdiff_t which, Ticks q1024) {
+  std::vector<Task> tasks(ts.begin(), ts.end());
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    if (which >= 0 && static_cast<std::size_t>(which) != j) continue;
+    tasks[j].C = scale_c(tasks[j].C, q1024, tasks[j].T);
+    tasks[j].D = std::max(tasks[j].D, tasks[j].C);  // keep the set valid
+  }
+  return TaskSet{std::move(tasks)};
+}
+
+/// Largest q in [1024, cap] with pred(q) true, given pred(1024) true and
+/// pred monotone non-increasing. Exact binary search.
+template <typename Pred>
+Ticks max_true_q(Ticks cap, Pred pred) {
+  Ticks lo = 1024;  // known true
+  Ticks hi = cap;
+  if (pred(hi)) return hi;
+  while (hi - lo > 1) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    (pred(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::optional<Ticks> scaling_headroom_impl(const TaskSet& ts, std::ptrdiff_t which,
+                                           const SchedulabilityTest& test, Ticks cap) {
+  if (!test(ts)) return std::nullopt;
+  return max_true_q(cap, [&](Ticks q) { return test(with_scaled(ts, which, q)); });
+}
+
+}  // namespace
+
+SchedulabilityTest test_for(Policy policy, Formulation form) {
+  return [policy, form](const TaskSet& ts) { return analyze(ts, policy, form).schedulable; };
+}
+
+std::optional<Ticks> execution_scaling_headroom(const TaskSet& ts, std::size_t i,
+                                                const SchedulabilityTest& test,
+                                                Ticks max_factor_q1024) {
+  return scaling_headroom_impl(ts, static_cast<std::ptrdiff_t>(i), test, max_factor_q1024);
+}
+
+std::optional<Ticks> breakdown_scaling(const TaskSet& ts, const SchedulabilityTest& test,
+                                       Ticks max_factor_q1024) {
+  return scaling_headroom_impl(ts, /*which=*/-1, test, max_factor_q1024);
+}
+
+std::optional<Ticks> minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
+                                                  const SchedulabilityTest& test) {
+  const auto with_deadline = [&](Ticks d) {
+    std::vector<Task> tasks(ts.begin(), ts.end());
+    tasks[i].D = d;
+    return TaskSet{std::move(tasks)};
+  };
+  const Ticks cap = sat_mul(ts[i].T, 64);
+  if (!test(with_deadline(cap))) return std::nullopt;
+
+  // Smallest d in [C_i, cap] with test true; monotone non-decreasing in d.
+  Ticks lo = ts[i].C;
+  Ticks hi = cap;  // known true
+  if (test(with_deadline(lo))) return lo;
+  while (hi - lo > 1) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    (test(with_deadline(mid)) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+std::optional<double> breakdown_utilization(const TaskSet& ts, const SchedulabilityTest& test) {
+  const std::optional<Ticks> q = breakdown_scaling(ts, test);
+  if (!q.has_value()) return std::nullopt;
+  // Recompute utilization at the breakdown point (respecting clamping).
+  double u = 0.0;
+  for (const Task& t : ts) {
+    const Ticks c = std::clamp<Ticks>(ceil_div(sat_mul(t.C, *q), 1024), 1, t.T);
+    u += static_cast<double>(c) / static_cast<double>(t.T);
+  }
+  return u;
+}
+
+}  // namespace profisched

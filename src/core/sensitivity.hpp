@@ -1,0 +1,58 @@
+// sensitivity.hpp — sensitivity analysis over the §2 schedulability verdicts:
+// how much can a parameter degrade before the verdict flips?
+//
+// Pre-run-time engineering practice (and the natural companion to the
+// paper's pre-run-time tests): once a set is schedulable, the margin —
+// breakdown utilization, per-task execution-time scaling headroom, deadline
+// tightening headroom — tells the designer how robust the configuration is.
+// All searches are exact binary searches over integer parameters against the
+// library's own analyses, so the returned boundary is tight to one tick.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/schedulability.hpp"
+
+namespace profisched {
+
+/// A predicate deciding schedulability of a (modified) task set.
+using SchedulabilityTest = std::function<bool(const TaskSet&)>;
+
+/// Standard test for a policy, as a reusable predicate.
+[[nodiscard]] SchedulabilityTest test_for(Policy policy,
+                                          Formulation form = kDefaultFormulation);
+
+/// Largest factor (in 1/1024 units, i.e. the returned value q means q/1024)
+/// by which task `i`'s C can be multiplied with the set staying schedulable.
+/// Returns std::nullopt when the set is unschedulable to begin with; the
+/// result is >= 1024 iff there is headroom. The search caps at
+/// `max_factor_q1024` (default 64x).
+[[nodiscard]] std::optional<Ticks> execution_scaling_headroom(
+    const TaskSet& ts, std::size_t i, const SchedulabilityTest& test,
+    Ticks max_factor_q1024 = 64 * 1024);
+
+/// Largest uniform factor (q/1024) by which EVERY C can be multiplied —
+/// the breakdown scaling of the whole set. Same conventions as above.
+[[nodiscard]] std::optional<Ticks> breakdown_scaling(const TaskSet& ts,
+                                                     const SchedulabilityTest& test,
+                                                     Ticks max_factor_q1024 = 64 * 1024);
+
+/// Smallest deadline task `i` can sustain (all else fixed): the exact value
+/// D_min such that the set is schedulable with D_i = D_min but not with
+/// D_min − 1. Returns std::nullopt when unschedulable even at D_i = T_i·64.
+///
+/// The binary search relies on schedulability being monotone in D_i, which
+/// holds for every policy in this library: EDF tests are demand-based
+/// (relaxing a deadline only lowers demand), and DM is sustainable w.r.t.
+/// deadline relaxation (the pre-relaxation priority order remains feasible
+/// and DM is optimal among fixed-priority orders for constrained deadlines).
+[[nodiscard]] std::optional<Ticks> minimum_sustainable_deadline(
+    const TaskSet& ts, std::size_t i, const SchedulabilityTest& test);
+
+/// Breakdown utilization by uniform C scaling, as a double in [0, n]:
+/// utilization of the set at the breakdown scaling point.
+[[nodiscard]] std::optional<double> breakdown_utilization(const TaskSet& ts,
+                                                          const SchedulabilityTest& test);
+
+}  // namespace profisched

@@ -1,0 +1,87 @@
+// task.hpp — the task / message-stream model of the paper (§2).
+//
+// A task (or message stream — the paper deliberately uses the same
+// characterisation for both) is described by its worst-case execution
+// (transmission) time C, relative deadline D, minimum inter-arrival time
+// (period) T, and — for the communication adaptation of §4 — a release
+// jitter J inherited from the generating application task.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace profisched {
+
+/// One periodic/sporadic task or message stream.
+///
+/// Invariants (checked by TaskSet::validate): C >= 1, T >= C, D >= 1, J >= 0.
+/// D may be smaller or larger than T (constrained or arbitrary deadlines);
+/// individual analyses document which deadline models they support.
+struct Task {
+  Ticks C = 0;  ///< worst-case execution / transmission time
+  Ticks D = 0;  ///< relative deadline
+  Ticks T = 0;  ///< period (minimum inter-arrival time for sporadics)
+  Ticks J = 0;  ///< release jitter (0 unless inherited, §4.1)
+  std::string name;  ///< optional human-readable label
+
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(C) / static_cast<double>(T);
+  }
+};
+
+/// Immutable-after-construction set of tasks. Analyses take `const TaskSet&`
+/// and identify tasks by index into this set; priority orders are expressed
+/// as separate permutations (see priority_assignment.hpp) so one set can be
+/// analysed under several assignments without copying.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) { validate(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](std::size_t i) const { return tasks_.at(i); }
+  [[nodiscard]] std::span<const Task> tasks() const noexcept { return tasks_; }
+
+  [[nodiscard]] auto begin() const noexcept { return tasks_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return tasks_.end(); }
+
+  /// Append a task (re-validates the newcomer).
+  void push_back(Task t);
+
+  /// Total utilization U = Σ C_i / T_i.
+  [[nodiscard]] double utilization() const;
+
+  /// Σ C_i — the initial value of the synchronous busy-period iteration.
+  [[nodiscard]] Ticks total_execution() const;
+
+  /// max_i C_i (0 for an empty set).
+  [[nodiscard]] Ticks max_execution() const;
+
+  /// min_i D_i (kNoBound for an empty set).
+  [[nodiscard]] Ticks min_deadline() const;
+
+  /// max_i D_i (0 for an empty set).
+  [[nodiscard]] Ticks max_deadline() const;
+
+  /// lcm of all periods, saturating to kNoBound on overflow.
+  [[nodiscard]] Ticks hyperperiod() const;
+
+  /// True iff D_i == T_i for all tasks (the Liu–Layland model).
+  [[nodiscard]] bool implicit_deadlines() const;
+
+  /// True iff D_i <= T_i for all tasks (constrained deadlines).
+  [[nodiscard]] bool constrained_deadlines() const;
+
+  /// Throws std::invalid_argument on any violated invariant.
+  void validate() const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace profisched

@@ -1,0 +1,32 @@
+#include "core/utilization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace profisched {
+
+double liu_layland_bound(std::size_t n) {
+  if (n <= 1) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool liu_layland_test(const TaskSet& ts) {
+  if (!ts.implicit_deadlines()) {
+    throw std::invalid_argument("liu_layland_test requires D == T for all tasks");
+  }
+  return ts.utilization() <= liu_layland_bound(ts.size());
+}
+
+bool hyperbolic_bound_test(const TaskSet& ts) {
+  if (!ts.implicit_deadlines()) {
+    throw std::invalid_argument("hyperbolic_bound_test requires D == T for all tasks");
+  }
+  double product = 1.0;
+  for (const Task& t : ts) product *= t.utilization() + 1.0;
+  return product <= 2.0;
+}
+
+bool edf_utilization_test(const TaskSet& ts) { return ts.utilization() <= 1.0; }
+
+}  // namespace profisched

@@ -1,0 +1,36 @@
+// utilization.hpp — utilization-based pre-run-time schedulability tests
+// surveyed in §2 of the paper.
+//
+//  * Liu & Layland's RM bound:       Σ C/T <= n (2^{1/n} − 1)      (sufficient)
+//  * The hyperbolic bound:           Π (U_i + 1) <= 2               (sufficient,
+//    strictly less pessimistic than Liu–Layland; included as the standard
+//    refinement of the same test family)
+//  * EDF utilization test:           Σ C/T <= 1                     (exact for
+//    preemptive, implicit deadlines)
+//
+// These are sufficient-only (except EDF with D=T); the response-time tests in
+// response_time_fp.hpp give per-task verdicts, which the paper emphasises.
+#pragma once
+
+#include "core/task.hpp"
+
+namespace profisched {
+
+/// n (2^{1/n} − 1), the Liu–Layland least upper bound for RM.
+/// Approaches ln 2 ≈ 0.6931 as n → ∞. Returns 1.0 for n <= 1.
+[[nodiscard]] double liu_layland_bound(std::size_t n);
+
+/// Liu–Layland sufficient test for preemptive RM with D = T.
+/// Precondition (checked): implicit deadlines. Returns false (not "throws")
+/// when the bound is not met — the set may still be schedulable.
+[[nodiscard]] bool liu_layland_test(const TaskSet& ts);
+
+/// Hyperbolic-bound sufficient test (Bini & Buttazzo): Π (U_i + 1) <= 2.
+/// Dominates Liu–Layland (accepts a superset). Same preconditions.
+[[nodiscard]] bool hyperbolic_bound_test(const TaskSet& ts);
+
+/// EDF utilization test Σ C/T <= 1 — exact for preemptive EDF with D = T,
+/// necessary-only when D < T (use edf_feasibility.hpp then).
+[[nodiscard]] bool edf_utilization_test(const TaskSet& ts);
+
+}  // namespace profisched

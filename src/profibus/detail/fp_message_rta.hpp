@@ -1,0 +1,47 @@
+// detail/fp_message_rta.hpp — the eq.-16 per-stream fixed point, shared by
+// the DM analysis and the arbitrary-order / OPA analyses. Internal header.
+#pragma once
+
+#include "core/formulation.hpp"
+#include "profibus/fcfs_analysis.hpp"
+
+namespace profisched::profibus::detail {
+
+/// Response time of the stream at position `rank` of `order` (highest
+/// priority first) within `master`, under the eq.-16 model: one T_cycle per
+/// service slot, blocking T* = T_cycle unless the stream is the master's
+/// lowest-priority one, jitter-inflated interference from higher-priority
+/// streams.
+inline StreamResponse fp_stream_response(const Master& master,
+                                         const std::vector<std::size_t>& order,
+                                         std::size_t rank, Ticks tcycle, Formulation form,
+                                         int fuel) {
+  StreamResponse out;
+  const MessageStream& si = master.high_streams[order[rank]];
+
+  const bool has_lower = rank + 1 < order.size();
+  const Ticks blocking = has_lower ? tcycle : 0;
+
+  Ticks w = sat_add(blocking, sat_mul(static_cast<Ticks>(rank), tcycle));
+  for (int it = 0; it < fuel; ++it) {
+    Ticks next = blocking;
+    for (std::size_t p = 0; p < rank; ++p) {
+      const MessageStream& sj = master.high_streams[order[p]];
+      const Ticks arg = sat_add(w, sj.J);
+      const Ticks jobs = (form == Formulation::PaperLiteral) ? ceil_div_plus(arg, sj.T)
+                                                             : floor_div_plus1(arg, sj.T);
+      next = sat_add(next, sat_mul(jobs, tcycle));
+    }
+    if (next == w) {
+      out.Q = w;
+      out.response = sat_add(w, tcycle);
+      out.meets_deadline = out.response != kNoBound && out.response <= si.D;
+      return out;
+    }
+    if (next == kNoBound) break;
+    w = next;
+  }
+  return out;  // diverged
+}
+
+}  // namespace profisched::profibus::detail

@@ -1,0 +1,42 @@
+#include "profibus/dm_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "profibus/detail/fp_message_rta.hpp"
+
+namespace profisched::profibus {
+
+NetworkAnalysis analyze_dm(const Network& net, TcycleMethod method, Formulation form, int fuel) {
+  net.validate();
+  NetworkAnalysis out;
+  out.tcycle = t_cycle(net);
+  out.schedulable = true;
+
+  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  out.masters.resize(net.n_masters());
+
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    const Master& master = net.masters[k];
+    MasterAnalysis& ma = out.masters[k];
+    ma.schedulable = true;
+    ma.streams.resize(master.nh());
+
+    std::vector<std::size_t> by_deadline(master.nh());
+    std::iota(by_deadline.begin(), by_deadline.end(), std::size_t{0});
+    std::ranges::stable_sort(by_deadline, [&](std::size_t a, std::size_t b) {
+      return master.high_streams[a].D < master.high_streams[b].D;
+    });
+
+    for (std::size_t rank = 0; rank < by_deadline.size(); ++rank) {
+      const std::size_t i = by_deadline[rank];
+      ma.streams[i] = detail::fp_stream_response(master, by_deadline, rank, tc[k], form, fuel);
+      if (!ma.streams[i].meets_deadline) ma.schedulable = false;
+    }
+    if (!ma.schedulable) out.schedulable = false;
+  }
+  return out;
+}
+
+}  // namespace profisched::profibus

@@ -1,0 +1,145 @@
+#include "profibus/edf_analysis.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace profisched::profibus {
+
+namespace {
+
+/// Busy period of a master under one-T_cycle-per-request service:
+/// L = Σ_i ⌈(L + J_i)/T_i⌉ · T_cycle from L⁰ = nh·T_cycle.
+/// Returns kNoBound when the iteration diverges (token supply < demand).
+Ticks master_busy_period(const Master& master, Ticks tcycle, int fuel) {
+  Ticks L = sat_mul(static_cast<Ticks>(master.nh()), tcycle);
+  for (int it = 0; it < fuel; ++it) {
+    Ticks next = 0;
+    for (const MessageStream& s : master.high_streams) {
+      next = sat_add(next, sat_mul(ceil_div_plus(sat_add(L, s.J), s.T), tcycle));
+    }
+    if (next == L) return L;
+    if (next == kNoBound) return kNoBound;
+    L = next;
+  }
+  return kNoBound;
+}
+
+/// Candidate offsets a (paper eq. 10, jitter-shifted) within [0, horizon].
+std::vector<Ticks> candidate_offsets(const Master& master, std::size_t i, Ticks horizon) {
+  std::vector<Ticks> offsets{0};
+  const Ticks di = master.high_streams[i].D;
+  for (const MessageStream& sj : master.high_streams) {
+    const Ticks base = sj.D - sj.J - di;
+    const Ticks k0 = base >= 0 ? 0 : ceil_div(-base, sj.T);
+    for (Ticks k = k0;; ++k) {
+      const Ticks a = sat_add(sat_mul(k, sj.T), base);
+      if (a > horizon || a == kNoBound) break;
+      offsets.push_back(a);
+    }
+  }
+  std::ranges::sort(offsets);
+  const auto dup = std::ranges::unique(offsets);
+  offsets.erase(dup.begin(), dup.end());
+  return offsets;
+}
+
+struct OffsetOutcome {
+  bool converged = false;
+  Ticks response = kNoBound;
+};
+
+/// R_i(a) per eqs. 17–18.
+OffsetOutcome response_at_offset(const Master& master, std::size_t i, Ticks a, Ticks tcycle,
+                                 int fuel) {
+  const MessageStream& si = master.high_streams[i];
+  const Ticks abs_deadline = sat_add(a, si.D);
+
+  // T*_cycle(a): a later-deadline request from another stream may already
+  // occupy the one-deep stack queue.
+  Ticks blocking = 0;
+  for (std::size_t j = 0; j < master.nh(); ++j) {
+    if (j == i) continue;
+    const MessageStream& sj = master.high_streams[j];
+    if (sj.D - sj.J > abs_deadline) {
+      blocking = tcycle;
+      break;
+    }
+  }
+
+  const Ticks own_prior = sat_mul(floor_div(a, si.T), tcycle);
+
+  Ticks L = 0;
+  for (int it = 0; it < fuel; ++it) {
+    Ticks next = sat_add(blocking, own_prior);
+    for (std::size_t j = 0; j < master.nh(); ++j) {
+      if (j == i) continue;
+      const MessageStream& sj = master.high_streams[j];
+      if (sj.D - sj.J > abs_deadline) continue;  // later deadline: lower priority
+      const Ticks by_time = floor_div_plus1(sat_add(L, sj.J), sj.T);
+      const Ticks by_deadline = floor_div_plus1(abs_deadline - sj.D + sj.J, sj.T);
+      next = sat_add(next, sat_mul(std::min(by_time, by_deadline), tcycle));
+    }
+    if (next == L) return {true, sat_add(tcycle, std::max<Ticks>(0, L - a))};
+    if (next == kNoBound) return {};
+    L = next;
+  }
+  return {};
+}
+
+}  // namespace
+
+NetworkAnalysis analyze_edf(const Network& net, TcycleMethod method,
+                            std::vector<std::vector<EdfStreamDetail>>* detail, int fuel) {
+  net.validate();
+  NetworkAnalysis out;
+  out.tcycle = t_cycle(net);
+  out.schedulable = true;
+
+  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  out.masters.resize(net.n_masters());
+  if (detail) detail->assign(net.n_masters(), {});
+
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    const Master& master = net.masters[k];
+    MasterAnalysis& ma = out.masters[k];
+    ma.schedulable = true;
+    ma.streams.resize(master.nh());
+    if (detail) (*detail)[k].resize(master.nh());
+
+    const Ticks horizon = master_busy_period(master, tc[k], fuel);
+    for (std::size_t i = 0; i < master.nh(); ++i) {
+      StreamResponse& r = ma.streams[i];
+      if (horizon == kNoBound) {
+        ma.schedulable = false;
+        continue;  // r stays kNoBound / not schedulable
+      }
+      Ticks best = 0;
+      Ticks best_a = 0;
+      std::size_t examined = 0;
+      bool ok = true;
+      for (const Ticks a : candidate_offsets(master, i, horizon)) {
+        ++examined;
+        const OffsetOutcome o = response_at_offset(master, i, a, tc[k], fuel);
+        if (!o.converged) {
+          ok = false;
+          break;
+        }
+        if (o.response > best) {
+          best = o.response;
+          best_a = a;
+        }
+      }
+      if (ok) {
+        r.response = best;
+        r.Q = best - tc[k];
+        r.meets_deadline = r.response <= master.high_streams[i].D;
+      }
+      if (detail) (*detail)[k][i] = {best_a, examined};
+      if (!r.meets_deadline) ma.schedulable = false;
+    }
+    if (!ma.schedulable) out.schedulable = false;
+  }
+  return out;
+}
+
+}  // namespace profisched::profibus

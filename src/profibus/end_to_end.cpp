@@ -1,0 +1,26 @@
+#include "profibus/end_to_end.hpp"
+
+#include <stdexcept>
+
+namespace profisched::profibus {
+
+bool end_to_end_schedulable(const Network& net, const NetworkAnalysis& analysis,
+                            const std::vector<std::vector<HostDelays>>& host) {
+  if (host.size() != net.n_masters() || analysis.masters.size() != net.n_masters()) {
+    throw std::invalid_argument("end_to_end_schedulable: shape mismatch with network");
+  }
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    const Master& master = net.masters[k];
+    if (host[k].size() != master.nh() || analysis.masters[k].streams.size() != master.nh()) {
+      throw std::invalid_argument("end_to_end_schedulable: shape mismatch at master " +
+                                  master.name);
+    }
+    for (std::size_t i = 0; i < master.nh(); ++i) {
+      const Ticks e = end_to_end_bound(host[k][i], analysis.masters[k].streams[i]);
+      if (e == kNoBound || e > master.high_streams[i].D) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace profisched::profibus

@@ -1,0 +1,44 @@
+// end_to_end.hpp — the end-to-end communication delay of §4.2:
+//
+//     E = g + Q + C + d
+//
+// g — worst-case generation delay: the sending application task's response
+//     time up to (and including) placing the request in the AP queue. Under
+//     the inheritance model of §4.1 this is also the stream's release jitter
+//     J used inside the Q analyses (derive it with apptask/, or set it
+//     directly).
+// Q — worst-case queuing delay from AP-queue insertion to the start of the
+//     message cycle, from the FCFS/DM/EDF analysis of choice.
+// C — the message cycle itself: request + slave turnaround + response +
+//     retries (the stream's Ch). The Q analyses bound Q + C together by
+//     charging a full T_cycle for the final service slot, so the pair
+//     (Q, C) is taken from a single analysis record to avoid double counting.
+// d — delivery delay: processing of the response and hand-off to the
+//     destination task (same host processor as the sender in PROFIBUS).
+#pragma once
+
+#include "profibus/fcfs_analysis.hpp"
+
+namespace profisched::profibus {
+
+/// Host-side delays bounding one stream's end-to-end path.
+struct HostDelays {
+  Ticks generation = 0;  ///< g: sender task worst-case response up to queuing
+  Ticks delivery = 0;    ///< d: response processing + hand-off
+};
+
+/// End-to-end bound for one stream: E = g + R + d, where R = Q + C comes from
+/// the analysis record (the analyses bound Q + C jointly via T_cycle).
+[[nodiscard]] constexpr Ticks end_to_end_bound(const HostDelays& host, const StreamResponse& r) {
+  if (r.response == kNoBound) return kNoBound;
+  return sat_add(sat_add(host.generation, r.response), host.delivery);
+}
+
+/// Whole-network end-to-end verdict: every stream's E within its deadline.
+/// `host[k][i]` pairs with stream i of master k; `deadline_is_end_to_end`
+/// states whether stream deadlines bound E (true) or only the network part R
+/// (false, the §3 interpretation).
+[[nodiscard]] bool end_to_end_schedulable(const Network& net, const NetworkAnalysis& analysis,
+                                          const std::vector<std::vector<HostDelays>>& host);
+
+}  // namespace profisched::profibus

@@ -1,0 +1,34 @@
+#include "profibus/fcfs_analysis.hpp"
+
+namespace profisched::profibus {
+
+NetworkAnalysis analyze_fcfs(const Network& net, TcycleMethod method) {
+  net.validate();
+  NetworkAnalysis out;
+  out.tcycle = t_cycle(net);
+  out.schedulable = true;
+
+  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  out.masters.resize(net.n_masters());
+
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    const Master& master = net.masters[k];
+    MasterAnalysis& ma = out.masters[k];
+    ma.schedulable = true;
+    ma.streams.resize(master.nh());
+
+    const Ticks nh = static_cast<Ticks>(master.nh());
+    for (std::size_t i = 0; i < master.nh(); ++i) {
+      const MessageStream& s = master.high_streams[i];
+      StreamResponse& r = ma.streams[i];
+      r.response = sat_mul(nh, tc[k]);                 // eq. 11
+      r.Q = sat_add(r.response, -s.Ch);                // Q = nh·T_cycle − Ch
+      r.meets_deadline = r.response != kNoBound && r.response <= s.D;  // eq. 12
+      if (!r.meets_deadline) ma.schedulable = false;
+    }
+    if (!ma.schedulable) out.schedulable = false;
+  }
+  return out;
+}
+
+}  // namespace profisched::profibus

@@ -1,0 +1,48 @@
+// fcfs_analysis.hpp — worst-case response time of PROFIBUS high-priority
+// messages under the standard FCFS outgoing queue (§3.2, paper eqs. 11–12).
+//
+// Because a master transmits at least one HP message per token visit, and at
+// most nh^k messages can be pending (one per stream — two pending requests of
+// the same stream would already imply a missed deadline), a request queued
+// behind every other stream's request needs nh^k token visits:
+//
+//     Q_i^k = nh^k · T_cycle − Ch_i^k,      R_i^k = Q_i^k + Ch_i^k
+//           => R_i^k = nh^k · T_cycle                                   (11)
+//
+// and the stream set is schedulable iff Dh_i^k >= R_i^k for every stream of
+// every master (12). Note R is identical for every stream of a master — FCFS
+// cannot favour tight deadlines, which is precisely the limitation §4
+// removes.
+#pragma once
+
+#include <vector>
+
+#include "profibus/token_ring_analysis.hpp"
+
+namespace profisched::profibus {
+
+/// Per-stream analysis record.
+struct StreamResponse {
+  Ticks Q = kNoBound;         ///< worst-case queuing delay
+  Ticks response = kNoBound;  ///< worst-case response time R
+  bool meets_deadline = false;
+};
+
+/// Per-master analysis record.
+struct MasterAnalysis {
+  std::vector<StreamResponse> streams;  ///< indexed like Master::high_streams
+  bool schedulable = false;
+};
+
+/// Whole-network verdict.
+struct NetworkAnalysis {
+  std::vector<MasterAnalysis> masters;
+  bool schedulable = false;
+  Ticks tcycle = 0;  ///< the T_cycle used (eq. 14)
+};
+
+/// FCFS analysis of the whole network (eqs. 11–12).
+[[nodiscard]] NetworkAnalysis analyze_fcfs(const Network& net,
+                                           TcycleMethod method = TcycleMethod::PaperEq13);
+
+}  // namespace profisched::profibus

@@ -1,0 +1,74 @@
+// holistic.hpp — holistic schedulability analysis for transactions that span
+// several masters of one PROFIBUS ring (the distributed extension of §4.2;
+// the paper cites Tindell & Clark [33] and Spuri [34] for exactly this
+// attribute-inheritance scheme).
+//
+// A transaction is a chain of stages, each stage being "a task on the
+// master's host processor prepares a request, then one message cycle of a
+// given stream carries it". The classic holistic fixed point applies:
+//
+//   * the release jitter of a stage's task is the response time of the
+//     previous stage (0 for the first);
+//   * the release jitter of a stage's message is the response time of its
+//     task (§4.1, task model B);
+//   * message response times come from the chosen AP-queue analysis
+//     (eq. 16 / eqs. 17–18), whose interference terms grow with the jitters
+//     of *all* streams of the master;
+//   * task response times come from the preemptive fixed-priority analysis
+//     of the host CPU, whose interference also grows with jitter.
+//
+// Every quantity is monotone non-decreasing in every jitter, so iterating
+// release-jitter assignment → analysis → new jitters converges to the least
+// fixed point, or some response exceeds its transaction deadline and the set
+// is reported unschedulable (the standard holistic argument).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "profibus/dispatching.hpp"
+
+namespace profisched::profibus {
+
+/// One stage of a distributed transaction.
+struct TransactionStage {
+  std::size_t master = 0;  ///< which master's host runs the task / sends
+  std::size_t stream = 0;  ///< index into that master's high_streams
+  Ticks task_c = 1;        ///< host-task execution time preparing the request
+};
+
+/// A periodic end-to-end activity across the ring.
+struct Transaction {
+  std::vector<TransactionStage> stages;
+  Ticks period = 0;    ///< transaction period (stages inherit it)
+  Ticks deadline = 0;  ///< end-to-end deadline for the whole chain
+  std::string name;
+
+  void validate(const Network& net) const;
+};
+
+struct HolisticOptions {
+  ApPolicy policy = ApPolicy::Dm;  ///< AP-queue analysis used for messages
+  int max_iterations = 256;        ///< fixed-point iteration cap
+};
+
+/// Outcome of the holistic iteration.
+struct HolisticResult {
+  bool converged = false;    ///< fixed point found (false: diverged/cap hit)
+  bool schedulable = false;  ///< every transaction meets its deadline
+  std::vector<Ticks> response;  ///< end-to-end response per transaction
+  std::vector<std::vector<Ticks>> stage_response;  ///< cumulative, per stage
+  NetworkAnalysis network;   ///< message analysis at the fixed point
+  int iterations = 0;
+};
+
+/// Run the holistic analysis. The network's streams referenced by stages get
+/// their T overridden by the transaction period and their J by the iteration;
+/// unreferenced streams keep their configured T/J and participate as
+/// interference. The host CPU of each master schedules the stage tasks
+/// preemptively, deadline-monotonic (D = transaction deadline).
+[[nodiscard]] HolisticResult analyze_holistic(Network net,
+                                              const std::vector<Transaction>& transactions,
+                                              const HolisticOptions& opt = {});
+
+}  // namespace profisched::profibus

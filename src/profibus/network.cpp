@@ -1,0 +1,39 @@
+#include "profibus/network.hpp"
+
+#include <algorithm>
+
+namespace profisched::profibus {
+
+Ticks Master::longest_high_cycle() const {
+  Ticks m = 0;
+  for (const MessageStream& s : high_streams) m = std::max(m, s.Ch);
+  return m;
+}
+
+Ticks Master::longest_cycle() const { return std::max(longest_high_cycle(), longest_low_cycle); }
+
+void Master::validate() const {
+  if (longest_low_cycle < 0) {
+    throw std::invalid_argument("Master " + name + ": longest_low_cycle must be >= 0");
+  }
+  for (const MessageStream& s : high_streams) s.validate();
+}
+
+std::size_t Network::total_high_streams() const {
+  std::size_t n = 0;
+  for (const Master& m : masters) n += m.nh();
+  return n;
+}
+
+Ticks Network::ring_latency() const {
+  return sat_mul(static_cast<Ticks>(masters.size()), token_pass_time(bus));
+}
+
+void Network::validate() const {
+  if (masters.empty()) throw std::invalid_argument("Network: needs at least one master");
+  bus.validate();
+  if (ttr < 1) throw std::invalid_argument("Network: T_TR must be >= 1");
+  for (const Master& m : masters) m.validate();
+}
+
+}  // namespace profisched::profibus

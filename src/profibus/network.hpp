@@ -1,0 +1,80 @@
+// network.hpp — the PROFIBUS network model the analyses operate on: message
+// streams, masters, and the logical ring (§3 of the paper).
+//
+// A message stream Sh_i^k is "a temporal sequence of message cycles related,
+// for instance, with the reading of a process sensor or the updating of a
+// process actuator" (paper footnote 6). High-priority streams carry the
+// real-time traffic the schedulability analysis guarantees; low-priority
+// streams model the background traffic that contributes blocking (Cl^k in
+// eq. 13).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/time_types.hpp"
+#include "profibus/frame_timing.hpp"
+
+namespace profisched::profibus {
+
+/// One message stream of a master. Mirrors the paper's (Ch, Dh, Th, J)
+/// characterisation; Ch is the *worst-case* message-cycle length including
+/// retries (use worst_case_cycle_time to derive it from frame sizes).
+struct MessageStream {
+  Ticks Ch = 0;  ///< worst-case message cycle length
+  Ticks D = 0;   ///< relative deadline of each request
+  Ticks T = 0;   ///< period / minimum inter-arrival of requests
+  Ticks J = 0;   ///< release jitter inherited from the generating task (§4.1)
+  std::string name;
+
+  void validate() const {
+    if (Ch < 1) throw std::invalid_argument("MessageStream " + name + ": Ch must be >= 1");
+    if (D < 1) throw std::invalid_argument("MessageStream " + name + ": D must be >= 1");
+    if (T < 1) throw std::invalid_argument("MessageStream " + name + ": T must be >= 1");
+    if (J < 0) throw std::invalid_argument("MessageStream " + name + ": J must be >= 0");
+  }
+};
+
+/// One master station: its high-priority (guaranteed) streams and the longest
+/// low-priority message cycle it may emit (Cl^k). Low-priority traffic needs
+/// no deadlines — only its maximum cycle length matters to the analysis.
+struct Master {
+  std::vector<MessageStream> high_streams;
+  Ticks longest_low_cycle = 0;  ///< Cl^k; 0 if the master sends no LP traffic
+  std::string name;
+
+  /// nh^k — the number of high-priority streams (paper §3.2).
+  [[nodiscard]] std::size_t nh() const noexcept { return high_streams.size(); }
+
+  /// max_i Ch_i^k (0 when the master has no HP streams).
+  [[nodiscard]] Ticks longest_high_cycle() const;
+
+  /// C_M^k = max{ max_i Ch_i^k, Cl^k } (paper, below eq. 13).
+  [[nodiscard]] Ticks longest_cycle() const;
+
+  void validate() const;
+};
+
+/// The whole network: the logical ring of masters (index order = ring order),
+/// the shared bus parameters, and the target token rotation time T_TR common
+/// to all masters.
+struct Network {
+  std::vector<Master> masters;
+  BusParameters bus;
+  Ticks ttr = 0;  ///< T_TR, the PROFIBUS target rotation time parameter
+
+  [[nodiscard]] std::size_t n_masters() const noexcept { return masters.size(); }
+
+  /// Total number of HP streams across the ring.
+  [[nodiscard]] std::size_t total_high_streams() const;
+
+  /// Σ_k (token pass + per-master protocol overhead): the paper's τ term
+  /// (footnote 7, "ring latency and other protocol and network overheads").
+  [[nodiscard]] Ticks ring_latency() const;
+
+  void validate() const;
+};
+
+}  // namespace profisched::profibus

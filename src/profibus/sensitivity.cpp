@@ -1,0 +1,81 @@
+#include "profibus/sensitivity.hpp"
+
+#include <algorithm>
+
+namespace profisched::profibus {
+
+namespace {
+
+/// Scale every cycle length by q/1024, rounding up (pessimistic).
+Network with_scaled_frames(const Network& net, Ticks q1024) {
+  Network out = net;
+  for (Master& m : out.masters) {
+    for (MessageStream& s : m.high_streams) {
+      s.Ch = std::max<Ticks>(ceil_div(sat_mul(s.Ch, q1024), 1024), 1);
+    }
+    m.longest_low_cycle = ceil_div(sat_mul(m.longest_low_cycle, q1024), 1024);
+  }
+  return out;
+}
+
+bool schedulable(const Network& net, ApPolicy policy) {
+  return analyze_network(net, policy).schedulable;
+}
+
+}  // namespace
+
+std::optional<Ticks> frame_growth_headroom(const Network& net, ApPolicy policy,
+                                           Ticks max_factor_q1024) {
+  if (!schedulable(net, policy)) return std::nullopt;
+  Ticks lo = 1024;  // known schedulable
+  Ticks hi = max_factor_q1024;
+  if (schedulable(with_scaled_frames(net, hi), policy)) return hi;
+  while (hi - lo > 1) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    (schedulable(with_scaled_frames(net, mid), policy) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+std::optional<Ticks> stream_deadline_margin(const Network& net, ApPolicy policy,
+                                            std::size_t master, std::size_t stream) {
+  const MessageStream& target = net.masters.at(master).high_streams.at(stream);
+  const auto with_deadline = [&](Ticks d) {
+    Network modified = net;
+    modified.masters[master].high_streams[stream].D = d;
+    return modified;
+  };
+  const Ticks floor = target.Ch;
+  const Ticks cap = sat_mul(target.T, 64);
+  if (!schedulable(with_deadline(cap), policy)) return std::nullopt;
+  if (schedulable(with_deadline(floor), policy)) return floor;
+
+  Ticks lo = floor;  // known unschedulable
+  Ticks hi = cap;    // known schedulable
+  while (hi - lo > 1) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    (schedulable(with_deadline(mid), policy) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+std::optional<Ticks> max_schedulable_ttr_for(const Network& net, ApPolicy policy, Ticks cap) {
+  const auto with_ttr = [&](Ticks ttr) {
+    Network modified = net;
+    modified.ttr = ttr;
+    return modified;
+  };
+  const Ticks floor = sat_add(net.ring_latency(), 1);
+  if (!schedulable(with_ttr(floor), policy)) return std::nullopt;
+  if (schedulable(with_ttr(cap), policy)) return cap;
+
+  Ticks lo = floor;  // known schedulable
+  Ticks hi = cap;    // known unschedulable
+  while (hi - lo > 1) {
+    const Ticks mid = lo + (hi - lo) / 2;
+    (schedulable(with_ttr(mid), policy) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace profisched::profibus

@@ -1,0 +1,37 @@
+// sensitivity.hpp (profibus) — network-level sensitivity analysis: the
+// margins a fieldbus engineer actually asks about. How much can every frame
+// grow (firmware update adds fields to each PDU) before the guarantees
+// break? How tight could one stream's deadline go? Exact binary searches
+// against the library's own network analyses, mirroring core/sensitivity.hpp.
+#pragma once
+
+#include <optional>
+
+#include "profibus/dispatching.hpp"
+
+namespace profisched::profibus {
+
+/// Largest factor (q/1024 fixed point) by which EVERY message-cycle length —
+/// each stream's Ch and each master's Cl — can be multiplied with the network
+/// staying schedulable under `policy`. T_del and T_cycle grow along. Returns
+/// std::nullopt when already unschedulable; caps at `max_factor_q1024`.
+[[nodiscard]] std::optional<Ticks> frame_growth_headroom(const Network& net, ApPolicy policy,
+                                                         Ticks max_factor_q1024 = 64 * 1024);
+
+/// Smallest deadline stream (k, i) can sustain under `policy`, all else
+/// fixed — the exact value D_min schedulable at D_min but not at D_min − 1.
+/// Monotone for all three policies (FCFS's bound ignores D except in the
+/// verdict; DM reordering is deadline-sustainable; EDF windows shrink with D).
+/// Returns std::nullopt when unschedulable even at D = 64·T.
+[[nodiscard]] std::optional<Ticks> stream_deadline_margin(const Network& net, ApPolicy policy,
+                                                          std::size_t master,
+                                                          std::size_t stream);
+
+/// Largest T_TR keeping the network schedulable under `policy` (the DM/EDF
+/// generalization of eq. 15's FCFS-only bound; computed by exact search since
+/// no closed form exists for eqs. 16–18). Searches [net.ttr-independent
+/// floor, cap]; std::nullopt when even the floor fails.
+[[nodiscard]] std::optional<Ticks> max_schedulable_ttr_for(const Network& net, ApPolicy policy,
+                                                           Ticks cap = 1 << 24);
+
+}  // namespace profisched::profibus

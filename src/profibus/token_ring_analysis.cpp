@@ -1,0 +1,45 @@
+#include "profibus/token_ring_analysis.hpp"
+
+#include <algorithm>
+
+namespace profisched::profibus {
+
+Ticks t_del(const Network& net) {
+  Ticks sum = 0;
+  for (const Master& m : net.masters) sum = sat_add(sum, m.longest_cycle());
+  return sum;
+}
+
+Ticks t_cycle(const Network& net) { return sat_add(net.ttr, t_del(net)); }
+
+std::vector<Ticks> t_cycle_per_master(const Network& net, TcycleMethod method) {
+  const std::size_t n = net.n_masters();
+  std::vector<Ticks> out(n, 0);
+
+  if (method == TcycleMethod::PaperEq13) {
+    const Ticks uniform = t_cycle(net);
+    std::ranges::fill(out, uniform);
+    return out;
+  }
+
+  // PerMasterRefined: lateness seen by master k = max over the overrunning
+  // master j of [ C_M^j + Σ_{m between j and k (exclusive, ring order)}
+  // Ch-max^m ]. The overrunner contributes its longest cycle (the overrun);
+  // intermediate masters received a late token, so each contributes at most
+  // its one guaranteed high-priority cycle.
+  for (std::size_t k = 0; k < n; ++k) {
+    Ticks worst = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      Ticks lateness = net.masters[j].longest_cycle();
+      for (std::size_t m = (j + 1) % n; m != k; m = (m + 1) % n) {
+        if (m == j) break;  // full loop (k == j case handled by ring walk)
+        lateness = sat_add(lateness, net.masters[m].longest_high_cycle());
+      }
+      worst = std::max(worst, lateness);
+    }
+    out[k] = sat_add(net.ttr, worst);
+  }
+  return out;
+}
+
+}  // namespace profisched::profibus

@@ -1,0 +1,45 @@
+// token_ring_analysis.hpp — the timed-token cycle-time analysis of §3.3
+// (paper eqs. 13–14, after Tovar & Vasques [13,14]).
+//
+// PROFIBUS gives no per-master synchronous bandwidth: when the token is late
+// a master may still transmit one high-priority message cycle, and T_TH is
+// only tested at message-cycle *starts*, so a cycle started just before
+// expiry overruns it. The worst-case token lateness T_del therefore composes
+// one T_TH overrun (the longest cycle of the overrunning master) with one
+// message cycle from every following master that received the late token:
+//
+//     T_del = Σ_{k=1..n} C_M^k,     C_M^k = max{ max_i Ch_i^k, Cl^k }   (13)
+//     T_cycle = T_TR + T_del                                            (14)
+//
+// The PerMasterRefined method implements the per-position sharpening in the
+// spirit of [14]: the lateness *as seen by master k* is maximised over which
+// master j caused the overrun, counting the full C_M^j for the overrunner but
+// only one *high-priority* cycle (Ch-max) for the masters strictly between j
+// and k on the ring — those can only have used the late token for their one
+// guaranteed HP message.
+#pragma once
+
+#include <vector>
+
+#include "profibus/network.hpp"
+
+namespace profisched::profibus {
+
+enum class TcycleMethod {
+  PaperEq13,         ///< uniform bound, eqs. 13–14
+  PerMasterRefined,  ///< per-position refinement (see header comment)
+};
+
+/// Worst-case token lateness T_del (eq. 13).
+[[nodiscard]] Ticks t_del(const Network& net);
+
+/// Uniform upper bound on consecutive token arrivals at any master
+/// (eq. 14): T_cycle = T_TR + T_del.
+[[nodiscard]] Ticks t_cycle(const Network& net);
+
+/// Per-master T_cycle. PaperEq13 returns the uniform eq.-14 value for every
+/// master; PerMasterRefined returns a (never larger) position-aware bound.
+[[nodiscard]] std::vector<Ticks> t_cycle_per_master(const Network& net,
+                                                    TcycleMethod method = TcycleMethod::PaperEq13);
+
+}  // namespace profisched::profibus

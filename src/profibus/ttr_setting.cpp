@@ -1,0 +1,32 @@
+#include "profibus/ttr_setting.hpp"
+
+#include <algorithm>
+
+namespace profisched::profibus {
+
+TtrRange ttr_range_fcfs(const Network& net, std::optional<Ticks> min_ttr) {
+  TtrRange out;
+  out.min = min_ttr.value_or(sat_add(net.ring_latency(), 1));
+  const Ticks tdel = t_del(net);
+
+  Ticks upper = kNoBound;
+  for (const Master& master : net.masters) {
+    const Ticks nh = static_cast<Ticks>(master.nh());
+    if (nh == 0) continue;
+    for (const MessageStream& s : master.high_streams) {
+      // T_TR <= Dh/nh − T_del, integer-safe: floor division is the tight bound
+      // because T_cycle multiplies back by nh.
+      upper = std::min(upper, floor_div(s.D, nh) - tdel);
+    }
+  }
+  out.max = upper == kNoBound ? kNoBound : upper;
+  return out;
+}
+
+std::optional<Ticks> max_schedulable_ttr(const Network& net, std::optional<Ticks> min_ttr) {
+  const TtrRange range = ttr_range_fcfs(net, min_ttr);
+  if (!range.feasible()) return std::nullopt;
+  return range.max;
+}
+
+}  // namespace profisched::profibus

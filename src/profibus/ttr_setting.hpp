@@ -1,0 +1,36 @@
+// ttr_setting.hpp — choosing the network-wide T_TR parameter (§3.4, eq. 15).
+//
+// Rearranging the schedulability condition Dh_i^k >= nh^k (T_TR + T_del):
+//
+//     0 < T_TR <= min_{master k, stream i} ( Dh_i^k / nh^k − T_del )    (15)
+//
+// T_del does not depend on T_TR (it is a pure function of message-cycle
+// lengths), so the feasible T_TR range — if non-empty — can be computed in
+// one pass. A larger T_TR admits more low-priority (background) bandwidth per
+// rotation, so the *maximum* feasible value is the interesting one.
+#pragma once
+
+#include <optional>
+
+#include "profibus/token_ring_analysis.hpp"
+
+namespace profisched::profibus {
+
+/// Feasible T_TR range for the FCFS analysis.
+struct TtrRange {
+  Ticks min = 1;  ///< smallest usable value (must at least cover ring latency)
+  Ticks max = 0;  ///< eq.-15 upper bound
+  [[nodiscard]] bool feasible() const noexcept { return max >= min; }
+};
+
+/// Evaluate eq. 15. `min_ttr` lets the caller impose a floor (e.g. the ring
+/// latency τ plus one message cycle, without which the token starves);
+/// by default the floor is the network's ring latency + 1.
+[[nodiscard]] TtrRange ttr_range_fcfs(const Network& net, std::optional<Ticks> min_ttr = {});
+
+/// The largest T_TR satisfying eq. 15, or std::nullopt when the stream set is
+/// unschedulable under FCFS for *any* T_TR.
+[[nodiscard]] std::optional<Ticks> max_schedulable_ttr(const Network& net,
+                                                       std::optional<Ticks> min_ttr = {});
+
+}  // namespace profisched::profibus

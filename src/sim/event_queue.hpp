@@ -1,0 +1,60 @@
+// event_queue.hpp — the simulator's time-ordered event queue.
+//
+// A binary min-heap keyed on (time, sequence number); the sequence number
+// makes same-instant events fire in scheduling order, which keeps runs
+// deterministic regardless of heap tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace profisched::sim {
+
+/// A scheduled callback.
+struct Event {
+  Ticks time = 0;
+  std::uint64_t seq = 0;  ///< insertion order, breaks same-time ties FIFO
+  std::function<void()> action;
+};
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `at`.
+  void schedule(Ticks at, std::function<void()> action) {
+    heap_.push(Entry{at, next_seq_++, std::move(action)});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event (kNoBound when empty).
+  [[nodiscard]] Ticks next_time() const { return heap_.empty() ? kNoBound : heap_.top().time; }
+
+  /// Remove and return the earliest event. Precondition: !empty().
+  [[nodiscard]] Event pop() {
+    // std::priority_queue::top() is const&; the move is safe because we pop
+    // immediately after — const_cast is the documented idiom for this.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    return Event{e.time, e.seq, std::move(e.action)};
+  }
+
+ private:
+  struct Entry {
+    Ticks time;
+    std::uint64_t seq;
+    std::function<void()> action;
+    bool operator>(const Entry& o) const noexcept {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace profisched::sim

@@ -1,0 +1,37 @@
+#include "sim/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace profisched::sim {
+
+Ticks Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    seen += bins_[i];
+    if (seen > target) return std::min(bin_upper(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<long long>(quantile(0.50)), static_cast<long long>(quantile(0.95)),
+                static_cast<long long>(quantile(0.99)), static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace profisched::sim

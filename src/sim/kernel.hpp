@@ -1,0 +1,49 @@
+// kernel.hpp — minimal discrete-event simulation kernel: a clock plus the
+// event queue. Components schedule continuations against the kernel; the
+// kernel advances time to each event in order until the horizon.
+#pragma once
+
+#include <cassert>
+
+#include "sim/event_queue.hpp"
+
+namespace profisched::sim {
+
+class Kernel {
+ public:
+  [[nodiscard]] Ticks now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Schedule `action` `delay` ticks from now (delay >= 0).
+  void after(Ticks delay, std::function<void()> action) {
+    assert(delay >= 0);
+    queue_.schedule(sat_add(now_, delay), std::move(action));
+  }
+
+  /// Schedule at an absolute time (must not be in the past).
+  void at(Ticks time, std::function<void()> action) {
+    assert(time >= now_);
+    queue_.schedule(time, std::move(action));
+  }
+
+  /// Run events until the queue empties or the next event is after `horizon`.
+  /// Events exactly at the horizon still fire. Returns events processed.
+  std::uint64_t run_until(Ticks horizon) {
+    std::uint64_t n = 0;
+    while (!queue_.empty() && queue_.next_time() <= horizon) {
+      Event e = queue_.pop();
+      now_ = e.time;
+      e.action();
+      ++n;
+    }
+    processed_ += n;
+    return n;
+  }
+
+ private:
+  Ticks now_ = 0;
+  std::uint64_t processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace profisched::sim

@@ -1,0 +1,296 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace profisched::sim {
+
+namespace {
+
+using profibus::ApPolicy;
+using profibus::Master;
+using profibus::MessageStream;
+
+/// Per-master run-time state.
+struct MasterState {
+  explicit MasterState(ApPolicy policy) : dispatcher(policy) {}
+
+  Dispatcher dispatcher;
+  std::deque<Ticks> lp_queue;  ///< pending low-priority cycle lengths (FCFS)
+  Ticks last_token_arrival = 0;  ///< T_RR timer start (pseudocode init: 0)
+  TokenStats token;
+  std::vector<StreamStats> streams;
+  std::vector<Histogram> hist;  ///< sized only when histograms requested
+};
+
+/// The whole simulation; wires the kernel, the masters and the generators.
+class Simulation {
+ public:
+  explicit Simulation(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+    cfg_.net.validate();
+    if (cfg_.horizon < 1) throw std::invalid_argument("SimConfig: horizon must be >= 1");
+    const std::size_t n = cfg_.net.n_masters();
+    if (!cfg_.hp_traffic.empty() && cfg_.hp_traffic.size() != n) {
+      throw std::invalid_argument("SimConfig: hp_traffic shape mismatch");
+    }
+    if (!cfg_.lp_traffic.empty() && cfg_.lp_traffic.size() != n) {
+      throw std::invalid_argument("SimConfig: lp_traffic shape mismatch");
+    }
+    if (cfg_.cycle_model.kind == CycleModel::Kind::FrameLevel && cfg_.frame_specs.size() != n) {
+      throw std::invalid_argument("SimConfig: FrameLevel cycle model needs frame_specs");
+    }
+    masters_.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      masters_.emplace_back(cfg_.policy);
+      masters_.back().streams.resize(cfg_.net.masters[k].nh());
+      if (cfg_.collect_histograms) masters_.back().hist.resize(cfg_.net.masters[k].nh());
+    }
+  }
+
+  SimReport run() {
+    arm_generators();
+    kernel_.at(0, [this] { on_token_arrival(0); });
+    kernel_.run_until(cfg_.horizon);
+    return collect();
+  }
+
+ private:
+  // ---- traffic --------------------------------------------------------
+
+  void arm_generators() {
+    for (std::size_t k = 0; k < masters_.size(); ++k) {
+      const Master& master = cfg_.net.masters[k];
+      for (std::size_t i = 0; i < master.nh(); ++i) {
+        const TrafficConfig tc =
+            cfg_.hp_traffic.empty() ? TrafficConfig{} : cfg_.hp_traffic[k][i];
+        schedule_hp_release(k, i, ReleaseProcess(tc, master.high_streams[i].T), tc.phase);
+      }
+      if (!cfg_.lp_traffic.empty()) {
+        for (const LpTraffic& lp : cfg_.lp_traffic[k]) schedule_lp_release(k, lp, lp.phase);
+      }
+    }
+  }
+
+  void schedule_hp_release(std::size_t k, std::size_t i, ReleaseProcess proc, Ticks nominal) {
+    if (nominal > cfg_.horizon) return;
+    kernel_.at(nominal, [this, k, i, proc, nominal] {
+      const ReleaseProcess::Step step = proc.step(nominal, rng_);
+      if (step.release <= kernel_.now()) {
+        // No jitter delay: release inline so a request released at the same
+        // instant as a token arrival is visible to that very token visit.
+        do_release(k, i);
+      } else {
+        kernel_.at(step.release, [this, k, i] { do_release(k, i); });
+      }
+      schedule_hp_release(k, i, proc, step.next_nominal);
+    });
+  }
+
+  void do_release(std::size_t k, std::size_t i) {
+    const MessageStream& s = cfg_.net.masters[k].high_streams[i];
+    StreamStats& st = masters_[k].streams[i];
+    ++st.released;
+    trace(TraceKind::Release, k, i, 0);
+    masters_[k].dispatcher.release(PendingRequest{
+        .stream = i,
+        .release = kernel_.now(),
+        .abs_deadline = sat_add(kernel_.now(), s.D),
+        .rel_deadline = s.D,
+        .seq = next_seq_++,
+    });
+    st.max_queue_depth_seen = std::max(st.max_queue_depth_seen,
+                                       static_cast<Ticks>(masters_[k].dispatcher.pending()));
+  }
+
+  void schedule_lp_release(std::size_t k, const LpTraffic& lp, Ticks at) {
+    if (at > cfg_.horizon || lp.period < 1) return;
+    kernel_.at(at, [this, k, lp, at] {
+      masters_[k].lp_queue.push_back(lp.cycle_len);
+      schedule_lp_release(k, lp, sat_add(at, lp.period));
+    });
+  }
+
+  // ---- the token-passing procedure (paper §3.1) -----------------------
+
+  // Phases of one token visit (see network_sim.hpp header comment).
+  enum class Phase { GuaranteedHp, HpWhile, LpWhile };
+
+  void on_token_arrival(std::size_t k) {
+    MasterState& m = masters_[k];
+    const Ticks now = kernel_.now();
+    const Ticks trr = now - m.last_token_arrival;
+    m.last_token_arrival = now;
+    m.token.record_arrival(trr, cfg_.net.ttr);
+    trace(TraceKind::TokenArrival, k, SIZE_MAX, trr);
+
+    const Ticks tth = cfg_.net.ttr - trr;  // may be <= 0 (late token)
+    const Ticks tth_expiry = now + std::max<Ticks>(tth, 0);
+    token_phase(k, tth_expiry, Phase::GuaranteedHp, now);
+  }
+
+  void token_phase(std::size_t k, Ticks tth_expiry, Phase phase, Ticks visit_start) {
+    MasterState& m = masters_[k];
+    const Ticks now = kernel_.now();
+    const bool budget = now < tth_expiry;  // "T_TH > 0", tested at cycle start
+
+    switch (phase) {
+      case Phase::GuaranteedHp:
+        // One high-priority cycle per visit regardless of token lateness.
+        if (m.dispatcher.has_pending()) {
+          start_hp_cycle(k, tth_expiry, Phase::HpWhile, visit_start);
+          return;
+        }
+        [[fallthrough]];
+      case Phase::HpWhile:
+        if (budget && m.dispatcher.has_pending()) {
+          start_hp_cycle(k, tth_expiry, Phase::HpWhile, visit_start);
+          return;
+        }
+        [[fallthrough]];
+      case Phase::LpWhile:
+        // Prose rule: LP only when no HP pending; an HP arrival during the LP
+        // phase is served first (never hurts HP response times).
+        if (budget && m.dispatcher.has_pending()) {
+          start_hp_cycle(k, tth_expiry, Phase::LpWhile, visit_start);
+          return;
+        }
+        if (budget && !m.lp_queue.empty()) {
+          start_lp_cycle(k, tth_expiry, visit_start);
+          return;
+        }
+        break;
+    }
+    pass_token(k, visit_start);
+  }
+
+  void start_hp_cycle(std::size_t k, Ticks tth_expiry, Phase next_phase, Ticks visit_start) {
+    MasterState& m = masters_[k];
+    const PendingRequest req = m.dispatcher.head();
+    const MessageStream& s = cfg_.net.masters[k].high_streams[req.stream];
+
+    bool dropped = false;
+    const Ticks dur = sample_hp_duration(k, req.stream, s, dropped);
+    trace(TraceKind::CycleStart, k, req.stream, dur);
+    note_overrun(m, k, tth_expiry, dur);
+
+    kernel_.after(dur, [this, k, tth_expiry, next_phase, visit_start, req, dropped] {
+      MasterState& mm = masters_[k];
+      StreamStats& st = mm.streams[req.stream];
+      if (dropped) {
+        ++st.dropped;
+        trace(TraceKind::CycleDropped, k, req.stream, 0);
+      } else {
+        const Ticks response = kernel_.now() - req.release;
+        st.record_completion(response, cfg_.net.masters[k].high_streams[req.stream].D);
+        if (!mm.hist.empty()) mm.hist[req.stream].add(response);
+        trace(TraceKind::CycleEnd, k, req.stream, response);
+      }
+      mm.dispatcher.complete_head();
+      token_phase(k, tth_expiry, next_phase, visit_start);
+    });
+  }
+
+  void start_lp_cycle(std::size_t k, Ticks tth_expiry, Ticks visit_start) {
+    MasterState& m = masters_[k];
+    const Ticks dur = m.lp_queue.front();
+    trace(TraceKind::LpCycleStart, k, SIZE_MAX, dur);
+    note_overrun(m, k, tth_expiry, dur);
+    kernel_.after(dur, [this, k, tth_expiry, visit_start] {
+      masters_[k].lp_queue.pop_front();
+      ++lp_completed_;
+      trace(TraceKind::LpCycleEnd, k, SIZE_MAX, 0);
+      token_phase(k, tth_expiry, Phase::LpWhile, visit_start);
+    });
+  }
+
+  void note_overrun(MasterState& m, std::size_t k, Ticks tth_expiry, Ticks dur) {
+    const Ticks now = kernel_.now();
+    if (now < tth_expiry && now + dur > tth_expiry) {
+      ++m.token.tth_overruns;
+      trace(TraceKind::TthOverrun, k, SIZE_MAX, now + dur - tth_expiry);
+    }
+  }
+
+  void pass_token(std::size_t k, Ticks visit_start) {
+    MasterState& m = masters_[k];
+    m.token.total_hold = sat_add(m.token.total_hold, kernel_.now() - visit_start);
+    trace(TraceKind::TokenPass, k, SIZE_MAX, 0);
+    const Ticks dur = profibus::token_pass_time(cfg_.net.bus);
+    const std::size_t next = (k + 1) % masters_.size();
+    kernel_.after(dur, [this, next] { on_token_arrival(next); });
+  }
+
+  // ---- message-cycle duration models ----------------------------------
+
+  Ticks sample_hp_duration(std::size_t k, std::size_t i, const MessageStream& s, bool& dropped) {
+    dropped = false;
+    switch (cfg_.cycle_model.kind) {
+      case CycleModel::Kind::WorstCase:
+        return s.Ch;
+      case CycleModel::Kind::UniformFraction: {
+        const auto lo = static_cast<Ticks>(
+            std::ceil(cfg_.cycle_model.min_fraction * static_cast<double>(s.Ch)));
+        return rng_.uniform(std::max<Ticks>(lo, 1), s.Ch);
+      }
+      case CycleModel::Kind::FrameLevel:
+        return frame_level_duration(cfg_.frame_specs[k][i], dropped);
+    }
+    return s.Ch;
+  }
+
+  Ticks frame_level_duration(const profibus::MessageCycleSpec& spec, bool& dropped) {
+    const profibus::BusParameters& bus = cfg_.net.bus;
+    const Ticks request = profibus::frame_time(bus, spec.request_chars);
+    const Ticks response = profibus::frame_time(bus, spec.response_chars);
+
+    int fails = 0;
+    while (fails <= bus.max_retry && rng_.chance(cfg_.cycle_model.slave_fail_prob)) ++fails;
+
+    if (fails > bus.max_retry) {  // original attempt + every retry timed out
+      dropped = true;
+      return sat_add(sat_mul(fails, sat_add(request, bus.t_sl)), bus.t_id1);
+    }
+    const Ticks turnaround = rng_.uniform(bus.min_tsdr, bus.max_tsdr);
+    Ticks dur = sat_add(sat_add(sat_add(request, turnaround), response), bus.t_id1);
+    for (int f = 0; f < fails; ++f) dur = sat_add(dur, sat_add(request, bus.t_sl));
+    return dur;
+  }
+
+  // ---- reporting -------------------------------------------------------
+
+  void trace(TraceKind kind, std::size_t master, std::size_t stream, Ticks detail) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->record(TraceEvent{kernel_.now(), kind, master, stream, detail});
+    }
+  }
+
+  SimReport collect() {
+    SimReport r;
+    r.horizon = cfg_.horizon;
+    r.events = kernel_.events_processed();
+    r.lp_cycles_completed = lp_completed_;
+    r.hp.reserve(masters_.size());
+    r.token.reserve(masters_.size());
+    for (MasterState& m : masters_) {
+      r.hp.push_back(std::move(m.streams));
+      r.token.push_back(m.token);
+      if (cfg_.collect_histograms) r.response_hist.push_back(std::move(m.hist));
+    }
+    return r;
+  }
+
+  SimConfig cfg_;
+  Rng rng_;
+  Kernel kernel_;
+  std::vector<MasterState> masters_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t lp_completed_ = 0;
+};
+
+}  // namespace
+
+SimReport simulate(const SimConfig& cfg) { return Simulation(cfg).run(); }
+
+}  // namespace profisched::sim

@@ -1,0 +1,73 @@
+// rng.hpp — small, fast, reproducible PRNG for the simulator (xoshiro256**,
+// seeded via SplitMix64). Header-only; deliberately not <random>'s engines so
+// that simulation runs are bit-reproducible across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/time_types.hpp"
+
+namespace profisched::sim {
+
+/// SplitMix64 — used only to expand a user seed into xoshiro state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain reference algorithm).
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 1) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound] (bound inclusive; bound >= 0).
+  /// Debiased via rejection sampling.
+  [[nodiscard]] constexpr Ticks uniform(Ticks bound) noexcept {
+    if (bound <= 0) return 0;
+    const auto range = static_cast<std::uint64_t>(bound) + 1;
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return static_cast<Ticks>(v % range);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] constexpr Ticks uniform(Ticks lo, Ticks hi) noexcept {
+    return lo + uniform(hi - lo);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] constexpr bool chance(double p) noexcept { return uniform01() < p; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace profisched::sim

@@ -1,0 +1,55 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace profisched::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::TokenArrival: return "TokenArrival";
+    case TraceKind::TokenPass: return "TokenPass";
+    case TraceKind::Release: return "Release";
+    case TraceKind::CycleStart: return "CycleStart";
+    case TraceKind::CycleEnd: return "CycleEnd";
+    case TraceKind::CycleDropped: return "CycleDropped";
+    case TraceKind::LpCycleStart: return "LpCycleStart";
+    case TraceKind::LpCycleEnd: return "LpCycleEnd";
+    case TraceKind::TthOverrun: return "TthOverrun";
+  }
+  return "?";
+}
+
+std::string Trace::render(const std::vector<std::vector<std::string>>* stream_names) const {
+  std::string out;
+  out.reserve(events_.size() * 48);
+  char line[160];
+  for (const TraceEvent& e : events_) {
+    const char* label = nullptr;
+    if (stream_names != nullptr && e.stream != SIZE_MAX && e.master < stream_names->size() &&
+        e.stream < (*stream_names)[e.master].size()) {
+      label = (*stream_names)[e.master][e.stream].c_str();
+    }
+    if (label != nullptr) {
+      std::snprintf(line, sizeof line, "%10lld  m%zu  %-13s %-24s detail=%lld\n",
+                    static_cast<long long>(e.time), e.master, to_string(e.kind), label,
+                    static_cast<long long>(e.detail));
+    } else if (e.stream != SIZE_MAX) {
+      std::snprintf(line, sizeof line, "%10lld  m%zu  %-13s stream=%zu detail=%lld\n",
+                    static_cast<long long>(e.time), e.master, to_string(e.kind), e.stream,
+                    static_cast<long long>(e.detail));
+    } else {
+      std::snprintf(line, sizeof line, "%10lld  m%zu  %-13s detail=%lld\n",
+                    static_cast<long long>(e.time), e.master, to_string(e.kind),
+                    static_cast<long long>(e.detail));
+    }
+    out += line;
+  }
+  if (dropped_ > 0) {
+    std::snprintf(line, sizeof line, "… %llu further events dropped (trace capacity)\n",
+                  static_cast<unsigned long long>(dropped_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace profisched::sim

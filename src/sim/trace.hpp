@@ -1,0 +1,72 @@
+// trace.hpp — optional event trace for the network simulator: a bounded
+// record of protocol-level events (token arrivals/passes, message-cycle
+// starts/ends, request releases, TTH overruns) that can be rendered as a
+// text timeline. Used for debugging dispatching behaviour and by the
+// trace-driven example; costs nothing when not attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace profisched::sim {
+
+enum class TraceKind : std::uint8_t {
+  TokenArrival,   ///< token received (detail = observed TRR)
+  TokenPass,      ///< token forwarded to the successor
+  Release,        ///< HP request entered the dispatcher (stream = which)
+  CycleStart,     ///< HP message cycle started (stream = which)
+  CycleEnd,       ///< HP message cycle finished (detail = response time)
+  CycleDropped,   ///< cycle abandoned after exhausting retries
+  LpCycleStart,   ///< low-priority cycle started
+  LpCycleEnd,     ///< low-priority cycle finished
+  TthOverrun,     ///< a cycle started with budget but outlived it
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+/// One trace record. `master` always identifies the station; `stream` is the
+/// HP stream index where applicable (npos otherwise); `detail` is
+/// kind-specific (TRR, response time, cycle length, …).
+struct TraceEvent {
+  Ticks time = 0;
+  TraceKind kind{};
+  std::size_t master = 0;
+  std::size_t stream = SIZE_MAX;
+  Ticks detail = 0;
+};
+
+/// Bounded in-memory trace. When full, recording stops (the head of the run
+/// is usually what matters; a ring buffer would lose the context that makes
+/// traces readable). `dropped()` reports how many events did not fit.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void record(TraceEvent event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Render as a human-readable timeline, one line per event:
+  ///   "     1234  m0  CycleEnd    stream=2 detail=599"
+  /// `stream_names[master][stream]`, when provided, replaces indices.
+  [[nodiscard]] std::string render(
+      const std::vector<std::vector<std::string>>* stream_names = nullptr) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace profisched::sim

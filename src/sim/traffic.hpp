@@ -1,0 +1,48 @@
+// traffic.hpp — request release processes for the simulator.
+//
+// Each high-priority stream gets a TrafficConfig describing *when* its
+// requests enter the AP queue. The analysis worst case is synchronous,
+// maximum-rate arrival; random phases/jitter exercise average behaviour;
+// sporadic mode releases at T plus a random gap (minimum inter-arrival T,
+// like the paper's footnote 3).
+#pragma once
+
+#include "core/time_types.hpp"
+#include "sim/rng.hpp"
+
+namespace profisched::sim {
+
+struct TrafficConfig {
+  Ticks phase = 0;       ///< first release instant
+  Ticks jitter = 0;      ///< each release delayed by uniform [0, jitter]
+  bool sporadic = false; ///< add uniform [0, T] gap between releases
+};
+
+/// Stateful release-time generator for one stream.
+class ReleaseProcess {
+ public:
+  ReleaseProcess(TrafficConfig cfg, Ticks period) : cfg_(cfg), period_(period) {}
+
+  /// Nominal arrival instant of release #k (k from 0), before jitter.
+  /// Periodic: phase + k·T. Sporadic: previous nominal + T + gap.
+  [[nodiscard]] Ticks first_nominal() const { return cfg_.phase; }
+
+  /// Advance past a nominal arrival, returning the pair (actual release,
+  /// next nominal arrival).
+  struct Step {
+    Ticks release;       ///< nominal + jitter sample
+    Ticks next_nominal;  ///< schedule the generator again at this time
+  };
+  [[nodiscard]] Step step(Ticks nominal, Rng& rng) const {
+    const Ticks release = sat_add(nominal, rng.uniform(cfg_.jitter));
+    Ticks gap = period_;
+    if (cfg_.sporadic) gap = sat_add(gap, rng.uniform(period_));
+    return {release, sat_add(nominal, gap)};
+  }
+
+ private:
+  TrafficConfig cfg_;
+  Ticks period_;
+};
+
+}  // namespace profisched::sim

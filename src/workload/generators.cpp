@@ -1,0 +1,91 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "profibus/ttr_setting.hpp"
+#include "workload/uunifast.hpp"
+
+namespace profisched::workload {
+
+Ticks log_uniform(Ticks lo, Ticks hi, sim::Rng& rng) {
+  if (lo >= hi) return lo;
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  const double v = std::exp(llo + (lhi - llo) * rng.uniform01());
+  return std::clamp(static_cast<Ticks>(std::llround(v)), lo, hi);
+}
+
+TaskSet random_task_set(const TaskSetParams& p, sim::Rng& rng) {
+  const std::vector<double> u = uunifast(p.n, p.total_u, rng);
+  std::vector<profisched::Task> tasks;
+  tasks.reserve(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    profisched::Task t;
+    t.T = log_uniform(p.t_min, p.t_max, rng);
+    t.C = std::clamp<Ticks>(static_cast<Ticks>(std::llround(u[i] * static_cast<double>(t.T))),
+                            1, t.T);
+    const double beta = p.deadline_lo + (p.deadline_hi - p.deadline_lo) * rng.uniform01();
+    t.D = std::clamp<Ticks>(static_cast<Ticks>(std::llround(beta * static_cast<double>(t.T))),
+                            t.C, std::max<Ticks>(t.T, t.C));
+    if (p.jitter_max > 0) t.J = rng.uniform(std::min(p.jitter_max, t.D - t.C));
+    t.name = "task" + std::to_string(i);
+    tasks.push_back(std::move(t));
+  }
+  return TaskSet{std::move(tasks)};
+}
+
+GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng) {
+  GeneratedNetwork out;
+  out.net.bus = profibus::BusParameters{};
+  out.specs.resize(p.n_masters);
+
+  for (std::size_t k = 0; k < p.n_masters; ++k) {
+    profibus::Master master;
+    master.name = "master" + std::to_string(k);
+    for (std::size_t i = 0; i < p.streams_per_master; ++i) {
+      profibus::MessageCycleSpec spec{
+          .request_chars = rng.uniform(p.request_chars_min, p.request_chars_max),
+          .response_chars = rng.uniform(p.response_chars_min, p.response_chars_max),
+      };
+      profibus::MessageStream s;
+      s.Ch = profibus::worst_case_cycle_time(out.net.bus, spec);
+      s.T = log_uniform(p.t_min, p.t_max, rng);
+      const double beta = p.deadline_lo + (p.deadline_hi - p.deadline_lo) * rng.uniform01();
+      s.D = std::max<Ticks>(static_cast<Ticks>(std::llround(beta * static_cast<double>(s.T))),
+                            s.Ch);
+      s.name = master.name + ".s" + std::to_string(i);
+      master.high_streams.push_back(std::move(s));
+      out.specs[k].push_back(spec);
+    }
+    if (p.low_priority_traffic) {
+      const profibus::MessageCycleSpec lp_spec{
+          .request_chars = p.request_chars_max,
+          .response_chars = p.response_chars_max,
+      };
+      master.longest_low_cycle = profibus::worst_case_cycle_time(out.net.bus, lp_spec);
+    }
+    out.net.masters.push_back(std::move(master));
+  }
+
+  if (p.ttr > 0) {
+    out.net.ttr = p.ttr;
+  } else {
+    out.net.ttr = 1;  // placeholder so ttr_range can validate the network
+    const auto best = profibus::max_schedulable_ttr(out.net);
+    if (best.has_value()) {
+      out.net.ttr = *best;
+    } else {
+      // FCFS-infeasible set: still produce a runnable network. One longest
+      // cycle per master over the ring latency keeps the token moving.
+      Ticks fallback = out.net.ring_latency();
+      for (const profibus::Master& m : out.net.masters) {
+        fallback = sat_add(fallback, m.longest_cycle());
+      }
+      out.net.ttr = fallback;
+    }
+  }
+  return out;
+}
+
+}  // namespace profisched::workload

@@ -1,0 +1,69 @@
+// generators.hpp — random task-set and PROFIBUS-network generators for the
+// experiments (substrate S8 of DESIGN.md).
+//
+// Task sets follow the standard schedulability-experiment recipe: UUniFast
+// utilizations, log-uniform periods (so short and long periods are equally
+// represented per decade), C = round(u·T) clamped to >= 1, and deadlines
+// drawn in [beta_lo·T, beta_hi·T] (beta_lo = beta_hi = 1 gives D = T).
+//
+// Networks are built from frame-level message specs so Ch values are
+// PROFIBUS-realistic rather than arbitrary integers.
+#pragma once
+
+#include "core/task.hpp"
+#include "profibus/network.hpp"
+#include "sim/rng.hpp"
+
+namespace profisched::workload {
+
+using profisched::TaskSet;
+using profisched::Ticks;
+
+/// Parameters for random task-set generation.
+struct TaskSetParams {
+  std::size_t n = 5;            ///< number of tasks
+  double total_u = 0.6;         ///< target utilization (UUniFast)
+  Ticks t_min = 100;            ///< period range (log-uniform)
+  Ticks t_max = 10'000;
+  double deadline_lo = 1.0;     ///< D drawn uniform in [lo·T, hi·T]
+  double deadline_hi = 1.0;
+  Ticks jitter_max = 0;         ///< J drawn uniform in [0, min(jitter_max, D−C)]
+};
+
+/// Draw one random task set. C >= 1 always; D clamped to [C, …]; the
+/// resulting set always passes TaskSet::validate().
+[[nodiscard]] TaskSet random_task_set(const TaskSetParams& p, sim::Rng& rng);
+
+/// Parameters for random PROFIBUS network generation.
+struct NetworkParams {
+  std::size_t n_masters = 3;
+  std::size_t streams_per_master = 4;
+  Ticks t_min = 20'000;         ///< stream period range in bit-times
+  Ticks t_max = 400'000;        ///< (20k bits @500kbit/s = 40 ms)
+  double deadline_lo = 0.5;     ///< D uniform in [lo·T, hi·T]
+  double deadline_hi = 1.0;
+  Ticks request_chars_min = 10; ///< action-frame sizes (chars)
+  Ticks request_chars_max = 30;
+  Ticks response_chars_min = 10;
+  Ticks response_chars_max = 30;
+  bool low_priority_traffic = true;  ///< give each master an LP cycle length
+  Ticks ttr = 0;  ///< 0 = set T_TR automatically to the eq.-15 maximum (or a
+                  ///  fallback when the set is FCFS-infeasible)
+};
+
+/// Generated network plus the frame specs behind each stream's Ch (needed by
+/// the FrameLevel simulation model).
+struct GeneratedNetwork {
+  profibus::Network net;
+  std::vector<std::vector<profibus::MessageCycleSpec>> specs;
+};
+
+/// Draw one random network. When p.ttr == 0, T_TR is set to the eq.-15
+/// maximum if the stream set admits one, otherwise to ring latency + longest
+/// cycle (a functional, if not schedulable, configuration).
+[[nodiscard]] GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng);
+
+/// Log-uniform integer draw in [lo, hi].
+[[nodiscard]] Ticks log_uniform(Ticks lo, Ticks hi, sim::Rng& rng);
+
+}  // namespace profisched::workload

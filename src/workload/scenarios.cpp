@@ -1,0 +1,125 @@
+#include "workload/scenarios.hpp"
+
+#include "profibus/ttr_setting.hpp"
+
+namespace profisched::workload::scenarios {
+
+namespace {
+
+using profibus::BusParameters;
+using profibus::Master;
+using profibus::MessageCycleSpec;
+using profibus::MessageStream;
+using profibus::Network;
+
+constexpr Ticks ms(Ticks v) { return v * kTicksPerMs; }
+
+MessageStream stream(const BusParameters& bus, std::string name, Ticks req_chars, Ticks resp_chars,
+                     Ticks period, Ticks deadline) {
+  MessageStream s;
+  s.Ch = profibus::worst_case_cycle_time(bus, MessageCycleSpec{req_chars, resp_chars});
+  s.T = period;
+  s.D = deadline;
+  s.name = std::move(name);
+  return s;
+}
+
+void set_best_ttr(Network& net) {
+  net.ttr = 1;
+  if (const auto best = profibus::max_schedulable_ttr(net); best.has_value() && *best >= 1) {
+    net.ttr = *best;
+  } else {
+    net.ttr = sat_add(net.ring_latency(), ms(2));
+  }
+}
+
+}  // namespace
+
+Network factory_cell() {
+  Network net;
+  net.bus = BusParameters{};
+
+  // Deadlines are sized against the retry-inclusive worst-case cycle lengths
+  // (a 30×30-char cycle with one retry is ≈ 2.4 ms at 500 kbit/s, and T_del
+  // alone is ≈ 7.8 ms for this ring), so that the eq.-15 T_TR maximum exists
+  // and the network is schedulable under every policy — the healthy baseline
+  // the examples and validation tests build on.
+  Master cell;
+  cell.name = "cell-controller";
+  cell.high_streams = {
+      stream(net.bus, "cell.production-status", 20, 30, ms(200), ms(150)),
+      stream(net.bus, "cell.alarm-summary", 12, 20, ms(100), ms(80)),
+  };
+  cell.longest_low_cycle =
+      profibus::worst_case_cycle_time(net.bus, MessageCycleSpec{40, 40});
+
+  Master robot;
+  robot.name = "robot-controller";
+  robot.high_streams = {
+      stream(net.bus, "robot.e-stop-poll", 8, 8, ms(50), ms(40)),
+      stream(net.bus, "robot.joint-positions", 10, 36, ms(60), ms(50)),
+      stream(net.bus, "robot.gripper-cmd", 14, 8, ms(90), ms(70)),
+      stream(net.bus, "robot.tool-status", 10, 24, ms(200), ms(150)),
+  };
+  robot.longest_low_cycle =
+      profibus::worst_case_cycle_time(net.bus, MessageCycleSpec{30, 30});
+
+  Master conveyor;
+  conveyor.name = "conveyor-plc";
+  conveyor.high_streams = {
+      stream(net.bus, "conveyor.photo-eye", 8, 8, ms(40), ms(35)),
+      stream(net.bus, "conveyor.drive-setpoint", 16, 8, ms(80), ms(60)),
+      stream(net.bus, "conveyor.diagnostics", 12, 30, ms(200), ms(180)),
+  };
+  conveyor.longest_low_cycle =
+      profibus::worst_case_cycle_time(net.bus, MessageCycleSpec{30, 30});
+
+  net.masters = {cell, robot, conveyor};
+  set_best_ttr(net);
+  return net;
+}
+
+Network process_monitoring(std::size_t n_streams, Ticks base_period_ms) {
+  Network net;
+  net.bus = BusParameters{};
+
+  Master station;
+  station.name = "monitoring-station";
+  Ticks period = ms(base_period_ms);
+  for (std::size_t i = 0; i < n_streams; ++i) {
+    station.high_streams.push_back(stream(net.bus, "sensor" + std::to_string(i), 10, 14,
+                                          period, period));
+    period = period * 3 / 2;
+  }
+  net.masters = {station};
+  set_best_ttr(net);
+  return net;
+}
+
+Network tight_deadline_mix() {
+  Network net;
+  net.bus = BusParameters{};
+
+  Master m;
+  m.name = "mixed-master";
+  m.high_streams = {
+      stream(net.bus, "urgent.e-stop", 8, 8, ms(40), ms(30)),  // tight deadline
+      stream(net.bus, "lax.level-reading", 12, 20, ms(50), ms(50)),
+      stream(net.bus, "lax.temperature", 12, 20, ms(80), ms(80)),
+      stream(net.bus, "lax.flow-rate", 12, 20, ms(100), ms(100)),
+  };
+  m.longest_low_cycle = profibus::worst_case_cycle_time(net.bus, MessageCycleSpec{25, 25});
+
+  net.masters = {m};
+  // Size T_TR for the *lax* streams (D = 50 ms, nh = 4 → T_cycle = 12.5 ms):
+  // every lax stream then exactly meets the FCFS bound nh·T_cycle = 50 ms,
+  // while the urgent stream (D = 30 ms) misses it — yet fits comfortably
+  // inside the DM/EDF bound of 2·T_cycle = 25 ms. Only the *dispatching*
+  // differs; the network parameters are identical across policies.
+  net.ttr = 1;
+  const Ticks tdel = profibus::t_del(net);
+  net.ttr = std::max<Ticks>(floor_div(ms(50), 4) - tdel, sat_add(net.ring_latency(), ms(1)));
+  return net;
+}
+
+}  // namespace profisched::workload::scenarios

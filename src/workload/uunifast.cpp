@@ -1,0 +1,22 @@
+#include "workload/uunifast.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace profisched::workload {
+
+std::vector<double> uunifast(std::size_t n, double total_u, sim::Rng& rng) {
+  if (n < 1 || total_u <= 0.0) throw std::invalid_argument("uunifast: n >= 1, total_u > 0");
+  std::vector<double> u(n);
+  double sum = total_u;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(), 1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+}  // namespace profisched::workload

@@ -1,0 +1,17 @@
+// uunifast.hpp — the UUniFast algorithm (Bini & Buttazzo): draws n per-task
+// utilizations summing exactly to U, uniformly over the valid simplex. The
+// standard unbiased workload generator for schedulability experiments; every
+// acceptance-ratio bench in bench/ uses it.
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace profisched::workload {
+
+/// n utilizations with Σ u_i == total_u, uniformly distributed on the
+/// simplex. Requires n >= 1 and total_u > 0.
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total_u, sim::Rng& rng);
+
+}  // namespace profisched::workload

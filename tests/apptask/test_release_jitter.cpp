@@ -1,0 +1,93 @@
+// Unit tests for release-jitter derivation (§4.1, task models A and B).
+#include "apptask/release_jitter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::apptask {
+namespace {
+
+std::vector<SenderTask> two_senders() {
+  return {
+      SenderTask{.C_pre = 2, .C_post = 3, .D = 20, .T = 20},
+      SenderTask{.C_pre = 4, .C_post = 1, .D = 50, .T = 50},
+  };
+}
+
+TEST(ReleaseJitter, ModelBHandComputedUnderDm) {
+  // Model B ignores C_post. DM order: sender0 (D=20) above sender1.
+  //   R_pre0 = 2 → J0 = 0.
+  //   R_pre1 = 4 + ⌈w/20⌉·2 → w = 6 → J1 = 6 − 4 = 2.
+  const JitterResult r =
+      derive_release_jitter(two_senders(), TaskModel::SeparateTasks, Policy::DeadlineMonotonic);
+  ASSERT_TRUE(r.all_bounded);
+  EXPECT_EQ(r.jitter[0], 0);
+  EXPECT_EQ(r.jitter[1], 2);
+  EXPECT_EQ(r.generation[0], 2);
+  EXPECT_EQ(r.generation[1], 6);
+}
+
+TEST(ReleaseJitter, ModelAAddsPostProcessingInterference) {
+  // Model A includes each sender's C_post as competing work, so jitters can
+  // only grow relative to model B.
+  const JitterResult a =
+      derive_release_jitter(two_senders(), TaskModel::AutoSuspend, Policy::DeadlineMonotonic);
+  const JitterResult b =
+      derive_release_jitter(two_senders(), TaskModel::SeparateTasks, Policy::DeadlineMonotonic);
+  ASSERT_TRUE(a.all_bounded && b.all_bounded);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_GE(a.jitter[i], b.jitter[i]) << i;
+}
+
+TEST(ReleaseJitter, EdfPolicySupported) {
+  const JitterResult r =
+      derive_release_jitter(two_senders(), TaskModel::SeparateTasks, Policy::Edf);
+  ASSERT_TRUE(r.all_bounded);
+  EXPECT_GE(r.jitter[1], 0);
+  EXPECT_EQ(r.jitter[0] + 2, r.generation[0]);  // J = R − C_pre always
+}
+
+TEST(ReleaseJitter, HighestPriorityTaskHasZeroJitter) {
+  const JitterResult r =
+      derive_release_jitter(two_senders(), TaskModel::SeparateTasks, Policy::DeadlineMonotonic);
+  EXPECT_EQ(r.jitter[0], 0);  // nothing above it, runs immediately
+}
+
+TEST(ReleaseJitter, RejectsNonPreemptivePolicies) {
+  EXPECT_THROW((void)derive_release_jitter(two_senders(), TaskModel::SeparateTasks,
+                                           Policy::NpDeadlineMonotonic),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)derive_release_jitter(two_senders(), TaskModel::SeparateTasks, Policy::RateMonotonic),
+      std::invalid_argument);
+}
+
+TEST(ReleaseJitter, RejectsBadSenderFields) {
+  std::vector<SenderTask> bad{SenderTask{.C_pre = 0, .C_post = 0, .D = 10, .T = 10}};
+  EXPECT_THROW((void)derive_release_jitter(bad, TaskModel::SeparateTasks, Policy::Edf),
+               std::invalid_argument);
+}
+
+TEST(ReleaseJitter, OverloadedProcessorReportsUnbounded) {
+  const std::vector<SenderTask> senders{
+      SenderTask{.C_pre = 10, .C_post = 0, .D = 10, .T = 10},
+      SenderTask{.C_pre = 5, .C_post = 0, .D = 20, .T = 20},
+  };  // U = 1.25 under model B
+  const JitterResult r =
+      derive_release_jitter(senders, TaskModel::SeparateTasks, Policy::DeadlineMonotonic);
+  EXPECT_FALSE(r.all_bounded);
+  EXPECT_EQ(r.jitter[1], profisched::kNoBound);
+}
+
+TEST(ReleaseJitter, MoreInterferenceMeansMoreJitter) {
+  std::vector<SenderTask> senders = two_senders();
+  const Ticks base =
+      derive_release_jitter(senders, TaskModel::SeparateTasks, Policy::DeadlineMonotonic)
+          .jitter[1];
+  senders[0].C_pre = 6;  // heavier high-priority sender
+  const Ticks heavier =
+      derive_release_jitter(senders, TaskModel::SeparateTasks, Policy::DeadlineMonotonic)
+          .jitter[1];
+  EXPECT_GT(heavier, base);
+}
+
+}  // namespace
+}  // namespace profisched::apptask

@@ -1,0 +1,91 @@
+// Unit tests for the INI reader.
+#include "config/ini.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::config {
+namespace {
+
+TEST(Ini, ParsesSectionsAndEntriesInOrder) {
+  const IniFile f = parse_ini("[a]\nx = 1\ny = two\n[b]\nz = 3\n");
+  ASSERT_EQ(f.sections.size(), 2u);
+  EXPECT_EQ(f.sections[0].name, "a");
+  ASSERT_EQ(f.sections[0].entries.size(), 2u);
+  EXPECT_EQ(f.sections[0].entries[0].key, "x");
+  EXPECT_EQ(f.sections[0].entries[1].value, "two");
+  EXPECT_EQ(f.sections[1].name, "b");
+}
+
+TEST(Ini, RepeatedSectionsPreserved) {
+  const IniFile f = parse_ini("[s]\nk = 1\n[s]\nk = 2\n");
+  ASSERT_EQ(f.sections.size(), 2u);
+  EXPECT_EQ(*f.sections[0].get_ticks("k"), 1);
+  EXPECT_EQ(*f.sections[1].get_ticks("k"), 2);
+}
+
+TEST(Ini, CommentsAndBlankLinesIgnored) {
+  const IniFile f = parse_ini("# header\n\n[s]  ; trailing\nk = 5 # inline\n; full line\n");
+  ASSERT_EQ(f.sections.size(), 1u);
+  EXPECT_EQ(*f.sections[0].get_ticks("k"), 5);
+}
+
+TEST(Ini, WhitespaceTrimmed) {
+  const IniFile f = parse_ini("[ s ]\n  key   =   value with spaces  \n");
+  EXPECT_EQ(f.sections[0].name, "s");
+  EXPECT_EQ(*f.sections[0].get("key"), "value with spaces");
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_ini("[ok]\nk = 1\nbroken-line\n");
+    FAIL() << "expected IniError";
+  } catch (const IniError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Ini, RejectsEntryBeforeSection) {
+  EXPECT_THROW((void)parse_ini("k = 1\n"), IniError);
+}
+
+TEST(Ini, RejectsMalformedHeader) {
+  EXPECT_THROW((void)parse_ini("[oops\n"), IniError);
+  EXPECT_THROW((void)parse_ini("[]\n"), IniError);
+}
+
+TEST(Ini, TypedAccessors) {
+  const IniFile f = parse_ini("[s]\nint = 42\nneg = -7\nflt = 2.5\nbad = 4x\n");
+  const IniSection& s = f.sections[0];
+  EXPECT_EQ(*s.get_ticks("int"), 42);
+  EXPECT_EQ(*s.get_ticks("neg"), -7);
+  EXPECT_DOUBLE_EQ(*s.get_double("flt"), 2.5);
+  EXPECT_FALSE(s.get_ticks("missing").has_value());
+  EXPECT_THROW((void)s.get_ticks("bad"), IniError);
+  EXPECT_THROW((void)s.get_ticks("flt"), IniError);
+}
+
+TEST(Ini, RequireThrowsWithSectionName) {
+  const IniFile f = parse_ini("[network]\n");
+  try {
+    (void)f.sections[0].require("ttr");
+    FAIL() << "expected IniError";
+  } catch (const IniError& e) {
+    EXPECT_NE(std::string(e.what()).find("network"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("ttr"), std::string::npos);
+  }
+}
+
+TEST(Ini, FindReturnsFirstMatch) {
+  const IniFile f = parse_ini("[a]\nk=1\n[b]\n[a]\nk=2\n");
+  ASSERT_NE(f.find("a"), nullptr);
+  EXPECT_EQ(*f.find("a")->get_ticks("k"), 1);
+  EXPECT_EQ(f.find("zzz"), nullptr);
+}
+
+TEST(Ini, HandlesMissingTrailingNewline) {
+  const IniFile f = parse_ini("[s]\nk = 9");
+  EXPECT_EQ(*f.sections[0].get_ticks("k"), 9);
+}
+
+}  // namespace
+}  // namespace profisched::config

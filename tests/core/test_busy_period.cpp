@@ -1,0 +1,113 @@
+// Unit tests for the synchronous busy period L = fix(W).
+#include "core/busy_period.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched {
+namespace {
+
+TEST(BusyPeriod, SingleTask) {
+  const TaskSet ts{{Task{.C = 3, .D = 10, .T = 10, .J = 0, .name = ""}}};
+  const BusyPeriod bp = synchronous_busy_period(ts);
+  ASSERT_TRUE(bp.bounded());
+  EXPECT_EQ(bp.length, 3);
+}
+
+TEST(BusyPeriod, HandComputedTwoTasks) {
+  // C=2/T=5 and C=3/T=7: L0=5, W(5)=2+3=5 ✓ (⌈5/5⌉=1, ⌈5/7⌉=1) → L=5.
+  const TaskSet ts{{
+      Task{.C = 2, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 3, .D = 7, .T = 7, .J = 0, .name = ""},
+  }};
+  EXPECT_EQ(synchronous_busy_period(ts).length, 5);
+}
+
+TEST(BusyPeriod, GrowsPastOnePeriod) {
+  // C=3/T=5, C=3/T=7: L0=6 → W=2·3+3=9 → W=2·3+2·3=12 → W=3·3+2·3=15 →
+  // W=3·3+3·3=18 → W=4·3+3·3=21 → W=5·3+3·3=24 → W=5·3+4·3=27 →
+  // W=6·3+4·3=30 → W=6·3+5·3=33 → W=7·3+5·3=36 → … U=0.6+3/7≈1.0286>1!
+  // Use U<1: C=2/T=5, C=3/T=6: L0=5 → W=2+3=5? ⌈5/5⌉=1,⌈5/6⌉=1 → 5 ✓.
+  // Denser: C=3/T=6 (U=.5), C=4/T=9 (U≈.444): L0=7 → ⌈7/6⌉·3+⌈7/9⌉·4=6+4=10
+  // → ⌈10/6⌉·3+⌈10/9⌉·4=6+8=14 → ⌈14/6⌉·3+⌈14/9⌉·4=9+8=17 →
+  // ⌈17/6⌉·3+⌈17/9⌉·4=9+8=17 ✓ L=17.
+  const TaskSet ts{{
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+      Task{.C = 4, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  EXPECT_EQ(synchronous_busy_period(ts).length, 17);
+}
+
+TEST(BusyPeriod, FullUtilizationReachesHyperperiod) {
+  // U = 1 exactly: the busy period is the hyperperiod.
+  const TaskSet ts{{
+      Task{.C = 1, .D = 2, .T = 2, .J = 0, .name = ""},
+      Task{.C = 2, .D = 4, .T = 4, .J = 0, .name = ""},
+  }};
+  EXPECT_EQ(synchronous_busy_period(ts).length, 4);
+}
+
+TEST(BusyPeriod, OverUtilizationDiverges) {
+  const TaskSet ts{{
+      Task{.C = 3, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+  }};  // U = 1.1
+  EXPECT_FALSE(synchronous_busy_period(ts).bounded());
+}
+
+TEST(BusyPeriod, EmptySetIsZero) {
+  EXPECT_EQ(synchronous_busy_period(TaskSet{}).length, 0);
+}
+
+TEST(BusyPeriod, JitterLengthensOrKeeps) {
+  const TaskSet base{{
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+      Task{.C = 4, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  const TaskSet jittered{{
+      Task{.C = 3, .D = 6, .T = 6, .J = 2, .name = ""},
+      Task{.C = 4, .D = 9, .T = 9, .J = 3, .name = ""},
+  }};
+  const Ticks l0 = synchronous_busy_period(base).length;
+  const Ticks l1 = synchronous_busy_period(jittered).length;
+  ASSERT_NE(l1, kNoBound);
+  EXPECT_GE(l1, l0);
+}
+
+TEST(BusyPeriod, ReportsIterations) {
+  const TaskSet ts{{
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+      Task{.C = 4, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  EXPECT_GE(synchronous_busy_period(ts).iterations, 2);
+}
+
+TEST(BusyPeriod, FuelExhaustionReportsUnbounded) {
+  const TaskSet ts{{
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+      Task{.C = 4, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  EXPECT_FALSE(synchronous_busy_period(ts, /*fuel=*/1).bounded());
+}
+
+// Property: L >= Σ C and L >= the busy period of any subset (monotone in
+// added load), over utilization steps.
+class BusyPeriodSweep : public ::testing::TestWithParam<Ticks> {};
+
+TEST_P(BusyPeriodSweep, AtLeastTotalExecutionAndMonotone) {
+  const Ticks c2 = GetParam();
+  const TaskSet one{{Task{.C = 3, .D = 10, .T = 10, .J = 0, .name = ""}}};
+  const TaskSet two{{
+      Task{.C = 3, .D = 10, .T = 10, .J = 0, .name = ""},
+      Task{.C = c2, .D = 17, .T = 17, .J = 0, .name = ""},
+  }};
+  const BusyPeriod bp = synchronous_busy_period(two);
+  ASSERT_TRUE(bp.bounded());
+  EXPECT_GE(bp.length, two.total_execution());
+  EXPECT_GE(bp.length, synchronous_busy_period(one).length);
+}
+
+INSTANTIATE_TEST_SUITE_P(SecondTaskLoad, BusyPeriodSweep,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 11));
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,93 @@
+// Unit tests for the policy façade.
+#include "core/schedulability.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace profisched {
+namespace {
+
+TaskSet classic() {
+  return TaskSet{{
+      Task{.C = 3, .D = 7, .T = 7, .J = 0, .name = ""},
+      Task{.C = 3, .D = 12, .T = 12, .J = 0, .name = ""},
+      Task{.C = 5, .D = 20, .T = 20, .J = 0, .name = ""},
+  }};
+}
+
+TEST(PolicyNames, Stable) {
+  EXPECT_EQ(to_string(Policy::RateMonotonic), "RM");
+  EXPECT_EQ(to_string(Policy::DeadlineMonotonic), "DM");
+  EXPECT_EQ(to_string(Policy::NpDeadlineMonotonic), "NP-DM");
+  EXPECT_EQ(to_string(Policy::Edf), "EDF");
+  EXPECT_EQ(to_string(Policy::NpEdf), "NP-EDF");
+}
+
+TEST(Analyze, RmMatchesDirectAnalysisOnImplicitDeadlines) {
+  const TaskSet ts = classic();
+  const Verdict v = analyze(ts, Policy::RateMonotonic);
+  EXPECT_TRUE(v.schedulable);
+  EXPECT_EQ(v.per_task[0].response, 3);
+  EXPECT_EQ(v.per_task[1].response, 6);
+  EXPECT_EQ(v.per_task[2].response, 20);
+}
+
+TEST(Analyze, AllPoliciesReturnOneVerdictEach) {
+  const std::vector<Verdict> all = analyze_all_policies(classic());
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].policy, Policy::RateMonotonic);
+  EXPECT_EQ(all[4].policy, Policy::NpEdf);
+  for (const Verdict& v : all) EXPECT_EQ(v.per_task.size(), 3u);
+}
+
+TEST(Analyze, EdfSchedulesWhatFpCannot) {
+  // Non-harmonic near-saturation: RM's R2 = 8 > 7 while U ≈ 0.971 <= 1.
+  const TaskSet ts{{
+      Task{.C = 2, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 4, .D = 7, .T = 7, .J = 0, .name = ""},
+  }};
+  EXPECT_FALSE(analyze(ts, Policy::RateMonotonic).schedulable);
+  EXPECT_TRUE(analyze(ts, Policy::Edf).schedulable);
+}
+
+TEST(Analyze, PreemptiveDominatesNonPreemptiveVerdicts) {
+  // Any set NP-DM schedules, preemptive DM schedules too (blocking only adds).
+  const TaskSet ts{{
+      Task{.C = 1, .D = 4, .T = 4, .J = 0, .name = ""},
+      Task{.C = 1, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 3, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  ASSERT_TRUE(analyze(ts, Policy::NpDeadlineMonotonic).schedulable);
+  EXPECT_TRUE(analyze(ts, Policy::DeadlineMonotonic).schedulable);
+}
+
+TEST(WorstNormalizedResponse, ComputesMaxRatio) {
+  const TaskSet ts = classic();
+  const Verdict v = analyze(ts, Policy::RateMonotonic);
+  EXPECT_DOUBLE_EQ(v.worst_normalized_response(ts), 1.0);  // R3/D3 = 20/20
+}
+
+TEST(WorstNormalizedResponse, InfinityOnDivergence) {
+  const TaskSet ts{{
+      Task{.C = 5, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
+  }};  // U > 1
+  const Verdict v = analyze(ts, Policy::RateMonotonic);
+  EXPECT_TRUE(std::isinf(v.worst_normalized_response(ts)));
+}
+
+TEST(Analyze, FormulationIsRespectedForNpDm) {
+  const TaskSet ts{{
+      Task{.C = 1, .D = 4, .T = 4, .J = 0, .name = ""},
+      Task{.C = 3, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  const Verdict lit = analyze(ts, Policy::NpDeadlineMonotonic, Formulation::PaperLiteral);
+  const Verdict ref = analyze(ts, Policy::NpDeadlineMonotonic, Formulation::Refined);
+  EXPECT_GE(lit.per_task[0].response, ref.per_task[0].response);
+  EXPECT_EQ(lit.per_task[0].response, 4);  // B=3 literal
+  EXPECT_EQ(ref.per_task[0].response, 3);  // B=2 refined
+}
+
+}  // namespace
+}  // namespace profisched

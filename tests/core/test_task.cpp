@@ -1,0 +1,127 @@
+// Unit tests for the Task / TaskSet model.
+#include "core/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched {
+namespace {
+
+TaskSet three_tasks() {
+  return TaskSet{{
+      Task{.C = 3, .D = 7, .T = 7, .J = 0, .name = "a"},
+      Task{.C = 3, .D = 12, .T = 12, .J = 0, .name = "b"},
+      Task{.C = 5, .D = 20, .T = 20, .J = 0, .name = "c"},
+  }};
+}
+
+TEST(TaskSet, SizeAndAccess) {
+  const TaskSet ts = three_tasks();
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].name, "a");
+  EXPECT_EQ(ts[2].C, 5);
+  EXPECT_FALSE(ts.empty());
+  EXPECT_TRUE(TaskSet{}.empty());
+}
+
+TEST(TaskSet, Utilization) {
+  const TaskSet ts = three_tasks();
+  EXPECT_NEAR(ts.utilization(), 3.0 / 7 + 3.0 / 12 + 5.0 / 20, 1e-12);
+  EXPECT_NEAR(ts[0].utilization(), 3.0 / 7, 1e-12);
+}
+
+TEST(TaskSet, Aggregates) {
+  const TaskSet ts = three_tasks();
+  EXPECT_EQ(ts.total_execution(), 11);
+  EXPECT_EQ(ts.max_execution(), 5);
+  EXPECT_EQ(ts.min_deadline(), 7);
+  EXPECT_EQ(ts.max_deadline(), 20);
+}
+
+TEST(TaskSet, EmptySetAggregates) {
+  const TaskSet ts;
+  EXPECT_EQ(ts.total_execution(), 0);
+  EXPECT_EQ(ts.max_execution(), 0);
+  EXPECT_EQ(ts.min_deadline(), kNoBound);
+  EXPECT_EQ(ts.max_deadline(), 0);
+  EXPECT_EQ(ts.hyperperiod(), 1);
+}
+
+TEST(TaskSet, Hyperperiod) {
+  EXPECT_EQ(three_tasks().hyperperiod(), 420);  // lcm(7, 12, 20)
+}
+
+TEST(TaskSet, HyperperiodSaturates) {
+  std::vector<Task> tasks;
+  for (int i = 0; i < 12; ++i) {
+    const Ticks prime = std::vector<Ticks>{10007, 10009, 10037, 10039, 10061, 10067,
+                                           10069, 10079, 10091, 10093, 10099, 10103}[
+        static_cast<std::size_t>(i)];
+    tasks.push_back(Task{.C = 1, .D = prime, .T = prime, .J = 0, .name = ""});
+  }
+  EXPECT_EQ(TaskSet{tasks}.hyperperiod(), kNoBound);
+}
+
+TEST(TaskSet, DeadlineModelPredicates) {
+  EXPECT_TRUE(three_tasks().implicit_deadlines());
+  EXPECT_TRUE(three_tasks().constrained_deadlines());
+
+  const TaskSet constrained{{Task{.C = 1, .D = 5, .T = 10, .J = 0, .name = ""}}};
+  EXPECT_FALSE(constrained.implicit_deadlines());
+  EXPECT_TRUE(constrained.constrained_deadlines());
+
+  const TaskSet arbitrary{{Task{.C = 1, .D = 15, .T = 10, .J = 0, .name = ""}}};
+  EXPECT_FALSE(arbitrary.implicit_deadlines());
+  EXPECT_FALSE(arbitrary.constrained_deadlines());
+}
+
+TEST(TaskSetValidation, RejectsNonPositiveC) {
+  EXPECT_THROW((TaskSet{{Task{.C = 0, .D = 5, .T = 5, .J = 0, .name = ""}}}),
+               std::invalid_argument);
+}
+
+TEST(TaskSetValidation, RejectsNonPositiveD) {
+  EXPECT_THROW((TaskSet{{Task{.C = 1, .D = 0, .T = 5, .J = 0, .name = ""}}}),
+               std::invalid_argument);
+}
+
+TEST(TaskSetValidation, RejectsNonPositiveT) {
+  EXPECT_THROW((TaskSet{{Task{.C = 1, .D = 5, .T = 0, .J = 0, .name = ""}}}),
+               std::invalid_argument);
+}
+
+TEST(TaskSetValidation, RejectsCGreaterThanT) {
+  EXPECT_THROW((TaskSet{{Task{.C = 6, .D = 9, .T = 5, .J = 0, .name = ""}}}),
+               std::invalid_argument);
+}
+
+TEST(TaskSetValidation, RejectsNegativeJitter) {
+  EXPECT_THROW((TaskSet{{Task{.C = 1, .D = 5, .T = 5, .J = -1, .name = ""}}}),
+               std::invalid_argument);
+}
+
+TEST(TaskSetValidation, PushBackValidatesNewcomer) {
+  TaskSet ts;
+  ts.push_back(Task{.C = 1, .D = 2, .T = 3, .J = 0, .name = "ok"});
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_THROW(ts.push_back(Task{.C = 9, .D = 2, .T = 3, .J = 0, .name = "bad"}),
+               std::invalid_argument);
+  EXPECT_EQ(ts.size(), 1u);  // failed push must not modify the set
+}
+
+TEST(TaskSetValidation, ErrorMessageNamesTheTask) {
+  try {
+    TaskSet{{Task{.C = 0, .D = 5, .T = 5, .J = 0, .name = "sensor-poll"}}};
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sensor-poll"), std::string::npos);
+  }
+}
+
+TEST(TaskSet, RangeForIteration) {
+  Ticks sum = 0;
+  for (const Task& t : three_tasks()) sum += t.C;
+  EXPECT_EQ(sum, 11);
+}
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,117 @@
+// Unit tests for the exact integer time arithmetic every analysis rests on.
+#include "core/time_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched {
+namespace {
+
+TEST(FloorDiv, ExactQuotients) {
+  EXPECT_EQ(floor_div(10, 5), 2);
+  EXPECT_EQ(floor_div(0, 7), 0);
+  EXPECT_EQ(floor_div(-10, 5), -2);
+}
+
+TEST(FloorDiv, RoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-1, 10), -1);
+  EXPECT_EQ(floor_div(1, 10), 0);
+}
+
+TEST(CeilDiv, ExactQuotients) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(-10, 5), -2);
+}
+
+TEST(CeilDiv, RoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(1, 10), 1);
+  EXPECT_EQ(ceil_div(-1, 10), 0);
+}
+
+TEST(CeilDivPlus, ClampsNegativeToZero) {
+  EXPECT_EQ(ceil_div_plus(-1, 5), 0);
+  EXPECT_EQ(ceil_div_plus(-100, 5), 0);
+  EXPECT_EQ(ceil_div_plus(0, 5), 0);
+  EXPECT_EQ(ceil_div_plus(1, 5), 1);
+  EXPECT_EQ(ceil_div_plus(5, 5), 1);
+  EXPECT_EQ(ceil_div_plus(6, 5), 2);
+}
+
+TEST(FloorDivPlus1, CountsJobsReleasedInClosedInterval) {
+  // Jobs of a task with offset d, period b released in [0, a]: the demand-
+  // bound building block.
+  EXPECT_EQ(floor_div_plus1(-1, 5), 0);
+  EXPECT_EQ(floor_div_plus1(0, 5), 1);
+  EXPECT_EQ(floor_div_plus1(4, 5), 1);
+  EXPECT_EQ(floor_div_plus1(5, 5), 2);
+  EXPECT_EQ(floor_div_plus1(14, 5), 3);
+}
+
+TEST(FloorDivPlus1, DiffersFromCeilDivPlusAtExactMultiples) {
+  // The paper-literal demand form ⌈x/T⌉⁺ vs the standard (⌊x/T⌋+1)⁺: they
+  // disagree exactly at multiples of T (including 0), where the literal form
+  // misses one job.
+  for (Ticks x = 0; x <= 40; x += 10) {
+    EXPECT_EQ(floor_div_plus1(x, 10), ceil_div_plus(x, 10) + 1) << "x=" << x;
+  }
+  for (Ticks x : {1, 9, 11, 19, 25}) {
+    EXPECT_EQ(floor_div_plus1(x, 10), ceil_div_plus(x, 10)) << "x=" << x;
+  }
+}
+
+TEST(SatAdd, NormalAndSaturatingBehaviour) {
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_add(-2, 3), 1);
+  EXPECT_EQ(sat_add(kNoBound, 1), kNoBound);
+  EXPECT_EQ(sat_add(1, kNoBound), kNoBound);
+  EXPECT_EQ(sat_add(kNoBound - 1, 10), kNoBound);
+}
+
+TEST(SatMul, NormalAndSaturatingBehaviour) {
+  EXPECT_EQ(sat_mul(3, 4), 12);
+  EXPECT_EQ(sat_mul(0, kNoBound), 0);
+  EXPECT_EQ(sat_mul(kNoBound, 2), kNoBound);
+  EXPECT_EQ(sat_mul(Ticks{1} << 40, Ticks{1} << 40), kNoBound);
+}
+
+TEST(GcdLcm, BasicIdentities) {
+  EXPECT_EQ(gcd_ticks(12, 18), 6);
+  EXPECT_EQ(gcd_ticks(7, 13), 1);
+  EXPECT_EQ(gcd_ticks(0, 5), 5);
+  EXPECT_EQ(lcm_ticks(4, 6), 12);
+  EXPECT_EQ(lcm_ticks(7, 13), 91);
+  EXPECT_EQ(lcm_ticks(0, 5), 0);
+}
+
+TEST(GcdLcm, LcmSaturatesOnOverflow) {
+  const Ticks big_prime1 = 2'147'483'647;  // 2^31 − 1
+  const Ticks big_prime2 = 2'147'483'629;
+  EXPECT_EQ(lcm_ticks(sat_mul(big_prime1, big_prime2), big_prime1 + 2), kNoBound);
+}
+
+// Property sweep: floor/ceil agree with the mathematical definition across a
+// grid including negatives.
+class DivisionGrid : public ::testing::TestWithParam<Ticks> {};
+
+TEST_P(DivisionGrid, FloorCeilConsistency) {
+  const Ticks b = GetParam();
+  for (Ticks a = -3 * b - 1; a <= 3 * b + 1; ++a) {
+    const Ticks f = floor_div(a, b);
+    const Ticks c = ceil_div(a, b);
+    EXPECT_LE(f * b, a);
+    EXPECT_GT((f + 1) * b, a);
+    EXPECT_GE(c * b, a);
+    EXPECT_LT((c - 1) * b, a);
+    EXPECT_TRUE(c == f || c == f + 1);
+    EXPECT_EQ(c == f, a % b == 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, DivisionGrid, ::testing::Values(1, 2, 3, 5, 7, 16, 97));
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,149 @@
+// Integration: the PROFIBUS network simulator must respect the §3–§4
+// analytical bounds — T_cycle dominates every observed token rotation, and
+// each dispatching policy's response-time analysis dominates the observed
+// response of every stream.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "profibus/dispatching.hpp"
+#include "sim/network_sim.hpp"
+#include "workload/generators.hpp"
+#include "workload/scenarios.hpp"
+
+namespace profisched {
+namespace {
+
+using profibus::ApPolicy;
+using profibus::Network;
+
+sim::SimReport run_synchronous(const Network& net, ApPolicy policy, Ticks horizon,
+                               std::uint64_t seed = 1) {
+  sim::SimConfig cfg;
+  cfg.net = net;
+  cfg.policy = policy;
+  cfg.horizon = horizon;
+  cfg.seed = seed;
+  // Worst-case cycle durations and synchronous release: the adversarial
+  // setting the analyses reason about.
+  return sim::simulate(cfg);
+}
+
+void expect_bounded_by_analysis(const Network& net, const profibus::NetworkAnalysis& analysis,
+                                const sim::SimReport& report, const char* label) {
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    // Token rotation never exceeds T_cycle.
+    EXPECT_LE(report.token[k].max_trr, analysis.tcycle) << label << " master " << k;
+    for (std::size_t i = 0; i < net.masters[k].nh(); ++i) {
+      const Ticks bound = analysis.masters[k].streams[i].response;
+      if (bound == kNoBound) continue;
+      EXPECT_LE(report.hp[k][i].max_response, bound)
+          << label << " master " << k << " stream " << i;
+    }
+  }
+}
+
+TEST(NetSimVsAnalysis, FactoryCellAllPolicies) {
+  const Network net = workload::scenarios::factory_cell();
+  const Ticks horizon = 600 * workload::scenarios::kTicksPerMs;  // 600 ms
+  for (const ApPolicy policy : {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf}) {
+    const profibus::NetworkAnalysis a = analyze_network(net, policy);
+    const sim::SimReport r = run_synchronous(net, policy, horizon);
+    expect_bounded_by_analysis(net, a, r, to_string(policy).data());
+    if (a.schedulable) {
+      std::uint64_t misses = r.total_misses();
+      EXPECT_EQ(misses, 0u) << to_string(policy);
+    }
+  }
+}
+
+TEST(NetSimVsAnalysis, TightDeadlineMixShowsTheFcfsPathologyLive) {
+  // Not just on paper: simulate the FCFS pathology with an adversarial
+  // arrival order (lax requests queued just before the tight one).
+  const Network net = workload::scenarios::tight_deadline_mix();
+  const Ticks horizon = 500 * workload::scenarios::kTicksPerMs;
+
+  sim::SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = horizon;
+  // Stream 0 is tight; have every lax stream release just before it.
+  cfg.hp_traffic = {{sim::TrafficConfig{.phase = 10},
+                     sim::TrafficConfig{.phase = 0},
+                     sim::TrafficConfig{.phase = 0},
+                     sim::TrafficConfig{.phase = 0}}};
+
+  cfg.policy = ApPolicy::Fcfs;
+  const sim::SimReport fcfs = sim::simulate(cfg);
+  cfg.policy = ApPolicy::Dm;
+  const sim::SimReport dm = sim::simulate(cfg);
+
+  // DM strictly improves the tight stream's observed worst case.
+  EXPECT_LT(dm.hp[0][0].max_response, fcfs.hp[0][0].max_response);
+  // And stays within its analytic bound.
+  const profibus::NetworkAnalysis a = analyze_network(net, ApPolicy::Dm);
+  EXPECT_LE(dm.hp[0][0].max_response, a.masters[0].streams[0].response);
+}
+
+TEST(NetSimVsAnalysis, TokenRotationBoundHoldsUnderHeavyLoad) {
+  // Saturating LP + HP traffic: rotations stretch, but never past T_cycle.
+  Network net = workload::scenarios::factory_cell();
+  sim::SimConfig cfg;
+  cfg.net = net;
+  cfg.policy = ApPolicy::Fcfs;
+  cfg.horizon = 1'000 * workload::scenarios::kTicksPerMs;
+  cfg.lp_traffic.resize(net.n_masters());
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    cfg.lp_traffic[k].push_back(sim::LpTraffic{
+        .period = 5 * workload::scenarios::kTicksPerMs,
+        .cycle_len = net.masters[k].longest_low_cycle,
+        .phase = 0});
+  }
+  const sim::SimReport r = sim::simulate(cfg);
+  const Ticks tcycle = profibus::t_cycle(net);
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    EXPECT_LE(r.token[k].max_trr, tcycle) << "master " << k;
+    EXPECT_GT(r.token[k].visits, 10u);
+  }
+  EXPECT_GT(r.lp_cycles_completed, 0u);
+}
+
+// ---- randomized sweep over generated networks ----
+
+class RandomNetworkSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomNetworkSweep, BoundsDominateSimulationForAllPolicies) {
+  sim::Rng rng(GetParam());
+  workload::NetworkParams p;
+  p.n_masters = 2 + static_cast<std::size_t>(rng.uniform(2));
+  p.streams_per_master = 2 + static_cast<std::size_t>(rng.uniform(2));
+  const workload::GeneratedNetwork g = workload::random_network(p, rng);
+
+  const Ticks horizon = std::min<Ticks>(profibus::t_cycle(g.net) * 60, 10'000'000);
+  for (const ApPolicy policy : {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf}) {
+    const profibus::NetworkAnalysis a = analyze_network(g.net, policy);
+    // Synchronous and one randomly-phased run.
+    const sim::SimReport sync = run_synchronous(g.net, policy, horizon, GetParam());
+    expect_bounded_by_analysis(g.net, a, sync, to_string(policy).data());
+
+    sim::SimConfig cfg;
+    cfg.net = g.net;
+    cfg.policy = policy;
+    cfg.horizon = horizon;
+    cfg.seed = GetParam() * 7 + 1;
+    cfg.hp_traffic.resize(g.net.n_masters());
+    for (std::size_t k = 0; k < g.net.n_masters(); ++k) {
+      for (std::size_t i = 0; i < g.net.masters[k].nh(); ++i) {
+        cfg.hp_traffic[k].push_back(
+            sim::TrafficConfig{.phase = rng.uniform(g.net.masters[k].high_streams[i].T)});
+      }
+    }
+    const sim::SimReport phased = sim::simulate(cfg);
+    expect_bounded_by_analysis(g.net, a, phased, to_string(policy).data());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetworkSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+}  // namespace
+}  // namespace profisched

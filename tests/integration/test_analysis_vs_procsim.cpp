@@ -1,0 +1,146 @@
+// Integration: every §2 analytical bound must dominate the uniprocessor
+// simulator's observations, and the exact analyses must be *reached* by their
+// critical phasings.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "apptask/processor_sim.hpp"
+#include "core/response_time_edf.hpp"
+#include "core/response_time_fp.hpp"
+#include "core/schedulability.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched {
+namespace {
+
+using apptask::ProcPolicy;
+using apptask::simulate_processor;
+
+TaskSet pair_set() {
+  return TaskSet{{
+      Task{.C = 2, .D = 4, .T = 6, .J = 0, .name = "t0"},
+      Task{.C = 3, .D = 9, .T = 8, .J = 0, .name = "t1"},
+  }};
+}
+
+TEST(AnalysisVsSim, PreemptiveFpExactAtCriticalInstant) {
+  // Synchronous release IS the FP critical instant: simulation must hit the
+  // Joseph–Pandya bound exactly for a schedulable constrained-deadline set.
+  const TaskSet ts{{
+      Task{.C = 3, .D = 7, .T = 7, .J = 0, .name = ""},
+      Task{.C = 3, .D = 12, .T = 12, .J = 0, .name = ""},
+      Task{.C = 5, .D = 20, .T = 20, .J = 0, .name = ""},
+  }};
+  const FpAnalysis a = analyze_preemptive_fp(ts, deadline_monotonic_order(ts));
+  const auto sim = simulate_processor(ts, ProcPolicy::FpPreemptive, ts.hyperperiod());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(sim.max_response[i], a.per_task[i].response) << "task " << i;
+  }
+}
+
+TEST(AnalysisVsSim, PreemptiveEdfExactOnPairSet) {
+  // Spuri's analysis gives R = {2, 5}; the synchronous pattern reaches both.
+  const TaskSet ts = pair_set();
+  const EdfAnalysis a = analyze_preemptive_edf(ts);
+  const auto sim = simulate_processor(ts, ProcPolicy::EdfPreemptive, ts.hyperperiod());
+  EXPECT_EQ(sim.max_response[0], a.per_task[0].response);
+  EXPECT_EQ(sim.max_response[1], a.per_task[1].response);
+}
+
+TEST(AnalysisVsSim, NonPreemptiveEdfBoundReachedByAdversarialPhasing) {
+  // R0 = 4 requires the long task to start one tick before τ0's release:
+  // phases (1, 0). R1 = 5 is reached synchronously.
+  const TaskSet ts = pair_set();
+  const EdfAnalysis a = analyze_nonpreemptive_edf(ts);
+  ASSERT_EQ(a.per_task[0].response, 4);
+  ASSERT_EQ(a.per_task[1].response, 5);
+
+  const std::vector<Ticks> adversarial{1, 0};
+  const auto sim_adv =
+      simulate_processor(ts, ProcPolicy::EdfNonPreemptive, 200, adversarial);
+  EXPECT_EQ(sim_adv.max_response[0], 4);
+
+  const auto sim_sync = simulate_processor(ts, ProcPolicy::EdfNonPreemptive, 200);
+  EXPECT_EQ(sim_sync.max_response[1], 5);
+}
+
+TEST(AnalysisVsSim, NonPreemptiveFpBoundReachedByBlockerFirstPhasing) {
+  // t1: C=1 D=4 T=4, t2: C=1 D=5 T=5, t3: C=3 T=9 (refined R = {3, 4, 5}).
+  // The blocker-first phasing (t3 at 0, others at 1) realises t1's bound:
+  // t3 [0,3), t1 [3,4) → R = 3.
+  const TaskSet ts{{
+      Task{.C = 1, .D = 4, .T = 4, .J = 0, .name = ""},
+      Task{.C = 1, .D = 5, .T = 5, .J = 0, .name = ""},
+      Task{.C = 3, .D = 9, .T = 9, .J = 0, .name = ""},
+  }};
+  const FpAnalysis a =
+      analyze_nonpreemptive_fp(ts, deadline_monotonic_order(ts), Formulation::Refined);
+  const std::vector<Ticks> phases{1, 1, 0};
+  const auto sim = simulate_processor(ts, ProcPolicy::FpNonPreemptive, 500, phases);
+  EXPECT_EQ(sim.max_response[0], a.per_task[0].response);  // both 3
+}
+
+// ---- randomized safety sweep: observation <= bound, always ----
+
+struct SweepParam {
+  std::uint64_t seed;
+  double utilization;
+};
+
+class RandomSetSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RandomSetSweep, AllBoundsDominateSimulation) {
+  sim::Rng rng(GetParam().seed);
+  workload::TaskSetParams p;
+  p.n = 4;
+  p.total_u = GetParam().utilization;
+  p.t_min = 10;
+  p.t_max = 60;
+  p.deadline_lo = 0.7;
+  p.deadline_hi = 1.0;
+  const TaskSet ts = workload::random_task_set(p, rng);
+  const Ticks horizon = std::min<Ticks>(ts.hyperperiod() * 2, 2'000'000);
+
+  const struct {
+    Policy policy;
+    ProcPolicy sim_policy;
+  } combos[] = {
+      {Policy::DeadlineMonotonic, ProcPolicy::FpPreemptive},
+      {Policy::NpDeadlineMonotonic, ProcPolicy::FpNonPreemptive},
+      {Policy::Edf, ProcPolicy::EdfPreemptive},
+      {Policy::NpEdf, ProcPolicy::EdfNonPreemptive},
+  };
+
+  for (const auto& combo : combos) {
+    const Verdict v = analyze(ts, combo.policy);
+    // Synchronous + three random phasings.
+    for (int phasing = 0; phasing < 4; ++phasing) {
+      std::vector<Ticks> phases(ts.size(), 0);
+      if (phasing > 0) {
+        for (std::size_t i = 0; i < ts.size(); ++i) phases[i] = rng.uniform(ts[i].T);
+      }
+      const auto sim = simulate_processor(ts, combo.sim_policy, horizon, phases);
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (v.per_task[i].response == kNoBound) continue;  // analysis gave up: nothing to check
+        EXPECT_LE(sim.max_response[i], v.per_task[i].response)
+            << to_string(combo.policy) << " task " << i << " phasing " << phasing
+            << " seed " << GetParam().seed;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomSetSweep,
+    ::testing::Values(SweepParam{1, 0.4}, SweepParam{2, 0.5}, SweepParam{3, 0.6},
+                      SweepParam{4, 0.7}, SweepParam{5, 0.8}, SweepParam{6, 0.6},
+                      SweepParam{7, 0.7}, SweepParam{8, 0.5}, SweepParam{9, 0.8},
+                      SweepParam{10, 0.9}, SweepParam{11, 0.65}, SweepParam{12, 0.75}),
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_u" +
+             std::to_string(static_cast<int>(param_info.param.utilization * 100));
+    });
+
+}  // namespace
+}  // namespace profisched

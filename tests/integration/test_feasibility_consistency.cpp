@@ -1,0 +1,117 @@
+// Integration: the different §2 tests must agree with each other where the
+// theory says they are equivalent, and dominate each other where the theory
+// says one is sufficient-only.
+#include <gtest/gtest.h>
+
+#include "core/edf_feasibility.hpp"
+#include "core/response_time_edf.hpp"
+#include "core/schedulability.hpp"
+#include "core/utilization.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched {
+namespace {
+
+TaskSet draw(std::uint64_t seed, double u, double dl_lo = 0.6) {
+  sim::Rng rng(seed);
+  workload::TaskSetParams p;
+  p.n = 4;
+  p.total_u = u;
+  p.t_min = 10;
+  p.t_max = 80;
+  p.deadline_lo = dl_lo;
+  p.deadline_hi = 1.0;
+  return workload::random_task_set(p, rng);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, PreemptiveEdfDemandTestEquivalentToRta) {
+  // Both the processor-demand criterion (eq. 3) and Spuri's RTA (eqs. 6–8)
+  // are exact for sporadic sets: verdicts must coincide.
+  for (const double u : {0.5, 0.7, 0.85, 0.95}) {
+    const TaskSet ts = draw(GetParam(), u);
+    const bool demand = edf_preemptive_feasible(ts).feasible;
+    const bool rta = analyze_preemptive_edf(ts).schedulable;
+    EXPECT_EQ(demand, rta) << "seed " << GetParam() << " u " << u;
+  }
+}
+
+TEST_P(SeedSweep, GeorgeNpTestEquivalentToNpRta) {
+  // George's eq. 5 and the NP-EDF RTA (eqs. 9–10) are both exact for
+  // non-concrete sporadic sets: verdicts must coincide.
+  for (const double u : {0.4, 0.6, 0.8}) {
+    const TaskSet ts = draw(GetParam(), u);
+    const bool test5 = np_edf_feasible_george(ts).feasible;
+    const bool rta = analyze_nonpreemptive_edf(ts).schedulable;
+    EXPECT_EQ(test5, rta) << "seed " << GetParam() << " u " << u;
+  }
+}
+
+TEST_P(SeedSweep, ZhengShinNeverAcceptsWhatGeorgeRejects) {
+  for (const double u : {0.4, 0.6, 0.8, 0.9}) {
+    const TaskSet ts = draw(GetParam(), u);
+    if (np_edf_feasible_zheng_shin(ts).feasible) {
+      EXPECT_TRUE(np_edf_feasible_george(ts).feasible) << "seed " << GetParam() << " u " << u;
+    }
+  }
+}
+
+TEST_P(SeedSweep, UtilizationTestsImplyRtaSchedulability) {
+  for (const double u : {0.5, 0.65, 0.69}) {
+    const TaskSet ts = draw(GetParam(), u, /*dl_lo=*/1.0);  // D = T
+    if (liu_layland_test(ts)) {
+      EXPECT_TRUE(analyze(ts, Policy::RateMonotonic).schedulable)
+          << "seed " << GetParam() << " u " << u;
+    }
+    if (hyperbolic_bound_test(ts)) {
+      EXPECT_TRUE(analyze(ts, Policy::RateMonotonic).schedulable)
+          << "seed " << GetParam() << " u " << u;
+    }
+  }
+}
+
+TEST_P(SeedSweep, PreemptiveEdfDominatesEveryOtherPolicy) {
+  // Preemptive EDF is optimal on one processor: if *any* policy schedules the
+  // set, EDF does.
+  for (const double u : {0.6, 0.8, 0.95}) {
+    const TaskSet ts = draw(GetParam(), u);
+    const bool edf = analyze(ts, Policy::Edf).schedulable;
+    for (const Policy p : {Policy::DeadlineMonotonic, Policy::NpDeadlineMonotonic,
+                           Policy::NpEdf}) {
+      if (analyze(ts, p).schedulable) {
+        EXPECT_TRUE(edf) << to_string(p) << " schedulable but EDF not — seed " << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(SeedSweep, NonPreemptiveVerdictsNeverBeatPreemptiveEdf) {
+  // NP-EDF schedulable ⇒ preemptive-EDF schedulable (blocking is pure loss
+  // for feasibility of sporadic sets).
+  for (const double u : {0.5, 0.75}) {
+    const TaskSet ts = draw(GetParam() + 1000, u);
+    if (analyze(ts, Policy::NpEdf).schedulable) {
+      EXPECT_TRUE(analyze(ts, Policy::Edf).schedulable) << "seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(SeedSweep, PaperLiteralNpDmImpliesRefinedNpDm) {
+  // The literal formulation is the more pessimistic NP-FP variant: sets it
+  // accepts, the refined analysis accepts as well.
+  for (const double u : {0.5, 0.7, 0.85}) {
+    const TaskSet ts = draw(GetParam() + 2000, u);
+    if (analyze(ts, Policy::NpDeadlineMonotonic, Formulation::PaperLiteral).schedulable) {
+      EXPECT_TRUE(analyze(ts, Policy::NpDeadlineMonotonic, Formulation::Refined).schedulable)
+          << "seed " << GetParam() << " u " << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42, 43,
+                                           44, 45));
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,151 @@
+// Unit tests for the DM AP-queue message analysis (paper eq. 16).
+#include "profibus/dm_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::profibus {
+namespace {
+
+// One master, Ch = 300 everywhere, T_TR = 2000 → T_cycle = 2300.
+Network one_master(std::vector<MessageStream> streams, Ticks ttr = 2'000) {
+  Network net;
+  net.ttr = ttr;
+  Master m;
+  m.name = "m0";
+  m.high_streams = std::move(streams);
+  net.masters = {m};
+  return net;
+}
+
+MessageStream s(Ticks d, Ticks t, Ticks j = 0) {
+  return MessageStream{.Ch = 300, .D = d, .T = t, .J = j, .name = ""};
+}
+
+TEST(DmAnalysis, HandComputedThreeStreams) {
+  const Network net = one_master({s(5'000, 100'000), s(9'000, 100'000), s(50'000, 100'000)});
+  const NetworkAnalysis a = analyze_dm(net);
+  ASSERT_TRUE(a.schedulable);
+  const Ticks tc = 2'300;
+  // Tightest stream: blocking T_cycle, no interference → R = 2·T_cycle.
+  EXPECT_EQ(a.masters[0].streams[0].response, 2 * tc);
+  // Middle: blocking + one interference slot within w → R = 3·T_cycle.
+  EXPECT_EQ(a.masters[0].streams[1].response, 3 * tc);
+  // Lowest priority: no blocking (T* = 0) → R = 3·T_cycle as well.
+  EXPECT_EQ(a.masters[0].streams[2].response, 3 * tc);
+}
+
+TEST(DmAnalysis, TightStreamBeatsFcfsBound) {
+  // The paper's headline: under DM the tight-deadline stream gets
+  // 2·T_cycle instead of FCFS's nh·T_cycle.
+  const Network net = one_master(
+      {s(5'000, 100'000), s(50'000, 100'000), s(60'000, 100'000), s(70'000, 100'000)});
+  const NetworkAnalysis dm = analyze_dm(net);
+  const NetworkAnalysis fcfs = analyze_fcfs(net);
+  EXPECT_EQ(dm.masters[0].streams[0].response, 2 * 2'300);
+  EXPECT_EQ(fcfs.masters[0].streams[0].response, 4 * 2'300);
+  EXPECT_TRUE(dm.schedulable);
+  EXPECT_FALSE(fcfs.schedulable);  // 9'200 > 5'000
+}
+
+TEST(DmAnalysis, LowestPriorityStreamHasNoBlocking) {
+  const Network net = one_master({s(5'000, 100'000), s(90'000, 100'000)});
+  const NetworkAnalysis a = analyze_dm(net);
+  // Lowest: T* = 0, one hp slot → w = T_cycle, R = 2·T_cycle.
+  EXPECT_EQ(a.masters[0].streams[1].Q, 2'300);
+  EXPECT_EQ(a.masters[0].streams[1].response, 2 * 2'300);
+}
+
+TEST(DmAnalysis, SingleStreamEqualsFcfs) {
+  const Network net = one_master({s(5'000, 100'000)});
+  EXPECT_EQ(analyze_dm(net).masters[0].streams[0].response,
+            analyze_fcfs(net).masters[0].streams[0].response);
+}
+
+TEST(DmAnalysis, ShortPeriodInterferersCountRepeatedly) {
+  // hp stream with period < w contributes multiple T_cycle slots.
+  const Network net = one_master({s(4'000, 4'000), s(90'000, 200'000)});
+  const NetworkAnalysis a = analyze_dm(net);
+  // Lowest: w = ⌈w/4000⌉·2300 from w0 = 2300: w=2300→⌈2300/4000⌉=1→2300 ✓;
+  // R = 2300 + 2300 = 4600.
+  EXPECT_EQ(a.masters[0].streams[1].response, 4'600);
+}
+
+TEST(DmAnalysis, JitterOfHigherPriorityInflatesResponse) {
+  const Network base = one_master({s(5'000, 100'000), s(9'000, 100'000)});
+  const Network jit = one_master({s(5'000, 100'000, 98'000), s(9'000, 100'000)});
+  const Ticks r_base = analyze_dm(base).masters[0].streams[1].response;
+  const Ticks r_jit = analyze_dm(jit).masters[0].streams[1].response;
+  // Lowest priority: B = 0, one hp slot → w = 2'300, R = 4'600. With J = 98'000
+  // on the hp stream, ⌈(2'300 + 98'000)/100'000⌉ = 2 slots → R = 6'900.
+  EXPECT_EQ(r_base, 4'600);
+  EXPECT_EQ(r_jit, 6'900);
+}
+
+TEST(DmAnalysis, OverloadedMasterReportsUnschedulable) {
+  // Period below T_cycle: the token cannot keep up; the fixed point diverges.
+  const Network net = one_master({s(2'000, 2'000), s(3'000, 2'100)});
+  const NetworkAnalysis a = analyze_dm(net);
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_EQ(a.masters[0].streams[1].response, kNoBound);
+}
+
+TEST(DmAnalysis, DeadlineTieBreaksByIndexDeterministically) {
+  const Network net = one_master({s(9'000, 100'000), s(9'000, 100'000), s(9'000, 100'000)});
+  const NetworkAnalysis a = analyze_dm(net);
+  // Stable sort: index order is the tie order. Rank 0: B + own = 2·T_cycle.
+  // Rank 1: B + 1 hp slot + own = 3·T_cycle. Rank 2 (lowest): B = 0 but two
+  // hp slots → 3·T_cycle too.
+  EXPECT_EQ(a.masters[0].streams[0].response, 2 * 2'300);
+  EXPECT_EQ(a.masters[0].streams[1].response, 3 * 2'300);
+  EXPECT_EQ(a.masters[0].streams[2].response, 3 * 2'300);
+}
+
+TEST(DmAnalysis, RefinedStartTimeFormDominatesLiteral) {
+  // For the message adaptation the start-time form ⌊w/T⌋+1 counts at least as
+  // many interfering slots as the printed ⌈w/T⌉ — the literal eq. 16 is the
+  // (slightly) optimistic one here, mirroring the eq.-3 situation.
+  const Network net =
+      one_master({s(5'000, 6'000), s(9'000, 11'000), s(50'000, 100'000)});
+  const NetworkAnalysis lit = analyze_dm(net, TcycleMethod::PaperEq13, Formulation::PaperLiteral);
+  const NetworkAnalysis ref = analyze_dm(net, TcycleMethod::PaperEq13, Formulation::Refined);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Ticks rl = lit.masters[0].streams[i].response;
+    const Ticks rr = ref.masters[0].streams[i].response;
+    if (rl != kNoBound && rr != kNoBound) {
+      EXPECT_GE(rr, rl) << "stream " << i;
+    }
+  }
+}
+
+TEST(DmAnalysis, MultiMasterIndependence) {
+  // Streams only interfere within their master; across masters only T_cycle
+  // couples them.
+  Network net;
+  net.ttr = 2'000;
+  Master a, b;
+  a.high_streams = {s(50'000, 100'000), s(60'000, 100'000)};
+  b.high_streams = {s(50'000, 100'000)};
+  net.masters = {a, b};
+  const NetworkAnalysis r = analyze_dm(net);
+  const Ticks tc = 2'000 + 300 + 300;
+  EXPECT_EQ(r.masters[1].streams[0].response, tc);        // alone: no blocking, no hp
+  EXPECT_EQ(r.masters[0].streams[0].response, 2 * tc);    // blocked by sibling
+}
+
+// Property sweep: under DM the tightest stream of a master always does at
+// least as well as under FCFS (2·T_cycle vs nh·T_cycle).
+class DmVsFcfsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DmVsFcfsSweep, TightestStreamNeverWorseThanFcfs) {
+  std::vector<MessageStream> streams{s(5'000, 100'000)};
+  for (int i = 0; i < GetParam(); ++i) streams.push_back(s(50'000 + 1'000 * i, 100'000));
+  const Network net = one_master(std::move(streams));
+  const NetworkAnalysis dm = analyze_dm(net);
+  const NetworkAnalysis fcfs = analyze_fcfs(net);
+  EXPECT_LE(dm.masters[0].streams[0].response, fcfs.masters[0].streams[0].response);
+}
+
+INSTANTIATE_TEST_SUITE_P(LaxSiblings, DmVsFcfsSweep, ::testing::Values(1, 2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,78 @@
+// Unit tests for the end-to-end delay composition E = g + Q + C + d (§4.2).
+#include "profibus/end_to_end.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profibus/dm_analysis.hpp"
+
+namespace profisched::profibus {
+namespace {
+
+Network demo_net() {
+  Network net;
+  net.ttr = 2'000;
+  Master m;
+  m.high_streams = {
+      MessageStream{.Ch = 300, .D = 20'000, .T = 100'000, .J = 0, .name = "a"},
+      MessageStream{.Ch = 300, .D = 50'000, .T = 100'000, .J = 0, .name = "b"},
+  };
+  net.masters = {m};
+  return net;
+}
+
+TEST(EndToEndBound, AddsHostDelaysAroundNetworkResponse) {
+  StreamResponse r;
+  r.response = 4'600;
+  r.Q = 2'300;
+  const HostDelays host{.generation = 500, .delivery = 200};
+  EXPECT_EQ(end_to_end_bound(host, r), 500 + 4'600 + 200);
+}
+
+TEST(EndToEndBound, PropagatesUnbounded) {
+  StreamResponse r;  // default: kNoBound
+  EXPECT_EQ(end_to_end_bound(HostDelays{100, 100}, r), kNoBound);
+}
+
+TEST(EndToEndBound, ZeroHostDelaysReduceToNetworkBound) {
+  StreamResponse r;
+  r.response = 4'600;
+  EXPECT_EQ(end_to_end_bound(HostDelays{}, r), 4'600);
+}
+
+TEST(EndToEndSchedulable, AcceptsWhenSlackCoversHostDelays) {
+  const Network net = demo_net();
+  const NetworkAnalysis a = analyze_dm(net);
+  ASSERT_TRUE(a.schedulable);
+  const std::vector<std::vector<HostDelays>> host{{{500, 200}, {500, 200}}};
+  EXPECT_TRUE(end_to_end_schedulable(net, a, host));
+}
+
+TEST(EndToEndSchedulable, RejectsWhenHostDelaysEatTheSlack) {
+  const Network net = demo_net();
+  const NetworkAnalysis a = analyze_dm(net);
+  const Ticks r0 = a.masters[0].streams[0].response;
+  const Ticks slack = net.masters[0].high_streams[0].D - r0;
+  const std::vector<std::vector<HostDelays>> host{{{slack, 1}, {0, 0}}};  // 1 tick over
+  EXPECT_FALSE(end_to_end_schedulable(net, a, host));
+}
+
+TEST(EndToEndSchedulable, BoundaryExact) {
+  const Network net = demo_net();
+  const NetworkAnalysis a = analyze_dm(net);
+  const Ticks r0 = a.masters[0].streams[0].response;
+  const Ticks slack = net.masters[0].high_streams[0].D - r0;
+  const std::vector<std::vector<HostDelays>> host{{{slack, 0}, {0, 0}}};
+  EXPECT_TRUE(end_to_end_schedulable(net, a, host));
+}
+
+TEST(EndToEndSchedulable, ThrowsOnShapeMismatch) {
+  const Network net = demo_net();
+  const NetworkAnalysis a = analyze_dm(net);
+  const std::vector<std::vector<HostDelays>> wrong_masters{};
+  EXPECT_THROW((void)end_to_end_schedulable(net, a, wrong_masters), std::invalid_argument);
+  const std::vector<std::vector<HostDelays>> wrong_streams{{{0, 0}}};
+  EXPECT_THROW((void)end_to_end_schedulable(net, a, wrong_streams), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,120 @@
+// Unit tests for the FCFS worst-case response analysis (paper eqs. 11–12).
+#include "profibus/fcfs_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::profibus {
+namespace {
+
+Network one_master(std::initializer_list<Ticks> deadlines, Ticks ttr = 2'000) {
+  Network net;
+  net.ttr = ttr;
+  Master m;
+  m.name = "m0";
+  int i = 0;
+  for (const Ticks d : deadlines) {
+    m.high_streams.push_back(
+        MessageStream{.Ch = 300, .D = d, .T = 100'000, .J = 0, .name = "s" + std::to_string(i++)});
+  }
+  net.masters = {m};
+  return net;
+}
+
+TEST(FcfsAnalysis, ResponseIsNhTimesTcycleForEveryStream) {
+  const Network net = one_master({50'000, 60'000, 70'000});
+  const NetworkAnalysis a = analyze_fcfs(net);
+  const Ticks tc = t_cycle(net);  // 2000 + 300
+  ASSERT_EQ(a.masters.size(), 1u);
+  for (const StreamResponse& r : a.masters[0].streams) {
+    EXPECT_EQ(r.response, 3 * tc);  // eq. 11: independent of D and T
+  }
+  EXPECT_TRUE(a.schedulable);
+}
+
+TEST(FcfsAnalysis, QueuingDelayExcludesOwnCycle) {
+  const Network net = one_master({50'000});
+  const NetworkAnalysis a = analyze_fcfs(net);
+  const Ticks tc = t_cycle(net);
+  EXPECT_EQ(a.masters[0].streams[0].Q, tc - 300);  // Q = nh·T_cycle − Ch
+  EXPECT_EQ(a.masters[0].streams[0].response, tc);
+}
+
+TEST(FcfsAnalysis, DeadlineBoundaryExact) {
+  // D exactly at nh·T_cycle is schedulable; one tick below is not (eq. 12
+  // uses >=).
+  Network net = one_master({1, 1, 1});
+  const Ticks bound = 3 * t_cycle(net);
+  net.masters[0].high_streams[0].D = bound;
+  net.masters[0].high_streams[1].D = bound;
+  net.masters[0].high_streams[2].D = bound;
+  EXPECT_TRUE(analyze_fcfs(net).schedulable);
+  net.masters[0].high_streams[1].D = bound - 1;
+  const NetworkAnalysis a = analyze_fcfs(net);
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_TRUE(a.masters[0].streams[0].meets_deadline);
+  EXPECT_FALSE(a.masters[0].streams[1].meets_deadline);
+}
+
+TEST(FcfsAnalysis, TightDeadlinePunishedByLaxSiblings) {
+  // The FCFS pathology the paper targets: adding lax streams to a master
+  // inflates the tight stream's bound until it misses.
+  Network net = one_master({8'000});
+  EXPECT_TRUE(analyze_fcfs(net).schedulable);  // 1·(2000+300) <= 8000
+  net.masters[0].high_streams.push_back(
+      MessageStream{.Ch = 300, .D = 90'000, .T = 100'000, .J = 0, .name = "lax1"});
+  net.masters[0].high_streams.push_back(
+      MessageStream{.Ch = 300, .D = 90'000, .T = 100'000, .J = 0, .name = "lax2"});
+  net.masters[0].high_streams.push_back(
+      MessageStream{.Ch = 300, .D = 90'000, .T = 100'000, .J = 0, .name = "lax3"});
+  const NetworkAnalysis a = analyze_fcfs(net);
+  EXPECT_FALSE(a.schedulable);
+  EXPECT_FALSE(a.masters[0].streams[0].meets_deadline);  // 4·2300 = 9200 > 8000
+}
+
+TEST(FcfsAnalysis, MultiMasterIndependentNh) {
+  Network net;
+  net.ttr = 5'000;
+  Master small, big;
+  small.name = "small";
+  small.high_streams = {MessageStream{.Ch = 200, .D = 500'000, .T = 500'000, .J = 0, .name = ""}};
+  big.name = "big";
+  for (int i = 0; i < 4; ++i) {
+    big.high_streams.push_back(
+        MessageStream{.Ch = 200, .D = 500'000, .T = 500'000, .J = 0, .name = ""});
+  }
+  net.masters = {small, big};
+  const NetworkAnalysis a = analyze_fcfs(net);
+  const Ticks tc = t_cycle(net);  // 5000 + 200 + 200
+  EXPECT_EQ(a.masters[0].streams[0].response, 1 * tc);
+  EXPECT_EQ(a.masters[1].streams[0].response, 4 * tc);
+}
+
+TEST(FcfsAnalysis, RefinedTcycleTightensBounds) {
+  Network net;
+  net.ttr = 5'000;
+  Master a, b;
+  a.high_streams = {MessageStream{.Ch = 900, .D = 500'000, .T = 500'000, .J = 0, .name = ""}};
+  b.high_streams = {MessageStream{.Ch = 100, .D = 500'000, .T = 500'000, .J = 0, .name = ""}};
+  net.masters = {a, b};
+  const NetworkAnalysis paper = analyze_fcfs(net, TcycleMethod::PaperEq13);
+  const NetworkAnalysis refined = analyze_fcfs(net, TcycleMethod::PerMasterRefined);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_LE(refined.masters[k].streams[0].response, paper.masters[k].streams[0].response);
+  }
+}
+
+TEST(FcfsAnalysis, MasterWithoutHighStreamsIsVacuouslySchedulable) {
+  Network net = one_master({50'000});
+  Master lp_only;
+  lp_only.longest_low_cycle = 400;
+  net.masters.push_back(lp_only);
+  const NetworkAnalysis a = analyze_fcfs(net);
+  EXPECT_TRUE(a.schedulable);
+  EXPECT_TRUE(a.masters[1].streams.empty());
+  EXPECT_TRUE(a.masters[1].schedulable);
+  // …but its LP traffic still worsens everyone's T_cycle via T_del.
+  EXPECT_EQ(a.tcycle, net.ttr + 300 + 400);
+}
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,118 @@
+// Unit tests for PROFIBUS frame/message-cycle timing.
+#include "profibus/frame_timing.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace profisched::profibus {
+namespace {
+
+BusParameters default_bus() { return BusParameters{}; }
+
+TEST(FrameTime, CharsTimesBits) {
+  const BusParameters bus = default_bus();
+  EXPECT_EQ(frame_time(bus, 1), 11);
+  EXPECT_EQ(frame_time(bus, 10), 110);
+}
+
+TEST(WorstCaseCycle, NoRetriesHandComputed) {
+  BusParameters bus = default_bus();
+  bus.max_retry = 0;
+  const MessageCycleSpec spec{.request_chars = 10, .response_chars = 20};
+  // success path: 110 + 60 + 220 + 37 = 427; all-fail: 110 + 100 + 37 = 247.
+  EXPECT_EQ(worst_case_cycle_time(bus, spec), 427);
+}
+
+TEST(WorstCaseCycle, RetriesAddRequestPlusSlotTime) {
+  BusParameters bus = default_bus();
+  bus.max_retry = 2;
+  const MessageCycleSpec spec{.request_chars = 10, .response_chars = 20};
+  // success path: 427 + 2·(110 + 100) = 847.
+  EXPECT_EQ(worst_case_cycle_time(bus, spec), 847);
+}
+
+TEST(WorstCaseCycle, AllTimeoutPathCanDominate) {
+  // Tiny response frame: t_sl (100) > max_tsdr + response (60 + 11), so the
+  // all-timeout path is the worst case.
+  BusParameters bus = default_bus();
+  bus.max_retry = 1;
+  const MessageCycleSpec spec{.request_chars = 10, .response_chars = 1};
+  const Ticks success = 1 * (110 + 100) + 110 + 60 + 11 + 37;   // 428
+  const Ticks all_fail = 2 * (110 + 100) + 37;                  // 457
+  EXPECT_EQ(worst_case_cycle_time(bus, spec), std::max(success, all_fail));
+  EXPECT_EQ(worst_case_cycle_time(bus, spec), 457);
+}
+
+TEST(BestCaseCycle, UsesMinTurnaroundNoRetries) {
+  BusParameters bus = default_bus();
+  bus.max_retry = 3;  // retries must not affect the best case
+  const MessageCycleSpec spec{.request_chars = 10, .response_chars = 20};
+  EXPECT_EQ(best_case_cycle_time(bus, spec), 110 + 11 + 220 + 37);
+}
+
+TEST(BestCaseCycle, NeverExceedsWorstCase) {
+  const BusParameters bus = default_bus();
+  for (Ticks req = 1; req <= 40; req += 3) {
+    for (Ticks resp = 1; resp <= 40; resp += 7) {
+      const MessageCycleSpec spec{req, resp};
+      EXPECT_LE(best_case_cycle_time(bus, spec), worst_case_cycle_time(bus, spec))
+          << req << "x" << resp;
+    }
+  }
+}
+
+TEST(TokenPassTime, FrameTimePlusIdle) {
+  const BusParameters bus = default_bus();
+  EXPECT_EQ(token_pass_time(bus), 3 * 11 + 37);
+}
+
+TEST(BusValidation, RejectsSlotTimeNotAboveTurnaround) {
+  BusParameters bus = default_bus();
+  bus.t_sl = bus.max_tsdr;  // a response at max turnaround would always "time out"
+  EXPECT_THROW(bus.validate(), std::invalid_argument);
+}
+
+TEST(BusValidation, RejectsInvertedTurnaroundRange) {
+  BusParameters bus = default_bus();
+  bus.min_tsdr = bus.max_tsdr + 1;
+  EXPECT_THROW(bus.validate(), std::invalid_argument);
+}
+
+TEST(BusValidation, RejectsNonPositiveChar) {
+  BusParameters bus = default_bus();
+  bus.bits_per_char = 0;
+  EXPECT_THROW(bus.validate(), std::invalid_argument);
+}
+
+TEST(SpecValidation, RejectsEmptyFrames) {
+  MessageCycleSpec spec{.request_chars = 0, .response_chars = 5};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = MessageCycleSpec{.request_chars = 5, .response_chars = 0};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// Property: worst-case cycle time is monotone in every size/retry parameter.
+class CycleMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleMonotonicity, MonotoneInRetries) {
+  BusParameters bus = default_bus();
+  const MessageCycleSpec spec{.request_chars = 12, .response_chars = 18};
+  bus.max_retry = GetParam();
+  const Ticks base = worst_case_cycle_time(bus, spec);
+  bus.max_retry = GetParam() + 1;
+  EXPECT_GT(worst_case_cycle_time(bus, spec), base);
+}
+
+TEST_P(CycleMonotonicity, MonotoneInFrameSizes) {
+  const BusParameters bus = default_bus();
+  const Ticks n = GetParam() + 1;
+  const Ticks base = worst_case_cycle_time(bus, MessageCycleSpec{n, n});
+  EXPECT_GT(worst_case_cycle_time(bus, MessageCycleSpec{n + 1, n}), base);
+  EXPECT_GE(worst_case_cycle_time(bus, MessageCycleSpec{n, n + 1}), base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Retries, CycleMonotonicity, ::testing::Values(0, 1, 2, 4, 8));
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,134 @@
+// Unit tests for the holistic multi-master transaction analysis.
+#include "profibus/holistic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::profibus {
+namespace {
+
+MessageStream s(Ticks d, Ticks t) {
+  return MessageStream{.Ch = 300, .D = d, .T = t, .J = 0, .name = ""};
+}
+
+/// Two masters, one stream each, generous T_TR.
+Network two_masters() {
+  Network net;
+  net.ttr = 5'000;
+  Master a, b;
+  a.name = "a";
+  a.high_streams = {s(40'000, 100'000)};
+  b.name = "b";
+  b.high_streams = {s(40'000, 100'000)};
+  net.masters = {a, b};
+  return net;
+}
+
+Transaction chain(Ticks period, Ticks deadline) {
+  Transaction tr;
+  tr.name = "sense-act";
+  tr.period = period;
+  tr.deadline = deadline;
+  tr.stages = {
+      TransactionStage{.master = 0, .stream = 0, .task_c = 200},
+      TransactionStage{.master = 1, .stream = 0, .task_c = 300},
+  };
+  return tr;
+}
+
+TEST(Holistic, SimpleChainConvergesAndDecomposes) {
+  const Network net = two_masters();
+  const HolisticResult r = analyze_holistic(net, {chain(100'000, 60'000)});
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.schedulable);
+  ASSERT_EQ(r.response.size(), 1u);
+  // End-to-end = stage responses chained; each stage >= task C + one T_cycle.
+  const Ticks tcycle = t_cycle(net);
+  EXPECT_GE(r.response[0], 200 + tcycle + 300 + tcycle);
+  EXPECT_LE(r.response[0], 60'000);
+  // Stage responses are cumulative and non-decreasing.
+  ASSERT_EQ(r.stage_response[0].size(), 2u);
+  EXPECT_LT(r.stage_response[0][0], r.stage_response[0][1]);
+  EXPECT_EQ(r.response[0], r.stage_response[0][1]);
+}
+
+TEST(Holistic, TightDeadlineReportedUnschedulable) {
+  const Network net = two_masters();
+  const HolisticResult r = analyze_holistic(net, {chain(100'000, 2'000)});
+  ASSERT_TRUE(r.converged);  // the fixed point exists; the deadline just fails
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_GT(r.response[0], 2'000);
+}
+
+TEST(Holistic, JitterCouplesConcurrentTransactions) {
+  // Two transactions sharing master 0: the second's stream jitter (inherited
+  // from its sender task, delayed by the first's task) inflates the first's
+  // message interference — the holistic loop must settle above the isolated
+  // bounds.
+  Network net = two_masters();
+  net.masters[0].high_streams.push_back(s(40'000, 100'000));
+
+  Transaction t1 = chain(100'000, 80'000);
+  Transaction t2;
+  t2.name = "monitor";
+  t2.period = 50'000;
+  t2.deadline = 45'000;
+  t2.stages = {TransactionStage{.master = 0, .stream = 1, .task_c = 400}};
+
+  const HolisticResult together = analyze_holistic(net, {t1, t2});
+  ASSERT_TRUE(together.converged);
+
+  const HolisticResult alone = analyze_holistic(net, {t1});
+  ASSERT_TRUE(alone.converged);
+  EXPECT_GE(together.response[0], alone.response[0]);
+}
+
+TEST(Holistic, StagePeriodsInheritTransactionPeriod) {
+  Network net = two_masters();
+  net.masters[0].high_streams[0].T = 7;  // will be overridden
+  const HolisticResult r = analyze_holistic(net, {chain(100'000, 60'000)});
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.schedulable);
+}
+
+TEST(Holistic, SaturatedHostDiverges) {
+  Network net = two_masters();
+  Transaction tr = chain(1'000, 900);  // period 1000 but task_c 200+… C=200 on
+  // master 0 every 1000 plus message service 5'300 >> period: hopeless.
+  const HolisticResult r = analyze_holistic(net, {tr});
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(Holistic, ValidatesStageReferences) {
+  const Network net = two_masters();
+  Transaction bad = chain(100'000, 60'000);
+  bad.stages[1].stream = 9;
+  EXPECT_THROW((void)analyze_holistic(net, {bad}), std::invalid_argument);
+
+  Transaction empty;
+  empty.period = 100;
+  empty.deadline = 100;
+  EXPECT_THROW((void)analyze_holistic(net, {empty}), std::invalid_argument);
+}
+
+TEST(Holistic, EdfPolicyOption) {
+  const Network net = two_masters();
+  HolisticOptions opt;
+  opt.policy = ApPolicy::Edf;
+  const HolisticResult r = analyze_holistic(net, {chain(100'000, 60'000)}, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.schedulable);
+}
+
+TEST(Holistic, MoreStagesMoreLatency) {
+  Network net = two_masters();
+  net.masters[0].high_streams.push_back(s(40'000, 100'000));
+  Transaction three = chain(100'000, 80'000);
+  three.stages.push_back(TransactionStage{.master = 0, .stream = 1, .task_c = 200});
+  const HolisticResult two_r = analyze_holistic(net, {chain(100'000, 80'000)});
+  const HolisticResult three_r = analyze_holistic(net, {three});
+  ASSERT_TRUE(two_r.converged && three_r.converged);
+  EXPECT_GT(three_r.response[0], two_r.response[0]);
+}
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,91 @@
+// Unit tests for the network model (masters, streams, ring aggregates).
+#include "profibus/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::profibus {
+namespace {
+
+Master demo_master() {
+  Master m;
+  m.name = "m";
+  m.high_streams = {
+      MessageStream{.Ch = 300, .D = 5000, .T = 10000, .J = 0, .name = "a"},
+      MessageStream{.Ch = 500, .D = 8000, .T = 20000, .J = 0, .name = "b"},
+  };
+  m.longest_low_cycle = 400;
+  return m;
+}
+
+TEST(Master, CountsAndMaxima) {
+  const Master m = demo_master();
+  EXPECT_EQ(m.nh(), 2u);
+  EXPECT_EQ(m.longest_high_cycle(), 500);
+  EXPECT_EQ(m.longest_cycle(), 500);  // HP dominates LP here
+}
+
+TEST(Master, LowPriorityCanDominateLongestCycle) {
+  Master m = demo_master();
+  m.longest_low_cycle = 900;
+  EXPECT_EQ(m.longest_cycle(), 900);  // C_M = max{max Ch, Cl}
+}
+
+TEST(Master, NoHighStreams) {
+  Master m;
+  m.longest_low_cycle = 250;
+  EXPECT_EQ(m.nh(), 0u);
+  EXPECT_EQ(m.longest_high_cycle(), 0);
+  EXPECT_EQ(m.longest_cycle(), 250);
+}
+
+TEST(Network, TotalsAndLatency) {
+  Network net;
+  net.masters = {demo_master(), demo_master(), demo_master()};
+  net.ttr = 10'000;
+  EXPECT_EQ(net.n_masters(), 3u);
+  EXPECT_EQ(net.total_high_streams(), 6u);
+  EXPECT_EQ(net.ring_latency(), 3 * token_pass_time(net.bus));
+}
+
+TEST(NetworkValidation, AcceptsHealthyNetwork) {
+  Network net;
+  net.masters = {demo_master()};
+  net.ttr = 10'000;
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(NetworkValidation, RejectsEmptyRing) {
+  Network net;
+  net.ttr = 10'000;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+TEST(NetworkValidation, RejectsNonPositiveTtr) {
+  Network net;
+  net.masters = {demo_master()};
+  net.ttr = 0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+TEST(StreamValidation, RejectsBadFields) {
+  MessageStream s{.Ch = 0, .D = 10, .T = 10, .J = 0, .name = "x"};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = MessageStream{.Ch = 5, .D = 0, .T = 10, .J = 0, .name = "x"};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = MessageStream{.Ch = 5, .D = 10, .T = 0, .J = 0, .name = "x"};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = MessageStream{.Ch = 5, .D = 10, .T = 10, .J = -1, .name = "x"};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(NetworkValidation, PropagatesToStreams) {
+  Network net;
+  Master bad = demo_master();
+  bad.high_streams[0].Ch = 0;
+  net.masters = {bad};
+  net.ttr = 10'000;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched::profibus

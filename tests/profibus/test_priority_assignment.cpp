@@ -1,0 +1,117 @@
+// Unit tests for message-level fixed-priority assignment (arbitrary orders
+// and Audsley's OPA at the AP level).
+#include "profibus/priority_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profibus/dm_analysis.hpp"
+
+namespace profisched::profibus {
+namespace {
+
+Network one_master(std::vector<MessageStream> streams, Ticks ttr = 2'000) {
+  Network net;
+  net.ttr = ttr;
+  Master m;
+  m.name = "m0";
+  m.high_streams = std::move(streams);
+  net.masters = {m};
+  return net;
+}
+
+MessageStream s(Ticks d, Ticks t, Ticks j = 0) {
+  return MessageStream{.Ch = 300, .D = d, .T = t, .J = j, .name = ""};
+}
+
+TEST(FixedPriority, DmOrdersMatchAnalyzeDm) {
+  const Network net = one_master({s(9'000, 100'000), s(5'000, 100'000), s(50'000, 100'000)});
+  const NetworkAnalysis via_orders = analyze_fixed_priority(net, deadline_monotonic_orders(net));
+  const NetworkAnalysis direct = analyze_dm(net);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(via_orders.masters[0].streams[i].response, direct.masters[0].streams[i].response);
+    EXPECT_EQ(via_orders.masters[0].streams[i].Q, direct.masters[0].streams[i].Q);
+  }
+  EXPECT_EQ(via_orders.schedulable, direct.schedulable);
+}
+
+TEST(FixedPriority, InvertedOrderPunishesTheTightStream) {
+  const Network net = one_master({s(5'000, 100'000), s(50'000, 100'000)});
+  const NetworkOrders inverted{{1, 0}};  // lax stream on top
+  const NetworkAnalysis a = analyze_fixed_priority(net, inverted);
+  // Tight stream now lowest priority: no blocking but one interference slot:
+  // w = 2300, R = 4600 <= 5000 still fine here, but strictly more than its
+  // DM bound’s... equal actually; check the *lax* stream got the top bound.
+  EXPECT_EQ(a.masters[0].streams[1].response, 2 * 2'300);
+  EXPECT_EQ(a.masters[0].streams[0].response, 2 * 2'300);
+}
+
+TEST(FixedPriority, ValidatesOrderShape) {
+  const Network net = one_master({s(5'000, 100'000), s(50'000, 100'000)});
+  EXPECT_THROW((void)analyze_fixed_priority(net, NetworkOrders{}), std::invalid_argument);
+  EXPECT_THROW((void)analyze_fixed_priority(net, NetworkOrders{{0}}), std::invalid_argument);
+}
+
+TEST(MessageOpa, FindsOrderWhenDmWorks) {
+  const Network net = one_master({s(5'000, 100'000), s(9'000, 100'000), s(50'000, 100'000)});
+  ASSERT_TRUE(analyze_dm(net).schedulable);
+  const auto orders = audsley_stream_orders(net);
+  ASSERT_TRUE(orders.has_value());
+  EXPECT_TRUE(analyze_fixed_priority(net, *orders).schedulable);
+}
+
+TEST(MessageOpa, ReturnsNulloptOnHopelessSet) {
+  const Network net = one_master({s(2'000, 2'000), s(2'000, 2'100)});
+  EXPECT_FALSE(audsley_stream_orders(net).has_value());
+}
+
+TEST(MessageOpa, FoundOrderAlwaysVerifies) {
+  // Property over a deterministic family: whenever OPA returns an order, the
+  // full analysis under that order must be schedulable.
+  for (Ticks d0 = 4'800; d0 <= 7'200; d0 += 300) {
+    const Network net = one_master({s(d0, 9'000), s(9'200, 50'000), s(12'000, 60'000)});
+    const auto orders = audsley_stream_orders(net);
+    if (orders.has_value()) {
+      EXPECT_TRUE(analyze_fixed_priority(net, *orders).schedulable) << "d0=" << d0;
+    } else {
+      EXPECT_FALSE(analyze_dm(net).schedulable) << "d0=" << d0;  // OPA optimal: DM must fail too
+    }
+  }
+}
+
+TEST(MessageOpa, BeatsDmOnConstructedSet) {
+  // DM is not optimal here because interference depends on *periods*, which
+  // DM ignores. s2 has a short period (3450 < 2·T_cycle) and a mid deadline:
+  // DM ranks it above s3, whose window then collects TWO s2 slots:
+  //   DM (s1>s2>s3): R_s3 = 3·2300 + 2300 = 9200 > D_s3 = 8050 → miss.
+  // Demoting s2 to the bottom fixes everything (T_cycle = 2300):
+  //   s1: B + own = 4600 <= 5750; s3 at rank 1: 2·2300 + 2300 = 6900 <= 8050;
+  //   s2 at the bottom: no blocking, one slot each from s1/s3 within w = 4600
+  //   → R = 6900 <= 7360. OPA must find such an order.
+  const Network net = one_master({
+      s(5'750, 100'000),  // s1: tightest D
+      s(7'360, 3'450),    // s2: mid D, SHORT period
+      s(8'050, 100'000),  // s3: laxest D
+  });
+  EXPECT_FALSE(analyze_dm(net).schedulable);
+  const auto opa = audsley_stream_orders(net);
+  ASSERT_TRUE(opa.has_value());
+  EXPECT_TRUE(analyze_fixed_priority(net, *opa).schedulable);
+  // And the found order indeed demotes the short-period stream.
+  EXPECT_EQ((*opa)[0].back(), 1u);
+}
+
+TEST(MessageOpa, MultiMasterIndependentSearch) {
+  Network net;
+  net.ttr = 2'000;
+  Master a, b;
+  a.high_streams = {s(50'000, 100'000), s(60'000, 100'000)};
+  b.high_streams = {s(50'000, 100'000)};
+  net.masters = {a, b};
+  const auto orders = audsley_stream_orders(net);
+  ASSERT_TRUE(orders.has_value());
+  EXPECT_EQ((*orders)[0].size(), 2u);
+  EXPECT_EQ((*orders)[1].size(), 1u);
+}
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,98 @@
+// Unit tests for network-level sensitivity analysis.
+#include "profibus/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profibus/ttr_setting.hpp"
+#include "workload/scenarios.hpp"
+
+namespace profisched::profibus {
+namespace {
+
+Network demo() { return workload::scenarios::factory_cell(); }
+
+TEST(NetSensitivity, UnschedulableHasNoHeadroom) {
+  const Network net = workload::scenarios::tight_deadline_mix();
+  EXPECT_FALSE(frame_growth_headroom(net, ApPolicy::Fcfs).has_value());  // FCFS fails already
+  EXPECT_TRUE(frame_growth_headroom(net, ApPolicy::Dm).has_value());
+}
+
+TEST(NetSensitivity, FrameGrowthBoundaryExact) {
+  const Network net = demo();
+  for (const ApPolicy policy : {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf}) {
+    const auto q = frame_growth_headroom(net, policy);
+    ASSERT_TRUE(q.has_value()) << to_string(policy);
+    EXPECT_GE(*q, 1024);
+    // Exactness: schedulable at q, not at q+1 (unless capped).
+    if (*q < 64 * 1024) {
+      Network grown = net;
+      for (auto& m : grown.masters) {
+        for (auto& s : m.high_streams) s.Ch = ceil_div(sat_mul(s.Ch, *q + 1), 1024);
+        m.longest_low_cycle = ceil_div(sat_mul(m.longest_low_cycle, *q + 1), 1024);
+      }
+      EXPECT_FALSE(analyze_network(grown, policy).schedulable) << to_string(policy);
+    }
+  }
+}
+
+TEST(NetSensitivity, PriorityQueuesHaveMoreFrameHeadroomThanFcfs) {
+  // factory_cell's T_TR sits at the eq.-15 maximum: FCFS has zero slack, so
+  // DM/EDF must tolerate at least as much frame growth.
+  const Network net = demo();
+  const auto f = frame_growth_headroom(net, ApPolicy::Fcfs);
+  const auto d = frame_growth_headroom(net, ApPolicy::Dm);
+  ASSERT_TRUE(f.has_value() && d.has_value());
+  EXPECT_GE(*d, *f);
+}
+
+TEST(NetSensitivity, DeadlineMarginMatchesResponseBoundForFcfs) {
+  // Under FCFS the response is nh·T_cycle regardless of D, so the minimal
+  // sustainable deadline IS the bound.
+  const Network net = demo();
+  const NetworkAnalysis a = analyze_network(net, ApPolicy::Fcfs);
+  const auto d = stream_deadline_margin(net, ApPolicy::Fcfs, 1, 0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, a.masters[1].streams[0].response);
+}
+
+TEST(NetSensitivity, DmDeadlineMarginBelowFcfs) {
+  // The tightest robot stream can sustain a smaller deadline under DM than
+  // under FCFS — the paper's claim as a margin statement.
+  const Network net = demo();
+  const auto fcfs = stream_deadline_margin(net, ApPolicy::Fcfs, 1, 0);
+  const auto dm = stream_deadline_margin(net, ApPolicy::Dm, 1, 0);
+  ASSERT_TRUE(fcfs.has_value() && dm.has_value());
+  EXPECT_LT(*dm, *fcfs);
+}
+
+TEST(NetSensitivity, MaxTtrForFcfsMatchesEq15) {
+  // The generic search must reproduce the closed-form eq.-15 maximum.
+  const Network net = demo();
+  const auto searched = max_schedulable_ttr_for(net, ApPolicy::Fcfs);
+  const auto closed_form = max_schedulable_ttr(net);
+  ASSERT_TRUE(searched.has_value() && closed_form.has_value());
+  EXPECT_EQ(*searched, *closed_form);
+}
+
+TEST(NetSensitivity, MaxTtrOrderedByPolicyStrength) {
+  const Network net = demo();
+  const auto f = max_schedulable_ttr_for(net, ApPolicy::Fcfs);
+  const auto d = max_schedulable_ttr_for(net, ApPolicy::Dm);
+  ASSERT_TRUE(f.has_value() && d.has_value());
+  EXPECT_GT(*d, *f);  // E9's observation, now as an exact margin
+}
+
+TEST(NetSensitivity, DeadlineMarginUnattainableWhenMasterOverloaded) {
+  Network net;
+  net.ttr = 2'000;
+  Master m;
+  m.high_streams = {
+      MessageStream{.Ch = 300, .D = 2'000, .T = 2'000, .J = 0, .name = ""},
+      MessageStream{.Ch = 300, .D = 3'000, .T = 2'100, .J = 0, .name = ""},
+  };
+  net.masters = {m};
+  EXPECT_FALSE(stream_deadline_margin(net, ApPolicy::Dm, 0, 1).has_value());
+}
+
+}  // namespace
+}  // namespace profisched::profibus

@@ -1,0 +1,100 @@
+// Unit tests for T_TR parameter setting (paper eq. 15).
+#include "profibus/ttr_setting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profibus/fcfs_analysis.hpp"
+
+namespace profisched::profibus {
+namespace {
+
+Network demo(Ticks tight_deadline) {
+  Network net;
+  net.ttr = 1;  // placeholder; the functions under test ignore/replace it
+  Master m;
+  m.high_streams = {
+      MessageStream{.Ch = 300, .D = tight_deadline, .T = 200'000, .J = 0, .name = "tight"},
+      MessageStream{.Ch = 300, .D = 100'000, .T = 200'000, .J = 0, .name = "lax"},
+  };
+  m.longest_low_cycle = 500;
+  net.masters = {m};
+  return net;
+}
+
+TEST(TtrRange, HandComputedUpperBound) {
+  // nh = 2, T_del = max{300,300,500} = 500.
+  // bound = min(⌊20'000/2⌋, ⌊100'000/2⌋) − 500 = 10'000 − 500 = 9'500.
+  const Network net = demo(20'000);
+  const TtrRange r = ttr_range_fcfs(net);
+  EXPECT_EQ(r.max, 9'500);
+  EXPECT_TRUE(r.feasible());
+}
+
+TEST(TtrRange, DefaultFloorIsRingLatencyPlusOne) {
+  const Network net = demo(20'000);
+  EXPECT_EQ(ttr_range_fcfs(net).min, net.ring_latency() + 1);
+}
+
+TEST(TtrRange, CallerCanOverrideFloor) {
+  const Network net = demo(20'000);
+  EXPECT_EQ(ttr_range_fcfs(net, Ticks{4'000}).min, 4'000);
+}
+
+TEST(TtrRange, InfeasibleWhenDeadlinesTooTight) {
+  // bound = ⌊900/2⌋ − 500 = −50 < floor.
+  const Network net = demo(900);
+  const TtrRange r = ttr_range_fcfs(net);
+  EXPECT_FALSE(r.feasible());
+  EXPECT_FALSE(max_schedulable_ttr(net).has_value());
+}
+
+TEST(MaxSchedulableTtr, BoundaryIsExactlySchedulable) {
+  // Setting T_TR to the eq.-15 maximum must make the FCFS analysis pass, and
+  // one tick more must make it fail — eq. 15 is tight w.r.t. eq. 12.
+  Network net = demo(20'000);
+  const auto best = max_schedulable_ttr(net);
+  ASSERT_TRUE(best.has_value());
+  net.ttr = *best;
+  EXPECT_TRUE(analyze_fcfs(net).schedulable);
+  net.ttr = *best + 1;
+  EXPECT_FALSE(analyze_fcfs(net).schedulable);
+}
+
+TEST(MaxSchedulableTtr, MultiMasterTakesTheGlobalMinimum) {
+  Network net = demo(20'000);
+  Master other;
+  other.high_streams = {
+      MessageStream{.Ch = 200, .D = 6'000, .T = 200'000, .J = 0, .name = "very-tight"},
+  };
+  net.masters.push_back(other);
+  // T_del = 500 + 200 = 700. Master 2: ⌊6000/1⌋ − 700 = 5'300;
+  // master 1: ⌊20'000/2⌋ − 700 = 9'300 → min 5'300.
+  const auto best = max_schedulable_ttr(net);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 5'300);
+}
+
+TEST(TtrRange, StreamlessMastersDontConstrain) {
+  Network net = demo(20'000);
+  Master lp_only;
+  lp_only.longest_low_cycle = 100;
+  net.masters.push_back(lp_only);
+  // T_del rises to 600 but no new stream constraint appears.
+  EXPECT_EQ(ttr_range_fcfs(net).max, 10'000 - 600);
+}
+
+// Sweep: the eq.-15 bound is monotone in the tight stream's deadline.
+class TtrDeadlineSweep : public ::testing::TestWithParam<Ticks> {};
+
+TEST_P(TtrDeadlineSweep, BoundMonotoneInDeadline) {
+  const Ticks d = GetParam();
+  const Ticks lo = ttr_range_fcfs(demo(d)).max;
+  const Ticks hi = ttr_range_fcfs(demo(d + 2'000)).max;
+  EXPECT_LE(lo, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, TtrDeadlineSweep,
+                         ::testing::Values(2'000, 5'000, 10'000, 20'000, 50'000));
+
+}  // namespace
+}  // namespace profisched::profibus

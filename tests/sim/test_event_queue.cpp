@@ -1,0 +1,67 @@
+// Unit tests for the simulator's event queue.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNoBound);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(30); });
+  q.schedule(10, [&] { fired.push_back(10); });
+  q.schedule(20, [&] { fired.push_back(20); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, SameTimeFifoByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) q.schedule(5, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 50);
+  q.schedule(20, [] {});
+  EXPECT_EQ(q.next_time(), 20);
+  (void)q.pop();
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, PopReturnsTimeAndSeq) {
+  EventQueue q;
+  q.schedule(7, [] {});
+  q.schedule(7, [] {});
+  const Event a = q.pop();
+  const Event b = q.pop();
+  EXPECT_EQ(a.time, 7);
+  EXPECT_EQ(b.time, 7);
+  EXPECT_LT(a.seq, b.seq);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1, [&] { fired.push_back(1); });
+  q.schedule(3, [&] { fired.push_back(3); });
+  q.pop().action();
+  q.schedule(2, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace profisched::sim

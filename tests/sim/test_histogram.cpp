@@ -1,0 +1,126 @@
+// Unit tests for the latency histogram.
+#include "sim/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network_sim.hpp"
+#include "sim/rng.hpp"
+
+namespace profisched::sim {
+namespace {
+
+TEST(Histogram, EmptyDefaults) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  Histogram h;
+  for (Ticks v = 0; v < 100; ++v) h.add(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 99);
+  EXPECT_NEAR(h.mean(), 49.5, 1e-9);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(0.5), 49);  // exact: unit bins below 256
+  EXPECT_EQ(h.quantile(1.0), 99);
+}
+
+TEST(Histogram, LargeValuesWithinFactorTwo) {
+  Histogram h;
+  h.add(1'000'000);
+  const Ticks q = h.quantile(0.5);
+  EXPECT_GE(q, 1'000'000);       // upper bin bound, clamped to max
+  EXPECT_LE(q, 1'000'000);       // single sample: clamp makes it exact
+  h.add(3'000'000);
+  EXPECT_LE(h.quantile(1.0), 3'000'000);
+  EXPECT_GE(h.quantile(1.0), 1'500'000);  // within the factor-2 bin bound
+}
+
+TEST(Histogram, WeightsCount) {
+  Histogram h;
+  h.add(10, 5);
+  h.add(20, 5);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_NEAR(h.mean(), 15.0, 1e-9);
+  EXPECT_EQ(h.quantile(0.25), 10);
+  EXPECT_EQ(h.quantile(0.75), 20);
+}
+
+TEST(Histogram, NegativeClampsToZero) {
+  Histogram h;
+  h.add(-5);
+  EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  for (int i = 0; i < 50; ++i) a.add(10);
+  for (int i = 0; i < 50; ++i) b.add(200);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.max(), 200);
+  EXPECT_NEAR(a.mean(), 105.0, 1e-9);
+  EXPECT_EQ(a.quantile(0.25), 10);
+  EXPECT_EQ(a.quantile(0.75), 200);
+}
+
+TEST(Histogram, QuantilesMonotone) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) h.add(rng.uniform(0, 5'000));
+  Ticks prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const Ticks v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Histogram, SummaryMentionsPercentiles) {
+  Histogram h;
+  for (Ticks v = 1; v <= 100; ++v) h.add(v);
+  const std::string s = h.summary();
+  EXPECT_NE(s.find("p95"), std::string::npos);
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+}
+
+TEST(Histogram, SimulatorCollectsWhenEnabled) {
+  profibus::Network net;
+  net.ttr = 10'000;
+  profibus::Master m;
+  m.high_streams = {
+      profibus::MessageStream{.Ch = 300, .D = 5'000, .T = 2'000, .J = 0, .name = ""}};
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 500'000;
+  cfg.collect_histograms = true;
+  const SimReport r = simulate(cfg);
+  ASSERT_EQ(r.response_hist.size(), 1u);
+  ASSERT_EQ(r.response_hist[0].size(), 1u);
+  const Histogram& h = r.response_hist[0][0];
+  EXPECT_EQ(h.count(), r.hp[0][0].completed);
+  EXPECT_EQ(h.max(), r.hp[0][0].max_response);
+  EXPECT_NEAR(h.mean(), r.hp[0][0].mean_response(), 1e-6);
+}
+
+TEST(Histogram, SimulatorSkipsWhenDisabled) {
+  profibus::Network net;
+  net.ttr = 10'000;
+  profibus::Master m;
+  m.high_streams = {
+      profibus::MessageStream{.Ch = 300, .D = 5'000, .T = 2'000, .J = 0, .name = ""}};
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 100'000;
+  EXPECT_TRUE(simulate(cfg).response_hist.empty());
+}
+
+}  // namespace
+}  // namespace profisched::sim

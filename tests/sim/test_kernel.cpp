@@ -1,0 +1,74 @@
+// Unit tests for the simulation kernel.
+#include "sim/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::sim {
+namespace {
+
+TEST(Kernel, ClockStartsAtZero) {
+  Kernel k;
+  EXPECT_EQ(k.now(), 0);
+  EXPECT_EQ(k.events_processed(), 0u);
+}
+
+TEST(Kernel, AdvancesToEventTimes) {
+  Kernel k;
+  std::vector<Ticks> seen;
+  k.at(10, [&] { seen.push_back(k.now()); });
+  k.at(25, [&] { seen.push_back(k.now()); });
+  k.run_until(100);
+  EXPECT_EQ(seen, (std::vector<Ticks>{10, 25}));
+  EXPECT_EQ(k.now(), 25);
+}
+
+TEST(Kernel, AfterIsRelativeToNow) {
+  Kernel k;
+  Ticks completion = -1;
+  k.at(10, [&] { k.after(5, [&] { completion = k.now(); }); });
+  k.run_until(100);
+  EXPECT_EQ(completion, 15);
+}
+
+TEST(Kernel, HorizonIsInclusive) {
+  Kernel k;
+  bool at_horizon = false, past_horizon = false;
+  k.at(50, [&] { at_horizon = true; });
+  k.at(51, [&] { past_horizon = true; });
+  k.run_until(50);
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+}
+
+TEST(Kernel, ReturnsEventsProcessed) {
+  Kernel k;
+  for (Ticks t = 1; t <= 5; ++t) k.at(t, [] {});
+  EXPECT_EQ(k.run_until(3), 3u);
+  EXPECT_EQ(k.run_until(10), 2u);
+  EXPECT_EQ(k.events_processed(), 5u);
+}
+
+TEST(Kernel, EventsCanCascade) {
+  Kernel k;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) k.after(1, recurse);
+  };
+  k.at(0, recurse);
+  k.run_until(1000);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(k.now(), 99);
+}
+
+TEST(Kernel, SecondRunContinuesWhereFirstStopped) {
+  Kernel k;
+  std::vector<Ticks> seen;
+  for (Ticks t : {10, 20, 30}) k.at(t, [&k, &seen] { seen.push_back(k.now()); });
+  k.run_until(15);
+  EXPECT_EQ(seen.size(), 1u);
+  k.run_until(100);
+  EXPECT_EQ(seen, (std::vector<Ticks>{10, 20, 30}));
+}
+
+}  // namespace
+}  // namespace profisched::sim

@@ -1,0 +1,265 @@
+// Unit tests for the discrete-event PROFIBUS network simulator. Scenarios
+// are small enough that the exact event timeline is hand-computed in the
+// comments (token pass time tp = 3·11 + 37 = 70 with default bus parameters).
+#include "sim/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::sim {
+namespace {
+
+using profibus::ApPolicy;
+using profibus::Master;
+using profibus::MessageStream;
+using profibus::Network;
+
+MessageStream stream(Ticks ch, Ticks d, Ticks t) {
+  return MessageStream{.Ch = ch, .D = d, .T = t, .J = 0, .name = ""};
+}
+
+Network single_master_net(std::vector<MessageStream> streams, Ticks ttr) {
+  Network net;
+  net.ttr = ttr;
+  Master m;
+  m.high_streams = std::move(streams);
+  net.masters = {m};
+  return net;
+}
+
+TEST(NetworkSim, SingleStreamFirstCycleImmediate) {
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(300, 50'000, 10'000)}, 100'000);
+  cfg.policy = ApPolicy::Fcfs;
+  cfg.horizon = 95'000;
+  const SimReport r = simulate(cfg);
+  ASSERT_EQ(r.hp.size(), 1u);
+  ASSERT_EQ(r.hp[0].size(), 1u);
+  const StreamStats& s = r.hp[0][0];
+  // Release at t=0, token arrives at t=0 with the request already queued:
+  // the first response is exactly Ch. Later releases may wait out a token
+  // pass (70), never more: max response <= Ch + 70.
+  EXPECT_GE(s.completed, 9u);
+  EXPECT_EQ(s.deadline_misses, 0u);
+  EXPECT_LE(s.max_response, 300 + 70);
+  EXPECT_GE(s.max_response, 300);
+}
+
+TEST(NetworkSim, IdleRingRotatesAtTokenPassTime) {
+  Network net;
+  net.ttr = 10'000;
+  Master a, b;
+  a.high_streams = {stream(300, 900'000, 900'000)};
+  b.high_streams = {stream(300, 900'000, 900'000)};
+  net.masters = {a, b};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 50'000;
+  // Push the only releases far past the horizon: the ring stays idle.
+  cfg.hp_traffic = {{TrafficConfig{.phase = 800'000}}, {TrafficConfig{.phase = 800'000}}};
+  const SimReport r = simulate(cfg);
+  // Steady-state rotation = 2 token passes = 140.
+  EXPECT_EQ(r.token[0].max_trr, 140);
+  EXPECT_EQ(r.token[1].max_trr, 140);
+  EXPECT_GT(r.token[0].visits, 300u);
+  EXPECT_EQ(r.token[0].late_tokens, 0u);
+}
+
+TEST(NetworkSim, DmQueueOvertakesFcfsForTightStream) {
+  // Three lax streams release at t=0, the tight one at t=1 (while the first
+  // lax cycle occupies the bus). FCFS serves it fourth (completes at 1200);
+  // DM promotes it to second (completes at 600).
+  const std::vector<MessageStream> streams = {
+      stream(300, 90'000, 200'000),  // lax0
+      stream(300, 91'000, 200'000),  // lax1
+      stream(300, 92'000, 200'000),  // lax2
+      stream(300, 1'000, 200'000),   // tight
+  };
+  SimConfig cfg;
+  cfg.net = single_master_net(streams, 100'000);
+  cfg.horizon = 150'000;
+  cfg.hp_traffic = {{TrafficConfig{.phase = 0}, TrafficConfig{.phase = 0},
+                     TrafficConfig{.phase = 0}, TrafficConfig{.phase = 1}}};
+
+  cfg.policy = ApPolicy::Fcfs;
+  const SimReport fcfs = simulate(cfg);
+  cfg.policy = ApPolicy::Dm;
+  const SimReport dm = simulate(cfg);
+
+  EXPECT_EQ(fcfs.hp[0][3].max_response, 1'199);  // 4·300 − 1
+  EXPECT_EQ(dm.hp[0][3].max_response, 599);      // 2·300 − 1
+  EXPECT_EQ(fcfs.hp[0][3].deadline_misses, 1u);  // 1'199 > 1'000
+  EXPECT_EQ(dm.hp[0][3].deadline_misses, 0u);
+  // The lax streams pay for it under DM, but only within one cycle's worth.
+  EXPECT_GE(dm.hp[0][2].max_response, fcfs.hp[0][2].max_response);
+}
+
+TEST(NetworkSim, EdfQueueOrdersByAbsoluteDeadline) {
+  // Same release pattern; EDF also promotes the tight stream (abs deadline
+  // 1'001 beats 90'000+).
+  const std::vector<MessageStream> streams = {
+      stream(300, 90'000, 200'000),
+      stream(300, 91'000, 200'000),
+      stream(300, 1'000, 200'000),
+  };
+  SimConfig cfg;
+  cfg.net = single_master_net(streams, 100'000);
+  cfg.horizon = 150'000;
+  cfg.hp_traffic = {
+      {TrafficConfig{.phase = 0}, TrafficConfig{.phase = 0}, TrafficConfig{.phase = 1}}};
+  cfg.policy = ApPolicy::Edf;
+  const SimReport r = simulate(cfg);
+  EXPECT_EQ(r.hp[0][2].max_response, 599);
+}
+
+TEST(NetworkSim, TthOverrunIsCountedOnce) {
+  // T_TR = 100 < Ch = 300: the guaranteed HP cycle starts with TTH > 0 (first
+  // visit: TRR = 0 → TTH = 100) and finishes past expiry → one overrun.
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(300, 50'000, 100'000)}, 100);
+  cfg.horizon = 5'000;
+  const SimReport r = simulate(cfg);
+  EXPECT_GE(r.token[0].tth_overruns, 1u);
+}
+
+TEST(NetworkSim, LowPriorityStarvesWhenTokenBudgetExhausted) {
+  // T_TR = 1: only the very first visit (TRR = 0 → TTH = 1) has budget for a
+  // single LP cycle; afterwards TRR >= rotation >> 1, so TTH <= 0 forever.
+  Network net;
+  net.ttr = 1;
+  Master m;
+  m.longest_low_cycle = 200;
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 200'000;
+  cfg.lp_traffic = {{LpTraffic{.period = 1'000, .cycle_len = 200, .phase = 0}}};
+  const SimReport r = simulate(cfg);
+  EXPECT_EQ(r.lp_cycles_completed, 1u);
+}
+
+TEST(NetworkSim, LowPriorityFlowsWithGenerousBudget) {
+  Network net;
+  net.ttr = 50'000;
+  Master m;
+  m.longest_low_cycle = 200;
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 100'000;
+  cfg.lp_traffic = {{LpTraffic{.period = 1'000, .cycle_len = 200, .phase = 0}}};
+  const SimReport r = simulate(cfg);
+  EXPECT_GE(r.lp_cycles_completed, 90u);
+}
+
+TEST(NetworkSim, HighPriorityPreemptsLowPriorityPhase) {
+  // One guaranteed HP message per visit even with a hopelessly late token:
+  // T_TR = 1 starves LP (see above) but HP still progresses.
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(300, 500'000, 5'000)}, 1);
+  cfg.horizon = 100'000;
+  const SimReport r = simulate(cfg);
+  EXPECT_GE(r.hp[0][0].completed, 15u);
+  EXPECT_EQ(r.hp[0][0].deadline_misses, 0u);
+  EXPECT_GT(r.token[0].late_tokens, 0u);
+}
+
+TEST(NetworkSim, FrameLevelAllFailuresDropAfterRetries) {
+  Network net = single_master_net({stream(847, 50'000, 10'000)}, 100'000);
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 95'000;
+  cfg.cycle_model = CycleModel{.kind = CycleModel::Kind::FrameLevel,
+                               .min_fraction = 0.5,
+                               .slave_fail_prob = 1.0};
+  cfg.frame_specs = {{profibus::MessageCycleSpec{10, 20}}};
+  const SimReport r = simulate(cfg);
+  EXPECT_EQ(r.hp[0][0].completed, 0u);
+  EXPECT_GE(r.hp[0][0].dropped, 9u);
+}
+
+TEST(NetworkSim, FrameLevelDurationsNeverExceedWorstCase) {
+  const profibus::MessageCycleSpec spec{10, 20};
+  Network net;
+  net.ttr = 100'000;
+  Master m;
+  m.high_streams = {stream(profibus::worst_case_cycle_time(net.bus, spec), 50'000, 2'000)};
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 400'000;
+  cfg.cycle_model = CycleModel{.kind = CycleModel::Kind::FrameLevel,
+                               .min_fraction = 0.5,
+                               .slave_fail_prob = 0.3};
+  cfg.frame_specs = {{spec}};
+  cfg.seed = 99;
+  const SimReport r = simulate(cfg);
+  // With sub-worst-case durations and a free bus, responses stay within
+  // Ch + one token pass.
+  EXPECT_GT(r.hp[0][0].completed, 100u);
+  EXPECT_LE(r.hp[0][0].max_response, net.masters[0].high_streams[0].Ch + 70);
+}
+
+TEST(NetworkSim, DeterministicForSameSeed) {
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(300, 5'000, 2'000), stream(400, 9'000, 3'000)}, 10'000);
+  cfg.horizon = 500'000;
+  cfg.policy = ApPolicy::Edf;
+  cfg.hp_traffic = {{TrafficConfig{.phase = 0, .jitter = 500, .sporadic = true},
+                     TrafficConfig{.phase = 7, .jitter = 300, .sporadic = false}}};
+  cfg.seed = 12345;
+  const SimReport a = simulate(cfg);
+  const SimReport b = simulate(cfg);
+  EXPECT_EQ(a.hp[0][0].max_response, b.hp[0][0].max_response);
+  EXPECT_EQ(a.hp[0][0].completed, b.hp[0][0].completed);
+  EXPECT_EQ(a.hp[0][1].total_response, b.hp[0][1].total_response);
+  EXPECT_EQ(a.token[0].max_trr, b.token[0].max_trr);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(NetworkSim, ConfigValidation) {
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(300, 5'000, 2'000)}, 10'000);
+  cfg.horizon = 0;  // invalid
+  EXPECT_THROW((void)simulate(cfg), std::invalid_argument);
+
+  cfg.horizon = 1'000;
+  cfg.hp_traffic = {{}, {}};  // wrong master count
+  EXPECT_THROW((void)simulate(cfg), std::invalid_argument);
+
+  cfg.hp_traffic.clear();
+  cfg.cycle_model.kind = CycleModel::Kind::FrameLevel;  // but no specs
+  EXPECT_THROW((void)simulate(cfg), std::invalid_argument);
+}
+
+TEST(NetworkSim, UniformFractionStaysWithinBand) {
+  SimConfig cfg;
+  cfg.net = single_master_net({stream(1'000, 50'000, 2'000)}, 100'000);
+  cfg.horizon = 300'000;
+  cfg.cycle_model = CycleModel{.kind = CycleModel::Kind::UniformFraction, .min_fraction = 0.5};
+  const SimReport r = simulate(cfg);
+  ASSERT_GT(r.hp[0][0].completed, 50u);
+  EXPECT_LE(r.hp[0][0].max_response, 1'000 + 70);
+  // Mean response must sit clearly below the worst case (durations ~ U[500, 1000]).
+  EXPECT_LT(r.hp[0][0].mean_response(), 900.0);
+}
+
+TEST(NetworkSim, MaxQueueDepthObserved) {
+  // Four simultaneous releases: the dispatcher must have held 4 requests.
+  const std::vector<MessageStream> streams = {
+      stream(300, 90'000, 200'000), stream(300, 90'000, 200'000),
+      stream(300, 90'000, 200'000), stream(300, 90'000, 200'000)};
+  SimConfig cfg;
+  cfg.net = single_master_net(streams, 100'000);
+  cfg.horizon = 50'000;
+  const SimReport r = simulate(cfg);
+  Ticks depth = 0;
+  for (const StreamStats& s : r.hp[0]) depth = std::max(depth, s.max_queue_depth_seen);
+  EXPECT_EQ(depth, 4);
+}
+
+}  // namespace
+}  // namespace profisched::sim

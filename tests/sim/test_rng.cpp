@@ -1,0 +1,84 @@
+// Unit tests for the reproducible PRNG.
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsInclusiveBound) {
+  Rng rng(7);
+  bool hit_zero = false, hit_max = false;
+  for (int i = 0; i < 20'000; ++i) {
+    const Ticks v = rng.uniform(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 5);
+    hit_zero |= (v == 0);
+    hit_max |= (v == 5);
+  }
+  EXPECT_TRUE(hit_zero);
+  EXPECT_TRUE(hit_max);
+}
+
+TEST(Rng, UniformZeroBoundIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(0), 0);
+}
+
+TEST(Rng, UniformRangeForm) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const Ticks v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);  // LLN sanity
+}
+
+TEST(Rng, ChanceMatchesProbabilityRoughly) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUnbiased) {
+  Rng rng(19);
+  std::array<int, 8> buckets{};
+  for (int i = 0; i < 80'000; ++i) buckets[static_cast<std::size_t>(rng.uniform(7))]++;
+  for (const int b : buckets) EXPECT_NEAR(b, 10'000, 500);
+}
+
+}  // namespace
+}  // namespace profisched::sim

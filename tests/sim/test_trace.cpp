@@ -1,0 +1,109 @@
+// Unit tests for the simulator's protocol-event trace.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/network_sim.hpp"
+
+namespace profisched::sim {
+namespace {
+
+TEST(Trace, RecordsUpToCapacityThenCountsDrops) {
+  Trace t(3);
+  for (Ticks i = 0; i < 5; ++i) t.record(TraceEvent{i, TraceKind::Release, 0, 0, 0});
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.events()[2].time, 2);
+}
+
+TEST(Trace, KindNamesStable) {
+  EXPECT_STREQ(to_string(TraceKind::TokenArrival), "TokenArrival");
+  EXPECT_STREQ(to_string(TraceKind::CycleEnd), "CycleEnd");
+  EXPECT_STREQ(to_string(TraceKind::TthOverrun), "TthOverrun");
+}
+
+TEST(Trace, RenderContainsEventsAndDropNote) {
+  Trace t(1);
+  t.record(TraceEvent{42, TraceKind::CycleEnd, 1, 2, 599});
+  t.record(TraceEvent{43, TraceKind::Release, 0, 0, 0});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("CycleEnd"), std::string::npos);
+  EXPECT_NE(s.find("m1"), std::string::npos);
+  EXPECT_NE(s.find("detail=599"), std::string::npos);
+  EXPECT_NE(s.find("dropped"), std::string::npos);
+}
+
+TEST(Trace, RenderUsesStreamNames) {
+  Trace t;
+  t.record(TraceEvent{1, TraceKind::CycleStart, 0, 1, 300});
+  const std::vector<std::vector<std::string>> names{{"alpha", "beta"}};
+  EXPECT_NE(t.render(&names).find("beta"), std::string::npos);
+}
+
+TEST(Trace, SimulatorEmitsCoherentEventStream) {
+  profibus::Network net;
+  net.ttr = 100'000;
+  profibus::Master m;
+  m.high_streams = {
+      profibus::MessageStream{.Ch = 300, .D = 50'000, .T = 10'000, .J = 0, .name = ""}};
+  net.masters = {m};
+
+  Trace trace;
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 50'000;
+  cfg.trace = &trace;
+  const SimReport r = simulate(cfg);
+  ASSERT_FALSE(trace.empty());
+
+  // Coherence: every CycleEnd is preceded by a CycleStart of the same stream;
+  // counts match the report; timestamps are non-decreasing.
+  std::size_t starts = 0, ends = 0, arrivals = 0;
+  Ticks prev = 0;
+  int open_cycles = 0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    switch (e.kind) {
+      case TraceKind::CycleStart:
+        ++starts;
+        ++open_cycles;
+        break;
+      case TraceKind::CycleEnd:
+        ++ends;
+        --open_cycles;
+        EXPECT_GE(open_cycles, 0);
+        break;
+      case TraceKind::TokenArrival:
+        ++arrivals;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(ends, r.hp[0][0].completed);
+  EXPECT_GE(starts, ends);
+  EXPECT_EQ(arrivals, r.token[0].visits);
+}
+
+TEST(Trace, NullTraceCostsNothingAndChangesNothing) {
+  profibus::Network net;
+  net.ttr = 10'000;
+  profibus::Master m;
+  m.high_streams = {
+      profibus::MessageStream{.Ch = 300, .D = 5'000, .T = 2'000, .J = 0, .name = ""}};
+  net.masters = {m};
+
+  SimConfig cfg;
+  cfg.net = net;
+  cfg.horizon = 200'000;
+  const SimReport without = simulate(cfg);
+  Trace trace;
+  cfg.trace = &trace;
+  const SimReport with = simulate(cfg);
+  EXPECT_EQ(without.hp[0][0].max_response, with.hp[0][0].max_response);
+  EXPECT_EQ(without.events, with.events);
+}
+
+}  // namespace
+}  // namespace profisched::sim

@@ -1,0 +1,66 @@
+// Unit tests for the release processes.
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::sim {
+namespace {
+
+TEST(ReleaseProcess, PeriodicNoJitterIsExact) {
+  Rng rng(1);
+  const ReleaseProcess p(TrafficConfig{.phase = 100, .jitter = 0, .sporadic = false}, 50);
+  EXPECT_EQ(p.first_nominal(), 100);
+  Ticks nominal = 100;
+  for (int i = 0; i < 20; ++i) {
+    const auto step = p.step(nominal, rng);
+    EXPECT_EQ(step.release, nominal);            // no jitter: release == nominal
+    EXPECT_EQ(step.next_nominal, nominal + 50);  // strict period
+    nominal = step.next_nominal;
+  }
+}
+
+TEST(ReleaseProcess, JitterDelaysWithinBound) {
+  Rng rng(2);
+  const ReleaseProcess p(TrafficConfig{.phase = 0, .jitter = 7, .sporadic = false}, 50);
+  Ticks nominal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto step = p.step(nominal, rng);
+    EXPECT_GE(step.release, nominal);
+    EXPECT_LE(step.release, nominal + 7);
+    EXPECT_EQ(step.next_nominal, nominal + 50);  // jitter never shifts the period grid
+    nominal = step.next_nominal;
+  }
+}
+
+TEST(ReleaseProcess, SporadicGapAtLeastPeriod) {
+  Rng rng(3);
+  const ReleaseProcess p(TrafficConfig{.phase = 0, .jitter = 0, .sporadic = true}, 50);
+  Ticks nominal = 0;
+  bool saw_gap_above_period = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto step = p.step(nominal, rng);
+    const Ticks gap = step.next_nominal - nominal;
+    EXPECT_GE(gap, 50);       // minimum inter-arrival = T (paper footnote 3)
+    EXPECT_LE(gap, 100);      // bounded extra
+    saw_gap_above_period |= (gap > 50);
+    nominal = step.next_nominal;
+  }
+  EXPECT_TRUE(saw_gap_above_period);
+}
+
+TEST(ReleaseProcess, DeterministicForSameSeed) {
+  const ReleaseProcess p(TrafficConfig{.phase = 0, .jitter = 9, .sporadic = true}, 30);
+  Rng a(5), b(5);
+  Ticks na = 0, nb = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto sa = p.step(na, a);
+    const auto sb = p.step(nb, b);
+    EXPECT_EQ(sa.release, sb.release);
+    EXPECT_EQ(sa.next_nominal, sb.next_nominal);
+    na = sa.next_nominal;
+    nb = sb.next_nominal;
+  }
+}
+
+}  // namespace
+}  // namespace profisched::sim

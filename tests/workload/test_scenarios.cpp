@@ -1,0 +1,86 @@
+// Unit tests for the named DCCS scenarios — including the paper's concluding
+// claim in miniature (tight_deadline_mix).
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include "profibus/dispatching.hpp"
+#include "profibus/ttr_setting.hpp"
+
+namespace profisched::workload::scenarios {
+namespace {
+
+using profibus::analyze_network;
+using profibus::ApPolicy;
+
+TEST(FactoryCell, ValidThreeMasterRing) {
+  const profibus::Network net = factory_cell();
+  EXPECT_EQ(net.n_masters(), 3u);
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_EQ(net.total_high_streams(), 9u);
+}
+
+TEST(FactoryCell, EveryMasterCarriesLowPriorityTraffic) {
+  for (const auto& m : factory_cell().masters) EXPECT_GT(m.longest_low_cycle, 0);
+}
+
+TEST(FactoryCell, PriorityPoliciesScheduleIt) {
+  const profibus::Network net = factory_cell();
+  EXPECT_TRUE(analyze_network(net, ApPolicy::Dm).schedulable);
+  EXPECT_TRUE(analyze_network(net, ApPolicy::Edf).schedulable);
+}
+
+TEST(FactoryCell, TtrIsTheEq15MaximumWhenFeasible) {
+  const profibus::Network net = factory_cell();
+  const auto best = profibus::max_schedulable_ttr(net);
+  if (best.has_value()) {
+    EXPECT_EQ(net.ttr, *best);
+    EXPECT_TRUE(analyze_network(net, ApPolicy::Fcfs).schedulable);
+  }
+}
+
+TEST(ProcessMonitoring, SingleMasterSteppedPeriods) {
+  const profibus::Network net = process_monitoring(5, 20);
+  EXPECT_EQ(net.n_masters(), 1u);
+  EXPECT_EQ(net.masters[0].nh(), 5u);
+  const auto& streams = net.masters[0].high_streams;
+  for (std::size_t i = 1; i < streams.size(); ++i) EXPECT_GT(streams[i].T, streams[i - 1].T);
+  for (const auto& s : streams) EXPECT_EQ(s.D, s.T);
+}
+
+TEST(ProcessMonitoring, SchedulableUnderFcfsByConstruction) {
+  EXPECT_TRUE(analyze_network(process_monitoring(), ApPolicy::Fcfs).schedulable);
+}
+
+TEST(TightDeadlineMix, FcfsFailsPriorityQueuesSucceed) {
+  // The paper's conclusion in one network: the tight-deadline stream misses
+  // under FCFS dispatching but both priority-based AP queues schedule it.
+  const profibus::Network net = tight_deadline_mix();
+  EXPECT_FALSE(analyze_network(net, ApPolicy::Fcfs).schedulable);
+  EXPECT_TRUE(analyze_network(net, ApPolicy::Dm).schedulable);
+  EXPECT_TRUE(analyze_network(net, ApPolicy::Edf).schedulable);
+}
+
+TEST(TightDeadlineMix, OnlyTheTightStreamFailsUnderFcfs) {
+  const profibus::Network net = tight_deadline_mix();
+  const profibus::NetworkAnalysis fcfs = analyze_network(net, ApPolicy::Fcfs);
+  EXPECT_FALSE(fcfs.masters[0].streams[0].meets_deadline);
+  for (std::size_t i = 1; i < fcfs.masters[0].streams.size(); ++i) {
+    EXPECT_TRUE(fcfs.masters[0].streams[i].meets_deadline) << i;
+  }
+}
+
+TEST(TightDeadlineMix, DmImprovesTightStreamByTheExpectedFactor) {
+  // FCFS: nh·T_cycle = 4·T_cycle; DM: 2·T_cycle → improvement factor 2.
+  const profibus::Network net = tight_deadline_mix();
+  const Ticks fcfs = analyze_network(net, ApPolicy::Fcfs).masters[0].streams[0].response;
+  const Ticks dm = analyze_network(net, ApPolicy::Dm).masters[0].streams[0].response;
+  EXPECT_EQ(fcfs, 2 * dm);
+}
+
+TEST(Scenarios, TicksPerMsConsistentWith500kbit) {
+  EXPECT_EQ(kTicksPerMs, 500);
+}
+
+}  // namespace
+}  // namespace profisched::workload::scenarios

@@ -1,0 +1,58 @@
+// Unit tests for UUniFast.
+#include "workload/uunifast.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace profisched::workload {
+namespace {
+
+TEST(UUniFast, SumsToTarget) {
+  sim::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<double> u = uunifast(8, 0.75, rng);
+    ASSERT_EQ(u.size(), 8u);
+    EXPECT_NEAR(std::accumulate(u.begin(), u.end(), 0.0), 0.75, 1e-12);
+  }
+}
+
+TEST(UUniFast, AllSharesNonNegative) {
+  sim::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    for (const double v : uunifast(5, 0.9, rng)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 0.9 + 1e-12);
+    }
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  sim::Rng rng(3);
+  const std::vector<double> u = uunifast(1, 0.42, rng);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.42);
+}
+
+TEST(UUniFast, RejectsBadArguments) {
+  sim::Rng rng(4);
+  EXPECT_THROW((void)uunifast(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW((void)uunifast(3, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW((void)uunifast(3, -1.0, rng), std::invalid_argument);
+}
+
+TEST(UUniFast, DeterministicPerSeed) {
+  sim::Rng a(7), b(7);
+  EXPECT_EQ(uunifast(6, 0.6, a), uunifast(6, 0.6, b));
+}
+
+TEST(UUniFast, MeanShareIsUOverN) {
+  sim::Rng rng(8);
+  double first_share_sum = 0;
+  const int trials = 20'000;
+  for (int t = 0; t < trials; ++t) first_share_sum += uunifast(4, 0.8, rng)[0];
+  EXPECT_NEAR(first_share_sum / trials, 0.2, 0.01);  // unbiased: E[u_i] = U/n
+}
+
+}  // namespace
+}  // namespace profisched::workload

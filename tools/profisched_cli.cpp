@@ -1,0 +1,212 @@
+// profisched — command-line front end: analyze, simulate, or tune a network
+// described in an INI file (format: src/config/network_loader.hpp; examples
+// under configs/).
+//
+//   profisched analyze  <file> [--policy fcfs|dm|edf|opa|all]
+//   profisched simulate <file> [--policy fcfs|dm|edf] [--ms N] [--seed N]
+//                              [--histograms] [--trace N]
+//   profisched ttr      <file>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "config/network_loader.hpp"
+#include "profibus/dispatching.hpp"
+#include "profibus/priority_assignment.hpp"
+#include "profibus/ttr_setting.hpp"
+#include "sim/network_sim.hpp"
+
+namespace {
+
+using namespace profisched;
+using namespace profisched::profibus;
+using config::LoadedNetwork;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  profisched analyze  <file.ini> [--policy fcfs|dm|edf|opa|all]\n"
+               "  profisched simulate <file.ini> [--policy fcfs|dm|edf] [--ms N]\n"
+               "                      [--seed N] [--histograms] [--trace N]\n"
+               "  profisched ttr      <file.ini>\n");
+  return 2;
+}
+
+double to_ms(Ticks v, Ticks ticks_per_ms) {
+  return static_cast<double>(v) / static_cast<double>(ticks_per_ms);
+}
+
+void print_analysis(const LoadedNetwork& ln, const NetworkAnalysis& a, const char* label) {
+  std::printf("\n%s: %s (T_cycle = %.3f ms)\n", label, a.schedulable ? "SCHEDULABLE" : "NOT schedulable",
+              to_ms(a.tcycle, ln.ticks_per_ms));
+  for (std::size_t k = 0; k < ln.net.n_masters(); ++k) {
+    std::printf("  [%s]\n", ln.net.masters[k].name.c_str());
+    for (std::size_t i = 0; i < ln.net.masters[k].nh(); ++i) {
+      const auto& s = ln.net.masters[k].high_streams[i];
+      const auto& r = a.masters[k].streams[i];
+      if (r.response == kNoBound) {
+        std::printf("    %-24s D=%8.2f ms  R=unbounded  MISS\n", s.name.c_str(),
+                    to_ms(s.D, ln.ticks_per_ms));
+      } else {
+        std::printf("    %-24s D=%8.2f ms  R=%8.2f ms  %s\n", s.name.c_str(),
+                    to_ms(s.D, ln.ticks_per_ms), to_ms(r.response, ln.ticks_per_ms),
+                    r.meets_deadline ? "ok" : "MISS");
+      }
+    }
+  }
+}
+
+int cmd_analyze(const LoadedNetwork& ln, const std::string& policy) {
+  bool any = false;
+  int rc = 0;
+  const auto run = [&](ApPolicy p) {
+    const NetworkAnalysis a = analyze_network(ln.net, p);
+    print_analysis(ln, a, std::string(to_string(p)).c_str());
+    if (!a.schedulable) rc = 1;
+    any = true;
+  };
+  if (policy == "fcfs" || policy == "all") run(ApPolicy::Fcfs);
+  if (policy == "dm" || policy == "all") run(ApPolicy::Dm);
+  if (policy == "edf" || policy == "all") run(ApPolicy::Edf);
+  if (policy == "opa" || policy == "all") {
+    const auto orders = audsley_stream_orders(ln.net);
+    if (orders.has_value()) {
+      print_analysis(ln, analyze_fixed_priority(ln.net, *orders), "OPA");
+      std::printf("  OPA priority order (highest first):\n");
+      for (std::size_t k = 0; k < ln.net.n_masters(); ++k) {
+        std::printf("    [%s]:", ln.net.masters[k].name.c_str());
+        for (const std::size_t i : (*orders)[k]) {
+          std::printf(" %s", ln.net.masters[k].high_streams[i].name.c_str());
+        }
+        std::printf("\n");
+      }
+    } else {
+      std::printf("\nOPA: no fixed priority order schedules this set\n");
+      rc = 1;
+    }
+    any = true;
+  }
+  if (!any) return usage();
+  return rc;
+}
+
+int cmd_simulate(const LoadedNetwork& ln, const std::string& policy, Ticks milliseconds,
+                 std::uint64_t seed, bool histograms, std::size_t trace_events) {
+  sim::SimConfig cfg;
+  cfg.net = ln.net;
+  cfg.horizon = milliseconds * ln.ticks_per_ms;
+  cfg.seed = seed;
+  cfg.collect_histograms = histograms;
+  if (policy == "dm") cfg.policy = ApPolicy::Dm;
+  else if (policy == "edf") cfg.policy = ApPolicy::Edf;
+  else if (policy == "fcfs") cfg.policy = ApPolicy::Fcfs;
+  else return usage();
+
+  sim::Trace trace(trace_events == 0 ? 1 : trace_events);
+  if (trace_events > 0) cfg.trace = &trace;
+
+  const sim::SimReport r = sim::simulate(cfg);
+  std::printf("simulated %lld ms under %s (seed %llu): %llu events, %llu LP cycles\n",
+              static_cast<long long>(milliseconds), policy.c_str(),
+              static_cast<unsigned long long>(seed), static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.lp_cycles_completed));
+  for (std::size_t k = 0; k < ln.net.n_masters(); ++k) {
+    std::printf("[%s] token visits=%llu max TRR=%.3f ms overruns=%llu late=%llu\n",
+                ln.net.masters[k].name.c_str(),
+                static_cast<unsigned long long>(r.token[k].visits),
+                to_ms(r.token[k].max_trr, ln.ticks_per_ms),
+                static_cast<unsigned long long>(r.token[k].tth_overruns),
+                static_cast<unsigned long long>(r.token[k].late_tokens));
+    for (std::size_t i = 0; i < ln.net.masters[k].nh(); ++i) {
+      const auto& s = r.hp[k][i];
+      std::printf("  %-24s n=%llu max=%.3f ms mean=%.3f ms misses=%llu dropped=%llu\n",
+                  ln.net.masters[k].high_streams[i].name.c_str(),
+                  static_cast<unsigned long long>(s.completed),
+                  to_ms(s.max_response, ln.ticks_per_ms),
+                  s.mean_response() / static_cast<double>(ln.ticks_per_ms),
+                  static_cast<unsigned long long>(s.deadline_misses),
+                  static_cast<unsigned long long>(s.dropped));
+      if (histograms) {
+        std::printf("    hist: %s\n", r.response_hist[k][i].summary().c_str());
+      }
+    }
+  }
+  if (trace_events > 0) {
+    std::printf("\n--- first %zu trace events ---\n%s", trace.events().size(),
+                trace.render().c_str());
+  }
+  return 0;
+}
+
+int cmd_ttr(const LoadedNetwork& ln) {
+  const TtrRange range = ttr_range_fcfs(ln.net);
+  std::printf("T_del = %.3f ms; current T_TR = %.3f ms%s\n",
+              to_ms(t_del(ln.net), ln.ticks_per_ms), to_ms(ln.net.ttr, ln.ticks_per_ms),
+              ln.ttr_auto ? " (auto, eq. 15)" : "");
+  if (range.feasible()) {
+    std::printf("eq. 15 feasible T_TR range: [%.3f, %.3f] ms ([%lld, %lld] ticks)\n",
+                to_ms(range.min, ln.ticks_per_ms), to_ms(range.max, ln.ticks_per_ms),
+                static_cast<long long>(range.min), static_cast<long long>(range.max));
+    return 0;
+  }
+  std::printf("no T_TR makes the FCFS analysis schedulable (try --policy dm/edf)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  std::string policy = command == "simulate" ? "fcfs" : "all";
+  Ticks milliseconds = 1'000;
+  std::uint64_t seed = 1;
+  bool histograms = false;
+  std::size_t trace_events = 0;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      policy = v;
+    } else if (arg == "--ms") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      milliseconds = std::atoll(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--histograms") {
+      histograms = true;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      trace_events = static_cast<std::size_t>(std::atoll(v));
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const LoadedNetwork ln = profisched::config::load_network_file(path);
+    std::printf("loaded %s: %zu masters, %zu streams, T_TR = %lld ticks\n", path.c_str(),
+                ln.net.n_masters(), ln.net.total_high_streams(),
+                static_cast<long long>(ln.net.ttr));
+    if (command == "analyze") return cmd_analyze(ln, policy);
+    if (command == "simulate") {
+      return cmd_simulate(ln, policy, milliseconds, seed, histograms, trace_events);
+    }
+    if (command == "ttr") return cmd_ttr(ln);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
