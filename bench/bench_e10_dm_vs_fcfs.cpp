@@ -6,6 +6,7 @@
 // that FCFS cannot support.
 #include "common.hpp"
 
+#include "engine/aggregate.hpp"
 #include "profibus/dispatching.hpp"
 #include "workload/generators.hpp"
 #include "workload/scenarios.hpp"
@@ -38,27 +39,68 @@ void per_stream_table() {
 
 void acceptance_sweep() {
   std::printf("\nSchedulable-set ratio vs deadline spread (400 random single-master\n"
-              "networks per cell, nh=5; deadlines drawn in [beta_lo*T, T]):\n");
-  Table t({"beta_lo", "FCFS sched%", "DM sched%", "DM-only", "FCFS-only"});
+              "networks per cell, nh=5; deadlines drawn in [beta_lo*T, T]) —\n"
+              "batched through the engine:\n");
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 5;
+  spec.base.ttr = 0;  // auto eq.-15 or fallback (legacy period-driven mode)
   for (const double beta : {1.0, 0.7, 0.5, 0.3, 0.2}) {
-    sim::Rng rng(static_cast<std::uint64_t>(beta * 1000) + 5);
-    int f = 0, d = 0, dm_only = 0, fcfs_only = 0;
-    for (int s = 0; s < 400; ++s) {
-      workload::NetworkParams p;
-      p.n_masters = 1;
-      p.streams_per_master = 5;
-      p.deadline_lo = beta;
-      p.ttr = 0;  // auto eq.-15 or fallback
-      const workload::GeneratedNetwork g = workload::random_network(p, rng);
-      const bool fs = analyze_network(g.net, ApPolicy::Fcfs).schedulable;
-      const bool ds = analyze_network(g.net, ApPolicy::Dm).schedulable;
-      f += fs;
-      d += ds;
-      dm_only += (ds && !fs);
-      fcfs_only += (fs && !ds);
+    spec.points.push_back(engine::SweepPoint{0.0, beta, 1.0});
+  }
+  spec.scenarios_per_point = 400;
+  spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm};
+  spec.seed = 5;
+  engine::SweepRunner runner;
+  const engine::SweepResult result = runner.run(spec);
+  const engine::SweepCurves curves = engine::aggregate(spec, result);
+
+  // Per-scenario verdicts give the cross-policy counts the aggregate lacks.
+  const std::vector<std::size_t> dm_only =
+      engine::count_exclusive(spec, result, engine::Policy::Dm, engine::Policy::Fcfs);
+  const std::vector<std::size_t> fcfs_only =
+      engine::count_exclusive(spec, result, engine::Policy::Fcfs, engine::Policy::Dm);
+
+  Table t({"beta_lo", "FCFS sched%", "DM sched%", "DM-only", "FCFS-only"});
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    t.row({bench::fmt(spec.points[i].beta_lo, 1), bench::pct(curves.points[i].ratio(0)),
+           bench::pct(curves.points[i].ratio(1)), std::to_string(dm_only[i]),
+           std::to_string(fcfs_only[i])});
+  }
+  t.print();
+  std::printf("(%zu scenarios, %u threads, %.3f s; timing memo %zu hits / %zu misses)\n",
+              result.outcomes.size(), runner.threads(), result.elapsed_s, result.memo_hits,
+              result.memo_misses);
+}
+
+void sweep_speedup() {
+  std::printf("\nEngine scaling on the UUniFast acceptance sweep (nh=5, 1000 scenarios,\n"
+              "FCFS+DM+EDF each) — aggregates are bit-identical for every thread count:\n");
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 5;
+  spec.base.ttr = 3'000;
+  for (const double u : {0.2, 0.4, 0.6, 0.8}) {
+    spec.points.push_back(engine::SweepPoint{u, 0.5, 1.0});
+  }
+  spec.scenarios_per_point = 250;
+  spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  spec.seed = 10;
+
+  Table t({"threads", "wall (s)", "speedup", "identical?"});
+  std::string baseline_csv;
+  double baseline_s = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    engine::SweepRunner runner(threads);
+    const engine::SweepResult result = runner.run(spec);
+    const std::string csv = engine::aggregate(spec, result).to_csv();
+    if (threads == 1) {
+      baseline_csv = csv;
+      baseline_s = result.elapsed_s;
     }
-    t.row({bench::fmt(beta, 1), bench::pct(f / 400.0), bench::pct(d / 400.0),
-           std::to_string(dm_only), std::to_string(fcfs_only)});
+    t.row({std::to_string(threads), bench::fmt(result.elapsed_s, 4),
+           bench::fmt(baseline_s / (result.elapsed_s > 0 ? result.elapsed_s : 1e-9), 2) + "x",
+           csv == baseline_csv ? "yes" : "NO"});
   }
   t.print();
 }
@@ -90,6 +132,7 @@ void run_experiment() {
   bench::banner("E10", "HEADLINE: DM application-process queue vs stock FCFS (eq. 16 vs eq. 11)");
   per_stream_table();
   acceptance_sweep();
+  sweep_speedup();
   improvement_factor();
   std::printf("\nExpected shape: the tight stream misses only under FCFS; DM-only wins\n"
               "grow as deadlines spread (beta_lo shrinking), FCFS-only stays rare (it\n"
@@ -106,6 +149,21 @@ void BM_DmNetworkAnalysis(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(analyze_dm(g.net).schedulable);
 }
 BENCHMARK(BM_DmNetworkAnalysis)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_EngineSweep(benchmark::State& state) {
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 5;
+  spec.base.ttr = 3'000;
+  spec.points = {engine::SweepPoint{0.4, 0.5, 1.0}, engine::SweepPoint{0.7, 0.5, 1.0}};
+  spec.scenarios_per_point = 100;
+  spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  engine::SweepRunner runner(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(spec).outcomes.size());
+  }
+}
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 // sets whose static DM ranking overloads some stream.
 #include "common.hpp"
 
+#include "engine/aggregate.hpp"
 #include "profibus/dispatching.hpp"
 #include "workload/generators.hpp"
 #include "workload/scenarios.hpp"
@@ -49,33 +50,39 @@ void regression_anchor() {
 void acceptance_sweep() {
   std::printf("\nAcceptance across 400 random single-master networks per cell\n"
               "(nh=5, short periods, deadlines in [beta_lo*T, T], fixed T_TR = 3000 —\n"
-              "near-critical load, where the orderings actually separate):\n");
-  Table t({"beta_lo", "FCFS%", "DM%", "EDF%", "EDF-only vs DM", "DM-only vs EDF"});
+              "near-critical load, where the orderings actually separate) —\n"
+              "batched through the engine:\n");
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 5;
+  spec.base.t_min = 8'000;
+  spec.base.t_max = 40'000;
+  spec.base.ttr = 3'000;
   for (const double beta : {0.8, 0.6, 0.4, 0.25}) {
-    sim::Rng rng(static_cast<std::uint64_t>(beta * 1000) + 13);
-    int f = 0, d = 0, e = 0, edf_only = 0, dm_only = 0;
-    for (int s = 0; s < 400; ++s) {
-      workload::NetworkParams p;
-      p.n_masters = 1;
-      p.streams_per_master = 5;
-      p.deadline_lo = beta;
-      p.t_min = 8'000;
-      p.t_max = 40'000;
-      p.ttr = 3'000;
-      const workload::GeneratedNetwork g = workload::random_network(p, rng);
-      const bool fs = analyze_network(g.net, ApPolicy::Fcfs).schedulable;
-      const bool ds = analyze_network(g.net, ApPolicy::Dm).schedulable;
-      const bool es = analyze_network(g.net, ApPolicy::Edf).schedulable;
-      f += fs;
-      d += ds;
-      e += es;
-      edf_only += (es && !ds);
-      dm_only += (ds && !es);
-    }
-    t.row({bench::fmt(beta, 2), bench::pct(f / 400.0), bench::pct(d / 400.0),
-           bench::pct(e / 400.0), std::to_string(edf_only), std::to_string(dm_only)});
+    spec.points.push_back(engine::SweepPoint{0.0, beta, 1.0});
+  }
+  spec.scenarios_per_point = 400;
+  spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  spec.seed = 13;
+  engine::SweepRunner runner;
+  const engine::SweepResult result = runner.run(spec);
+  const engine::SweepCurves curves = engine::aggregate(spec, result);
+
+  const std::vector<std::size_t> edf_only =
+      engine::count_exclusive(spec, result, engine::Policy::Edf, engine::Policy::Dm);
+  const std::vector<std::size_t> dm_only =
+      engine::count_exclusive(spec, result, engine::Policy::Dm, engine::Policy::Edf);
+
+  Table t({"beta_lo", "FCFS%", "DM%", "EDF%", "EDF-only vs DM", "DM-only vs EDF"});
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    t.row({bench::fmt(spec.points[i].beta_lo, 2), bench::pct(curves.points[i].ratio(0)),
+           bench::pct(curves.points[i].ratio(1)), bench::pct(curves.points[i].ratio(2)),
+           std::to_string(edf_only[i]), std::to_string(dm_only[i])});
   }
   t.print();
+  std::printf("(%zu scenarios, %u threads, %.3f s; timing memo %zu hits / %zu misses)\n",
+              result.outcomes.size(), runner.threads(), result.elapsed_s, result.memo_hits,
+              result.memo_misses);
 }
 
 void tcycle_method_ablation() {

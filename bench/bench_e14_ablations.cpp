@@ -8,6 +8,7 @@
 #include "common.hpp"
 
 #include "core/sensitivity.hpp"
+#include "engine/aggregate.hpp"
 #include "profibus/dm_analysis.hpp"
 #include "profibus/priority_assignment.hpp"
 #include "workload/generators.hpp"
@@ -21,29 +22,34 @@ using bench::Table;
 
 void opa_vs_dm() {
   std::printf("\n(a) DM vs OPA message-priority assignment, 500 random single-master\n"
-              "networks per cell (short periods push DM off-optimal):\n");
-  Table t({"beta_lo", "DM sched%", "OPA sched%", "OPA-only", "DM-only (must be 0)"});
+              "networks per cell (short periods push DM off-optimal) — batched\n"
+              "through the engine:\n");
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 4;
+  spec.base.t_min = 8'000;
+  spec.base.t_max = 60'000;
+  spec.base.ttr = 3'000;
   for (const double beta : {0.8, 0.5, 0.3}) {
-    sim::Rng rng(static_cast<std::uint64_t>(beta * 100) + 900);
-    int dm_ok = 0, opa_ok = 0, opa_only = 0, dm_only = 0;
-    for (int s = 0; s < 500; ++s) {
-      workload::NetworkParams p;
-      p.n_masters = 1;
-      p.streams_per_master = 4;
-      p.deadline_lo = beta;
-      p.t_min = 8'000;
-      p.t_max = 60'000;
-      p.ttr = 3'000;
-      const workload::GeneratedNetwork g = workload::random_network(p, rng);
-      const bool dm = analyze_dm(g.net).schedulable;
-      const bool opa = audsley_stream_orders(g.net).has_value();
-      dm_ok += dm;
-      opa_ok += opa;
-      opa_only += (opa && !dm);
-      dm_only += (dm && !opa);
-    }
-    t.row({bench::fmt(beta, 1), bench::pct(dm_ok / 500.0), bench::pct(opa_ok / 500.0),
-           std::to_string(opa_only), std::to_string(dm_only)});
+    spec.points.push_back(engine::SweepPoint{0.0, beta, 1.0});
+  }
+  spec.scenarios_per_point = 500;
+  spec.policies = {engine::Policy::Dm, engine::Policy::Opa};
+  spec.seed = 900;
+  engine::SweepRunner runner;
+  const engine::SweepResult result = runner.run(spec);
+  const engine::SweepCurves curves = engine::aggregate(spec, result);
+
+  const std::vector<std::size_t> opa_only =
+      engine::count_exclusive(spec, result, engine::Policy::Opa, engine::Policy::Dm);
+  const std::vector<std::size_t> dm_only =
+      engine::count_exclusive(spec, result, engine::Policy::Dm, engine::Policy::Opa);
+
+  Table t({"beta_lo", "DM sched%", "OPA sched%", "OPA-only", "DM-only (must be 0)"});
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    t.row({bench::fmt(spec.points[i].beta_lo, 1), bench::pct(curves.points[i].ratio(0)),
+           bench::pct(curves.points[i].ratio(1)), std::to_string(opa_only[i]),
+           std::to_string(dm_only[i])});
   }
   t.print();
 

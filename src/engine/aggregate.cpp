@@ -1,0 +1,294 @@
+#include "engine/aggregate.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace profisched::engine {
+
+namespace {
+
+// std::to_chars / from_chars, not printf/strtod: the serialized formats must
+// not bend to the host's LC_NUMERIC (a ',' decimal separator would corrupt
+// both the CSV column count and the JSON grammar).
+std::string fmt_double(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, 6);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, sep)) out.push_back(cell);
+  return out;
+}
+
+double to_double(const std::string& s) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr == s.data()) {
+    throw std::invalid_argument("SweepCurves: bad number '" + s + "'");
+  }
+  return v;
+}
+
+std::size_t to_size(const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) throw std::invalid_argument("SweepCurves: bad count '" + s + "'");
+  return static_cast<std::size_t>(v);
+}
+
+/// Cursor over the engine's own JSON output. Handles exactly the grammar
+/// to_json emits (objects, arrays, strings without escapes, numbers).
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw std::invalid_argument(std::string("SweepCurves: expected '") + c + "' at offset " +
+                                  std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+    if (pos_ >= text_.size()) throw std::invalid_argument("SweepCurves: unterminated string");
+    return text_.substr(start, pos_++ - start);
+  }
+
+  [[nodiscard]] double number() {
+    skip_ws();
+    double v = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + pos_, text_.data() + text_.size(), v);
+    if (ec != std::errc{} || ptr == text_.data() + pos_) {
+      throw std::invalid_argument("SweepCurves: expected number at offset " +
+                                  std::to_string(pos_));
+    }
+    pos_ = static_cast<std::size_t>(ptr - text_.data());
+    return v;
+  }
+
+  void key(const char* name) {
+    const std::string k = string();
+    if (k != name) {
+      throw std::invalid_argument(std::string("SweepCurves: expected key '") + name +
+                                  "', got '" + k + "'");
+    }
+    expect(':');
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SweepCurves::to_csv() const {
+  std::string out = "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio\n";
+  for (const CurvePoint& pt : points) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      out += fmt_double(pt.total_u) + ',' + fmt_double(pt.beta_lo) + ',' +
+             fmt_double(pt.beta_hi) + ',' + std::to_string(pt.scenarios) + ',' + policies[p] +
+             ',' + std::to_string(pt.schedulable[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
+    }
+  }
+  return out;
+}
+
+SweepCurves SweepCurves::from_csv(const std::string& csv) {
+  SweepCurves out;
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || split(line, ',').size() != 7) {
+    throw std::invalid_argument("SweepCurves: missing/short CSV header");
+  }
+  // Which policies the current (last) point already has a row for. A repeated
+  // policy starts a new point even when the grid keys repeat — distinct grid
+  // points may share (u, beta) values, so key equality alone cannot merge.
+  std::vector<bool> filled;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split(line, ',');
+    if (cells.size() != 7) {
+      throw std::invalid_argument("SweepCurves: bad CSV row '" + line + "'");
+    }
+    const double u = to_double(cells[0]);
+    const double blo = to_double(cells[1]);
+    const double bhi = to_double(cells[2]);
+    const std::size_t scenarios = to_size(cells[3]);
+    const std::string& policy = cells[4];
+    const std::size_t sched = to_size(cells[5]);
+
+    std::size_t p = 0;
+    while (p < out.policies.size() && out.policies[p] != policy) ++p;
+    if (p == out.policies.size()) out.policies.push_back(policy);
+
+    const bool same_key = !out.points.empty() && out.points.back().total_u == u &&
+                          out.points.back().beta_lo == blo &&
+                          out.points.back().beta_hi == bhi;
+    if (!same_key || (p < filled.size() && filled[p])) {
+      out.points.push_back(CurvePoint{u, blo, bhi, scenarios, {}});
+      filled.assign(out.policies.size(), false);
+    }
+    CurvePoint& pt = out.points.back();
+    pt.schedulable.resize(out.policies.size(), 0);
+    filled.resize(out.policies.size(), false);
+    pt.schedulable[p] = sched;
+    filled[p] = true;
+  }
+  for (CurvePoint& pt : out.points) pt.schedulable.resize(out.policies.size(), 0);
+  return out;
+}
+
+std::string SweepCurves::to_json() const {
+  std::string out = "{\n  \"policies\": [";
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    out += (p == 0 ? "" : ", ");
+    out += '"' + policies[p] + '"';
+  }
+  out += "],\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CurvePoint& pt = points[i];
+    out += "    {\"u\": " + fmt_double(pt.total_u) + ", \"beta_lo\": " + fmt_double(pt.beta_lo) +
+           ", \"beta_hi\": " + fmt_double(pt.beta_hi) +
+           ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"schedulable\": {";
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      out += (p == 0 ? "" : ", ");
+      out += '"' + policies[p] + "\": " + std::to_string(pt.schedulable[p]);
+    }
+    out += "}}";
+    out += (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+SweepCurves SweepCurves::from_json(const std::string& json) {
+  SweepCurves out;
+  JsonCursor c(json);
+  c.expect('{');
+  c.key("policies");
+  c.expect('[');
+  if (!c.peek(']')) {
+    for (;;) {
+      out.policies.push_back(c.string());
+      if (!c.peek(',')) break;
+      c.expect(',');
+    }
+  }
+  c.expect(']');
+  c.expect(',');
+  c.key("points");
+  c.expect('[');
+  if (!c.peek(']')) {
+    for (;;) {
+      CurvePoint pt;
+      c.expect('{');
+      c.key("u");
+      pt.total_u = c.number();
+      c.expect(',');
+      c.key("beta_lo");
+      pt.beta_lo = c.number();
+      c.expect(',');
+      c.key("beta_hi");
+      pt.beta_hi = c.number();
+      c.expect(',');
+      c.key("scenarios");
+      pt.scenarios = static_cast<std::size_t>(c.number());
+      c.expect(',');
+      c.key("schedulable");
+      c.expect('{');
+      pt.schedulable.assign(out.policies.size(), 0);
+      if (!c.peek('}')) {
+        for (;;) {
+          const std::string policy = c.string();
+          c.expect(':');
+          const auto count = static_cast<std::size_t>(c.number());
+          std::size_t p = 0;
+          while (p < out.policies.size() && out.policies[p] != policy) ++p;
+          if (p == out.policies.size()) {
+            throw std::invalid_argument("SweepCurves: unknown policy '" + policy +
+                                        "' in point");
+          }
+          pt.schedulable[p] = count;
+          if (!c.peek(',')) break;
+          c.expect(',');
+        }
+      }
+      c.expect('}');
+      c.expect('}');
+      out.points.push_back(std::move(pt));
+      if (!c.peek(',')) break;
+      c.expect(',');
+    }
+  }
+  c.expect(']');
+  c.expect('}');
+  return out;
+}
+
+std::vector<std::size_t> count_exclusive(const SweepSpec& spec, const SweepResult& result,
+                                         Policy yes, Policy no) {
+  const auto index_of = [&](Policy p) {
+    for (std::size_t i = 0; i < spec.policies.size(); ++i) {
+      if (spec.policies[i] == p) return i;
+    }
+    throw std::invalid_argument(std::string("count_exclusive: policy ") +
+                                std::string(to_string(p)) + " not in the sweep");
+  };
+  const std::size_t yi = index_of(yes);
+  const std::size_t ni = index_of(no);
+  std::vector<std::size_t> out(spec.points.size(), 0);
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.schedulable[yi] && !o.schedulable[ni]) ++out[o.point];
+  }
+  return out;
+}
+
+SweepCurves aggregate(const SweepSpec& spec, const SweepResult& result) {
+  SweepCurves out;
+  out.policies.reserve(spec.policies.size());
+  for (const Policy p : spec.policies) out.policies.emplace_back(to_string(p));
+
+  out.points.resize(spec.points.size());
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    out.points[i].total_u = spec.points[i].total_u;
+    out.points[i].beta_lo = spec.points[i].beta_lo;
+    out.points[i].beta_hi = spec.points[i].beta_hi;
+    out.points[i].schedulable.assign(spec.policies.size(), 0);
+  }
+  for (const ScenarioOutcome& o : result.outcomes) {
+    CurvePoint& pt = out.points[o.point];
+    ++pt.scenarios;
+    for (std::size_t p = 0; p < o.schedulable.size(); ++p) {
+      if (o.schedulable[p]) ++pt.schedulable[p];
+    }
+  }
+  return out;
+}
+
+}  // namespace profisched::engine

@@ -1,0 +1,63 @@
+// aggregate.hpp — reduce per-scenario sweep outcomes into schedulability-
+// ratio curves and serialize them as CSV / JSON. Both formats parse back
+// (from_csv / from_json) so downstream tooling — and the round-trip tests —
+// can consume what the engine emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+
+/// One grid point of the aggregated curves: how many of the point's
+/// scenarios each policy schedules.
+struct CurvePoint {
+  double total_u = 0.0;
+  double beta_lo = 1.0;
+  double beta_hi = 1.0;
+  std::size_t scenarios = 0;
+  std::vector<std::size_t> schedulable;  ///< indexed like SweepCurves::policies
+
+  [[nodiscard]] double ratio(std::size_t policy) const {
+    return scenarios == 0 ? 0.0
+                          : static_cast<double>(schedulable[policy]) /
+                                static_cast<double>(scenarios);
+  }
+};
+
+/// Schedulability-ratio curves: one CurvePoint per sweep point, one series
+/// per policy.
+struct SweepCurves {
+  std::vector<std::string> policies;  ///< series names (to_string(Policy))
+  std::vector<CurvePoint> points;
+
+  /// CSV: one row per (point, policy):
+  ///   u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio
+  [[nodiscard]] std::string to_csv() const;
+
+  /// JSON object {"policies": [...], "points": [{..., "schedulable": {...}}]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse what to_csv emitted. Throws std::invalid_argument on malformed
+  /// input. The derived `ratio` column is ignored (recomputed on demand).
+  [[nodiscard]] static SweepCurves from_csv(const std::string& csv);
+
+  /// Parse what to_json emitted (a minimal reader for exactly that shape —
+  /// not a general JSON parser). Throws std::invalid_argument on mismatch.
+  [[nodiscard]] static SweepCurves from_json(const std::string& json);
+};
+
+/// Reduce a sweep's outcomes against the spec that produced them.
+[[nodiscard]] SweepCurves aggregate(const SweepSpec& spec, const SweepResult& result);
+
+/// Per-point count of scenarios schedulable under `yes` but NOT under `no`
+/// (the "X-only" columns of the comparison benches). Policies are looked up
+/// by value in spec.policies; throws std::invalid_argument if either was not
+/// part of the sweep.
+[[nodiscard]] std::vector<std::size_t> count_exclusive(const SweepSpec& spec,
+                                                       const SweepResult& result, Policy yes,
+                                                       Policy no);
+
+}  // namespace profisched::engine

@@ -1,0 +1,85 @@
+// analysis_engine.hpp — the unified front end over the library's analyses:
+// analyze(Scenario, Policy) -> Report, with per-scenario memoization of the
+// computations every policy shares (T_del / T_cycle / the EDF busy periods).
+//
+// Running one scenario under FCFS + DM + EDF + OPA through the plain
+// analyze_* entry points derives the timed-token timing four times; through
+// the engine it is derived once, and the EDF offset-candidate horizon is
+// likewise reused. The engine is deliberately NOT thread-safe: the sweep
+// runner gives each worker its own instance (scenario memo state is cheap).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "core/formulation.hpp"
+#include "engine/scenario.hpp"
+#include "profibus/dispatching.hpp"
+#include "profibus/priority_assignment.hpp"
+
+namespace profisched::engine {
+
+/// Outcome of one (scenario, policy) analysis.
+struct Report {
+  Policy policy = Policy::Fcfs;
+  bool schedulable = false;
+  Ticks tcycle = 0;                ///< uniform eq.-14 bound used
+  Ticks tdel = 0;                  ///< worst-case token lateness (eq. 13)
+  std::size_t n_streams = 0;       ///< HP streams across the ring
+  std::size_t streams_meeting = 0; ///< streams whose R <= D
+  /// min over streams of D − R; kNoBound when there are no streams, and
+  /// negative (or very negative) when some stream misses / diverges.
+  Ticks worst_slack = kNoBound;
+  profibus::NetworkAnalysis detail;  ///< per-master, per-stream bounds
+};
+
+/// Tuning knobs shared by every analysis the engine dispatches.
+struct EngineOptions {
+  profibus::TcycleMethod method = profibus::TcycleMethod::PaperEq13;
+  Formulation formulation = Formulation::PaperLiteral;
+  int fuel = 1 << 16;
+};
+
+class AnalysisEngine {
+ public:
+  AnalysisEngine() = default;
+  explicit AnalysisEngine(EngineOptions opt) : opt_(opt) {}
+
+  /// Analyze one scenario under one policy. Timing facts (and, for EDF, the
+  /// busy-period horizons) are memoized per Scenario::id, so analysing the
+  /// same scenario under several policies shares them.
+  [[nodiscard]] Report analyze(const Scenario& sc, Policy policy);
+
+  /// The memoized timing facts for a scenario (computing them on first use).
+  [[nodiscard]] const profibus::TimingMemo& timing(const Scenario& sc);
+
+  /// Drop one scenario's memo (the sweep runner calls this when a scenario's
+  /// last policy has run, keeping the map O(1) per worker).
+  void forget(std::uint64_t scenario_id) { memo_.erase(scenario_id); }
+  void clear() { memo_.clear(); }
+
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+  [[nodiscard]] std::size_t memo_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t memo_misses() const noexcept { return misses_; }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return opt_; }
+
+ private:
+  struct Memo {
+    profibus::TimingMemo timing;
+    std::optional<std::vector<Ticks>> edf_busy;
+    // Guard against id collisions between structurally different scenarios.
+    std::size_t n_streams = 0;
+    Ticks ttr = 0;
+    Ticks fingerprint = 0;  ///< Σ(Ch + T + D) over streams
+  };
+
+  Memo& memo_for(const Scenario& sc);
+
+  EngineOptions opt_;
+  std::unordered_map<std::uint64_t, Memo> memo_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace profisched::engine

@@ -1,0 +1,52 @@
+// scenario.hpp — the unit of work the batch-analysis engine operates on: one
+// generated (or hand-built) PROFIBUS network plus the generation provenance
+// needed to reproduce it and to aggregate results into curves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "profibus/holistic.hpp"
+#include "profibus/network.hpp"
+
+namespace profisched::engine {
+
+/// Which analysis the engine runs over a scenario. Extends the AP-queue
+/// policies (profibus::ApPolicy) with the remaining analyses of the library.
+enum class Policy {
+  Fcfs,      ///< stock FCFS queue, eqs. 11–12
+  Dm,        ///< DM-ordered AP queue, eq. 16
+  Edf,       ///< EDF-ordered AP queue, eqs. 17–18
+  Opa,       ///< Audsley-optimal fixed-priority AP queue
+  TokenRing, ///< timed-token timing only: D_i >= T_cycle necessary condition
+  Holistic,  ///< end-to-end transactions over the ring (DM messages)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Policy p) {
+  switch (p) {
+    case Policy::Fcfs: return "FCFS";
+    case Policy::Dm: return "DM";
+    case Policy::Edf: return "EDF";
+    case Policy::Opa: return "OPA";
+    case Policy::TokenRing: return "TOKEN";
+    case Policy::Holistic: return "HOLISTIC";
+  }
+  return "?";
+}
+
+/// One scenario. `id` keys the engine's memo, so it must be unique within an
+/// engine's lifetime (the sweep runner uses the global scenario index).
+struct Scenario {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;    ///< RNG seed the network was generated from
+  double total_u = 0.0;      ///< UUniFast target utilization (0 = period-driven)
+  double beta_lo = 1.0;      ///< deadline-spread knobs used at generation
+  double beta_hi = 1.0;
+  profibus::Network net;
+  /// Optional end-to-end transactions for Policy::Holistic. When empty, the
+  /// engine derives one single-stage transaction per stream.
+  std::vector<profibus::Transaction> transactions;
+};
+
+}  // namespace profisched::engine

@@ -1,0 +1,106 @@
+#include "engine/sweep_runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace profisched::engine {
+
+SweepRunner::SweepRunner(unsigned threads)
+    : pool_(threads == 0 ? ThreadPool::default_threads() : threads) {}
+
+unsigned SweepRunner::threads() const noexcept { return pool_.size(); }
+
+std::uint64_t SweepRunner::scenario_seed(std::uint64_t sweep_seed, std::uint64_t id) {
+  // SplitMix64 over (seed, id): uncorrelated per-scenario streams whatever
+  // the sweep seed, and — crucially — independent of worker assignment.
+  std::uint64_t state = sweep_seed ^ (id * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL);
+  return sim::splitmix64(state);
+}
+
+Scenario SweepRunner::make_scenario(const SweepSpec& spec, std::uint64_t id) {
+  if (spec.points.empty() || spec.scenarios_per_point == 0) {
+    throw std::invalid_argument("SweepSpec: needs >= 1 point and >= 1 scenario per point");
+  }
+  if (id >= spec.total_scenarios()) {
+    throw std::out_of_range("SweepRunner::make_scenario: id outside the sweep");
+  }
+  const std::size_t point = static_cast<std::size_t>(id) / spec.scenarios_per_point;
+  const SweepPoint& pt = spec.points[point];
+
+  workload::NetworkParams params = spec.base;
+  params.total_u = pt.total_u;
+  params.deadline_lo = pt.beta_lo;
+  params.deadline_hi = pt.beta_hi;
+
+  Scenario sc;
+  sc.id = id;
+  sc.seed = scenario_seed(spec.seed, id);
+  sc.total_u = pt.total_u;
+  sc.beta_lo = pt.beta_lo;
+  sc.beta_hi = pt.beta_hi;
+  sim::Rng rng(sc.seed);
+  sc.net = workload::random_network(params, rng).net;
+  return sc;
+}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) {
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("SweepSpec: needs >= 1 policy");
+  }
+  if (spec.points.empty() || spec.scenarios_per_point == 0) {
+    throw std::invalid_argument("SweepSpec: needs >= 1 point and >= 1 scenario per point");
+  }
+  const std::size_t n = spec.total_scenarios();
+  SweepResult out;
+  out.outcomes.resize(n);
+
+  // One engine per worker slot: the timing memo is reused across this
+  // scenario's policies without any cross-thread locking.
+  std::vector<AnalysisEngine> engines(pool_.size(), AnalysisEngine(spec.engine));
+
+  // A worker exception (e.g. a generation parameter the workload layer
+  // rejects) must surface on the calling thread, not std::terminate the
+  // process: capture the first one and rethrow after the pool drains.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
+    try {
+      AnalysisEngine& engine = engines[worker];
+      const Scenario sc = make_scenario(spec, i);
+
+      ScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
+      o.id = sc.id;
+      o.seed = sc.seed;
+      o.point = static_cast<std::size_t>(i) / spec.scenarios_per_point;
+      o.schedulable.reserve(spec.policies.size());
+      o.worst_slack.reserve(spec.policies.size());
+      for (const Policy policy : spec.policies) {
+        const Report r = engine.analyze(sc, policy);
+        o.tcycle = r.tcycle;
+        o.schedulable.push_back(r.schedulable);
+        o.worst_slack.push_back(r.worst_slack);
+      }
+      engine.forget(sc.id);
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+  out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+
+  for (const AnalysisEngine& e : engines) {
+    out.memo_hits += e.memo_hits();
+    out.memo_misses += e.memo_misses();
+  }
+  return out;
+}
+
+}  // namespace profisched::engine

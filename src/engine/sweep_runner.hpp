@@ -1,0 +1,86 @@
+// sweep_runner.hpp — fan thousands of generated scenarios across cores.
+//
+// A sweep is a grid of points (utilization × deadline spread), each point
+// holding `scenarios_per_point` independently generated networks, each
+// analysed under every requested policy. Scenario generation is keyed ONLY by
+// (sweep seed, global scenario index): worker i regenerates scenario j from
+// scratch with Rng(scenario_seed(seed, j)), and outcomes land in slot j of a
+// pre-sized vector. Results are therefore bit-identical for any thread count
+// — the acceptance property tests/engine/test_sweep_runner.cpp locks in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "engine/scenario.hpp"
+#include "engine/thread_pool.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched::engine {
+
+/// One grid point of a sweep.
+struct SweepPoint {
+  double total_u = 0.0;  ///< UUniFast target utilization (0 = period-driven)
+  double beta_lo = 1.0;  ///< deadlines drawn in [beta_lo·T, beta_hi·T]
+  double beta_hi = 1.0;
+};
+
+/// Everything that defines a sweep. `base` supplies the structural knobs
+/// (masters, streams, frame sizes, T_TR mode); each point overrides the
+/// utilization / deadline-spread axes.
+struct SweepSpec {
+  workload::NetworkParams base;
+  std::vector<SweepPoint> points;
+  std::size_t scenarios_per_point = 100;
+  std::vector<Policy> policies{Policy::Fcfs, Policy::Dm, Policy::Edf};
+  std::uint64_t seed = 1;
+  EngineOptions engine;
+
+  [[nodiscard]] std::size_t total_scenarios() const noexcept {
+    return points.size() * scenarios_per_point;
+  }
+};
+
+/// Per-scenario result: one verdict per requested policy (indexed like
+/// SweepSpec::policies) plus the shared timing facts.
+struct ScenarioOutcome {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;
+  std::size_t point = 0;  ///< index into SweepSpec::points
+  Ticks tcycle = 0;
+  std::vector<bool> schedulable;
+  std::vector<Ticks> worst_slack;
+};
+
+/// Whole-sweep result. `outcomes` is indexed by global scenario id, so its
+/// content is independent of thread count and scheduling order.
+struct SweepResult {
+  std::vector<ScenarioOutcome> outcomes;
+  double elapsed_s = 0.0;      ///< wall clock (NOT part of the deterministic data)
+  std::size_t memo_hits = 0;   ///< timing-memo reuse across policies
+  std::size_t memo_misses = 0;
+};
+
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks ThreadPool::default_threads().
+  explicit SweepRunner(unsigned threads = 0);
+
+  /// Deterministic seed for one scenario: depends only on the sweep seed and
+  /// the global scenario index.
+  [[nodiscard]] static std::uint64_t scenario_seed(std::uint64_t sweep_seed, std::uint64_t id);
+
+  /// Regenerate scenario `id` of the sweep (id in [0, total_scenarios())).
+  [[nodiscard]] static Scenario make_scenario(const SweepSpec& spec, std::uint64_t id);
+
+  /// Run the whole sweep across the pool.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec);
+
+  [[nodiscard]] unsigned threads() const noexcept;
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace profisched::engine

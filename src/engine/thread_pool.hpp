@@ -1,0 +1,62 @@
+// thread_pool.hpp — a fixed-size worker pool for the batch-analysis engine.
+//
+// Deliberately minimal: a bounded set of std::threads draining one FIFO of
+// std::function jobs. The engine's hot path is parallel_for, which carves an
+// index space [0, n) across the workers through a shared atomic cursor —
+// dynamic (work-stealing-ish) load balance with zero per-item allocation.
+// Determinism of sweep results does NOT depend on which worker runs which
+// index: workers write into disjoint slots of a pre-sized output vector.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace profisched::engine {
+
+class ThreadPool {
+ public:
+  /// Spin up `threads` workers (clamped to >= 1). The pool is fixed-size for
+  /// its whole lifetime.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue one job. Never blocks (unbounded queue).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+  /// Run fn(index, worker) for every index in [0, n), spread over the pool.
+  /// `worker` is a dense slot id in [0, size()): each concurrently-running
+  /// invocation sees a distinct slot, so callers can keep per-worker scratch
+  /// state (e.g. one AnalysisEngine each) without locking. Blocks until all
+  /// n invocations completed. Exceptions in fn terminate (noexcept workers);
+  /// analysis jobs are expected not to throw on validated inputs.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn);
+
+  /// Threads to use when the caller passed 0 = "auto".
+  [[nodiscard]] static unsigned default_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_job_;   // signalled when a job arrives / stop
+  std::condition_variable cv_idle_;  // signalled when the pool drains
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace profisched::engine

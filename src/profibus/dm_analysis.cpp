@@ -9,12 +9,17 @@
 namespace profisched::profibus {
 
 NetworkAnalysis analyze_dm(const Network& net, TcycleMethod method, Formulation form, int fuel) {
+  return analyze_dm(net, compute_timing(net, method), form, fuel);
+}
+
+NetworkAnalysis analyze_dm(const Network& net, const TimingMemo& memo, Formulation form,
+                           int fuel) {
   net.validate();
   NetworkAnalysis out;
-  out.tcycle = t_cycle(net);
+  out.tcycle = memo.tcycle;
   out.schedulable = true;
 
-  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
 
   for (std::size_t k = 0; k < net.n_masters(); ++k) {

@@ -46,4 +46,10 @@ namespace profisched::profibus {
                                          Formulation form = Formulation::PaperLiteral,
                                          int fuel = 1 << 16);
 
+/// Memoized form: reuse a precomputed TimingMemo (see compute_timing) instead
+/// of re-deriving T_del / T_cycle for this call.
+[[nodiscard]] NetworkAnalysis analyze_dm(const Network& net, const TimingMemo& memo,
+                                         Formulation form = Formulation::PaperLiteral,
+                                         int fuel = 1 << 16);
+
 }  // namespace profisched::profibus

@@ -88,14 +88,28 @@ OffsetOutcome response_at_offset(const Master& master, std::size_t i, Ticks a, T
 
 }  // namespace
 
+std::vector<Ticks> edf_busy_periods(const Network& net, const TimingMemo& memo, int fuel) {
+  std::vector<Ticks> out(net.n_masters());
+  for (std::size_t k = 0; k < net.n_masters(); ++k) {
+    out[k] = master_busy_period(net.masters[k], memo.per_master[k], fuel);
+  }
+  return out;
+}
+
 NetworkAnalysis analyze_edf(const Network& net, TcycleMethod method,
                             std::vector<std::vector<EdfStreamDetail>>* detail, int fuel) {
+  return analyze_edf(net, compute_timing(net, method), detail, fuel);
+}
+
+NetworkAnalysis analyze_edf(const Network& net, const TimingMemo& memo,
+                            std::vector<std::vector<EdfStreamDetail>>* detail, int fuel,
+                            const std::vector<Ticks>* busy) {
   net.validate();
   NetworkAnalysis out;
-  out.tcycle = t_cycle(net);
+  out.tcycle = memo.tcycle;
   out.schedulable = true;
 
-  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
   if (detail) detail->assign(net.n_masters(), {});
 
@@ -106,7 +120,7 @@ NetworkAnalysis analyze_edf(const Network& net, TcycleMethod method,
     ma.streams.resize(master.nh());
     if (detail) (*detail)[k].resize(master.nh());
 
-    const Ticks horizon = master_busy_period(master, tc[k], fuel);
+    const Ticks horizon = busy ? (*busy)[k] : master_busy_period(master, tc[k], fuel);
     for (std::size_t i = 0; i < master.nh(); ++i) {
       StreamResponse& r = ma.streams[i];
       if (horizon == kNoBound) {

@@ -46,4 +46,17 @@ struct EdfStreamDetail {
     const Network& net, TcycleMethod method = TcycleMethod::PaperEq13,
     std::vector<std::vector<EdfStreamDetail>>* detail = nullptr, int fuel = 1 << 16);
 
+/// Per-master synchronous busy period under one-T_cycle-per-request service
+/// (the offset-candidate horizon of eq. 10): L = Σ_i ⌈(L + J_i)/T_i⌉·T_cycle.
+/// kNoBound where the iteration diverges (token supply < request demand).
+[[nodiscard]] std::vector<Ticks> edf_busy_periods(const Network& net, const TimingMemo& memo,
+                                                  int fuel = 1 << 16);
+
+/// Memoized form: reuse a precomputed TimingMemo — and, when `busy` is
+/// non-null, precomputed edf_busy_periods — instead of re-deriving them.
+[[nodiscard]] NetworkAnalysis analyze_edf(
+    const Network& net, const TimingMemo& memo,
+    std::vector<std::vector<EdfStreamDetail>>* detail = nullptr, int fuel = 1 << 16,
+    const std::vector<Ticks>* busy = nullptr);
+
 }  // namespace profisched::profibus

@@ -3,12 +3,16 @@
 namespace profisched::profibus {
 
 NetworkAnalysis analyze_fcfs(const Network& net, TcycleMethod method) {
+  return analyze_fcfs(net, compute_timing(net, method));
+}
+
+NetworkAnalysis analyze_fcfs(const Network& net, const TimingMemo& memo) {
   net.validate();
   NetworkAnalysis out;
-  out.tcycle = t_cycle(net);
+  out.tcycle = memo.tcycle;
   out.schedulable = true;
 
-  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
 
   for (std::size_t k = 0; k < net.n_masters(); ++k) {

@@ -45,4 +45,8 @@ struct NetworkAnalysis {
 [[nodiscard]] NetworkAnalysis analyze_fcfs(const Network& net,
                                            TcycleMethod method = TcycleMethod::PaperEq13);
 
+/// Memoized form: reuse a precomputed TimingMemo (see compute_timing) instead
+/// of re-deriving T_del / T_cycle for this call.
+[[nodiscard]] NetworkAnalysis analyze_fcfs(const Network& net, const TimingMemo& memo);
+
 }  // namespace profisched::profibus

@@ -24,15 +24,20 @@ NetworkOrders deadline_monotonic_orders(const Network& net) {
 
 NetworkAnalysis analyze_fixed_priority(const Network& net, const NetworkOrders& orders,
                                        TcycleMethod method, Formulation form, int fuel) {
+  return analyze_fixed_priority(net, orders, compute_timing(net, method), form, fuel);
+}
+
+NetworkAnalysis analyze_fixed_priority(const Network& net, const NetworkOrders& orders,
+                                       const TimingMemo& memo, Formulation form, int fuel) {
   net.validate();
   if (orders.size() != net.n_masters()) {
     throw std::invalid_argument("analyze_fixed_priority: orders shape mismatch");
   }
   NetworkAnalysis out;
-  out.tcycle = t_cycle(net);
+  out.tcycle = memo.tcycle;
   out.schedulable = true;
 
-  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
 
   for (std::size_t k = 0; k < net.n_masters(); ++k) {
@@ -98,8 +103,13 @@ std::optional<StreamOrder> opa_master(const Master& master, Ticks tcycle, Formul
 
 std::optional<NetworkOrders> audsley_stream_orders(const Network& net, TcycleMethod method,
                                                    Formulation form, int fuel) {
+  return audsley_stream_orders(net, compute_timing(net, method), form, fuel);
+}
+
+std::optional<NetworkOrders> audsley_stream_orders(const Network& net, const TimingMemo& memo,
+                                                   Formulation form, int fuel) {
   net.validate();
-  const std::vector<Ticks> tc = t_cycle_per_master(net, method);
+  const std::vector<Ticks>& tc = memo.per_master;
   NetworkOrders out(net.n_masters());
   for (std::size_t k = 0; k < net.n_masters(); ++k) {
     auto order = opa_master(net.masters[k], tc[k], form, fuel);

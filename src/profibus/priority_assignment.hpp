@@ -36,11 +36,21 @@ using NetworkOrders = std::vector<StreamOrder>;
     TcycleMethod method = TcycleMethod::PaperEq13,
     Formulation form = Formulation::PaperLiteral, int fuel = 1 << 16);
 
+/// Memoized form: reuse a precomputed TimingMemo (see compute_timing).
+[[nodiscard]] NetworkAnalysis analyze_fixed_priority(
+    const Network& net, const NetworkOrders& orders, const TimingMemo& memo,
+    Formulation form = Formulation::PaperLiteral, int fuel = 1 << 16);
+
 /// Audsley's OPA at the message level: per master, find some priority order
 /// under which every stream meets its deadline (eq.-16 analysis), bottom-up.
 /// Returns std::nullopt if no fixed order schedules some master.
 [[nodiscard]] std::optional<NetworkOrders> audsley_stream_orders(
     const Network& net, TcycleMethod method = TcycleMethod::PaperEq13,
+    Formulation form = Formulation::PaperLiteral, int fuel = 1 << 16);
+
+/// Memoized form: reuse a precomputed TimingMemo (see compute_timing).
+[[nodiscard]] std::optional<NetworkOrders> audsley_stream_orders(
+    const Network& net, const TimingMemo& memo,
     Formulation form = Formulation::PaperLiteral, int fuel = 1 << 16);
 
 }  // namespace profisched::profibus

@@ -42,4 +42,13 @@ std::vector<Ticks> t_cycle_per_master(const Network& net, TcycleMethod method) {
   return out;
 }
 
+TimingMemo compute_timing(const Network& net, TcycleMethod method) {
+  TimingMemo memo;
+  memo.method = method;
+  memo.tdel = t_del(net);
+  memo.tcycle = sat_add(net.ttr, memo.tdel);
+  memo.per_master = t_cycle_per_master(net, method);
+  return memo;
+}
+
 }  // namespace profisched::profibus

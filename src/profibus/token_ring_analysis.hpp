@@ -42,4 +42,20 @@ enum class TcycleMethod {
 [[nodiscard]] std::vector<Ticks> t_cycle_per_master(const Network& net,
                                                     TcycleMethod method = TcycleMethod::PaperEq13);
 
+/// The timed-token timing facts every policy analysis needs. All of
+/// analyze_fcfs / analyze_dm / analyze_edf / analyze_fixed_priority re-derive
+/// T_del and the per-master T_cycle vector from scratch; when one scenario is
+/// analysed under several policies (the batch engine's core loop) the memo is
+/// computed once and passed to the memo-taking analysis overloads instead.
+struct TimingMemo {
+  TcycleMethod method = TcycleMethod::PaperEq13;
+  Ticks tdel = 0;                 ///< worst-case token lateness (eq. 13)
+  Ticks tcycle = 0;               ///< uniform eq.-14 bound T_TR + T_del
+  std::vector<Ticks> per_master;  ///< t_cycle_per_master(net, method)
+};
+
+/// Compute the memo in one pass over the network.
+[[nodiscard]] TimingMemo compute_timing(const Network& net,
+                                        TcycleMethod method = TcycleMethod::PaperEq13);
+
 }  // namespace profisched::profibus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "profibus/ttr_setting.hpp"
 #include "workload/uunifast.hpp"
@@ -35,11 +36,12 @@ TaskSet random_task_set(const TaskSetParams& p, sim::Rng& rng) {
   return TaskSet{std::move(tasks)};
 }
 
-GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng) {
-  GeneratedNetwork out;
-  out.net.bus = profibus::BusParameters{};
-  out.specs.resize(p.n_masters);
+namespace {
 
+/// Legacy generation: log-uniform periods, frame specs interleaved with the
+/// period/deadline draws (the RNG draw order is load-bearing for
+/// reproducibility of the pre-engine benches — do not reorder).
+void fill_period_driven(const NetworkParams& p, GeneratedNetwork& out, sim::Rng& rng) {
   for (std::size_t k = 0; k < p.n_masters; ++k) {
     profibus::Master master;
     master.name = "master" + std::to_string(k);
@@ -66,6 +68,75 @@ GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng) {
       master.longest_low_cycle = profibus::worst_case_cycle_time(out.net.bus, lp_spec);
     }
     out.net.masters.push_back(std::move(master));
+  }
+}
+
+/// UUniFast generation: per-master token-service utilizations drive periods.
+/// One token visit serves one request, so the load a master puts on its own
+/// queue is Σ_i T_cycle/T_i — THAT is the quantity schedulability pivots on,
+/// and the one UUniFast distributes: u_i drawn with Σ u_i = total_u, then
+/// T_i = T_cycle/u_i. Needs a fixed T_TR (T_cycle must be known before the
+/// periods exist, which rules out the eq.-15 auto mode); frame sizes and Ch
+/// stay PROFIBUS-realistic exactly as in the legacy mode.
+void fill_utilization_driven(const NetworkParams& p, GeneratedNetwork& out, sim::Rng& rng) {
+  if (p.ttr <= 0) {
+    throw std::invalid_argument(
+        "random_network: total_u > 0 requires an explicit ttr (T_cycle must be "
+        "known before periods can be derived from utilizations)");
+  }
+  // Pass 1 — structure: frame specs and cycle lengths for every stream.
+  for (std::size_t k = 0; k < p.n_masters; ++k) {
+    profibus::Master master;
+    master.name = "master" + std::to_string(k);
+    for (std::size_t i = 0; i < p.streams_per_master; ++i) {
+      profibus::MessageCycleSpec spec{
+          .request_chars = rng.uniform(p.request_chars_min, p.request_chars_max),
+          .response_chars = rng.uniform(p.response_chars_min, p.response_chars_max),
+      };
+      profibus::MessageStream s;
+      s.Ch = profibus::worst_case_cycle_time(out.net.bus, spec);
+      s.name = master.name + ".s" + std::to_string(i);
+      master.high_streams.push_back(std::move(s));
+      out.specs[k].push_back(spec);
+    }
+    if (p.low_priority_traffic) {
+      const profibus::MessageCycleSpec lp_spec{
+          .request_chars = p.request_chars_max,
+          .response_chars = p.response_chars_max,
+      };
+      master.longest_low_cycle = profibus::worst_case_cycle_time(out.net.bus, lp_spec);
+    }
+    out.net.masters.push_back(std::move(master));
+  }
+  // Pass 2 — timing: every cycle length is now known, so eq. 14 gives
+  // T_cycle, and the per-master utilization shares give the periods.
+  out.net.ttr = p.ttr;
+  const Ticks tcycle = profibus::t_cycle(out.net);
+  for (std::size_t k = 0; k < p.n_masters; ++k) {
+    const std::vector<double> u = uunifast(p.streams_per_master, p.total_u, rng);
+    for (std::size_t i = 0; i < p.streams_per_master; ++i) {
+      profibus::MessageStream& s = out.net.masters[k].high_streams[i];
+      const double ui = std::max(u[i], 1e-9);
+      s.T = std::max<Ticks>(
+          s.Ch, static_cast<Ticks>(std::llround(static_cast<double>(tcycle) / ui)));
+      const double beta = p.deadline_lo + (p.deadline_hi - p.deadline_lo) * rng.uniform01();
+      s.D = std::max<Ticks>(static_cast<Ticks>(std::llround(beta * static_cast<double>(s.T))),
+                            s.Ch);
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng) {
+  GeneratedNetwork out;
+  out.net.bus = profibus::BusParameters{};
+  out.specs.resize(p.n_masters);
+
+  if (p.total_u > 0) {
+    fill_utilization_driven(p, out, rng);
+  } else {
+    fill_period_driven(p, out, rng);
   }
 
   if (p.ttr > 0) {

@@ -49,6 +49,13 @@ struct NetworkParams {
   bool low_priority_traffic = true;  ///< give each master an LP cycle length
   Ticks ttr = 0;  ///< 0 = set T_TR automatically to the eq.-15 maximum (or a
                   ///  fallback when the set is FCFS-infeasible)
+  double total_u = 0.0;  ///< > 0: UUniFast-driven generation. Each master's
+                         ///  token-service utilizations u_i (= T_cycle/T_i,
+                         ///  the load one request per token visit puts on the
+                         ///  queue) are drawn summing to total_u, and periods
+                         ///  derived as T_i = T_cycle/u_i; t_min/t_max are
+                         ///  ignored. Requires an explicit ttr (> 0). 0 keeps
+                         ///  the legacy log-uniform period draw.
 };
 
 /// Generated network plus the frame specs behind each stream's Ch (needed by

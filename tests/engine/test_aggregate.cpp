@@ -1,0 +1,126 @@
+// Aggregation-layer tests: curve math and CSV/JSON round-trips.
+#include "engine/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace profisched::engine {
+namespace {
+
+SweepCurves sample_curves() {
+  SweepCurves c;
+  c.policies = {"FCFS", "DM", "EDF"};
+  c.points = {
+      CurvePoint{0.3, 0.5, 1.0, 400, {123, 400, 400}},
+      CurvePoint{0.6, 0.5, 1.0, 400, {0, 287, 301}},
+      CurvePoint{0.9, 0.25, 0.75, 400, {0, 4, 36}},
+  };
+  return c;
+}
+
+TEST(Aggregate, RatioMath) {
+  const SweepCurves c = sample_curves();
+  EXPECT_DOUBLE_EQ(c.points[0].ratio(0), 123.0 / 400.0);
+  EXPECT_DOUBLE_EQ(c.points[0].ratio(1), 1.0);
+  EXPECT_DOUBLE_EQ(CurvePoint{}.ratio(0), 0.0);  // no scenarios -> 0, not NaN
+}
+
+TEST(Aggregate, CsvHeaderAndShape) {
+  const std::string csv = sample_curves().to_csv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio");
+  // one header + 3 points x 3 policies rows
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 1 + 9);
+}
+
+TEST(Aggregate, CsvRoundTrips) {
+  const SweepCurves c = sample_curves();
+  const std::string csv = c.to_csv();
+  const SweepCurves back = SweepCurves::from_csv(csv);
+  ASSERT_EQ(back.policies, c.policies);
+  ASSERT_EQ(back.points.size(), c.points.size());
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].scenarios, c.points[i].scenarios);
+    EXPECT_EQ(back.points[i].schedulable, c.points[i].schedulable);
+  }
+  // emit ∘ parse is a fixed point on the engine's own output.
+  EXPECT_EQ(back.to_csv(), csv);
+}
+
+TEST(Aggregate, JsonRoundTrips) {
+  const SweepCurves c = sample_curves();
+  const std::string json = c.to_json();
+  const SweepCurves back = SweepCurves::from_json(json);
+  ASSERT_EQ(back.policies, c.policies);
+  ASSERT_EQ(back.points.size(), c.points.size());
+  for (std::size_t i = 0; i < c.points.size(); ++i) {
+    EXPECT_EQ(back.points[i].scenarios, c.points[i].scenarios);
+    EXPECT_EQ(back.points[i].schedulable, c.points[i].schedulable);
+  }
+  EXPECT_EQ(back.to_json(), json);
+}
+
+TEST(Aggregate, DuplicateGridPointsSurviveCsvRoundTrip) {
+  // Two distinct grid points may share (u, beta) values; they must not be
+  // merged on parse-back.
+  SweepCurves c;
+  c.policies = {"FCFS", "DM"};
+  c.points = {
+      CurvePoint{0.5, 0.5, 1.0, 10, {3, 9}},
+      CurvePoint{0.5, 0.5, 1.0, 10, {4, 10}},
+  };
+  const std::string csv = c.to_csv();
+  const SweepCurves back = SweepCurves::from_csv(csv);
+  ASSERT_EQ(back.points.size(), 2u);
+  EXPECT_EQ(back.points[0].schedulable, (std::vector<std::size_t>{3, 9}));
+  EXPECT_EQ(back.points[1].schedulable, (std::vector<std::size_t>{4, 10}));
+  EXPECT_EQ(back.to_csv(), csv);
+}
+
+TEST(Aggregate, CrossFormatAgreement) {
+  const std::string csv = sample_curves().to_csv();
+  const std::string json = sample_curves().to_json();
+  EXPECT_EQ(SweepCurves::from_csv(csv).to_json(), json);
+  EXPECT_EQ(SweepCurves::from_json(json).to_csv(), csv);
+}
+
+TEST(Aggregate, EmptyCurvesSerialize) {
+  SweepCurves empty;
+  EXPECT_EQ(SweepCurves::from_csv(empty.to_csv()).points.size(), 0u);
+  EXPECT_EQ(SweepCurves::from_json(empty.to_json()).points.size(), 0u);
+}
+
+TEST(Aggregate, MalformedInputsThrow) {
+  EXPECT_THROW((void)SweepCurves::from_csv(""), std::invalid_argument);
+  EXPECT_THROW((void)SweepCurves::from_csv("u,beta_lo\n1,2\n"), std::invalid_argument);
+  EXPECT_THROW((void)SweepCurves::from_csv(
+                   "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio\nx,y\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SweepCurves::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW((void)SweepCurves::from_json("{\"policies\": [\"DM\"]}"),
+               std::invalid_argument);
+}
+
+TEST(Aggregate, ReducesOutcomesByPoint) {
+  SweepSpec spec;
+  spec.points = {SweepPoint{0.2, 1.0, 1.0}, SweepPoint{0.8, 1.0, 1.0}};
+  spec.scenarios_per_point = 2;
+  spec.policies = {Policy::Fcfs, Policy::Dm};
+
+  SweepResult result;
+  result.outcomes.resize(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    result.outcomes[i].point = i / 2;
+    result.outcomes[i].schedulable = {i == 0, true};  // FCFS only on #0, DM always
+  }
+  const SweepCurves c = aggregate(spec, result);
+  ASSERT_EQ(c.policies, (std::vector<std::string>{"FCFS", "DM"}));
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_EQ(c.points[0].scenarios, 2u);
+  EXPECT_EQ(c.points[0].schedulable, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(c.points[1].schedulable, (std::vector<std::size_t>{0, 2}));
+}
+
+}  // namespace
+}  // namespace profisched::engine

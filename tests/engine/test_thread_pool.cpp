@@ -1,0 +1,72 @@
+// Unit tests for the engine's fixed-size worker pool.
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace profisched::engine {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeIsClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i, unsigned) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForWorkerSlotsAreDense) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> slot_used(4);
+  pool.parallel_for(200, [&](std::size_t, unsigned worker) {
+    ASSERT_LT(worker, 4u);
+    slot_used[worker].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& s : slot_used) total += s.load();
+  EXPECT_EQ(total, 200);
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  pool.parallel_for(0, [&](std::size_t, unsigned) { FAIL() << "no items to run"; });
+  std::atomic<int> counter{0};
+  pool.parallel_for(3, [&](std::size_t, unsigned worker) {
+    EXPECT_LT(worker, 3u);  // slots never exceed the item count
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(50, [&](std::size_t, unsigned) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 50);
+  }
+}
+
+}  // namespace
+}  // namespace profisched::engine

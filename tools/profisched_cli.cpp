@@ -6,11 +6,22 @@
 //   profisched simulate <file> [--policy fcfs|dm|edf] [--ms N] [--seed N]
 //                              [--histograms] [--trace N]
 //   profisched ttr      <file>
+//   profisched sweep    [--scenarios N] [--masters N] [--streams N]
+//                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
+//                       [--policies fcfs,dm,edf,opa,token,holistic] [--threads N]
+//                       [--seed N] [--ttr TICKS] [--method paper|refined]
+//                       [--csv FILE] [--json FILE]
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "config/network_loader.hpp"
+#include "engine/aggregate.hpp"
 #include "profibus/dispatching.hpp"
 #include "profibus/priority_assignment.hpp"
 #include "profibus/ttr_setting.hpp"
@@ -28,7 +39,12 @@ int usage() {
                "  profisched analyze  <file.ini> [--policy fcfs|dm|edf|opa|all]\n"
                "  profisched simulate <file.ini> [--policy fcfs|dm|edf] [--ms N]\n"
                "                      [--seed N] [--histograms] [--trace N]\n"
-               "  profisched ttr      <file.ini>\n");
+               "  profisched ttr      <file.ini>\n"
+               "  profisched sweep    [--scenarios N] [--masters N] [--streams N]\n"
+               "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
+               "                      [--policies fcfs,dm,edf,opa,token,holistic]\n"
+               "                      [--threads N] [--seed N] [--ttr TICKS]\n"
+               "                      [--method paper|refined] [--csv FILE] [--json FILE]\n");
   return 2;
 }
 
@@ -153,9 +169,212 @@ int cmd_ttr(const LoadedNetwork& ln) {
   return 1;
 }
 
+/// Strict full-string numeric parses: reject trailing garbage, negatives and
+/// overflow (atoll's silent 0 / wraparound turned typos into pathological
+/// sweeps). `max` bounds each flag to its sane range.
+bool parse_count(const char* s, std::size_t& out,
+                 std::size_t max = std::numeric_limits<std::size_t>::max()) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || std::strchr(s, '-') != nullptr || errno == ERANGE ||
+      v > max) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_nonneg_double(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || v < 0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_policies(const std::string& list, std::vector<engine::Policy>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name = list.substr(start, comma - start);
+    if (name == "fcfs") out.push_back(engine::Policy::Fcfs);
+    else if (name == "dm") out.push_back(engine::Policy::Dm);
+    else if (name == "edf") out.push_back(engine::Policy::Edf);
+    else if (name == "opa") out.push_back(engine::Policy::Opa);
+    else if (name == "token") out.push_back(engine::Policy::TokenRing);
+    else if (name == "holistic") out.push_back(engine::Policy::Holistic);
+    else return false;
+    // Duplicates would emit repeated policy columns the CSV/JSON formats
+    // cannot represent (their parse-back keys on the policy name).
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i] == out.back()) return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+int cmd_sweep(int argc, char** argv) {
+  engine::SweepSpec spec;
+  spec.base.n_masters = 1;
+  spec.base.streams_per_master = 5;
+  spec.base.ttr = 3'000;
+  spec.scenarios_per_point = 100;
+  spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  double u_lo = 0.1, u_hi = 0.9;
+  std::size_t u_steps = 9;
+  double beta_lo = 0.5, beta_hi = 1.0;
+  unsigned threads = 0;
+  std::string csv_path, json_path;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    std::size_t count = 0;
+    if (arg == "--scenarios" && (v = next())) {
+      if (!parse_count(v, spec.scenarios_per_point, 100'000'000) ||
+          spec.scenarios_per_point == 0) {
+        return usage();
+      }
+    } else if (arg == "--masters" && (v = next())) {
+      if (!parse_count(v, spec.base.n_masters, 4'096) || spec.base.n_masters == 0) {
+        return usage();
+      }
+    } else if (arg == "--streams" && (v = next())) {
+      if (!parse_count(v, spec.base.streams_per_master, 4'096) ||
+          spec.base.streams_per_master == 0) {
+        return usage();
+      }
+    } else if (arg == "--u" && (v = next())) {
+      // LO:HI:STEPS through the same strict parsers as every other flag
+      // (sscanf %zu would wrap negatives into astronomically large grids).
+      const std::string grid = v;
+      const std::size_t c1 = grid.find(':');
+      const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                     : grid.find(':', c1 + 1);
+      if (c2 == std::string::npos ||
+          !parse_nonneg_double(grid.substr(0, c1).c_str(), u_lo) ||
+          !parse_nonneg_double(grid.substr(c1 + 1, c2 - c1 - 1).c_str(), u_hi) ||
+          !parse_count(grid.substr(c2 + 1).c_str(), u_steps, 1'000'000)) {
+        return usage();
+      }
+    } else if (arg == "--beta-lo" && (v = next())) {
+      if (!parse_nonneg_double(v, beta_lo)) return usage();
+    } else if (arg == "--beta-hi" && (v = next())) {
+      if (!parse_nonneg_double(v, beta_hi)) return usage();
+    } else if (arg == "--policies" && (v = next())) {
+      if (!parse_policies(v, spec.policies)) return usage();
+    } else if (arg == "--threads" && (v = next())) {
+      if (!parse_count(v, count) || count > 1024) return usage();
+      threads = static_cast<unsigned>(count);
+    } else if (arg == "--seed" && (v = next())) {
+      if (!parse_count(v, count)) return usage();
+      spec.seed = count;
+    } else if (arg == "--ttr" && (v = next())) {
+      if (!parse_count(v, count, 1'000'000'000'000'000ULL)) return usage();
+      spec.base.ttr = static_cast<Ticks>(count);
+    } else if (arg == "--method" && (v = next())) {
+      if (std::strcmp(v, "paper") == 0) spec.engine.method = TcycleMethod::PaperEq13;
+      else if (std::strcmp(v, "refined") == 0) spec.engine.method = TcycleMethod::PerMasterRefined;
+      else return usage();
+    } else if (arg == "--csv" && (v = next())) {
+      csv_path = v;
+    } else if (arg == "--json" && (v = next())) {
+      json_path = v;
+    } else {
+      return usage();
+    }
+  }
+
+  // u = 0 would silently flip that grid point to the legacy period-driven
+  // generator — a different workload distribution; reject rather than mix.
+  if (u_steps == 0 || u_hi < u_lo || u_lo <= 0) {
+    std::fprintf(stderr, "error: --u grid must satisfy 0 < LO <= HI with STEPS >= 1\n");
+    return usage();
+  }
+  for (std::size_t s = 0; s < u_steps; ++s) {
+    const double u = u_steps == 1
+                         ? u_lo
+                         : u_lo + (u_hi - u_lo) * static_cast<double>(s) /
+                                      static_cast<double>(u_steps - 1);
+    spec.points.push_back(engine::SweepPoint{u, beta_lo, beta_hi});
+  }
+  if (spec.total_scenarios() > 100'000'000) {
+    std::fprintf(stderr, "error: sweep too large (%zu scenarios); shrink --u STEPS or "
+                         "--scenarios\n",
+                 spec.total_scenarios());
+    return 2;
+  }
+
+  engine::SweepRunner runner(threads);
+  std::printf("sweep: %zu scenarios (%zu points x %zu), %zu masters x %zu streams, "
+              "%u thread%s, seed %llu\n",
+              spec.total_scenarios(), spec.points.size(), spec.scenarios_per_point,
+              spec.base.n_masters, spec.base.streams_per_master, runner.threads(),
+              runner.threads() == 1 ? "" : "s",
+              static_cast<unsigned long long>(spec.seed));
+  const engine::SweepResult result = runner.run(spec);
+  const engine::SweepCurves curves = engine::aggregate(spec, result);
+
+  std::printf("\n%-8s", "U");
+  for (const std::string& p : curves.policies) std::printf(" %9s", p.c_str());
+  std::printf("\n");
+  for (const engine::CurvePoint& pt : curves.points) {
+    std::printf("%-8.3f", pt.total_u);
+    for (std::size_t p = 0; p < curves.policies.size(); ++p) {
+      std::printf(" %8.1f%%", 100.0 * pt.ratio(p));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%zu scenarios in %.3f s (%.0f scenario-analyses/s); timing memo: "
+              "%zu hits / %zu misses\n",
+              result.outcomes.size(), result.elapsed_s,
+              static_cast<double>(result.outcomes.size() * spec.policies.size()) /
+                  (result.elapsed_s > 0 ? result.elapsed_s : 1.0),
+              result.memo_hits, result.memo_misses);
+
+  const auto write_file = [](const std::string& path, const std::string& content) {
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    os.flush();  // surface ENOSPC-style errors now, not in the destructor
+    return os.good();
+  };
+  if (!csv_path.empty()) {
+    if (!write_file(csv_path, curves.to_csv())) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_file(json_path, curves.to_json())) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "sweep") == 0) {
+    try {
+      return cmd_sweep(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string path = argv[2];
