@@ -1,111 +1,16 @@
 #include "engine/aggregate.hpp"
 
-#include <cctype>
-#include <charconv>
-#include <cstdlib>
-#include <sstream>
 #include <stdexcept>
+
+#include "engine/detail/serialize.hpp"
 
 namespace profisched::engine {
 
-namespace {
-
-// std::to_chars / from_chars, not printf/strtod: the serialized formats must
-// not bend to the host's LC_NUMERIC (a ',' decimal separator would corrupt
-// both the CSV column count and the JSON grammar).
-std::string fmt_double(double v) {
-  char buf[64];
-  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed, 6);
-  return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
-}
-
-std::vector<std::string> split(const std::string& line, char sep) {
-  std::vector<std::string> out;
-  std::string cell;
-  std::istringstream is(line);
-  while (std::getline(is, cell, sep)) out.push_back(cell);
-  return out;
-}
-
-double to_double(const std::string& s) {
-  double v = 0.0;
-  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
-  if (ec != std::errc{} || ptr == s.data()) {
-    throw std::invalid_argument("SweepCurves: bad number '" + s + "'");
-  }
-  return v;
-}
-
-std::size_t to_size(const std::string& s) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str()) throw std::invalid_argument("SweepCurves: bad count '" + s + "'");
-  return static_cast<std::size_t>(v);
-}
-
-/// Cursor over the engine's own JSON output. Handles exactly the grammar
-/// to_json emits (objects, arrays, strings without escapes, numbers).
-class JsonCursor {
- public:
-  explicit JsonCursor(const std::string& text) : text_(text) {}
-
-  void expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      throw std::invalid_argument(std::string("SweepCurves: expected '") + c + "' at offset " +
-                                  std::to_string(pos_));
-    }
-    ++pos_;
-  }
-
-  [[nodiscard]] bool peek(char c) {
-    skip_ws();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  [[nodiscard]] std::string string() {
-    expect('"');
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
-    if (pos_ >= text_.size()) throw std::invalid_argument("SweepCurves: unterminated string");
-    return text_.substr(start, pos_++ - start);
-  }
-
-  [[nodiscard]] double number() {
-    skip_ws();
-    double v = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(text_.data() + pos_, text_.data() + text_.size(), v);
-    if (ec != std::errc{} || ptr == text_.data() + pos_) {
-      throw std::invalid_argument("SweepCurves: expected number at offset " +
-                                  std::to_string(pos_));
-    }
-    pos_ = static_cast<std::size_t>(ptr - text_.data());
-    return v;
-  }
-
-  void key(const char* name) {
-    const std::string k = string();
-    if (k != name) {
-      throw std::invalid_argument(std::string("SweepCurves: expected key '") + name +
-                                  "', got '" + k + "'");
-    }
-    expect(':');
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
+using detail::fmt_double;
+using detail::JsonCursor;
+using detail::split;
+using detail::to_double;
+using detail::to_size;
 
 std::string SweepCurves::to_csv() const {
   std::string out = "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio\n";

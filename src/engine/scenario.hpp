@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "profibus/frame_timing.hpp"
 #include "profibus/holistic.hpp"
 #include "profibus/network.hpp"
 
@@ -47,6 +48,10 @@ struct Scenario {
   /// Optional end-to-end transactions for Policy::Holistic. When empty, the
   /// engine derives one single-stage transaction per stream.
   std::vector<profibus::Transaction> transactions;
+  /// frame_specs[k][i] — the message-cycle frame specs behind stream i of
+  /// master k (the generator's provenance for Ch). Required only by the
+  /// simulation backend's FrameLevel cycle model; empty otherwise.
+  std::vector<std::vector<profibus::MessageCycleSpec>> frame_specs;
 };
 
 }  // namespace profisched::engine

@@ -1,0 +1,410 @@
+#include "engine/sim_aggregate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/detail/serialize.hpp"
+
+namespace profisched::engine {
+
+using detail::fmt_double;
+using detail::JsonCursor;
+using detail::split;
+using detail::to_double;
+using detail::to_ll;
+using detail::to_size;
+
+// ---------------------------------------------------------------- SimCurves
+
+std::string SimCurves::to_csv() const {
+  std::string out =
+      "u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,max_observed,"
+      "ratio\n";
+  for (const SimCurvePoint& pt : points) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      out += fmt_double(pt.total_u) + ',' + fmt_double(pt.beta_lo) + ',' +
+             fmt_double(pt.beta_hi) + ',' + std::to_string(pt.scenarios) + ',' + policies[p] +
+             ',' + std::to_string(pt.miss_free[p]) + ',' + std::to_string(pt.total_misses[p]) +
+             ',' + std::to_string(pt.total_dropped[p]) + ',' +
+             std::to_string(pt.max_observed[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
+    }
+  }
+  return out;
+}
+
+SimCurves SimCurves::from_csv(const std::string& csv) {
+  SimCurves out;
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || split(line, ',').size() != 10) {
+    throw std::invalid_argument("SimCurves: missing/short CSV header");
+  }
+  // Which policies the current (last) point already has a row for; a repeated
+  // policy starts a new point even when grid keys repeat (distinct points may
+  // share (u, beta) values).
+  std::vector<bool> filled;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split(line, ',');
+    if (cells.size() != 10) {
+      throw std::invalid_argument("SimCurves: bad CSV row '" + line + "'");
+    }
+    const double u = to_double(cells[0]);
+    const double blo = to_double(cells[1]);
+    const double bhi = to_double(cells[2]);
+    const std::size_t scenarios = to_size(cells[3]);
+    const std::string& policy = cells[4];
+
+    std::size_t p = 0;
+    while (p < out.policies.size() && out.policies[p] != policy) ++p;
+    if (p == out.policies.size()) out.policies.push_back(policy);
+
+    const bool same_key = !out.points.empty() && out.points.back().total_u == u &&
+                          out.points.back().beta_lo == blo && out.points.back().beta_hi == bhi;
+    if (!same_key || (p < filled.size() && filled[p])) {
+      out.points.push_back(SimCurvePoint{u, blo, bhi, scenarios, {}, {}, {}, {}});
+      filled.assign(out.policies.size(), false);
+    }
+    SimCurvePoint& pt = out.points.back();
+    pt.miss_free.resize(out.policies.size(), 0);
+    pt.total_misses.resize(out.policies.size(), 0);
+    pt.total_dropped.resize(out.policies.size(), 0);
+    pt.max_observed.resize(out.policies.size(), 0);
+    filled.resize(out.policies.size(), false);
+    pt.miss_free[p] = to_size(cells[5]);
+    pt.total_misses[p] = static_cast<std::uint64_t>(to_ll(cells[6]));
+    pt.total_dropped[p] = static_cast<std::uint64_t>(to_ll(cells[7]));
+    pt.max_observed[p] = to_ll(cells[8]);
+    filled[p] = true;
+  }
+  for (SimCurvePoint& pt : out.points) {
+    pt.miss_free.resize(out.policies.size(), 0);
+    pt.total_misses.resize(out.policies.size(), 0);
+    pt.total_dropped.resize(out.policies.size(), 0);
+    pt.max_observed.resize(out.policies.size(), 0);
+  }
+  return out;
+}
+
+std::string SimCurves::to_json() const {
+  std::string out = "{\n  \"policies\": [";
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    out += (p == 0 ? "" : ", ");
+    out += '"' + policies[p] + '"';
+  }
+  out += "],\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SimCurvePoint& pt = points[i];
+    out += "    {\"u\": " + fmt_double(pt.total_u) + ", \"beta_lo\": " + fmt_double(pt.beta_lo) +
+           ", \"beta_hi\": " + fmt_double(pt.beta_hi) +
+           ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"series\": {";
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      out += (p == 0 ? "" : ", ");
+      out += '"' + policies[p] + "\": [" + std::to_string(pt.miss_free[p]) + ", " +
+             std::to_string(pt.total_misses[p]) + ", " + std::to_string(pt.total_dropped[p]) +
+             ", " + std::to_string(pt.max_observed[p]) + ']';
+    }
+    out += "}}";
+    out += (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+SimCurves SimCurves::from_json(const std::string& json) {
+  SimCurves out;
+  JsonCursor c(json);
+  c.expect('{');
+  c.key("policies");
+  c.expect('[');
+  if (!c.peek(']')) {
+    for (;;) {
+      out.policies.push_back(c.string());
+      if (!c.peek(',')) break;
+      c.expect(',');
+    }
+  }
+  c.expect(']');
+  c.expect(',');
+  c.key("points");
+  c.expect('[');
+  if (!c.peek(']')) {
+    for (;;) {
+      SimCurvePoint pt;
+      c.expect('{');
+      c.key("u");
+      pt.total_u = c.number();
+      c.expect(',');
+      c.key("beta_lo");
+      pt.beta_lo = c.number();
+      c.expect(',');
+      c.key("beta_hi");
+      pt.beta_hi = c.number();
+      c.expect(',');
+      c.key("scenarios");
+      pt.scenarios = static_cast<std::size_t>(c.number());
+      c.expect(',');
+      c.key("series");
+      c.expect('{');
+      pt.miss_free.assign(out.policies.size(), 0);
+      pt.total_misses.assign(out.policies.size(), 0);
+      pt.total_dropped.assign(out.policies.size(), 0);
+      pt.max_observed.assign(out.policies.size(), 0);
+      if (!c.peek('}')) {
+        for (;;) {
+          const std::string policy = c.string();
+          c.expect(':');
+          c.expect('[');
+          const auto miss_free = static_cast<std::size_t>(c.integer());
+          c.expect(',');
+          const auto misses = static_cast<std::uint64_t>(c.integer());
+          c.expect(',');
+          const auto dropped = static_cast<std::uint64_t>(c.integer());
+          c.expect(',');
+          const Ticks max_observed = c.integer();
+          c.expect(']');
+          std::size_t p = 0;
+          while (p < out.policies.size() && out.policies[p] != policy) ++p;
+          if (p == out.policies.size()) {
+            throw std::invalid_argument("SimCurves: unknown policy '" + policy + "' in point");
+          }
+          pt.miss_free[p] = miss_free;
+          pt.total_misses[p] = misses;
+          pt.total_dropped[p] = dropped;
+          pt.max_observed[p] = max_observed;
+          if (!c.peek(',')) break;
+          c.expect(',');
+        }
+      }
+      c.expect('}');
+      c.expect('}');
+      out.points.push_back(std::move(pt));
+      if (!c.peek(',')) break;
+      c.expect(',');
+    }
+  }
+  c.expect(']');
+  c.expect('}');
+  return out;
+}
+
+SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) {
+  SimCurves out;
+  out.policies.reserve(spec.sweep.policies.size());
+  for (const Policy p : spec.sweep.policies) out.policies.emplace_back(to_string(p));
+
+  out.points.resize(spec.sweep.points.size());
+  for (std::size_t i = 0; i < spec.sweep.points.size(); ++i) {
+    out.points[i].total_u = spec.sweep.points[i].total_u;
+    out.points[i].beta_lo = spec.sweep.points[i].beta_lo;
+    out.points[i].beta_hi = spec.sweep.points[i].beta_hi;
+    out.points[i].miss_free.assign(spec.sweep.policies.size(), 0);
+    out.points[i].total_misses.assign(spec.sweep.policies.size(), 0);
+    out.points[i].total_dropped.assign(spec.sweep.policies.size(), 0);
+    out.points[i].max_observed.assign(spec.sweep.policies.size(), 0);
+  }
+  for (const SimScenarioOutcome& o : result.outcomes) {
+    SimCurvePoint& pt = out.points[o.point];
+    ++pt.scenarios;
+    for (std::size_t p = 0; p < o.misses.size(); ++p) {
+      // "Miss-free" demands clean delivery: a dropped (never-completed) cycle
+      // disqualifies the scenario just like an observed deadline miss would.
+      if (o.misses[p] == 0 && o.dropped[p] == 0) ++pt.miss_free[p];
+      pt.total_misses[p] += o.misses[p];
+      pt.total_dropped[p] += o.dropped[p];
+      pt.max_observed[p] = std::max(pt.max_observed[p], o.observed_max[p]);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- ConsistencyTable
+
+std::string ConsistencyTable::to_csv() const {
+  std::string out =
+      "id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,observed_p99,"
+      "misses,completed,dropped,bound_violations,accept_but_miss,pessimism\n";
+  for (const ConsistencyRow& r : rows) {
+    out += std::to_string(r.id) + ',' + std::to_string(r.seed) + ',' + fmt_double(r.total_u) +
+           ',' + r.policy + ',' + (r.analytic_schedulable ? '1' : '0') + ',' +
+           std::to_string(r.analytic_wcrt) + ',' + std::to_string(r.observed_max) + ',' +
+           std::to_string(r.observed_p99) + ',' + std::to_string(r.misses) + ',' +
+           std::to_string(r.completed) + ',' + std::to_string(r.dropped) + ',' +
+           std::to_string(r.bound_violations) + ',' + (r.accept_but_miss ? '1' : '0') + ',' +
+           fmt_double(r.pessimism()) + '\n';
+  }
+  return out;
+}
+
+ConsistencyTable ConsistencyTable::from_csv(const std::string& csv) {
+  ConsistencyTable out;
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line) || split(line, ',').size() != 14) {
+    throw std::invalid_argument("ConsistencyTable: missing/short CSV header");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split(line, ',');
+    if (cells.size() != 14) {
+      throw std::invalid_argument("ConsistencyTable: bad CSV row '" + line + "'");
+    }
+    ConsistencyRow r;
+    r.id = static_cast<std::uint64_t>(to_ll(cells[0]));
+    r.seed = static_cast<std::uint64_t>(to_size(cells[1]));
+    r.total_u = to_double(cells[2]);
+    r.policy = cells[3];
+    r.analytic_schedulable = cells[4] == "1";
+    r.analytic_wcrt = to_ll(cells[5]);
+    r.observed_max = to_ll(cells[6]);
+    r.observed_p99 = to_ll(cells[7]);
+    r.misses = static_cast<std::uint64_t>(to_ll(cells[8]));
+    r.completed = static_cast<std::uint64_t>(to_ll(cells[9]));
+    r.dropped = static_cast<std::uint64_t>(to_ll(cells[10]));
+    r.bound_violations = static_cast<std::uint64_t>(to_ll(cells[11]));
+    r.accept_but_miss = cells[12] == "1";
+    // cells[13] (pessimism) is derived; recomputed on demand.
+    out.rows.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string ConsistencyTable::to_json() const {
+  std::string out = "{\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ConsistencyRow& r = rows[i];
+    out += "    {\"id\": " + std::to_string(r.id) + ", \"seed\": " + std::to_string(r.seed) +
+           ", \"u\": " + fmt_double(r.total_u) + ", \"policy\": \"" + r.policy +
+           "\", \"analytic_schedulable\": " + (r.analytic_schedulable ? "true" : "false") +
+           ", \"analytic_wcrt\": " + std::to_string(r.analytic_wcrt) +
+           ", \"observed_max\": " + std::to_string(r.observed_max) +
+           ", \"observed_p99\": " + std::to_string(r.observed_p99) +
+           ", \"misses\": " + std::to_string(r.misses) +
+           ", \"completed\": " + std::to_string(r.completed) +
+           ", \"dropped\": " + std::to_string(r.dropped) +
+           ", \"bound_violations\": " + std::to_string(r.bound_violations) +
+           ", \"accept_but_miss\": " + (r.accept_but_miss ? "true" : "false") + "}";
+    out += (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+bool parse_bool_token(JsonCursor& c) {
+  // The grammar emits exactly `true` / `false`; consume via string-free peek.
+  if (c.peek('t')) {
+    c.expect('t');
+    c.expect('r');
+    c.expect('u');
+    c.expect('e');
+    return true;
+  }
+  c.expect('f');
+  c.expect('a');
+  c.expect('l');
+  c.expect('s');
+  c.expect('e');
+  return false;
+}
+
+}  // namespace
+
+ConsistencyTable ConsistencyTable::from_json(const std::string& json) {
+  ConsistencyTable out;
+  JsonCursor c(json);
+  c.expect('{');
+  c.key("rows");
+  c.expect('[');
+  if (!c.peek(']')) {
+    for (;;) {
+      ConsistencyRow r;
+      c.expect('{');
+      c.key("id");
+      r.id = static_cast<std::uint64_t>(c.uinteger());
+      c.expect(',');
+      c.key("seed");
+      r.seed = static_cast<std::uint64_t>(c.uinteger());
+      c.expect(',');
+      c.key("u");
+      r.total_u = c.number();
+      c.expect(',');
+      c.key("policy");
+      r.policy = c.string();
+      c.expect(',');
+      c.key("analytic_schedulable");
+      r.analytic_schedulable = parse_bool_token(c);
+      c.expect(',');
+      c.key("analytic_wcrt");
+      r.analytic_wcrt = c.integer();
+      c.expect(',');
+      c.key("observed_max");
+      r.observed_max = c.integer();
+      c.expect(',');
+      c.key("observed_p99");
+      r.observed_p99 = c.integer();
+      c.expect(',');
+      c.key("misses");
+      r.misses = static_cast<std::uint64_t>(c.integer());
+      c.expect(',');
+      c.key("completed");
+      r.completed = static_cast<std::uint64_t>(c.integer());
+      c.expect(',');
+      c.key("dropped");
+      r.dropped = static_cast<std::uint64_t>(c.integer());
+      c.expect(',');
+      c.key("bound_violations");
+      r.bound_violations = static_cast<std::uint64_t>(c.integer());
+      c.expect(',');
+      c.key("accept_but_miss");
+      r.accept_but_miss = parse_bool_token(c);
+      c.expect('}');
+      out.rows.push_back(std::move(r));
+      if (!c.peek(',')) break;
+      c.expect(',');
+    }
+  }
+  c.expect(']');
+  c.expect('}');
+  return out;
+}
+
+std::size_t ConsistencyTable::accept_but_miss_count() const noexcept {
+  std::size_t n = 0;
+  for (const ConsistencyRow& r : rows) n += r.accept_but_miss ? 1 : 0;
+  return n;
+}
+
+std::uint64_t ConsistencyTable::total_bound_violations() const noexcept {
+  std::uint64_t n = 0;
+  for (const ConsistencyRow& r : rows) n += r.bound_violations;
+  return n;
+}
+
+ConsistencyTable consistency_table(const SimSweepSpec& spec, const CombinedResult& result) {
+  ConsistencyTable out;
+  out.rows.reserve(result.outcomes.size() * spec.sweep.policies.size());
+  for (const CombinedOutcome& o : result.outcomes) {
+    for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+      ConsistencyRow r;
+      r.id = o.sim.id;
+      r.seed = o.sim.seed;
+      r.total_u = spec.sweep.points[o.sim.point].total_u;
+      r.policy = std::string(to_string(spec.sweep.policies[p]));
+      r.analytic_schedulable = o.analytic_schedulable[p];
+      r.analytic_wcrt = o.analytic_wcrt[p];
+      r.observed_max = o.sim.observed_max[p];
+      r.observed_p99 = o.sim.observed_p99[p];
+      r.misses = o.sim.misses[p];
+      r.completed = o.sim.completed[p];
+      r.dropped = o.sim.dropped[p];
+      r.bound_violations = o.bound_violations[p];
+      r.accept_but_miss = o.analytic_schedulable[p] && o.sim.misses[p] > 0;
+      out.rows.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace profisched::engine

@@ -1,0 +1,108 @@
+// sim_aggregate.hpp — reduce simulation-sweep outcomes into observed
+// acceptance curves, and join combined (analysis + simulation) outcomes into
+// per-scenario consistency rows. Like engine/aggregate.hpp, every serialized
+// format parses back (from_csv / from_json), so the round-trip tests and
+// downstream tooling consume exactly what the engine emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+
+/// One grid point of the simulated acceptance curves: per policy, how many of
+/// the point's scenarios completed every replication without a deadline miss
+/// (or an undelivered, dropped cycle), plus the miss/drop mass and the
+/// largest observed response.
+struct SimCurvePoint {
+  double total_u = 0.0;
+  double beta_lo = 1.0;
+  double beta_hi = 1.0;
+  std::size_t scenarios = 0;
+  std::vector<std::size_t> miss_free;        ///< indexed like SimCurves::policies
+  std::vector<std::uint64_t> total_misses;
+  std::vector<std::uint64_t> total_dropped;
+  std::vector<Ticks> max_observed;
+
+  [[nodiscard]] double ratio(std::size_t policy) const {
+    return scenarios == 0 ? 0.0
+                          : static_cast<double>(miss_free[policy]) /
+                                static_cast<double>(scenarios);
+  }
+};
+
+/// Observed (simulation) acceptance curves: one point per sweep point, one
+/// series per policy.
+struct SimCurves {
+  std::vector<std::string> policies;
+  std::vector<SimCurvePoint> points;
+
+  /// CSV: one row per (point, policy):
+  ///   u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,
+  ///   max_observed,ratio
+  [[nodiscard]] std::string to_csv() const;
+  /// JSON {"policies": [...], "points": [{...}]} mirroring the CSV columns.
+  [[nodiscard]] std::string to_json() const;
+  /// Parse what to_csv emitted (the derived ratio column is recomputed).
+  [[nodiscard]] static SimCurves from_csv(const std::string& csv);
+  /// Parse what to_json emitted. Throws std::invalid_argument on mismatch.
+  [[nodiscard]] static SimCurves from_json(const std::string& json);
+};
+
+/// Reduce a simulation sweep against the spec that produced it.
+[[nodiscard]] SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result);
+
+/// One joined analysis-vs-simulation row (combined mode): a single
+/// (scenario, policy) pair with the analytic verdict/bound next to the
+/// observed simulation behaviour.
+struct ConsistencyRow {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;
+  double total_u = 0.0;
+  std::string policy;
+  bool analytic_schedulable = false;
+  Ticks analytic_wcrt = 0;  ///< kNoBound when some stream's iteration diverged
+  Ticks observed_max = 0;
+  Ticks observed_p99 = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;           ///< cycles abandoned after exhausting retries
+  std::uint64_t bound_violations = 0;  ///< streams with observed > bound (must be 0)
+  bool accept_but_miss = false;        ///< analysis accepts, simulation missed (must be false)
+
+  /// Bound/observed pessimism ratio; 0 when undefined (unbounded analytic
+  /// WCRT or nothing observed). >= 1 whenever the analysis is sound.
+  [[nodiscard]] double pessimism() const {
+    if (analytic_wcrt == kNoBound || observed_max <= 0) return 0.0;
+    return static_cast<double>(analytic_wcrt) / static_cast<double>(observed_max);
+  }
+};
+
+/// The full joined table plus its serializations.
+struct ConsistencyTable {
+  std::vector<ConsistencyRow> rows;
+
+  /// CSV: one row per (scenario, policy):
+  ///   id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,
+  ///   observed_p99,misses,completed,dropped,bound_violations,accept_but_miss,
+  ///   pessimism
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+  /// Parse what to_csv emitted (the derived pessimism column is recomputed).
+  [[nodiscard]] static ConsistencyTable from_csv(const std::string& csv);
+  [[nodiscard]] static ConsistencyTable from_json(const std::string& json);
+
+  /// Rows where the analysis accepted but the simulation observed a miss.
+  /// A sound analysis keeps this 0 — the acceptance criterion of the suite.
+  [[nodiscard]] std::size_t accept_but_miss_count() const noexcept;
+  /// Total per-stream bound violations across the table (must be 0).
+  [[nodiscard]] std::uint64_t total_bound_violations() const noexcept;
+};
+
+/// Join a combined run against the spec that produced it.
+[[nodiscard]] ConsistencyTable consistency_table(const SimSweepSpec& spec,
+                                                 const CombinedResult& result);
+
+}  // namespace profisched::engine

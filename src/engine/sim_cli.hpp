@@ -1,0 +1,51 @@
+// sim_cli.hpp — argument parsing for the `profisched simulate` sweep mode,
+// kept in the library (rather than the CLI translation unit) so the argument
+// validation is unit-testable: tests/engine/test_sim_cli.cpp feeds it the
+// same argv slices the tool does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+
+/// Everything `profisched simulate` (sweep mode) needs beyond the spec.
+struct SimSweepCli {
+  SimSweepSpec spec;
+  unsigned threads = 0;  ///< 0 = auto
+  bool combined = false; ///< also analyse; emit joined consistency rows
+  std::string csv_path;
+  std::string json_path;
+};
+
+/// Parse the flags after `profisched simulate` into `out`. Returns true on
+/// success; on failure returns false with a one-line diagnostic in `error`
+/// (never throws). Accepted flags:
+///   --scenarios N  --reps N  --masters N  --streams N
+///   --u LO:HI:STEPS  --beta-lo X  --beta-hi X
+///   --policies fcfs,dm,edf  --threads N  --seed N  --ttr TICKS
+///   --horizon TICKS  --cycles X  --model worst|uniform|frame
+///   --lp  --combined  --csv FILE  --json FILE
+[[nodiscard]] bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out,
+                                        std::string& error);
+
+// Strict full-string scalar parses shared by every profisched subcommand:
+// reject trailing garbage, negatives and overflow, and bound each value to
+// its sane range (atoll's silent 0 / wraparound turned typos into
+// pathological sweeps).
+
+[[nodiscard]] bool parse_cli_count(const std::string& s, std::size_t& out,
+                                   std::size_t max = std::size_t(-1));
+
+[[nodiscard]] bool parse_cli_nonneg_double(const std::string& s, double& out);
+
+/// Comma-separated policy names (duplicates rejected — the serialized column
+/// formats key on unique policy names). `simulable_only` restricts the table
+/// to the AP-queue policies the simulator implements; otherwise every
+/// analysis Policy name is accepted (fcfs,dm,edf,opa,token,holistic).
+[[nodiscard]] bool parse_cli_policies(const std::string& list, bool simulable_only,
+                                      std::vector<Policy>& out);
+
+}  // namespace profisched::engine

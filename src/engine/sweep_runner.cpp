@@ -1,5 +1,6 @@
 #include "engine/sweep_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
 #include <mutex>
@@ -43,9 +44,67 @@ Scenario SweepRunner::make_scenario(const SweepSpec& spec, std::uint64_t id) {
   sc.beta_lo = pt.beta_lo;
   sc.beta_hi = pt.beta_hi;
   sim::Rng rng(sc.seed);
-  sc.net = workload::random_network(params, rng).net;
+  workload::GeneratedNetwork g = workload::random_network(params, rng);
+  sc.net = std::move(g.net);
+  sc.frame_specs = std::move(g.specs);
   return sc;
 }
+
+namespace {
+
+void validate_sim_spec(const SimSweepSpec& spec) {
+  if (spec.sweep.policies.empty()) {
+    throw std::invalid_argument("SimSweepSpec: needs >= 1 policy");
+  }
+  if (spec.sweep.points.empty() || spec.sweep.scenarios_per_point == 0) {
+    throw std::invalid_argument("SimSweepSpec: needs >= 1 point and >= 1 scenario per point");
+  }
+  if (spec.replications == 0) {
+    throw std::invalid_argument("SimSweepSpec: needs >= 1 replication");
+  }
+  for (const Policy p : spec.sweep.policies) {
+    if (!SimulationEngine::simulable(p)) {
+      throw std::invalid_argument(std::string("SimSweepSpec: policy ") +
+                                  std::string(to_string(p)) + " cannot be simulated");
+    }
+  }
+}
+
+/// Simulate one (scenario, policy) across every replication, reducing to the
+/// sweep's scalar columns. When `per_stream_max` is non-null it receives, per
+/// (master, stream), the max observed response over all replications — the
+/// quantity the combined mode checks against each analytic bound.
+SimSummary simulate_policy(const SimulationEngine& sim, const Scenario& sc, Policy policy,
+                           std::size_t replications,
+                           std::vector<std::vector<Ticks>>* per_stream_max) {
+  SimSummary agg;
+  if (per_stream_max != nullptr) {
+    per_stream_max->assign(sc.net.n_masters(), {});
+    for (std::size_t k = 0; k < sc.net.n_masters(); ++k) {
+      (*per_stream_max)[k].assign(sc.net.masters[k].nh(), 0);
+    }
+  }
+  for (std::size_t rep = 0; rep < replications; ++rep) {
+    const sim::SimReport r = sim.simulate(sc, policy, rep);
+    const SimSummary s = SimulationEngine::summarize(r);
+    agg.observed_max = std::max(agg.observed_max, s.observed_max);
+    agg.observed_p99 = std::max(agg.observed_p99, s.observed_p99);
+    agg.released += s.released;
+    agg.completed += s.completed;
+    agg.misses += s.misses;
+    agg.dropped += s.dropped;
+    if (per_stream_max != nullptr) {
+      for (std::size_t k = 0; k < r.hp.size(); ++k) {
+        for (std::size_t i = 0; i < r.hp[k].size(); ++i) {
+          (*per_stream_max)[k][i] = std::max((*per_stream_max)[k][i], r.hp[k][i].max_response);
+        }
+      }
+    }
+  }
+  return agg;
+}
+
+}  // namespace
 
 SweepResult SweepRunner::run(const SweepSpec& spec) {
   if (spec.policies.empty()) {
@@ -101,6 +160,136 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
     out.memo_misses += e.memo_misses();
   }
   return out;
+}
+
+SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec) {
+  validate_sim_spec(spec);
+  const std::size_t n = spec.sweep.total_scenarios();
+  SimSweepResult out;
+  out.outcomes.resize(n);
+
+  const SimulationEngine sim(spec.sim);  // stateless: shared by every worker
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pool_.parallel_for(n, [&](std::size_t i, unsigned) {
+    try {
+      const Scenario sc = make_scenario(spec.sweep, i);
+
+      SimScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
+      o.id = sc.id;
+      o.seed = sc.seed;
+      o.point = static_cast<std::size_t>(i) / spec.sweep.scenarios_per_point;
+      o.horizon = sim.horizon_for(sc);
+      for (const Policy policy : spec.sweep.policies) {
+        const SimSummary s = simulate_policy(sim, sc, policy, spec.replications, nullptr);
+        o.observed_max.push_back(s.observed_max);
+        o.observed_p99.push_back(s.observed_p99);
+        o.released.push_back(s.released);
+        o.completed.push_back(s.completed);
+        o.misses.push_back(s.misses);
+        o.dropped.push_back(s.dropped);
+      }
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+  out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
+  validate_sim_spec(spec);
+  const std::size_t n = spec.sweep.total_scenarios();
+  CombinedResult out;
+  out.outcomes.resize(n);
+
+  const SimulationEngine sim(spec.sim);
+  std::vector<AnalysisEngine> engines(pool_.size(), AnalysisEngine(spec.sweep.engine));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
+    try {
+      AnalysisEngine& engine = engines[worker];
+      const Scenario sc = make_scenario(spec.sweep, i);
+
+      CombinedOutcome& o = out.outcomes[i];  // disjoint slot per index
+      o.sim.id = sc.id;
+      o.sim.seed = sc.seed;
+      o.sim.point = static_cast<std::size_t>(i) / spec.sweep.scenarios_per_point;
+      o.sim.horizon = sim.horizon_for(sc);
+      std::vector<std::vector<Ticks>> per_stream_max;
+      for (const Policy policy : spec.sweep.policies) {
+        const Report a = engine.analyze(sc, policy);
+        o.analytic_schedulable.push_back(a.schedulable);
+        Ticks wcrt = 0;
+        for (const profibus::MasterAnalysis& m : a.detail.masters) {
+          for (const profibus::StreamResponse& s : m.streams) {
+            wcrt = s.response == kNoBound ? kNoBound : std::max(wcrt, s.response);
+            if (wcrt == kNoBound) break;
+          }
+          if (wcrt == kNoBound) break;
+        }
+        o.analytic_wcrt.push_back(wcrt);
+
+        const SimSummary s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
+        o.sim.observed_max.push_back(s.observed_max);
+        o.sim.observed_p99.push_back(s.observed_p99);
+        o.sim.released.push_back(s.released);
+        o.sim.completed.push_back(s.completed);
+        o.sim.misses.push_back(s.misses);
+        o.sim.dropped.push_back(s.dropped);
+
+        // Per-stream consistency: every bounded analytic response must
+        // dominate that stream's observed max across all replications.
+        std::uint64_t violations = 0;
+        for (std::size_t k = 0; k < a.detail.masters.size(); ++k) {
+          for (std::size_t si = 0; si < a.detail.masters[k].streams.size(); ++si) {
+            const Ticks bound = a.detail.masters[k].streams[si].response;
+            if (bound != kNoBound && per_stream_max[k][si] > bound) ++violations;
+          }
+        }
+        o.bound_violations.push_back(violations);
+      }
+      engine.forget(sc.id);
+    } catch (...) {
+      std::lock_guard lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+  out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+
+  for (const AnalysisEngine& e : engines) {
+    out.memo_hits += e.memo_hits();
+    out.memo_misses += e.memo_misses();
+  }
+  return out;
+}
+
+std::uint64_t CombinedResult::total_bound_violations() const noexcept {
+  std::uint64_t n = 0;
+  for (const CombinedOutcome& o : outcomes) {
+    for (const std::uint64_t v : o.bound_violations) n += v;
+  }
+  return n;
+}
+
+std::uint64_t CombinedResult::accept_but_miss_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const CombinedOutcome& o : outcomes) {
+    for (std::size_t p = 0; p < o.analytic_schedulable.size(); ++p) {
+      if (o.analytic_schedulable[p] && o.sim.misses[p] > 0) ++n;
+    }
+  }
+  return n;
 }
 
 }  // namespace profisched::engine

@@ -7,6 +7,14 @@
 // scratch with Rng(scenario_seed(seed, j)), and outcomes land in slot j of a
 // pre-sized vector. Results are therefore bit-identical for any thread count
 // — the acceptance property tests/engine/test_sweep_runner.cpp locks in.
+//
+// The same machinery drives three backends over one scenario range:
+//   run()          — analysis only (AnalysisEngine);
+//   run_sim()      — simulation only (SimulationEngine, replicated runs with
+//                    (seed, scenario, replication)-keyed RNG streams);
+//   run_combined() — both on the SAME generated scenarios, joining each
+//                    analytic verdict/bound with the observed simulation
+//                    behaviour (the analysis-vs-simulation acceptance data).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 
 #include "engine/analysis_engine.hpp"
 #include "engine/scenario.hpp"
+#include "engine/simulation_engine.hpp"
 #include "engine/thread_pool.hpp"
 #include "workload/generators.hpp"
 
@@ -62,6 +71,68 @@ struct SweepResult {
   std::size_t memo_misses = 0;
 };
 
+/// A sweep whose scenarios are simulated instead of (or as well as) analysed.
+/// `sweep` supplies the grid / policies / seed; every policy must satisfy
+/// SimulationEngine::simulable.
+struct SimSweepSpec {
+  SweepSpec sweep;
+  SimOptions sim;
+  /// Simulation runs per (scenario, policy): replication 0 is the synchronous
+  /// release pattern, further replications draw random per-stream phases.
+  std::size_t replications = 1;
+};
+
+/// Per-scenario simulation result: every per-policy vector is indexed like
+/// SimSweepSpec::sweep.policies, aggregated across the replications.
+struct SimScenarioOutcome {
+  std::uint64_t id = 0;
+  std::uint64_t seed = 0;
+  std::size_t point = 0;  ///< index into the sweep's points
+  Ticks horizon = 0;      ///< ticks each replication simulated
+  std::vector<Ticks> observed_max;
+  std::vector<Ticks> observed_p99;
+  std::vector<std::uint64_t> released;
+  std::vector<std::uint64_t> completed;
+  std::vector<std::uint64_t> misses;
+  /// Cycles abandoned after exhausting retries (FrameLevel model with slave
+  /// failures). Tracked separately from misses: a dropped request never
+  /// completes, so it records no response time — but it must not vanish, or
+  /// undelivered traffic would read as miss-free.
+  std::vector<std::uint64_t> dropped;
+};
+
+struct SimSweepResult {
+  std::vector<SimScenarioOutcome> outcomes;  ///< indexed by global scenario id
+  double elapsed_s = 0.0;  ///< wall clock (NOT part of the deterministic data)
+};
+
+/// Per-scenario joined analysis + simulation result (combined mode).
+struct CombinedOutcome {
+  SimScenarioOutcome sim;
+  /// Analysis columns, indexed like the sweep's policies.
+  std::vector<bool> analytic_schedulable;
+  /// Max over streams of the analytic response bound; kNoBound when any
+  /// stream's iteration diverged.
+  std::vector<Ticks> analytic_wcrt;
+  /// Streams whose observed max response exceeded their (bounded) analytic
+  /// response bound — a correct analysis keeps this identically 0.
+  std::vector<std::uint64_t> bound_violations;
+};
+
+struct CombinedResult {
+  std::vector<CombinedOutcome> outcomes;  ///< indexed by global scenario id
+  double elapsed_s = 0.0;
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+
+  /// Total streams (across scenarios and policies) whose observed response
+  /// exceeded the analytic bound. Must be 0 for a sound analysis.
+  [[nodiscard]] std::uint64_t total_bound_violations() const noexcept;
+  /// Scenarios×policies the analysis accepts but the simulation misses a
+  /// deadline in. Must be 0: accept ⇒ R_i <= D_i ⇒ no observable miss.
+  [[nodiscard]] std::uint64_t accept_but_miss_count() const noexcept;
+};
+
 class SweepRunner {
  public:
   /// `threads` = 0 picks ThreadPool::default_threads().
@@ -76,6 +147,14 @@ class SweepRunner {
 
   /// Run the whole sweep across the pool.
   [[nodiscard]] SweepResult run(const SweepSpec& spec);
+
+  /// Simulate every scenario of the sweep under every policy ×
+  /// `replications`, fanned across the pool. Outcomes are bit-identical for
+  /// any thread count (generation and RNG streams are index-keyed).
+  [[nodiscard]] SimSweepResult run_sim(const SimSweepSpec& spec);
+
+  /// Analyse AND simulate every scenario, joining the verdicts per policy.
+  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec);
 
   [[nodiscard]] unsigned threads() const noexcept;
 

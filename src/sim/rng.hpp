@@ -1,6 +1,14 @@
 // rng.hpp — small, fast, reproducible PRNG for the simulator (xoshiro256**,
 // seeded via SplitMix64). Header-only; deliberately not <random>'s engines so
 // that simulation runs are bit-reproducible across standard libraries.
+//
+// Thread-safety audit (PR 2, locked in by tests/sim/test_concurrent_sim.cpp):
+// this header holds NO global or thread-local state — splitmix64 advances
+// only the state the caller passes in, and every Rng owns its entire state as
+// instance members. A single Rng instance is not safe to share across threads
+// without external synchronization, but distinct instances are fully
+// independent, which is what the engine's parallel simulation sweeps rely on
+// (one (seed, scenario, replication)-keyed Rng per run).
 #pragma once
 
 #include <array>

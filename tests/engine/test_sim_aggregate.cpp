@@ -1,0 +1,190 @@
+// Round-trip and reduction properties of the simulation-sweep serializations:
+// SimCurves and ConsistencyTable CSV/JSON parse back exactly what they emit
+// (including kNoBound analytic bounds and full-range 64-bit seeds), and the
+// aggregations reduce outcomes deterministically.
+#include "engine/sim_aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::engine {
+namespace {
+
+SimCurves sample_curves() {
+  SimCurves c;
+  c.policies = {"FCFS", "DM"};
+  c.points.push_back(SimCurvePoint{0.3, 0.5, 1.0, 40, {40, 38}, {0, 7}, {0, 0}, {1200, 4096}});
+  c.points.push_back(
+      SimCurvePoint{0.9, 0.5, 1.0, 40, {12, 30}, {220, 11}, {3, 0}, {99999, 1 << 20}});
+  return c;
+}
+
+void expect_same_curves(const SimCurves& a, const SimCurves& b) {
+  ASSERT_EQ(a.policies, b.policies);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].total_u, b.points[i].total_u);
+    EXPECT_DOUBLE_EQ(a.points[i].beta_lo, b.points[i].beta_lo);
+    EXPECT_DOUBLE_EQ(a.points[i].beta_hi, b.points[i].beta_hi);
+    EXPECT_EQ(a.points[i].scenarios, b.points[i].scenarios);
+    EXPECT_EQ(a.points[i].miss_free, b.points[i].miss_free);
+    EXPECT_EQ(a.points[i].total_misses, b.points[i].total_misses);
+    EXPECT_EQ(a.points[i].total_dropped, b.points[i].total_dropped);
+    EXPECT_EQ(a.points[i].max_observed, b.points[i].max_observed);
+  }
+}
+
+TEST(SimAggregate, CurvesCsvRoundTrip) {
+  const SimCurves c = sample_curves();
+  const SimCurves back = SimCurves::from_csv(c.to_csv());
+  expect_same_curves(c, back);
+  // Emitting again reproduces the bytes.
+  EXPECT_EQ(c.to_csv(), back.to_csv());
+}
+
+TEST(SimAggregate, CurvesJsonRoundTrip) {
+  const SimCurves c = sample_curves();
+  const SimCurves back = SimCurves::from_json(c.to_json());
+  expect_same_curves(c, back);
+  EXPECT_EQ(c.to_json(), back.to_json());
+}
+
+TEST(SimAggregate, CurvesRejectMalformedInput) {
+  EXPECT_THROW((void)SimCurves::from_csv(""), std::invalid_argument);
+  EXPECT_THROW((void)SimCurves::from_csv("a,b,c\n"), std::invalid_argument);
+  EXPECT_THROW((void)SimCurves::from_csv(SimCurves{}.to_csv() + "1,2,3\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SimCurves::from_json("{}"), std::invalid_argument);
+  EXPECT_THROW((void)SimCurves::from_json("not json"), std::invalid_argument);
+}
+
+ConsistencyTable sample_table() {
+  ConsistencyTable t;
+  ConsistencyRow a;
+  a.id = 17;
+  a.seed = 18446744073709551615ULL;  // full uint64 range must survive
+  a.total_u = 0.75;
+  a.policy = "EDF";
+  a.analytic_schedulable = true;
+  a.analytic_wcrt = 52'000;
+  a.observed_max = 13'000;
+  a.observed_p99 = 9'500;
+  a.misses = 0;
+  a.completed = 812;
+  a.dropped = 0;
+  a.bound_violations = 0;
+  a.accept_but_miss = false;
+  ConsistencyRow b;
+  b.id = 18;
+  b.seed = 3;
+  b.total_u = 1.25;
+  b.policy = "FCFS";
+  b.analytic_schedulable = false;
+  b.analytic_wcrt = kNoBound;  // diverged iteration serializes exactly
+  b.observed_max = 880'000;
+  b.observed_p99 = 880'000;
+  b.misses = 41;
+  b.completed = 96;
+  b.dropped = 5;
+  b.bound_violations = 0;
+  b.accept_but_miss = false;
+  t.rows = {a, b};
+  return t;
+}
+
+void expect_same_rows(const ConsistencyTable& x, const ConsistencyTable& y) {
+  ASSERT_EQ(x.rows.size(), y.rows.size());
+  for (std::size_t i = 0; i < x.rows.size(); ++i) {
+    EXPECT_EQ(x.rows[i].id, y.rows[i].id);
+    EXPECT_EQ(x.rows[i].seed, y.rows[i].seed);
+    EXPECT_DOUBLE_EQ(x.rows[i].total_u, y.rows[i].total_u);
+    EXPECT_EQ(x.rows[i].policy, y.rows[i].policy);
+    EXPECT_EQ(x.rows[i].analytic_schedulable, y.rows[i].analytic_schedulable);
+    EXPECT_EQ(x.rows[i].analytic_wcrt, y.rows[i].analytic_wcrt);
+    EXPECT_EQ(x.rows[i].observed_max, y.rows[i].observed_max);
+    EXPECT_EQ(x.rows[i].observed_p99, y.rows[i].observed_p99);
+    EXPECT_EQ(x.rows[i].misses, y.rows[i].misses);
+    EXPECT_EQ(x.rows[i].completed, y.rows[i].completed);
+    EXPECT_EQ(x.rows[i].dropped, y.rows[i].dropped);
+    EXPECT_EQ(x.rows[i].bound_violations, y.rows[i].bound_violations);
+    EXPECT_EQ(x.rows[i].accept_but_miss, y.rows[i].accept_but_miss);
+  }
+}
+
+TEST(SimAggregate, ConsistencyCsvRoundTrip) {
+  const ConsistencyTable t = sample_table();
+  const ConsistencyTable back = ConsistencyTable::from_csv(t.to_csv());
+  expect_same_rows(t, back);
+  EXPECT_EQ(t.to_csv(), back.to_csv());
+}
+
+TEST(SimAggregate, ConsistencyJsonRoundTrip) {
+  const ConsistencyTable t = sample_table();
+  const ConsistencyTable back = ConsistencyTable::from_json(t.to_json());
+  expect_same_rows(t, back);
+  EXPECT_EQ(t.to_json(), back.to_json());
+}
+
+TEST(SimAggregate, ConsistencyHelpersCountViolations) {
+  ConsistencyTable t = sample_table();
+  EXPECT_EQ(t.accept_but_miss_count(), 0u);
+  EXPECT_EQ(t.total_bound_violations(), 0u);
+  t.rows[0].accept_but_miss = true;
+  t.rows[1].bound_violations = 3;
+  EXPECT_EQ(t.accept_but_miss_count(), 1u);
+  EXPECT_EQ(t.total_bound_violations(), 3u);
+}
+
+TEST(SimAggregate, PessimismRatio) {
+  ConsistencyRow r;
+  r.analytic_wcrt = 200;
+  r.observed_max = 100;
+  EXPECT_DOUBLE_EQ(r.pessimism(), 2.0);
+  r.analytic_wcrt = kNoBound;
+  EXPECT_DOUBLE_EQ(r.pessimism(), 0.0);  // undefined for a diverged bound
+  r.analytic_wcrt = 200;
+  r.observed_max = 0;
+  EXPECT_DOUBLE_EQ(r.pessimism(), 0.0);  // nothing observed
+}
+
+TEST(SimAggregate, ConsistencyRejectsMalformedInput) {
+  EXPECT_THROW((void)ConsistencyTable::from_csv(""), std::invalid_argument);
+  EXPECT_THROW((void)ConsistencyTable::from_csv("id,seed\n"), std::invalid_argument);
+  EXPECT_THROW((void)ConsistencyTable::from_csv(ConsistencyTable{}.to_csv() + "1,2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ConsistencyTable::from_json("{\"rows\": [{}]}"), std::invalid_argument);
+  EXPECT_THROW((void)ConsistencyTable::from_json(""), std::invalid_argument);
+}
+
+TEST(SimAggregate, AggregateSimReducesOutcomesPerPoint) {
+  SimSweepSpec spec;
+  spec.sweep.points = {SweepPoint{0.4, 0.5, 1.0}, SweepPoint{0.8, 0.5, 1.0}};
+  spec.sweep.scenarios_per_point = 2;
+  spec.sweep.policies = {Policy::Fcfs, Policy::Dm};
+
+  SimSweepResult result;
+  result.outcomes.resize(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    SimScenarioOutcome& o = result.outcomes[i];
+    o.id = i;
+    o.point = i / 2;
+    o.observed_max = {Ticks(100 + 10 * static_cast<Ticks>(i)), Ticks(50)};
+    o.observed_p99 = {Ticks(90), Ticks(40)};
+    o.released = {10, 10};
+    o.completed = {10, 10};
+    o.misses = {i == 3 ? 5ULL : 0ULL, 0ULL};
+    o.dropped = {0ULL, i == 0 ? 2ULL : 0ULL};
+  }
+  const SimCurves c = aggregate_sim(spec, result);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_EQ(c.points[0].scenarios, 2u);
+  EXPECT_EQ(c.points[0].miss_free[0], 2u);      // FCFS: both miss-free at point 0
+  EXPECT_EQ(c.points[1].miss_free[0], 1u);      // scenario 3 missed
+  EXPECT_EQ(c.points[1].total_misses[0], 5u);
+  EXPECT_EQ(c.points[1].max_observed[0], 130);
+  EXPECT_EQ(c.points[1].miss_free[1], 2u);      // DM never missed at point 1...
+  EXPECT_EQ(c.points[0].miss_free[1], 1u);      // ...but dropped cycles disqualify
+  EXPECT_EQ(c.points[0].total_dropped[1], 2u);  //    scenario 0 at point 0
+}
+
+}  // namespace
+}  // namespace profisched::engine

@@ -1,0 +1,115 @@
+// Argument validation of the `profisched simulate` sweep mode — exactly what
+// the CLI feeds to parse_sim_sweep_args, exercised as a library call.
+#include "engine/sim_cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::engine {
+namespace {
+
+SimSweepCli parse_ok(const std::vector<std::string>& args) {
+  SimSweepCli cli;
+  std::string error;
+  EXPECT_TRUE(parse_sim_sweep_args(args, cli, error)) << error;
+  EXPECT_TRUE(error.empty());
+  return cli;
+}
+
+std::string parse_fail(const std::vector<std::string>& args) {
+  SimSweepCli cli;
+  std::string error;
+  EXPECT_FALSE(parse_sim_sweep_args(args, cli, error));
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(SimCli, DefaultsMatchTheSweepSubcommand) {
+  const SimSweepCli cli = parse_ok({});
+  EXPECT_EQ(cli.spec.sweep.base.n_masters, 1u);
+  EXPECT_EQ(cli.spec.sweep.base.streams_per_master, 5u);
+  EXPECT_EQ(cli.spec.sweep.base.ttr, 3'000);
+  EXPECT_EQ(cli.spec.sweep.scenarios_per_point, 100u);
+  EXPECT_EQ(cli.spec.sweep.points.size(), 9u);  // 0.1:0.9:9 default grid
+  EXPECT_EQ(cli.spec.sweep.policies.size(), 3u);
+  EXPECT_EQ(cli.spec.replications, 1u);
+  EXPECT_EQ(cli.threads, 0u);
+  EXPECT_FALSE(cli.combined);
+  EXPECT_FALSE(cli.spec.sim.lp_traffic);
+  EXPECT_EQ(cli.spec.sim.cycle_model.kind, sim::CycleModel::Kind::WorstCase);
+}
+
+TEST(SimCli, ParsesTheFullFlagSurface) {
+  const SimSweepCli cli = parse_ok({"--scenarios", "25", "--reps", "3", "--masters", "2",
+                                    "--streams", "4", "--u", "0.2:0.8:4", "--beta-lo", "0.4",
+                                    "--beta-hi", "0.9", "--policies", "dm,edf", "--threads",
+                                    "8", "--seed", "77", "--ttr", "5000", "--horizon",
+                                    "100000", "--model", "uniform", "--lp", "--combined",
+                                    "--csv", "out.csv", "--json", "out.json"});
+  EXPECT_EQ(cli.spec.sweep.scenarios_per_point, 25u);
+  EXPECT_EQ(cli.spec.replications, 3u);
+  EXPECT_EQ(cli.spec.sweep.base.n_masters, 2u);
+  EXPECT_EQ(cli.spec.sweep.base.streams_per_master, 4u);
+  ASSERT_EQ(cli.spec.sweep.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(cli.spec.sweep.points.front().total_u, 0.2);
+  EXPECT_DOUBLE_EQ(cli.spec.sweep.points.back().total_u, 0.8);
+  EXPECT_DOUBLE_EQ(cli.spec.sweep.points[0].beta_lo, 0.4);
+  EXPECT_DOUBLE_EQ(cli.spec.sweep.points[0].beta_hi, 0.9);
+  ASSERT_EQ(cli.spec.sweep.policies.size(), 2u);
+  EXPECT_EQ(cli.spec.sweep.policies[0], Policy::Dm);
+  EXPECT_EQ(cli.spec.sweep.policies[1], Policy::Edf);
+  EXPECT_EQ(cli.threads, 8u);
+  EXPECT_EQ(cli.spec.sweep.seed, 77u);
+  EXPECT_EQ(cli.spec.sweep.base.ttr, 5'000);
+  EXPECT_EQ(cli.spec.sim.horizon, 100'000);
+  EXPECT_EQ(cli.spec.sim.cycle_model.kind, sim::CycleModel::Kind::UniformFraction);
+  EXPECT_TRUE(cli.spec.sim.lp_traffic);
+  EXPECT_TRUE(cli.combined);
+  EXPECT_EQ(cli.csv_path, "out.csv");
+  EXPECT_EQ(cli.json_path, "out.json");
+}
+
+TEST(SimCli, SingleStepGridUsesLo) {
+  const SimSweepCli cli = parse_ok({"--u", "0.5:0.9:1"});
+  ASSERT_EQ(cli.spec.sweep.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(cli.spec.sweep.points[0].total_u, 0.5);
+}
+
+TEST(SimCli, RejectsMalformedNumbers) {
+  (void)parse_fail({"--scenarios", "0"});
+  (void)parse_fail({"--scenarios", "-5"});
+  (void)parse_fail({"--scenarios", "12abc"});
+  (void)parse_fail({"--scenarios"});  // missing value
+  (void)parse_fail({"--reps", "0"});
+  (void)parse_fail({"--masters", "99999999"});  // above the 4096 cap
+  (void)parse_fail({"--threads", "4096"});      // above the 1024 cap
+  (void)parse_fail({"--horizon", "0"});
+  (void)parse_fail({"--cycles", "0"});
+  (void)parse_fail({"--cycles", "-1"});
+}
+
+TEST(SimCli, RejectsBadGridsAndPolicies) {
+  (void)parse_fail({"--u", "0.9:0.1:5"});    // HI < LO
+  (void)parse_fail({"--u", "0:0.9:5"});      // LO must be > 0 (UUniFast mode)
+  (void)parse_fail({"--u", "0.1:0.9"});      // missing STEPS
+  (void)parse_fail({"--u", "0.1:0.9:0"});
+  (void)parse_fail({"--policies", "fcfs,opa"});   // analysis-only policy
+  (void)parse_fail({"--policies", "fcfs,fcfs"});  // duplicate column
+  (void)parse_fail({"--policies", "banana"});
+  (void)parse_fail({"--model", "exact"});
+  (void)parse_fail({"--frobnicate"});  // unknown flag
+}
+
+TEST(SimCli, RejectsOversizedSweeps) {
+  const std::string err =
+      parse_fail({"--scenarios", "100000000", "--u", "0.1:0.9:1000"});
+  EXPECT_NE(err.find("too large"), std::string::npos);
+}
+
+TEST(SimCli, ErrorsNameTheOffendingFlag) {
+  EXPECT_NE(parse_fail({"--reps", "x"}).find("--reps"), std::string::npos);
+  EXPECT_NE(parse_fail({"--u", "bad"}).find("--u"), std::string::npos);
+  EXPECT_NE(parse_fail({"--unknown-flag"}).find("--unknown-flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace profisched::engine

@@ -5,12 +5,21 @@
 //   profisched analyze  <file> [--policy fcfs|dm|edf|opa|all]
 //   profisched simulate <file> [--policy fcfs|dm|edf] [--ms N] [--seed N]
 //                              [--histograms] [--trace N]
+//   profisched simulate [--scenarios N] [--reps N] [--masters N] [--streams N]
+//                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
+//                       [--policies fcfs,dm,edf] [--threads N] [--seed N]
+//                       [--ttr TICKS] [--horizon TICKS] [--cycles X]
+//                       [--model worst|uniform|frame] [--lp] [--combined]
+//                       [--csv FILE] [--json FILE]
+//     (no INI file: fan simulation runs over UUniFast-generated scenarios;
+//      --combined also analyses each scenario and emits joined rows)
 //   profisched ttr      <file>
 //   profisched sweep    [--scenarios N] [--masters N] [--streams N]
 //                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
 //                       [--policies fcfs,dm,edf,opa,token,holistic] [--threads N]
 //                       [--seed N] [--ttr TICKS] [--method paper|refined]
 //                       [--csv FILE] [--json FILE]
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -22,6 +31,8 @@
 
 #include "config/network_loader.hpp"
 #include "engine/aggregate.hpp"
+#include "engine/sim_aggregate.hpp"
+#include "engine/sim_cli.hpp"
 #include "profibus/dispatching.hpp"
 #include "profibus/priority_assignment.hpp"
 #include "profibus/ttr_setting.hpp"
@@ -39,6 +50,12 @@ int usage() {
                "  profisched analyze  <file.ini> [--policy fcfs|dm|edf|opa|all]\n"
                "  profisched simulate <file.ini> [--policy fcfs|dm|edf] [--ms N]\n"
                "                      [--seed N] [--histograms] [--trace N]\n"
+               "  profisched simulate [--scenarios N] [--reps N] [--masters N] [--streams N]\n"
+               "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
+               "                      [--policies fcfs,dm,edf] [--threads N] [--seed N]\n"
+               "                      [--ttr TICKS] [--horizon TICKS] [--cycles X]\n"
+               "                      [--model worst|uniform|frame] [--lp] [--combined]\n"
+               "                      [--csv FILE] [--json FILE]\n"
                "  profisched ttr      <file.ini>\n"
                "  profisched sweep    [--scenarios N] [--masters N] [--streams N]\n"
                "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
@@ -169,53 +186,12 @@ int cmd_ttr(const LoadedNetwork& ln) {
   return 1;
 }
 
-/// Strict full-string numeric parses: reject trailing garbage, negatives and
-/// overflow (atoll's silent 0 / wraparound turned typos into pathological
-/// sweeps). `max` bounds each flag to its sane range.
-bool parse_count(const char* s, std::size_t& out,
-                 std::size_t max = std::numeric_limits<std::size_t>::max()) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0' || std::strchr(s, '-') != nullptr || errno == ERANGE ||
-      v > max) {
-    return false;
-  }
-  out = static_cast<std::size_t>(v);
-  return true;
-}
-
-bool parse_nonneg_double(const char* s, double& out) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0' || v < 0) return false;
-  out = v;
-  return true;
-}
-
-bool parse_policies(const std::string& list, std::vector<engine::Policy>& out) {
-  out.clear();
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::string name = list.substr(start, comma - start);
-    if (name == "fcfs") out.push_back(engine::Policy::Fcfs);
-    else if (name == "dm") out.push_back(engine::Policy::Dm);
-    else if (name == "edf") out.push_back(engine::Policy::Edf);
-    else if (name == "opa") out.push_back(engine::Policy::Opa);
-    else if (name == "token") out.push_back(engine::Policy::TokenRing);
-    else if (name == "holistic") out.push_back(engine::Policy::Holistic);
-    else return false;
-    // Duplicates would emit repeated policy columns the CSV/JSON formats
-    // cannot represent (their parse-back keys on the policy name).
-    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
-      if (out[i] == out.back()) return false;
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return !out.empty();
-}
+// The strict scalar parsers (full-string, bounded, negative/overflow-
+// rejecting) live in engine/sim_cli.hpp so both sweep-style subcommands share
+// one implementation and the validation stays unit-tested.
+using engine::parse_cli_count;
+using engine::parse_cli_nonneg_double;
+using engine::parse_cli_policies;
 
 int cmd_sweep(int argc, char** argv) {
   engine::SweepSpec spec;
@@ -239,16 +215,16 @@ int cmd_sweep(int argc, char** argv) {
     const char* v = nullptr;
     std::size_t count = 0;
     if (arg == "--scenarios" && (v = next())) {
-      if (!parse_count(v, spec.scenarios_per_point, 100'000'000) ||
+      if (!parse_cli_count(v, spec.scenarios_per_point, 100'000'000) ||
           spec.scenarios_per_point == 0) {
         return usage();
       }
     } else if (arg == "--masters" && (v = next())) {
-      if (!parse_count(v, spec.base.n_masters, 4'096) || spec.base.n_masters == 0) {
+      if (!parse_cli_count(v, spec.base.n_masters, 4'096) || spec.base.n_masters == 0) {
         return usage();
       }
     } else if (arg == "--streams" && (v = next())) {
-      if (!parse_count(v, spec.base.streams_per_master, 4'096) ||
+      if (!parse_cli_count(v, spec.base.streams_per_master, 4'096) ||
           spec.base.streams_per_master == 0) {
         return usage();
       }
@@ -260,25 +236,25 @@ int cmd_sweep(int argc, char** argv) {
       const std::size_t c2 = c1 == std::string::npos ? std::string::npos
                                                      : grid.find(':', c1 + 1);
       if (c2 == std::string::npos ||
-          !parse_nonneg_double(grid.substr(0, c1).c_str(), u_lo) ||
-          !parse_nonneg_double(grid.substr(c1 + 1, c2 - c1 - 1).c_str(), u_hi) ||
-          !parse_count(grid.substr(c2 + 1).c_str(), u_steps, 1'000'000)) {
+          !parse_cli_nonneg_double(grid.substr(0, c1).c_str(), u_lo) ||
+          !parse_cli_nonneg_double(grid.substr(c1 + 1, c2 - c1 - 1).c_str(), u_hi) ||
+          !parse_cli_count(grid.substr(c2 + 1).c_str(), u_steps, 1'000'000)) {
         return usage();
       }
     } else if (arg == "--beta-lo" && (v = next())) {
-      if (!parse_nonneg_double(v, beta_lo)) return usage();
+      if (!parse_cli_nonneg_double(v, beta_lo)) return usage();
     } else if (arg == "--beta-hi" && (v = next())) {
-      if (!parse_nonneg_double(v, beta_hi)) return usage();
+      if (!parse_cli_nonneg_double(v, beta_hi)) return usage();
     } else if (arg == "--policies" && (v = next())) {
-      if (!parse_policies(v, spec.policies)) return usage();
+      if (!parse_cli_policies(v, /*simulable_only=*/false, spec.policies)) return usage();
     } else if (arg == "--threads" && (v = next())) {
-      if (!parse_count(v, count) || count > 1024) return usage();
+      if (!parse_cli_count(v, count) || count > 1024) return usage();
       threads = static_cast<unsigned>(count);
     } else if (arg == "--seed" && (v = next())) {
-      if (!parse_count(v, count)) return usage();
+      if (!parse_cli_count(v, count)) return usage();
       spec.seed = count;
     } else if (arg == "--ttr" && (v = next())) {
-      if (!parse_count(v, count, 1'000'000'000'000'000ULL)) return usage();
+      if (!parse_cli_count(v, count, 1'000'000'000'000'000ULL)) return usage();
       spec.base.ttr = static_cast<Ticks>(count);
     } else if (arg == "--method" && (v = next())) {
       if (std::strcmp(v, "paper") == 0) spec.engine.method = TcycleMethod::PaperEq13;
@@ -363,6 +339,134 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+bool write_output_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary);
+  os << content;
+  os.flush();  // surface ENOSPC-style errors now, not in the destructor
+  return os.good();
+}
+
+int cmd_simulate_sweep(int argc, char** argv) {
+  engine::SimSweepCli cli;
+  std::string error;
+  if (!engine::parse_sim_sweep_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+
+  engine::SweepRunner runner(cli.threads);
+  std::printf("simulate sweep%s: %zu scenarios (%zu points x %zu) x %zu rep%s, "
+              "%zu masters x %zu streams, %u thread%s, seed %llu\n",
+              cli.combined ? " (combined with analysis)" : "",
+              cli.spec.sweep.total_scenarios(), cli.spec.sweep.points.size(),
+              cli.spec.sweep.scenarios_per_point, cli.spec.replications,
+              cli.spec.replications == 1 ? "" : "s", cli.spec.sweep.base.n_masters,
+              cli.spec.sweep.base.streams_per_master, runner.threads(),
+              runner.threads() == 1 ? "" : "s",
+              static_cast<unsigned long long>(cli.spec.sweep.seed));
+
+  if (cli.combined) {
+    const engine::CombinedResult result = runner.run_combined(cli.spec);
+    const engine::ConsistencyTable table = engine::consistency_table(cli.spec, result);
+
+    // Per-point analysis-accept vs simulation-miss-free ratios side by side,
+    // bucketed in one pass over the outcomes (a per-point rescan would be
+    // O(points x scenarios) — hours on the biggest accepted grids).
+    const std::size_t n_pol = cli.spec.sweep.policies.size();
+    const std::size_t n_pts = cli.spec.sweep.points.size();
+    std::vector<std::size_t> accepted(n_pts * n_pol, 0), miss_free(n_pts * n_pol, 0),
+        scenarios(n_pts, 0);
+    for (const engine::CombinedOutcome& o : result.outcomes) {
+      ++scenarios[o.sim.point];
+      for (std::size_t p = 0; p < n_pol; ++p) {
+        if (o.analytic_schedulable[p]) ++accepted[o.sim.point * n_pol + p];
+        if (o.sim.misses[p] == 0 && o.sim.dropped[p] == 0) {
+          ++miss_free[o.sim.point * n_pol + p];
+        }
+      }
+    }
+    std::printf("\n%-8s", "U");
+    for (const engine::Policy p : cli.spec.sweep.policies) {
+      std::printf(" %9s:an %9s:sim", std::string(to_string(p)).c_str(),
+                  std::string(to_string(p)).c_str());
+    }
+    std::printf("\n");
+    for (std::size_t pt = 0; pt < n_pts; ++pt) {
+      const double n = scenarios[pt] == 0 ? 1.0 : static_cast<double>(scenarios[pt]);
+      std::printf("%-8.3f", cli.spec.sweep.points[pt].total_u);
+      for (std::size_t p = 0; p < n_pol; ++p) {
+        std::printf(" %11.1f%% %12.1f%%",
+                    100.0 * static_cast<double>(accepted[pt * n_pol + p]) / n,
+                    100.0 * static_cast<double>(miss_free[pt * n_pol + p]) / n);
+      }
+      std::printf("\n");
+    }
+
+    double max_pessimism = 0.0;
+    for (const engine::ConsistencyRow& r : table.rows) {
+      max_pessimism = std::max(max_pessimism, r.pessimism());
+    }
+    std::printf("\n%zu joined rows in %.3f s; bound violations: %llu; "
+                "analysis-accepts-but-sim-misses: %zu; max pessimism %.3f\n",
+                table.rows.size(), result.elapsed_s,
+                static_cast<unsigned long long>(result.total_bound_violations()),
+                table.accept_but_miss_count(), max_pessimism);
+
+    if (!cli.csv_path.empty()) {
+      if (!write_output_file(cli.csv_path, table.to_csv())) {
+        std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", cli.csv_path.c_str());
+    }
+    if (!cli.json_path.empty()) {
+      if (!write_output_file(cli.json_path, table.to_json())) {
+        std::fprintf(stderr, "error: cannot write %s\n", cli.json_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", cli.json_path.c_str());
+    }
+    // A consistency violation falsifies the corresponding analysis — make the
+    // run fail loudly so CI catches it.
+    return (table.accept_but_miss_count() > 0 || result.total_bound_violations() > 0) ? 1 : 0;
+  }
+
+  const engine::SimSweepResult result = runner.run_sim(cli.spec);
+  const engine::SimCurves curves = engine::aggregate_sim(cli.spec, result);
+
+  std::printf("\n%-8s", "U");
+  for (const std::string& p : curves.policies) std::printf(" %9s", p.c_str());
+  std::printf("\n");
+  for (const engine::SimCurvePoint& pt : curves.points) {
+    std::printf("%-8.3f", pt.total_u);
+    for (std::size_t p = 0; p < curves.policies.size(); ++p) {
+      std::printf(" %8.1f%%", 100.0 * pt.ratio(p));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%zu scenarios x %zu reps in %.3f s (%.0f sim-runs/s)\n",
+              result.outcomes.size(), cli.spec.replications, result.elapsed_s,
+              static_cast<double>(result.outcomes.size() * cli.spec.sweep.policies.size() *
+                                  cli.spec.replications) /
+                  (result.elapsed_s > 0 ? result.elapsed_s : 1.0));
+
+  if (!cli.csv_path.empty()) {
+    if (!write_output_file(cli.csv_path, curves.to_csv())) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.csv_path.c_str());
+  }
+  if (!cli.json_path.empty()) {
+    if (!write_output_file(cli.json_path, curves.to_json())) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,6 +474,17 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "sweep") == 0) {
     try {
       return cmd_sweep(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  // `simulate` without an INI file (nothing or a --flag next) is the
+  // generated-scenario sweep mode; with a file it simulates that network.
+  if (std::strcmp(argv[1], "simulate") == 0 &&
+      (argc == 2 || std::strncmp(argv[2], "--", 2) == 0)) {
+    try {
+      return cmd_simulate_sweep(argc - 2, argv + 2);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
