@@ -1,0 +1,119 @@
+#include "dist/dist_cli.hpp"
+
+#include "engine/sim_cli.hpp"
+
+namespace profisched::dist {
+
+bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::string& error) {
+  ShardCli cli;
+  bool have_shard = false;
+  const auto fail = [&](const std::string& msg) {
+    error = msg;
+    return false;
+  };
+
+  // First pass: peel off the shard-specific flags, leaving the sweep flags
+  // for the shared simulate parser (so both subcommands keep one flag table
+  // and identical defaults — the byte-identity of merged output depends on a
+  // shard describing its sweep exactly as `sweep`/`simulate` would).
+  std::vector<std::string> sweep_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&](std::string& v) {
+      if (i + 1 >= args.size()) return false;
+      v = args[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--mode") {
+      if (!next(v)) return fail("--mode needs sweep|simulate|combined");
+      if (v == "sweep") cli.shard.mode = SweepMode::Analysis;
+      else if (v == "simulate") cli.shard.mode = SweepMode::Sim;
+      else if (v == "combined") cli.shard.mode = SweepMode::Combined;
+      else return fail("--mode needs sweep|simulate|combined");
+    } else if (arg == "--shard") {
+      if (!next(v)) return fail("--shard needs k/K (e.g. 2/4)");
+      const std::size_t slash = v.find('/');
+      std::size_t k = 0, count = 0;
+      if (slash == std::string::npos ||
+          !engine::parse_cli_count(v.substr(0, slash), k, 1'000'000) ||
+          !engine::parse_cli_count(v.substr(slash + 1), count, 1'000'000) || k == 0 ||
+          count == 0 || k > count) {
+        return fail("--shard needs k/K with 1 <= k <= K");
+      }
+      cli.index = k - 1;  // CLI is 1-based, the plan is 0-based
+      cli.count = count;
+      have_shard = true;
+    } else if (arg == "--out") {
+      if (!next(v) || v.empty()) return fail("--out needs a file path");
+      cli.out_path = v;
+    } else if (arg == "--method") {
+      if (!next(v)) return fail("--method needs paper|refined");
+      if (v == "paper") cli.shard.spec.sweep.engine.method = profibus::TcycleMethod::PaperEq13;
+      else if (v == "refined") {
+        cli.shard.spec.sweep.engine.method = profibus::TcycleMethod::PerMasterRefined;
+      } else {
+        return fail("--method needs paper|refined");
+      }
+    } else {
+      sweep_args.push_back(arg);
+    }
+  }
+
+  engine::SimSweepCli sweep_cli;
+  if (!engine::parse_sim_sweep_args(sweep_args, sweep_cli, error,
+                                    /*simulable_only=*/cli.shard.mode != SweepMode::Analysis)) {
+    return false;
+  }
+  if (!sweep_cli.csv_path.empty() || !sweep_cli.json_path.empty()) {
+    return fail("shard emits one artifact via --out; merge the artifacts to get CSV/JSON");
+  }
+  if (sweep_cli.combined) {
+    return fail("use --mode combined instead of --combined");
+  }
+  const engine::EngineOptions engine_opts = cli.shard.spec.sweep.engine;  // --method survives
+  cli.shard.spec = std::move(sweep_cli.spec);
+  cli.shard.spec.sweep.engine = engine_opts;
+  cli.threads = sweep_cli.threads;
+  cli.cache_dir = std::move(sweep_cli.cache_dir);
+
+  if (!have_shard) return fail("--shard k/K is required");
+  if (cli.out_path.empty()) return fail("--out FILE is required");
+  out = std::move(cli);
+  error.clear();
+  return true;
+}
+
+bool parse_merge_args(const std::vector<std::string>& args, MergeCli& out, std::string& error) {
+  MergeCli cli;
+  const auto fail = [&](const std::string& msg) {
+    error = msg;
+    return false;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&](std::string& v) {
+      if (i + 1 >= args.size()) return false;
+      v = args[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--csv") {
+      if (!next(v) || v.empty()) return fail("--csv needs a file path");
+      cli.csv_path = v;
+    } else if (arg == "--json") {
+      if (!next(v) || v.empty()) return fail("--json needs a file path");
+      cli.json_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown merge flag '" + arg + "'");
+    } else {
+      cli.inputs.push_back(arg);
+    }
+  }
+  if (cli.inputs.empty()) return fail("merge needs at least one shard artifact file");
+  out = std::move(cli);
+  error.clear();
+  return true;
+}
+
+}  // namespace profisched::dist

@@ -1,0 +1,61 @@
+// dist/result_cache.hpp — the persistent, content-addressed scenario-result
+// store behind `profisched sweep/simulate/shard --cache <dir>`.
+//
+// One entry per (scenario, policy, options) cache key, one file per entry,
+// named by the key's 128-bit hex and fanned out into 256 subdirectories on
+// the first hex byte (flat directories degrade sharply at the many-millions-
+// of-entries scale the CacheKey design targets). Entries carry a versioned
+// header plus a key echo and payload length, so a format bump invalidates
+// every old entry
+// wholesale and a truncated, corrupted, or hash-colliding file is rejected
+// as a miss — the engine then recomputes and overwrites it. Stores write to
+// a unique temp file and rename() into place: within one directory that is
+// atomic on POSIX, so any number of concurrent writers (threads or whole
+// processes sharing the directory) race benignly — a reader sees either no
+// entry or one complete entry, never a torn one.
+//
+// The cache is strictly advisory: every I/O failure degrades to a miss or a
+// dropped store, never an exception out of load()/store() — a flaky disk
+// must not kill a sweep that could simply recompute.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::dist {
+
+class ResultCache final : public engine::ScenarioCache {
+ public:
+  /// Bump to invalidate every existing on-disk entry (the header carries it).
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Creates `dir` (and parents) if missing; throws std::runtime_error when
+  /// the directory cannot be created at all.
+  explicit ResultCache(std::string dir);
+
+  bool load(const engine::CacheKey& key, std::string& payload) override;
+  void store(const engine::CacheKey& key, const std::string& payload) override;
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
+  [[nodiscard]] std::uint64_t stores() const noexcept { return stores_.load(); }
+
+  /// Entry file name for a key: 32 lower-case hex digits.
+  [[nodiscard]] static std::string entry_name(const engine::CacheKey& key);
+
+  /// Full path of a key's entry file: <dir>/<first 2 hex>/<entry_name>.
+  [[nodiscard]] std::string entry_path(const engine::CacheKey& key) const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp-file suffix source
+};
+
+}  // namespace profisched::dist

@@ -1,0 +1,75 @@
+#include "engine/detail/cli_parse.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace profisched::engine {
+
+bool parse_cli_count(const std::string& s, std::size_t& out, std::size_t max) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s.find('-') != std::string::npos || errno == ERANGE ||
+      v > max) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_cli_nonneg_double(const std::string& s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  // !(v >= 0) rather than v < 0: strtod accepts "nan", which compares false
+  // against everything and would sail through a < check into grid math,
+  // cache digests, and shard spec blocks.
+  if (end == s.c_str() || *end != '\0' || !(v >= 0)) return false;
+  out = v;
+  return true;
+}
+
+bool parse_cli_policies(const std::string& list, bool simulable_only, std::vector<Policy>& out) {
+  out.clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string name = list.substr(start, comma - start);
+    if (name == "fcfs") out.push_back(Policy::Fcfs);
+    else if (name == "dm") out.push_back(Policy::Dm);
+    else if (name == "edf") out.push_back(Policy::Edf);
+    else if (!simulable_only && name == "opa") out.push_back(Policy::Opa);
+    else if (!simulable_only && name == "token") out.push_back(Policy::TokenRing);
+    else if (!simulable_only && name == "holistic") out.push_back(Policy::Holistic);
+    else return false;
+    // Duplicates would emit repeated policy columns the CSV/JSON formats
+    // cannot represent (their parse-back keys on the policy name).
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+      if (out[i] == out.back()) return false;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !out.empty();
+}
+
+bool parse_cli_u_grid(const std::string& s, double& u_lo, double& u_hi, std::size_t& u_steps) {
+  const std::size_t c1 = s.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos : s.find(':', c1 + 1);
+  return c2 != std::string::npos && parse_cli_nonneg_double(s.substr(0, c1), u_lo) &&
+         parse_cli_nonneg_double(s.substr(c1 + 1, c2 - c1 - 1), u_hi) &&
+         parse_cli_count(s.substr(c2 + 1), u_steps, 1'000'000);
+}
+
+bool expand_cli_u_grid(double u_lo, double u_hi, std::size_t u_steps, double beta_lo,
+                       double beta_hi, std::vector<SweepPoint>& points) {
+  if (u_steps == 0 || u_hi < u_lo || u_lo <= 0) return false;
+  for (std::size_t s = 0; s < u_steps; ++s) {
+    const double u = u_steps == 1 ? u_lo
+                                  : u_lo + (u_hi - u_lo) * static_cast<double>(s) /
+                                               static_cast<double>(u_steps - 1);
+    points.push_back(SweepPoint{u, beta_lo, beta_hi});
+  }
+  return true;
+}
+
+}  // namespace profisched::engine

@@ -1,0 +1,41 @@
+// detail/cli_parse.hpp — the strict scalar-parser table shared by every
+// profisched subcommand (sweep, simulate, shard, merge). Full-string parses
+// that reject trailing garbage, negatives and overflow, and bound each value
+// to its sane range: atoll's silent 0 / wraparound turned typos into
+// pathological sweeps. Lives in the library so the validation stays
+// unit-tested (tests/engine/test_sim_cli.cpp, tests/dist/test_dist_cli.cpp)
+// and no subcommand grows a private copy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+
+[[nodiscard]] bool parse_cli_count(const std::string& s, std::size_t& out,
+                                   std::size_t max = std::size_t(-1));
+
+[[nodiscard]] bool parse_cli_nonneg_double(const std::string& s, double& out);
+
+/// Comma-separated policy names (duplicates rejected — the serialized column
+/// formats key on unique policy names). `simulable_only` restricts the table
+/// to the AP-queue policies the simulator implements; otherwise every
+/// analysis Policy name is accepted (fcfs,dm,edf,opa,token,holistic).
+[[nodiscard]] bool parse_cli_policies(const std::string& list, bool simulable_only,
+                                      std::vector<Policy>& out);
+
+/// "LO:HI:STEPS" utilization-grid argument (numeric LO/HI, integer STEPS).
+[[nodiscard]] bool parse_cli_u_grid(const std::string& s, double& u_lo, double& u_hi,
+                                    std::size_t& u_steps);
+
+/// Expand a validated u-grid into sweep points. Rejects u_lo <= 0 (u = 0
+/// would silently flip a grid point to the legacy period-driven generator — a
+/// different workload distribution), HI < LO, and STEPS == 0.
+[[nodiscard]] bool expand_cli_u_grid(double u_lo, double u_hi, std::size_t u_steps,
+                                     double beta_lo, double beta_hi,
+                                     std::vector<SweepPoint>& points);
+
+}  // namespace profisched::engine

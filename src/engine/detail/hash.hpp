@@ -1,0 +1,51 @@
+// detail/hash.hpp — FNV-1a 64-bit hashing for the engine's content digests
+// (scenario canonical hashes, result-cache keys). FNV-1a is deliberately
+// simple: the digests only need to be stable across hosts and builds — they
+// are content addresses, not adversarial-collision-resistant MACs — and a
+// byte-serial fold keeps the canonical field walk trivially portable
+// (no endianness or struct-padding leaks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace profisched::engine::detail {
+
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x00000100000001b3ULL;
+
+  Fnv1a64& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) h_ = (h_ ^ p[i]) * kPrime;
+    return *this;
+  }
+
+  /// Folds the value little-endian byte by byte, so the digest is identical
+  /// on every host regardless of native endianness.
+  Fnv1a64& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ = (h_ ^ (v & 0xffu)) * kPrime;
+      v >>= 8;
+    }
+    return *this;
+  }
+
+  Fnv1a64& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+  /// Hashes the IEEE-754 bit pattern (exact, no formatting round trip).
+  Fnv1a64& f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return u64(bits);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace profisched::engine::detail

@@ -22,6 +22,17 @@ inline std::string fmt_double(double v) {
   return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
 }
 
+/// Shortest round-trip formatting: from_chars(fmt_double_exact(v)) == v
+/// bit-exactly. Used where a serialized spec must restore the original double
+/// (shard manifests — a fixed-precision detour there would break the merged
+/// output's byte-identity guarantee); the result tables keep fixed-6
+/// fmt_double for stable column widths.
+inline std::string fmt_double_exact(double v) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, end) : std::string("nan");
+}
+
 inline std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> out;
   std::string cell;

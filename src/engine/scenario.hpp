@@ -54,4 +54,20 @@ struct Scenario {
   std::vector<std::vector<profibus::MessageCycleSpec>> frame_specs;
 };
 
+/// Content digest of everything the analyses consume from a scenario — the
+/// network structure (bus parameters, T_TR, per-master streams and
+/// low-priority cycles), the holistic transactions, and the frame specs —
+/// but NOT its provenance (id, seed, grid coordinates) and not the display
+/// names. Two scenarios with equal canonical hashes produce identical
+/// ANALYSIS results under equal engine options (analysis is a pure function
+/// of the content), which is what lets the persistent result cache
+/// (src/dist/result_cache.hpp) address analysis entries by content: a
+/// re-sweep that regenerates the same networks hits regardless of how the
+/// scenario ids shifted. Simulation outcomes additionally depend on the
+/// scenario's RNG seed (the replication streams derive from it), so the
+/// cache folds Scenario::seed into its simulation-record keys on top of
+/// this digest. FNV-1a 64 over a length-prefixed canonical field walk,
+/// stable across hosts and builds.
+[[nodiscard]] std::uint64_t canonical_hash(const Scenario& sc);
+
 }  // namespace profisched::engine

@@ -19,14 +19,15 @@ using detail::to_size;
 std::string SimCurves::to_csv() const {
   std::string out =
       "u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,max_observed,"
-      "ratio\n";
+      "quantile_observed,ratio\n";
   for (const SimCurvePoint& pt : points) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
       out += fmt_double(pt.total_u) + ',' + fmt_double(pt.beta_lo) + ',' +
              fmt_double(pt.beta_hi) + ',' + std::to_string(pt.scenarios) + ',' + policies[p] +
              ',' + std::to_string(pt.miss_free[p]) + ',' + std::to_string(pt.total_misses[p]) +
              ',' + std::to_string(pt.total_dropped[p]) + ',' +
-             std::to_string(pt.max_observed[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
+             std::to_string(pt.max_observed[p]) + ',' +
+             std::to_string(pt.quantile_observed[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
     }
   }
   return out;
@@ -36,7 +37,7 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
   SimCurves out;
   std::istringstream is(csv);
   std::string line;
-  if (!std::getline(is, line) || split(line, ',').size() != 10) {
+  if (!std::getline(is, line) || split(line, ',').size() != 11) {
     throw std::invalid_argument("SimCurves: missing/short CSV header");
   }
   // Which policies the current (last) point already has a row for; a repeated
@@ -46,7 +47,7 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> cells = split(line, ',');
-    if (cells.size() != 10) {
+    if (cells.size() != 11) {
       throw std::invalid_argument("SimCurves: bad CSV row '" + line + "'");
     }
     const double u = to_double(cells[0]);
@@ -62,7 +63,7 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
     const bool same_key = !out.points.empty() && out.points.back().total_u == u &&
                           out.points.back().beta_lo == blo && out.points.back().beta_hi == bhi;
     if (!same_key || (p < filled.size() && filled[p])) {
-      out.points.push_back(SimCurvePoint{u, blo, bhi, scenarios, {}, {}, {}, {}});
+      out.points.push_back(SimCurvePoint{u, blo, bhi, scenarios, {}, {}, {}, {}, {}});
       filled.assign(out.policies.size(), false);
     }
     SimCurvePoint& pt = out.points.back();
@@ -70,11 +71,13 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
     pt.total_misses.resize(out.policies.size(), 0);
     pt.total_dropped.resize(out.policies.size(), 0);
     pt.max_observed.resize(out.policies.size(), 0);
+    pt.quantile_observed.resize(out.policies.size(), 0);
     filled.resize(out.policies.size(), false);
     pt.miss_free[p] = to_size(cells[5]);
     pt.total_misses[p] = static_cast<std::uint64_t>(to_ll(cells[6]));
     pt.total_dropped[p] = static_cast<std::uint64_t>(to_ll(cells[7]));
     pt.max_observed[p] = to_ll(cells[8]);
+    pt.quantile_observed[p] = to_ll(cells[9]);
     filled[p] = true;
   }
   for (SimCurvePoint& pt : out.points) {
@@ -82,6 +85,7 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
     pt.total_misses.resize(out.policies.size(), 0);
     pt.total_dropped.resize(out.policies.size(), 0);
     pt.max_observed.resize(out.policies.size(), 0);
+    pt.quantile_observed.resize(out.policies.size(), 0);
   }
   return out;
 }
@@ -102,7 +106,8 @@ std::string SimCurves::to_json() const {
       out += (p == 0 ? "" : ", ");
       out += '"' + policies[p] + "\": [" + std::to_string(pt.miss_free[p]) + ", " +
              std::to_string(pt.total_misses[p]) + ", " + std::to_string(pt.total_dropped[p]) +
-             ", " + std::to_string(pt.max_observed[p]) + ']';
+             ", " + std::to_string(pt.max_observed[p]) + ", " +
+             std::to_string(pt.quantile_observed[p]) + ']';
     }
     out += "}}";
     out += (i + 1 < points.size() ? ",\n" : "\n");
@@ -150,6 +155,7 @@ SimCurves SimCurves::from_json(const std::string& json) {
       pt.total_misses.assign(out.policies.size(), 0);
       pt.total_dropped.assign(out.policies.size(), 0);
       pt.max_observed.assign(out.policies.size(), 0);
+      pt.quantile_observed.assign(out.policies.size(), 0);
       if (!c.peek('}')) {
         for (;;) {
           const std::string policy = c.string();
@@ -162,6 +168,8 @@ SimCurves SimCurves::from_json(const std::string& json) {
           const auto dropped = static_cast<std::uint64_t>(c.integer());
           c.expect(',');
           const Ticks max_observed = c.integer();
+          c.expect(',');
+          const Ticks quantile_observed = c.integer();
           c.expect(']');
           std::size_t p = 0;
           while (p < out.policies.size() && out.policies[p] != policy) ++p;
@@ -172,6 +180,7 @@ SimCurves SimCurves::from_json(const std::string& json) {
           pt.total_misses[p] = misses;
           pt.total_dropped[p] = dropped;
           pt.max_observed[p] = max_observed;
+          pt.quantile_observed[p] = quantile_observed;
           if (!c.peek(',')) break;
           c.expect(',');
         }
@@ -202,6 +211,7 @@ SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) 
     out.points[i].total_misses.assign(spec.sweep.policies.size(), 0);
     out.points[i].total_dropped.assign(spec.sweep.policies.size(), 0);
     out.points[i].max_observed.assign(spec.sweep.policies.size(), 0);
+    out.points[i].quantile_observed.assign(spec.sweep.policies.size(), 0);
   }
   for (const SimScenarioOutcome& o : result.outcomes) {
     SimCurvePoint& pt = out.points[o.point];
@@ -213,6 +223,7 @@ SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) 
       pt.total_misses[p] += o.misses[p];
       pt.total_dropped[p] += o.dropped[p];
       pt.max_observed[p] = std::max(pt.max_observed[p], o.observed_max[p]);
+      pt.quantile_observed[p] = std::max(pt.quantile_observed[p], o.observed_p99[p]);
     }
   }
   return out;

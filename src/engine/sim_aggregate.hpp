@@ -25,6 +25,10 @@ struct SimCurvePoint {
   std::vector<std::uint64_t> total_misses;
   std::vector<std::uint64_t> total_dropped;
   std::vector<Ticks> max_observed;
+  /// Max over the point's scenarios of the per-scenario observed percentile
+  /// (SimOptions::quantile, default p99; `profisched simulate --quantile`
+  /// selects it) — the tail-latency curve reported alongside the worst case.
+  std::vector<Ticks> quantile_observed;
 
   [[nodiscard]] double ratio(std::size_t policy) const {
     return scenarios == 0 ? 0.0
@@ -41,7 +45,7 @@ struct SimCurves {
 
   /// CSV: one row per (point, policy):
   ///   u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,
-  ///   max_observed,ratio
+  ///   max_observed,quantile_observed,ratio
   [[nodiscard]] std::string to_csv() const;
   /// JSON {"policies": [...], "points": [{...}]} mirroring the CSV columns.
   [[nodiscard]] std::string to_json() const;

@@ -1,58 +1,9 @@
 #include "engine/sim_cli.hpp"
 
-#include <cerrno>
-#include <cstdlib>
-#include <cstring>
-#include <limits>
-
 namespace profisched::engine {
 
-bool parse_cli_count(const std::string& s, std::size_t& out, std::size_t max) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == s.c_str() || *end != '\0' || s.find('-') != std::string::npos || errno == ERANGE ||
-      v > max) {
-    return false;
-  }
-  out = static_cast<std::size_t>(v);
-  return true;
-}
-
-bool parse_cli_nonneg_double(const std::string& s, double& out) {
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == s.c_str() || *end != '\0' || v < 0) return false;
-  out = v;
-  return true;
-}
-
-bool parse_cli_policies(const std::string& list, bool simulable_only, std::vector<Policy>& out) {
-  out.clear();
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    const std::size_t comma = list.find(',', start);
-    const std::string name = list.substr(start, comma - start);
-    if (name == "fcfs") out.push_back(Policy::Fcfs);
-    else if (name == "dm") out.push_back(Policy::Dm);
-    else if (name == "edf") out.push_back(Policy::Edf);
-    else if (!simulable_only && name == "opa") out.push_back(Policy::Opa);
-    else if (!simulable_only && name == "token") out.push_back(Policy::TokenRing);
-    else if (!simulable_only && name == "holistic") out.push_back(Policy::Holistic);
-    else return false;
-    // Duplicates would emit repeated policy columns the CSV/JSON formats
-    // cannot represent (their parse-back keys on the policy name).
-    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
-      if (out[i] == out.back()) return false;
-    }
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return !out.empty();
-}
-
 bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out,
-                          std::string& error) {
+                          std::string& error, bool simulable_only) {
   SimSweepCli cli;
   cli.spec.sweep.base.n_masters = 1;
   cli.spec.sweep.base.streams_per_master = 5;
@@ -98,12 +49,7 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
         return fail("--streams needs an integer in [1, 4096]");
       }
     } else if (arg == "--u") {
-      if (!next(v)) return fail("--u needs LO:HI:STEPS");
-      const std::size_t c1 = v.find(':');
-      const std::size_t c2 = c1 == std::string::npos ? std::string::npos : v.find(':', c1 + 1);
-      if (c2 == std::string::npos || !parse_cli_nonneg_double(v.substr(0, c1), u_lo) ||
-          !parse_cli_nonneg_double(v.substr(c1 + 1, c2 - c1 - 1), u_hi) ||
-          !parse_cli_count(v.substr(c2 + 1), u_steps, 1'000'000)) {
+      if (!next(v) || !parse_cli_u_grid(v, u_lo, u_hi, u_steps)) {
         return fail("--u needs LO:HI:STEPS with numeric LO/HI and integer STEPS");
       }
     } else if (arg == "--beta-lo") {
@@ -115,8 +61,11 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
         return fail("--beta-hi needs a number >= 0");
       }
     } else if (arg == "--policies") {
-      if (!next(v) || !parse_cli_policies(v, /*simulable_only=*/true, cli.spec.sweep.policies)) {
-        return fail("--policies needs a comma list drawn from fcfs,dm,edf (no duplicates)");
+      if (!next(v) || !parse_cli_policies(v, simulable_only, cli.spec.sweep.policies)) {
+        return fail(simulable_only
+                        ? "--policies needs a comma list drawn from fcfs,dm,edf (no duplicates)"
+                        : "--policies needs a comma list drawn from fcfs,dm,edf,opa,token,"
+                          "holistic (no duplicates)");
       }
     } else if (arg == "--threads") {
       if (!next(v) || !parse_cli_count(v, count, 1'024)) {
@@ -153,6 +102,12 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
       } else {
         return fail("--model needs worst|uniform|frame");
       }
+    } else if (arg == "--quantile") {
+      double q = 0.0;
+      if (!next(v) || !parse_cli_nonneg_double(v, q) || !(q > 0.0 && q <= 1.0)) {
+        return fail("--quantile needs a percentile in (0, 1]");
+      }
+      cli.spec.sim.quantile = q;
     } else if (arg == "--lp") {
       cli.spec.sim.lp_traffic = true;
     } else if (arg == "--combined") {
@@ -163,21 +118,16 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
     } else if (arg == "--json") {
       if (!next(v) || v.empty()) return fail("--json needs a file path");
       cli.json_path = v;
+    } else if (arg == "--cache") {
+      if (!next(v) || v.empty()) return fail("--cache needs a directory path");
+      cli.cache_dir = v;
     } else {
       return fail("unknown simulate flag '" + arg + "'");
     }
   }
 
-  // u = 0 would silently flip a grid point to the legacy period-driven
-  // generator — a different workload distribution; reject rather than mix.
-  if (u_steps == 0 || u_hi < u_lo || u_lo <= 0) {
+  if (!expand_cli_u_grid(u_lo, u_hi, u_steps, beta_lo, beta_hi, cli.spec.sweep.points)) {
     return fail("--u grid must satisfy 0 < LO <= HI with STEPS >= 1");
-  }
-  for (std::size_t s = 0; s < u_steps; ++s) {
-    const double u = u_steps == 1 ? u_lo
-                                  : u_lo + (u_hi - u_lo) * static_cast<double>(s) /
-                                               static_cast<double>(u_steps - 1);
-    cli.spec.sweep.points.push_back(SweepPoint{u, beta_lo, beta_hi});
   }
   if (cli.spec.sweep.total_scenarios() > 100'000'000) {
     return fail("sweep too large (" + std::to_string(cli.spec.sweep.total_scenarios()) +

@@ -1,12 +1,14 @@
 // sim_cli.hpp — argument parsing for the `profisched simulate` sweep mode,
 // kept in the library (rather than the CLI translation unit) so the argument
 // validation is unit-testable: tests/engine/test_sim_cli.cpp feeds it the
-// same argv slices the tool does.
+// same argv slices the tool does. The strict scalar parsers every subcommand
+// shares live in engine/detail/cli_parse.hpp.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "engine/detail/cli_parse.hpp"
 #include "engine/sweep_runner.hpp"
 
 namespace profisched::engine {
@@ -18,6 +20,7 @@ struct SimSweepCli {
   bool combined = false; ///< also analyse; emit joined consistency rows
   std::string csv_path;
   std::string json_path;
+  std::string cache_dir;  ///< --cache DIR: persistent scenario-result cache
 };
 
 /// Parse the flags after `profisched simulate` into `out`. Returns true on
@@ -27,25 +30,11 @@ struct SimSweepCli {
 ///   --u LO:HI:STEPS  --beta-lo X  --beta-hi X
 ///   --policies fcfs,dm,edf  --threads N  --seed N  --ttr TICKS
 ///   --horizon TICKS  --cycles X  --model worst|uniform|frame
-///   --lp  --combined  --csv FILE  --json FILE
+///   --quantile Q  --lp  --combined  --csv FILE  --json FILE  --cache DIR
+/// `simulable_only` keeps --policies restricted to the AP-queue policies the
+/// simulator implements (the simulate subcommand's rule); `profisched shard
+/// --mode sweep` relaxes it to the full analysis-policy table.
 [[nodiscard]] bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out,
-                                        std::string& error);
-
-// Strict full-string scalar parses shared by every profisched subcommand:
-// reject trailing garbage, negatives and overflow, and bound each value to
-// its sane range (atoll's silent 0 / wraparound turned typos into
-// pathological sweeps).
-
-[[nodiscard]] bool parse_cli_count(const std::string& s, std::size_t& out,
-                                   std::size_t max = std::size_t(-1));
-
-[[nodiscard]] bool parse_cli_nonneg_double(const std::string& s, double& out);
-
-/// Comma-separated policy names (duplicates rejected — the serialized column
-/// formats key on unique policy names). `simulable_only` restricts the table
-/// to the AP-queue policies the simulator implements; otherwise every
-/// analysis Policy name is accepted (fcfs,dm,edf,opa,token,holistic).
-[[nodiscard]] bool parse_cli_policies(const std::string& list, bool simulable_only,
-                                      std::vector<Policy>& out);
+                                        std::string& error, bool simulable_only = true);
 
 }  // namespace profisched::engine

@@ -85,7 +85,7 @@ sim::SimReport SimulationEngine::simulate(const Scenario& sc, Policy policy,
   return sim::simulate(make_config(sc, policy, rep));
 }
 
-SimSummary SimulationEngine::summarize(const sim::SimReport& r) {
+SimSummary SimulationEngine::summarize(const sim::SimReport& r, double quantile) {
   SimSummary out;
   sim::Histogram merged;
   for (const auto& master : r.hp) {
@@ -101,9 +101,10 @@ SimSummary SimulationEngine::summarize(const sim::SimReport& r) {
     for (const sim::Histogram& h : master) merged.merge(h);
   }
   // The histogram quantile reports a bin upper bound; clamp to the exact
-  // maximum so p99 never reads above the observed worst case.
-  out.observed_p99 =
-      merged.count() > 0 ? std::min(merged.quantile(0.99), out.observed_max) : out.observed_max;
+  // maximum so the reported percentile never reads above the observed worst
+  // case.
+  out.observed_p99 = merged.count() > 0 ? std::min(merged.quantile(quantile), out.observed_max)
+                                        : out.observed_max;
   return out;
 }
 

@@ -42,6 +42,12 @@ struct SimOptions {
 
   /// Collect per-stream latency histograms (enables the observed-p99 column).
   bool collect_histograms = true;
+
+  /// Which percentile of the merged response distribution the observed_p99
+  /// column reports (`profisched simulate --quantile`). Default 0.99 keeps
+  /// the historical column meaning; the column name stays `observed_p99` in
+  /// the serialized formats regardless of the quantile chosen.
+  double quantile = 0.99;
 };
 
 /// Scalar summary of one simulation run (the columns the sweep aggregates).
@@ -84,9 +90,11 @@ class SimulationEngine {
   [[nodiscard]] sim::SimReport simulate(const Scenario& sc, Policy policy,
                                         std::uint64_t rep = 0) const;
 
-  /// Reduce a report to the scalar sweep columns. observed_p99 falls back to
+  /// Reduce a report to the scalar sweep columns. The observed_p99 column
+  /// reports the `quantile` percentile of the merged response distribution
+  /// (SimOptions::quantile for engine-driven sweeps), falling back to
   /// observed_max when the report carries no histograms.
-  [[nodiscard]] static SimSummary summarize(const sim::SimReport& r);
+  [[nodiscard]] static SimSummary summarize(const sim::SimReport& r, double quantile = 0.99);
 
   [[nodiscard]] const SimOptions& options() const noexcept { return opt_; }
 

@@ -1,11 +1,14 @@
 #include "engine/sweep_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <charconv>
 #include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 
+#include "engine/detail/hash.hpp"
 #include "sim/rng.hpp"
 
 namespace profisched::engine {
@@ -70,6 +73,12 @@ void validate_sim_spec(const SimSweepSpec& spec) {
   }
 }
 
+void validate_range(IdRange range, std::uint64_t total) {
+  if (range.begin > range.end || range.end > total) {
+    throw std::out_of_range("SweepRunner: shard range outside the sweep");
+  }
+}
+
 /// Simulate one (scenario, policy) across every replication, reducing to the
 /// sweep's scalar columns. When `per_stream_max` is non-null it receives, per
 /// (master, stream), the max observed response over all replications — the
@@ -86,7 +95,7 @@ SimSummary simulate_policy(const SimulationEngine& sim, const Scenario& sc, Poli
   }
   for (std::size_t rep = 0; rep < replications; ++rep) {
     const sim::SimReport r = sim.simulate(sc, policy, rep);
-    const SimSummary s = SimulationEngine::summarize(r);
+    const SimSummary s = SimulationEngine::summarize(r, sim.options().quantile);
     agg.observed_max = std::max(agg.observed_max, s.observed_max);
     agg.observed_p99 = std::max(agg.observed_p99, s.observed_p99);
     agg.released += s.released;
@@ -104,22 +113,226 @@ SimSummary simulate_policy(const SimulationEngine& sim, const Scenario& sc, Poli
   return agg;
 }
 
+// --------------------------------------------------------- cache records
+//
+// One cache entry per (scenario, policy): the scenario half of the key is
+// canonical_hash(Scenario) — for the ANALYSIS records, whose results are a
+// pure function of the network content. Simulation outcomes additionally
+// depend on the scenario's RNG seed (rep_seed() drives cycle-duration draws
+// and the random replication phases), and equal-content different-seed
+// scenarios genuinely occur in real sweeps, so the sim/combined keys fold
+// sc.seed into the scenario half; serving one such scenario the other's
+// record would silently break the cached-equals-recomputed guarantee. The
+// params half digests the record kind, the policy, and every option that
+// shapes the result, so any knob change misses cleanly instead of serving
+// stale data. Payloads are small space-separated integer records (every
+// column is integral, so decode(encode(x)) == x exactly) with a leading
+// kind+version token; decode failures are treated as misses and overwritten,
+// never trusted.
+
+constexpr std::uint64_t kAnalysisRecordKind = 1;
+constexpr std::uint64_t kSimRecordKind = 2;
+constexpr std::uint64_t kCombinedRecordKind = 3;
+
+/// Scenario half of a simulation-backed cache key: content digest + the RNG
+/// seed the replication streams derive from.
+std::uint64_t seeded_content_digest(const Scenario& sc) {
+  return detail::Fnv1a64().u64(canonical_hash(sc)).u64(sc.seed).digest();
+}
+
+std::uint64_t analysis_params_digest(Policy policy, const EngineOptions& opt) {
+  detail::Fnv1a64 h;
+  h.u64(kAnalysisRecordKind)
+      .u64(static_cast<std::uint64_t>(policy))
+      .u64(static_cast<std::uint64_t>(opt.method))
+      .u64(static_cast<std::uint64_t>(opt.formulation))
+      .i64(opt.fuel);
+  return h.digest();
+}
+
+std::uint64_t sim_params_digest(Policy policy, const SimOptions& opt, std::size_t replications) {
+  detail::Fnv1a64 h;
+  h.u64(kSimRecordKind)
+      .u64(static_cast<std::uint64_t>(policy))
+      .u64(static_cast<std::uint64_t>(opt.cycle_model.kind))
+      .f64(opt.cycle_model.min_fraction)
+      .f64(opt.cycle_model.slave_fail_prob)
+      .i64(opt.horizon)
+      .f64(opt.horizon_cycles)
+      .i64(opt.horizon_cap)
+      .u64(opt.lp_traffic ? 1 : 0)
+      .u64(opt.collect_histograms ? 1 : 0)
+      .f64(opt.quantile)
+      .u64(replications);
+  return h.digest();
+}
+
+std::uint64_t combined_params_digest(Policy policy, const EngineOptions& eopt,
+                                     const SimOptions& sopt, std::size_t replications) {
+  detail::Fnv1a64 h;
+  h.u64(kCombinedRecordKind)
+      .u64(analysis_params_digest(policy, eopt))
+      .u64(sim_params_digest(policy, sopt, replications));
+  return h.digest();
+}
+
+void append_i64(std::string& out, long long v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+void append_u64(std::string& out, unsigned long long v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+/// Strict space-separated integer reader over a record payload.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& text) : text_(text) {}
+
+  bool tag(const char* expected) {
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ' ') ++end;
+    if (text_.compare(pos_, end - pos_, expected) != 0) return false;
+    pos_ = end < text_.size() ? end + 1 : end;
+    return true;
+  }
+
+  template <class T>
+  bool i64(T& v) { return parse(v); }
+
+  template <class T>
+  bool u64(T& v) { return parse(v); }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= text_.size(); }
+
+ private:
+  template <class T>
+  bool parse(T& v) {
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ' ') ++end;
+    const auto [ptr, ec] = std::from_chars(text_.data() + pos_, text_.data() + end, v);
+    if (ec != std::errc{} || ptr != text_.data() + end || end == pos_) return false;
+    pos_ = end < text_.size() ? end + 1 : end;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string encode_analysis_record(Ticks tcycle, bool schedulable, Ticks worst_slack) {
+  std::string out = "a1";
+  append_i64(out, tcycle);
+  append_u64(out, schedulable ? 1 : 0);
+  append_i64(out, worst_slack);
+  return out;
+}
+
+bool decode_analysis_record(const std::string& payload, Ticks& tcycle, bool& schedulable,
+                            Ticks& worst_slack) {
+  RecordReader r(payload);
+  long long tc = 0, slack = 0;
+  unsigned long long sched = 0;
+  if (!r.tag("a1") || !r.i64(tc) || !r.u64(sched) || !r.i64(slack) || !r.done() || sched > 1) {
+    return false;
+  }
+  tcycle = tc;
+  schedulable = sched == 1;
+  worst_slack = slack;
+  return true;
+}
+
+std::string encode_sim_record(Ticks horizon, const SimSummary& s) {
+  std::string out = "s1";
+  append_i64(out, horizon);
+  append_i64(out, s.observed_max);
+  append_i64(out, s.observed_p99);
+  append_u64(out, s.released);
+  append_u64(out, s.completed);
+  append_u64(out, s.misses);
+  append_u64(out, s.dropped);
+  return out;
+}
+
+bool decode_sim_record(const std::string& payload, Ticks& horizon, SimSummary& s) {
+  RecordReader r(payload);
+  long long h = 0, omax = 0, p99 = 0;
+  if (!r.tag("s1") || !r.i64(h) || !r.i64(omax) || !r.i64(p99) || !r.u64(s.released) ||
+      !r.u64(s.completed) || !r.u64(s.misses) || !r.u64(s.dropped) || !r.done()) {
+    return false;
+  }
+  horizon = h;
+  s.observed_max = omax;
+  s.observed_p99 = p99;
+  return true;
+}
+
+std::string encode_combined_record(Ticks horizon, bool analytic_schedulable, Ticks analytic_wcrt,
+                                   std::uint64_t violations, const SimSummary& s) {
+  std::string out = "c1";
+  append_i64(out, horizon);
+  append_u64(out, analytic_schedulable ? 1 : 0);
+  append_i64(out, analytic_wcrt);
+  append_u64(out, violations);
+  append_i64(out, s.observed_max);
+  append_i64(out, s.observed_p99);
+  append_u64(out, s.released);
+  append_u64(out, s.completed);
+  append_u64(out, s.misses);
+  append_u64(out, s.dropped);
+  return out;
+}
+
+bool decode_combined_record(const std::string& payload, Ticks& horizon, bool& analytic_schedulable,
+                            Ticks& analytic_wcrt, std::uint64_t& violations, SimSummary& s) {
+  RecordReader r(payload);
+  long long h = 0, wcrt = 0, omax = 0, p99 = 0;
+  unsigned long long sched = 0;
+  if (!r.tag("c1") || !r.i64(h) || !r.u64(sched) || !r.i64(wcrt) || !r.u64(violations) ||
+      !r.i64(omax) || !r.i64(p99) || !r.u64(s.released) || !r.u64(s.completed) ||
+      !r.u64(s.misses) || !r.u64(s.dropped) || !r.done() || sched > 1) {
+    return false;
+  }
+  horizon = h;
+  analytic_schedulable = sched == 1;
+  analytic_wcrt = wcrt;
+  s.observed_max = omax;
+  s.observed_p99 = p99;
+  return true;
+}
+
 }  // namespace
 
-SweepResult SweepRunner::run(const SweepSpec& spec) {
+SweepResult SweepRunner::run(const SweepSpec& spec, ScenarioCache* cache) {
+  return run_range(spec, IdRange{0, spec.total_scenarios()}, cache);
+}
+
+SweepResult SweepRunner::run_range(const SweepSpec& spec, IdRange range, ScenarioCache* cache) {
   if (spec.policies.empty()) {
     throw std::invalid_argument("SweepSpec: needs >= 1 policy");
   }
   if (spec.points.empty() || spec.scenarios_per_point == 0) {
     throw std::invalid_argument("SweepSpec: needs >= 1 point and >= 1 scenario per point");
   }
-  const std::size_t n = spec.total_scenarios();
+  validate_range(range, spec.total_scenarios());
+  const std::size_t n = static_cast<std::size_t>(range.size());
   SweepResult out;
   out.outcomes.resize(n);
 
   // One engine per worker slot: the timing memo is reused across this
   // scenario's policies without any cross-thread locking.
   std::vector<AnalysisEngine> engines(pool_.size(), AnalysisEngine(spec.engine));
+
+  // Per-policy parameter digests are loop-invariant; hash them once.
+  std::vector<std::uint64_t> params(spec.policies.size(), 0);
+  if (cache != nullptr) {
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      params[p] = analysis_params_digest(spec.policies[p], spec.engine);
+    }
+  }
+  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
 
   // A worker exception (e.g. a generation parameter the workload layer
   // rejects) must surface on the calling thread, not std::terminate the
@@ -131,19 +344,37 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     try {
       AnalysisEngine& engine = engines[worker];
-      const Scenario sc = make_scenario(spec, i);
+      const std::uint64_t id = range.begin + i;
+      const Scenario sc = make_scenario(spec, id);
+      const std::uint64_t content = cache != nullptr ? canonical_hash(sc) : 0;
 
       ScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
       o.id = sc.id;
       o.seed = sc.seed;
-      o.point = static_cast<std::size_t>(i) / spec.scenarios_per_point;
+      o.point = static_cast<std::size_t>(id) / spec.scenarios_per_point;
       o.schedulable.reserve(spec.policies.size());
       o.worst_slack.reserve(spec.policies.size());
-      for (const Policy policy : spec.policies) {
-        const Report r = engine.analyze(sc, policy);
+      for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+        const CacheKey key{content, params[p]};
+        std::string payload;
+        Ticks tcycle = 0, worst_slack = 0;
+        bool schedulable = false;
+        if (cache != nullptr && cache->load(key, payload) &&
+            decode_analysis_record(payload, tcycle, schedulable, worst_slack)) {
+          ++cache_hits;
+          o.tcycle = tcycle;
+          o.schedulable.push_back(schedulable);
+          o.worst_slack.push_back(worst_slack);
+          continue;
+        }
+        const Report r = engine.analyze(sc, spec.policies[p]);
         o.tcycle = r.tcycle;
         o.schedulable.push_back(r.schedulable);
         o.worst_slack.push_back(r.worst_slack);
+        if (cache != nullptr) {
+          ++cache_misses;
+          cache->store(key, encode_analysis_record(r.tcycle, r.schedulable, r.worst_slack));
+        }
       }
       engine.forget(sc.id);
     } catch (...) {
@@ -154,6 +385,8 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
   const auto t1 = std::chrono::steady_clock::now();
   if (first_error) std::rethrow_exception(first_error);
   out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  out.cache_hits = cache_hits.load();
+  out.cache_misses = cache_misses.load();
 
   for (const AnalysisEngine& e : engines) {
     out.memo_hits += e.memo_hits();
@@ -162,28 +395,59 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
   return out;
 }
 
-SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec) {
+SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec, ScenarioCache* cache) {
+  return run_sim_range(spec, IdRange{0, spec.sweep.total_scenarios()}, cache);
+}
+
+SimSweepResult SweepRunner::run_sim_range(const SimSweepSpec& spec, IdRange range,
+                                          ScenarioCache* cache) {
   validate_sim_spec(spec);
-  const std::size_t n = spec.sweep.total_scenarios();
+  validate_range(range, spec.sweep.total_scenarios());
+  const std::size_t n = static_cast<std::size_t>(range.size());
   SimSweepResult out;
   out.outcomes.resize(n);
 
   const SimulationEngine sim(spec.sim);  // stateless: shared by every worker
+  std::vector<std::uint64_t> params(spec.sweep.policies.size(), 0);
+  if (cache != nullptr) {
+    for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+      params[p] = sim_params_digest(spec.sweep.policies[p], spec.sim, spec.replications);
+    }
+  }
+  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
   const auto t0 = std::chrono::steady_clock::now();
   pool_.parallel_for(n, [&](std::size_t i, unsigned) {
     try {
-      const Scenario sc = make_scenario(spec.sweep, i);
+      const std::uint64_t id = range.begin + i;
+      const Scenario sc = make_scenario(spec.sweep, id);
+      const std::uint64_t content = cache != nullptr ? seeded_content_digest(sc) : 0;
 
       SimScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
       o.id = sc.id;
       o.seed = sc.seed;
-      o.point = static_cast<std::size_t>(i) / spec.sweep.scenarios_per_point;
+      o.point = static_cast<std::size_t>(id) / spec.sweep.scenarios_per_point;
       o.horizon = sim.horizon_for(sc);
-      for (const Policy policy : spec.sweep.policies) {
-        const SimSummary s = simulate_policy(sim, sc, policy, spec.replications, nullptr);
+      for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+        const CacheKey key{content, params[p]};
+        std::string payload;
+        SimSummary s;
+        Ticks horizon = 0;
+        // The stored horizon must match the one this spec derives — it is a
+        // pure function of (scenario, options), so a mismatch means a
+        // corrupted or colliding entry and the record is refused.
+        if (cache != nullptr && cache->load(key, payload) &&
+            decode_sim_record(payload, horizon, s) && horizon == o.horizon) {
+          ++cache_hits;
+        } else {
+          s = simulate_policy(sim, sc, spec.sweep.policies[p], spec.replications, nullptr);
+          if (cache != nullptr) {
+            ++cache_misses;
+            cache->store(key, encode_sim_record(o.horizon, s));
+          }
+        }
         o.observed_max.push_back(s.observed_max);
         o.observed_p99.push_back(s.observed_p99);
         o.released.push_back(s.released);
@@ -199,17 +463,33 @@ SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec) {
   const auto t1 = std::chrono::steady_clock::now();
   if (first_error) std::rethrow_exception(first_error);
   out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  out.cache_hits = cache_hits.load();
+  out.cache_misses = cache_misses.load();
   return out;
 }
 
-CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
+CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, ScenarioCache* cache) {
+  return run_combined_range(spec, IdRange{0, spec.sweep.total_scenarios()}, cache);
+}
+
+CombinedResult SweepRunner::run_combined_range(const SimSweepSpec& spec, IdRange range,
+                                               ScenarioCache* cache) {
   validate_sim_spec(spec);
-  const std::size_t n = spec.sweep.total_scenarios();
+  validate_range(range, spec.sweep.total_scenarios());
+  const std::size_t n = static_cast<std::size_t>(range.size());
   CombinedResult out;
   out.outcomes.resize(n);
 
   const SimulationEngine sim(spec.sim);
   std::vector<AnalysisEngine> engines(pool_.size(), AnalysisEngine(spec.sweep.engine));
+  std::vector<std::uint64_t> params(spec.sweep.policies.size(), 0);
+  if (cache != nullptr) {
+    for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+      params[p] = combined_params_digest(spec.sweep.policies[p], spec.sweep.engine, spec.sim,
+                                         spec.replications);
+    }
+  }
+  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
 
@@ -217,28 +497,56 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     try {
       AnalysisEngine& engine = engines[worker];
-      const Scenario sc = make_scenario(spec.sweep, i);
+      const std::uint64_t id = range.begin + i;
+      const Scenario sc = make_scenario(spec.sweep, id);
+      const std::uint64_t content = cache != nullptr ? seeded_content_digest(sc) : 0;
 
       CombinedOutcome& o = out.outcomes[i];  // disjoint slot per index
       o.sim.id = sc.id;
       o.sim.seed = sc.seed;
-      o.sim.point = static_cast<std::size_t>(i) / spec.sweep.scenarios_per_point;
+      o.sim.point = static_cast<std::size_t>(id) / spec.sweep.scenarios_per_point;
       o.sim.horizon = sim.horizon_for(sc);
       std::vector<std::vector<Ticks>> per_stream_max;
-      for (const Policy policy : spec.sweep.policies) {
+      for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+        const Policy policy = spec.sweep.policies[p];
+        const CacheKey key{content, params[p]};
+        std::string payload;
+        Ticks horizon = 0, analytic_wcrt = 0;
+        bool analytic_schedulable = false;
+        std::uint64_t violations = 0;
+        SimSummary s;
+        // Horizon check as in run_sim_range: refuse records whose derived
+        // horizon disagrees (corruption / collision guard).
+        if (cache != nullptr && cache->load(key, payload) &&
+            decode_combined_record(payload, horizon, analytic_schedulable, analytic_wcrt,
+                                   violations, s) &&
+            horizon == o.sim.horizon) {
+          ++cache_hits;
+          o.analytic_schedulable.push_back(analytic_schedulable);
+          o.analytic_wcrt.push_back(analytic_wcrt);
+          o.bound_violations.push_back(violations);
+          o.sim.observed_max.push_back(s.observed_max);
+          o.sim.observed_p99.push_back(s.observed_p99);
+          o.sim.released.push_back(s.released);
+          o.sim.completed.push_back(s.completed);
+          o.sim.misses.push_back(s.misses);
+          o.sim.dropped.push_back(s.dropped);
+          continue;
+        }
+
         const Report a = engine.analyze(sc, policy);
         o.analytic_schedulable.push_back(a.schedulable);
         Ticks wcrt = 0;
         for (const profibus::MasterAnalysis& m : a.detail.masters) {
-          for (const profibus::StreamResponse& s : m.streams) {
-            wcrt = s.response == kNoBound ? kNoBound : std::max(wcrt, s.response);
+          for (const profibus::StreamResponse& sr : m.streams) {
+            wcrt = sr.response == kNoBound ? kNoBound : std::max(wcrt, sr.response);
             if (wcrt == kNoBound) break;
           }
           if (wcrt == kNoBound) break;
         }
         o.analytic_wcrt.push_back(wcrt);
 
-        const SimSummary s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
+        s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
         o.sim.observed_max.push_back(s.observed_max);
         o.sim.observed_p99.push_back(s.observed_p99);
         o.sim.released.push_back(s.released);
@@ -248,7 +556,7 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
 
         // Per-stream consistency: every bounded analytic response must
         // dominate that stream's observed max across all replications.
-        std::uint64_t violations = 0;
+        violations = 0;
         for (std::size_t k = 0; k < a.detail.masters.size(); ++k) {
           for (std::size_t si = 0; si < a.detail.masters[k].streams.size(); ++si) {
             const Ticks bound = a.detail.masters[k].streams[si].response;
@@ -256,6 +564,11 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
           }
         }
         o.bound_violations.push_back(violations);
+        if (cache != nullptr) {
+          ++cache_misses;
+          cache->store(key, encode_combined_record(o.sim.horizon, a.schedulable, wcrt,
+                                                   violations, s));
+        }
       }
       engine.forget(sc.id);
     } catch (...) {
@@ -266,6 +579,8 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec) {
   const auto t1 = std::chrono::steady_clock::now();
   if (first_error) std::rethrow_exception(first_error);
   out.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  out.cache_hits = cache_hits.load();
+  out.cache_misses = cache_misses.load();
 
   for (const AnalysisEngine& e : engines) {
     out.memo_hits += e.memo_hits();

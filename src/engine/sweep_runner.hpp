@@ -28,6 +28,37 @@
 
 namespace profisched::engine {
 
+/// A contiguous range of global scenario ids, [begin, end). The distributed
+/// subsystem (src/dist/) carves a sweep into these; a default-constructed
+/// range is empty.
+struct IdRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  ///< exclusive
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+};
+
+/// Content address of one cached (scenario, policy, options) result:
+/// `scenario` is canonical_hash(Scenario), `params` digests the record kind,
+/// policy and every option that shapes the result. 128 bits total so sweeps
+/// with many millions of entries stay far from birthday-collision territory.
+struct CacheKey {
+  std::uint64_t scenario = 0;
+  std::uint64_t params = 0;
+};
+
+/// Hook the SweepRunner consults per (scenario, policy): load() returns true
+/// and fills `payload` on a hit; store() persists a payload computed on a
+/// miss. Implementations must be safe to call from every worker thread
+/// concurrently, and must treat payloads as opaque bytes (the runner owns the
+/// record format). The on-disk implementation is dist::ResultCache.
+class ScenarioCache {
+ public:
+  virtual ~ScenarioCache() = default;
+  virtual bool load(const CacheKey& key, std::string& payload) = 0;
+  virtual void store(const CacheKey& key, const std::string& payload) = 0;
+};
+
 /// One grid point of a sweep.
 struct SweepPoint {
   double total_u = 0.0;  ///< UUniFast target utilization (0 = period-driven)
@@ -62,13 +93,16 @@ struct ScenarioOutcome {
   std::vector<Ticks> worst_slack;
 };
 
-/// Whole-sweep result. `outcomes` is indexed by global scenario id, so its
-/// content is independent of thread count and scheduling order.
+/// Whole-sweep result. `outcomes` is indexed by global scenario id (minus the
+/// range's begin for a ranged run), so its content is independent of thread
+/// count and scheduling order.
 struct SweepResult {
   std::vector<ScenarioOutcome> outcomes;
   double elapsed_s = 0.0;      ///< wall clock (NOT part of the deterministic data)
   std::size_t memo_hits = 0;   ///< timing-memo reuse across policies
   std::size_t memo_misses = 0;
+  std::size_t cache_hits = 0;    ///< result-cache lookups served (0 without a cache)
+  std::size_t cache_misses = 0;  ///< result-cache lookups recomputed
 };
 
 /// A sweep whose scenarios are simulated instead of (or as well as) analysed.
@@ -104,6 +138,8 @@ struct SimScenarioOutcome {
 struct SimSweepResult {
   std::vector<SimScenarioOutcome> outcomes;  ///< indexed by global scenario id
   double elapsed_s = 0.0;  ///< wall clock (NOT part of the deterministic data)
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 /// Per-scenario joined analysis + simulation result (combined mode).
@@ -124,6 +160,8 @@ struct CombinedResult {
   double elapsed_s = 0.0;
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 
   /// Total streams (across scenarios and policies) whose observed response
   /// exceeded the analytic bound. Must be 0 for a sound analysis.
@@ -145,16 +183,34 @@ class SweepRunner {
   /// Regenerate scenario `id` of the sweep (id in [0, total_scenarios())).
   [[nodiscard]] static Scenario make_scenario(const SweepSpec& spec, std::uint64_t id);
 
-  /// Run the whole sweep across the pool.
-  [[nodiscard]] SweepResult run(const SweepSpec& spec);
+  /// Run the whole sweep across the pool. With a cache, each (scenario,
+  /// policy) result is looked up by content address first and only misses are
+  /// computed (and stored) — the outcomes are bit-identical either way.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec, ScenarioCache* cache = nullptr);
+
+  /// Run only the scenarios with ids in `range` (a shard of the sweep).
+  /// Outcomes land at slot id - range.begin; their content is exactly what
+  /// the same slots of a full run() would hold, which is what makes shard
+  /// execution mergeable back into the single-process result (src/dist/).
+  [[nodiscard]] SweepResult run_range(const SweepSpec& spec, IdRange range,
+                                      ScenarioCache* cache = nullptr);
 
   /// Simulate every scenario of the sweep under every policy ×
   /// `replications`, fanned across the pool. Outcomes are bit-identical for
   /// any thread count (generation and RNG streams are index-keyed).
-  [[nodiscard]] SimSweepResult run_sim(const SimSweepSpec& spec);
+  [[nodiscard]] SimSweepResult run_sim(const SimSweepSpec& spec, ScenarioCache* cache = nullptr);
+
+  /// Ranged variant of run_sim (see run_range).
+  [[nodiscard]] SimSweepResult run_sim_range(const SimSweepSpec& spec, IdRange range,
+                                             ScenarioCache* cache = nullptr);
 
   /// Analyse AND simulate every scenario, joining the verdicts per policy.
-  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec);
+  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec,
+                                            ScenarioCache* cache = nullptr);
+
+  /// Ranged variant of run_combined (see run_range).
+  [[nodiscard]] CombinedResult run_combined_range(const SimSweepSpec& spec, IdRange range,
+                                                  ScenarioCache* cache = nullptr);
 
   [[nodiscard]] unsigned threads() const noexcept;
 

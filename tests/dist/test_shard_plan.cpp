@@ -1,0 +1,54 @@
+// ShardPlan properties: for any (total, count) the ranges tile [0, total)
+// contiguously with sizes differing by at most one — the invariant the merge
+// validator (and therefore the byte-identity of merged sweeps) rests on.
+#include "dist/shard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::dist {
+namespace {
+
+void expect_tiles(std::uint64_t total, std::uint64_t count) {
+  const ShardPlan plan = ShardPlan::split(total, count);
+  ASSERT_EQ(plan.ranges.size(), count);
+  EXPECT_EQ(plan.total, total);
+  std::uint64_t cursor = 0, min_size = total + 1, max_size = 0;
+  for (const engine::IdRange& r : plan.ranges) {
+    EXPECT_EQ(r.begin, cursor) << "gap/overlap at " << cursor;
+    EXPECT_LE(r.begin, r.end);
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, total) << "ranges must cover the whole sweep";
+  EXPECT_LE(max_size - min_size, 1u) << "load balance: sizes differ by at most 1";
+}
+
+TEST(ShardPlan, TilesTheIdSpaceForManyShapes) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 2ULL, 7ULL, 100ULL, 101ULL, 1000ULL}) {
+    for (const std::uint64_t count : {1ULL, 2ULL, 3ULL, 5ULL, 7ULL, 16ULL}) {
+      expect_tiles(total, count);
+    }
+  }
+}
+
+TEST(ShardPlan, UnevenSplitFrontloadsTheRemainder) {
+  const ShardPlan plan = ShardPlan::split(10, 3);
+  EXPECT_EQ(plan.ranges[0].size(), 4u);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(plan.ranges[1].size(), 3u);
+  EXPECT_EQ(plan.ranges[2].size(), 3u);
+}
+
+TEST(ShardPlan, MoreShardsThanScenariosYieldsEmptyTails) {
+  const ShardPlan plan = ShardPlan::split(2, 5);
+  EXPECT_EQ(plan.ranges[0].size(), 1u);
+  EXPECT_EQ(plan.ranges[1].size(), 1u);
+  for (std::size_t k = 2; k < 5; ++k) EXPECT_EQ(plan.ranges[k].size(), 0u);
+}
+
+TEST(ShardPlan, RejectsZeroShards) {
+  EXPECT_THROW((void)ShardPlan::split(10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched::dist

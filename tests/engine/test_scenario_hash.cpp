@@ -1,0 +1,91 @@
+// canonical_hash(Scenario) properties: stable under provenance changes (id,
+// seed, grid coordinates, display names — none of which affect results),
+// sensitive to every content field the analyses and simulator consume. The
+// persistent result cache addresses entries by this digest, so an insensitive
+// field here would serve stale results.
+#include "engine/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+namespace {
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.base.n_masters = 2;
+  spec.base.streams_per_master = 3;
+  spec.base.ttr = 3'000;
+  spec.points = {SweepPoint{0.5, 0.5, 1.0}};
+  spec.scenarios_per_point = 4;
+  spec.seed = 11;
+  return spec;
+}
+
+Scenario generated(std::uint64_t id = 0) { return SweepRunner::make_scenario(tiny_spec(), id); }
+
+TEST(ScenarioHash, DeterministicAcrossRegeneration) {
+  EXPECT_EQ(canonical_hash(generated(2)), canonical_hash(generated(2)));
+}
+
+TEST(ScenarioHash, DistinctScenariosDigestDifferently) {
+  EXPECT_NE(canonical_hash(generated(0)), canonical_hash(generated(1)));
+}
+
+TEST(ScenarioHash, ProvenanceAndNamesDoNotAffectTheDigest) {
+  Scenario a = generated(3);
+  Scenario b = generated(3);
+  b.id = 999;
+  b.seed = 123456789;
+  b.total_u = 0.123;
+  b.beta_lo = 0.9;
+  b.beta_hi = 0.95;
+  b.net.masters[0].name = "renamed";
+  b.net.masters[0].high_streams[0].name = "also renamed";
+  EXPECT_EQ(canonical_hash(a), canonical_hash(b));
+}
+
+TEST(ScenarioHash, EveryContentFieldPerturbsTheDigest) {
+  const Scenario base = generated(1);
+  const std::uint64_t h0 = canonical_hash(base);
+
+  const auto perturbed = [&](auto&& mutate) {
+    Scenario sc = generated(1);
+    mutate(sc);
+    return canonical_hash(sc);
+  };
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.masters[0].high_streams[0].Ch += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.masters[0].high_streams[0].D += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.masters[0].high_streams[0].T += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.masters[1].high_streams[2].J += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.masters[0].longest_low_cycle += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.ttr += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.bus.t_sl += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.net.bus.max_retry += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.frame_specs[0][0].request_chars += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) { sc.frame_specs[1][1].response_chars += 1; }));
+  EXPECT_NE(h0, perturbed([](Scenario& sc) {
+              sc.transactions.push_back(profibus::Transaction{
+                  {profibus::TransactionStage{0, 0, 10}}, 50'000, 50'000, ""});
+            }));
+}
+
+TEST(ScenarioHash, StructureBoundariesCannotAlias) {
+  // One master with two streams vs two masters with one stream each, same
+  // scalar field values in the same order: the length prefixes must keep the
+  // digests apart.
+  Scenario one;
+  one.net.ttr = 1'000;
+  profibus::MessageStream s1{100, 5'000, 5'000, 0, ""};
+  profibus::MessageStream s2{200, 9'000, 9'000, 0, ""};
+  one.net.masters.push_back(profibus::Master{{s1, s2}, 0, ""});
+  Scenario two;
+  two.net.ttr = 1'000;
+  two.net.masters.push_back(profibus::Master{{s1}, 0, ""});
+  two.net.masters.push_back(profibus::Master{{s2}, 0, ""});
+  EXPECT_NE(canonical_hash(one), canonical_hash(two));
+}
+
+}  // namespace
+}  // namespace profisched::engine

@@ -12,9 +12,10 @@ namespace {
 SimCurves sample_curves() {
   SimCurves c;
   c.policies = {"FCFS", "DM"};
-  c.points.push_back(SimCurvePoint{0.3, 0.5, 1.0, 40, {40, 38}, {0, 7}, {0, 0}, {1200, 4096}});
   c.points.push_back(
-      SimCurvePoint{0.9, 0.5, 1.0, 40, {12, 30}, {220, 11}, {3, 0}, {99999, 1 << 20}});
+      SimCurvePoint{0.3, 0.5, 1.0, 40, {40, 38}, {0, 7}, {0, 0}, {1200, 4096}, {900, 3000}});
+  c.points.push_back(SimCurvePoint{
+      0.9, 0.5, 1.0, 40, {12, 30}, {220, 11}, {3, 0}, {99999, 1 << 20}, {80000, 1 << 19}});
   return c;
 }
 
@@ -30,6 +31,7 @@ void expect_same_curves(const SimCurves& a, const SimCurves& b) {
     EXPECT_EQ(a.points[i].total_misses, b.points[i].total_misses);
     EXPECT_EQ(a.points[i].total_dropped, b.points[i].total_dropped);
     EXPECT_EQ(a.points[i].max_observed, b.points[i].max_observed);
+    EXPECT_EQ(a.points[i].quantile_observed, b.points[i].quantile_observed);
   }
 }
 
@@ -181,6 +183,7 @@ TEST(SimAggregate, AggregateSimReducesOutcomesPerPoint) {
   EXPECT_EQ(c.points[1].miss_free[0], 1u);      // scenario 3 missed
   EXPECT_EQ(c.points[1].total_misses[0], 5u);
   EXPECT_EQ(c.points[1].max_observed[0], 130);
+  EXPECT_EQ(c.points[1].quantile_observed[0], 90);  // max of the per-scenario p99s
   EXPECT_EQ(c.points[1].miss_free[1], 2u);      // DM never missed at point 1...
   EXPECT_EQ(c.points[0].miss_free[1], 1u);      // ...but dropped cycles disqualify
   EXPECT_EQ(c.points[0].total_dropped[1], 2u);  //    scenario 0 at point 0

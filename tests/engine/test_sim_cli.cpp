@@ -111,5 +111,37 @@ TEST(SimCli, ErrorsNameTheOffendingFlag) {
   EXPECT_NE(parse_fail({"--unknown-flag"}).find("--unknown-flag"), std::string::npos);
 }
 
+TEST(SimCli, QuantileSelectsTheReportedPercentile) {
+  EXPECT_DOUBLE_EQ(parse_ok({}).spec.sim.quantile, 0.99);  // default keeps p99
+  EXPECT_DOUBLE_EQ(parse_ok({"--quantile", "0.5"}).spec.sim.quantile, 0.5);
+  EXPECT_DOUBLE_EQ(parse_ok({"--quantile", "1"}).spec.sim.quantile, 1.0);
+  (void)parse_fail({"--quantile", "0"});    // degenerate percentile
+  (void)parse_fail({"--quantile", "1.5"});  // above 1
+  (void)parse_fail({"--quantile", "-0.9"});
+  (void)parse_fail({"--quantile", "x"});
+  (void)parse_fail({"--quantile", "nan"});  // strtod accepts it; the range check must not
+  (void)parse_fail({"--beta-lo", "nan"});
+  (void)parse_fail({"--quantile"});
+}
+
+TEST(SimCli, CacheFlagCarriesTheDirectory) {
+  EXPECT_TRUE(parse_ok({}).cache_dir.empty());
+  EXPECT_EQ(parse_ok({"--cache", "results/.cache"}).cache_dir, "results/.cache");
+  (void)parse_fail({"--cache"});
+}
+
+TEST(SimCli, SimulableOnlyFalseAdmitsTheAnalysisPolicyTable) {
+  SimSweepCli cli;
+  std::string error;
+  ASSERT_TRUE(parse_sim_sweep_args({"--policies", "fcfs,opa,token,holistic"}, cli, error,
+                                   /*simulable_only=*/false))
+      << error;
+  ASSERT_EQ(cli.spec.sweep.policies.size(), 4u);
+  EXPECT_EQ(cli.spec.sweep.policies[1], Policy::Opa);
+  EXPECT_EQ(cli.spec.sweep.policies[2], Policy::TokenRing);
+  // Duplicates stay rejected whichever table is active.
+  EXPECT_FALSE(parse_sim_sweep_args({"--policies", "opa,opa"}, cli, error, false));
+}
+
 }  // namespace
 }  // namespace profisched::engine

@@ -18,7 +18,16 @@
 //                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
 //                       [--policies fcfs,dm,edf,opa,token,holistic] [--threads N]
 //                       [--seed N] [--ttr TICKS] [--method paper|refined]
-//                       [--csv FILE] [--json FILE]
+//                       [--csv FILE] [--json FILE] [--cache DIR]
+//   profisched shard    --shard k/K --out FILE [--mode sweep|simulate|combined]
+//                       [--cache DIR] [every sweep/simulate flag above]
+//     (runs shard k's contiguous slice of the sweep's N scenario ids —
+//      near-equal slices, the first N mod K shards one scenario larger
+//      (dist::ShardPlan::split) — and writes one artifact; K artifacts
+//      merge into the single-process result)
+//   profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...
+//     (validates that the artifacts tile the sweep exactly and emits output
+//      byte-identical to the equivalent single-process run)
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -26,10 +35,15 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "config/network_loader.hpp"
+#include "dist/dist_cli.hpp"
+#include "dist/result_cache.hpp"
+#include "dist/shard.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/sim_aggregate.hpp"
 #include "engine/sim_cli.hpp"
@@ -54,14 +68,18 @@ int usage() {
                "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
                "                      [--policies fcfs,dm,edf] [--threads N] [--seed N]\n"
                "                      [--ttr TICKS] [--horizon TICKS] [--cycles X]\n"
-               "                      [--model worst|uniform|frame] [--lp] [--combined]\n"
-               "                      [--csv FILE] [--json FILE]\n"
+               "                      [--model worst|uniform|frame] [--quantile Q] [--lp]\n"
+               "                      [--combined] [--csv FILE] [--json FILE] [--cache DIR]\n"
                "  profisched ttr      <file.ini>\n"
                "  profisched sweep    [--scenarios N] [--masters N] [--streams N]\n"
                "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
                "                      [--policies fcfs,dm,edf,opa,token,holistic]\n"
                "                      [--threads N] [--seed N] [--ttr TICKS]\n"
-               "                      [--method paper|refined] [--csv FILE] [--json FILE]\n");
+               "                      [--method paper|refined] [--csv FILE] [--json FILE]\n"
+               "                      [--cache DIR]\n"
+               "  profisched shard    --shard k/K --out FILE [--mode sweep|simulate|combined]\n"
+               "                      [--cache DIR] [sweep/simulate flags]\n"
+               "  profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...\n");
   return 2;
 }
 
@@ -187,11 +205,14 @@ int cmd_ttr(const LoadedNetwork& ln) {
 }
 
 // The strict scalar parsers (full-string, bounded, negative/overflow-
-// rejecting) live in engine/sim_cli.hpp so both sweep-style subcommands share
-// one implementation and the validation stays unit-tested.
+// rejecting) live in engine/detail/cli_parse.hpp so every sweep-style
+// subcommand (sweep, simulate, shard) shares one implementation and the
+// validation stays unit-tested.
+using engine::expand_cli_u_grid;
 using engine::parse_cli_count;
 using engine::parse_cli_nonneg_double;
 using engine::parse_cli_policies;
+using engine::parse_cli_u_grid;
 
 int cmd_sweep(int argc, char** argv) {
   engine::SweepSpec spec;
@@ -204,7 +225,7 @@ int cmd_sweep(int argc, char** argv) {
   std::size_t u_steps = 9;
   double beta_lo = 0.5, beta_hi = 1.0;
   unsigned threads = 0;
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, cache_dir;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -231,16 +252,7 @@ int cmd_sweep(int argc, char** argv) {
     } else if (arg == "--u" && (v = next())) {
       // LO:HI:STEPS through the same strict parsers as every other flag
       // (sscanf %zu would wrap negatives into astronomically large grids).
-      const std::string grid = v;
-      const std::size_t c1 = grid.find(':');
-      const std::size_t c2 = c1 == std::string::npos ? std::string::npos
-                                                     : grid.find(':', c1 + 1);
-      if (c2 == std::string::npos ||
-          !parse_cli_nonneg_double(grid.substr(0, c1).c_str(), u_lo) ||
-          !parse_cli_nonneg_double(grid.substr(c1 + 1, c2 - c1 - 1).c_str(), u_hi) ||
-          !parse_cli_count(grid.substr(c2 + 1).c_str(), u_steps, 1'000'000)) {
-        return usage();
-      }
+      if (!parse_cli_u_grid(v, u_lo, u_hi, u_steps)) return usage();
     } else if (arg == "--beta-lo" && (v = next())) {
       if (!parse_cli_nonneg_double(v, beta_lo)) return usage();
     } else if (arg == "--beta-hi" && (v = next())) {
@@ -264,23 +276,16 @@ int cmd_sweep(int argc, char** argv) {
       csv_path = v;
     } else if (arg == "--json" && (v = next())) {
       json_path = v;
+    } else if (arg == "--cache" && (v = next())) {
+      cache_dir = v;
     } else {
       return usage();
     }
   }
 
-  // u = 0 would silently flip that grid point to the legacy period-driven
-  // generator — a different workload distribution; reject rather than mix.
-  if (u_steps == 0 || u_hi < u_lo || u_lo <= 0) {
+  if (!expand_cli_u_grid(u_lo, u_hi, u_steps, beta_lo, beta_hi, spec.points)) {
     std::fprintf(stderr, "error: --u grid must satisfy 0 < LO <= HI with STEPS >= 1\n");
     return usage();
-  }
-  for (std::size_t s = 0; s < u_steps; ++s) {
-    const double u = u_steps == 1
-                         ? u_lo
-                         : u_lo + (u_hi - u_lo) * static_cast<double>(s) /
-                                      static_cast<double>(u_steps - 1);
-    spec.points.push_back(engine::SweepPoint{u, beta_lo, beta_hi});
   }
   if (spec.total_scenarios() > 100'000'000) {
     std::fprintf(stderr, "error: sweep too large (%zu scenarios); shrink --u STEPS or "
@@ -296,7 +301,9 @@ int cmd_sweep(int argc, char** argv) {
               spec.base.n_masters, spec.base.streams_per_master, runner.threads(),
               runner.threads() == 1 ? "" : "s",
               static_cast<unsigned long long>(spec.seed));
-  const engine::SweepResult result = runner.run(spec);
+  std::unique_ptr<dist::ResultCache> cache;
+  if (!cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cache_dir);
+  const engine::SweepResult result = runner.run(spec, cache.get());
   const engine::SweepCurves curves = engine::aggregate(spec, result);
 
   std::printf("\n%-8s", "U");
@@ -315,6 +322,10 @@ int cmd_sweep(int argc, char** argv) {
               static_cast<double>(result.outcomes.size() * spec.policies.size()) /
                   (result.elapsed_s > 0 ? result.elapsed_s : 1.0),
               result.memo_hits, result.memo_misses);
+  if (cache) {
+    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
+                result.cache_misses, cache->dir().c_str());
+  }
 
   const auto write_file = [](const std::string& path, const std::string& content) {
     std::ofstream os(path, std::ios::binary);
@@ -364,9 +375,11 @@ int cmd_simulate_sweep(int argc, char** argv) {
               cli.spec.sweep.base.streams_per_master, runner.threads(),
               runner.threads() == 1 ? "" : "s",
               static_cast<unsigned long long>(cli.spec.sweep.seed));
+  std::unique_ptr<dist::ResultCache> cache;
+  if (!cli.cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cli.cache_dir);
 
   if (cli.combined) {
-    const engine::CombinedResult result = runner.run_combined(cli.spec);
+    const engine::CombinedResult result = runner.run_combined(cli.spec, cache.get());
     const engine::ConsistencyTable table = engine::consistency_table(cli.spec, result);
 
     // Per-point analysis-accept vs simulation-miss-free ratios side by side,
@@ -411,6 +424,10 @@ int cmd_simulate_sweep(int argc, char** argv) {
                 table.rows.size(), result.elapsed_s,
                 static_cast<unsigned long long>(result.total_bound_violations()),
                 table.accept_but_miss_count(), max_pessimism);
+    if (cache) {
+      std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
+                  result.cache_misses, cache->dir().c_str());
+    }
 
     if (!cli.csv_path.empty()) {
       if (!write_output_file(cli.csv_path, table.to_csv())) {
@@ -431,7 +448,7 @@ int cmd_simulate_sweep(int argc, char** argv) {
     return (table.accept_but_miss_count() > 0 || result.total_bound_violations() > 0) ? 1 : 0;
   }
 
-  const engine::SimSweepResult result = runner.run_sim(cli.spec);
+  const engine::SimSweepResult result = runner.run_sim(cli.spec, cache.get());
   const engine::SimCurves curves = engine::aggregate_sim(cli.spec, result);
 
   std::printf("\n%-8s", "U");
@@ -449,6 +466,10 @@ int cmd_simulate_sweep(int argc, char** argv) {
               static_cast<double>(result.outcomes.size() * cli.spec.sweep.policies.size() *
                                   cli.spec.replications) /
                   (result.elapsed_s > 0 ? result.elapsed_s : 1.0));
+  if (cache) {
+    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
+                result.cache_misses, cache->dir().c_str());
+  }
 
   if (!cli.csv_path.empty()) {
     if (!write_output_file(cli.csv_path, curves.to_csv())) {
@@ -467,6 +488,109 @@ int cmd_simulate_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_shard(int argc, char** argv) {
+  dist::ShardCli cli;
+  std::string error;
+  if (!dist::parse_shard_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+
+  dist::ShardRunner runner(cli.threads);
+  std::unique_ptr<dist::ResultCache> cache;
+  if (!cli.cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cli.cache_dir);
+
+  std::printf("shard %llu/%llu (%s mode): %llu scenarios total, %u thread%s, seed %llu\n",
+              static_cast<unsigned long long>(cli.index + 1),
+              static_cast<unsigned long long>(cli.count),
+              std::string(dist::to_string(cli.shard.mode)).c_str(),
+              static_cast<unsigned long long>(cli.shard.total_scenarios()), runner.threads(),
+              runner.threads() == 1 ? "" : "s",
+              static_cast<unsigned long long>(cli.shard.spec.sweep.seed));
+
+  const dist::ShardArtifact artifact = runner.run(cli.shard, cli.index, cli.count, cache.get());
+  if (!write_output_file(cli.out_path, artifact.to_text())) {
+    std::fprintf(stderr, "error: cannot write %s\n", cli.out_path.c_str());
+    return 1;
+  }
+  if (cache) {
+    // The artifact carries the SweepRunner's counters, which — unlike the
+    // ResultCache's raw load statistics — count an undecodable or mismatched
+    // entry as the recompute it was, matching what sweep/simulate report.
+    std::printf("result cache: %zu hits / %zu misses (%s)\n", artifact.cache_hits,
+                artifact.cache_misses, cache->dir().c_str());
+  }
+  // The range comes from the artifact itself, so what we report is exactly
+  // what a merge will validate — not a second ShardPlan computation.
+  std::printf("wrote %s (scenarios [%llu, %llu))\n", cli.out_path.c_str(),
+              static_cast<unsigned long long>(artifact.range.begin),
+              static_cast<unsigned long long>(artifact.range.end));
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  dist::MergeCli cli;
+  std::string error;
+  if (!dist::parse_merge_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+
+  std::vector<dist::ShardArtifact> artifacts;
+  artifacts.reserve(cli.inputs.size());
+  for (const std::string& path : cli.inputs) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    artifacts.push_back(dist::ShardArtifact::from_text(text.str()));
+  }
+
+  const dist::MergedSweep merged = dist::merge_shards(artifacts);
+  const engine::SimSweepSpec& spec = merged.spec.spec;
+  std::printf("merged %zu shard%s: %llu scenarios (%s mode)\n", artifacts.size(),
+              artifacts.size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(merged.spec.total_scenarios()),
+              std::string(dist::to_string(merged.spec.mode)).c_str());
+
+  // Serialize lazily: a multi-million-row combined merge should not pay for
+  // (or hold in memory) a JSON string nobody asked for.
+  const auto emit = [&](const std::string& path, const std::string& content) {
+    if (!write_output_file(path, content)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  const auto emit_both = [&](const auto& serializable) {
+    if (!cli.csv_path.empty() && !emit(cli.csv_path, serializable.to_csv())) return 1;
+    if (!cli.json_path.empty() && !emit(cli.json_path, serializable.to_json())) return 1;
+    return 0;
+  };
+  switch (merged.spec.mode) {
+    case dist::SweepMode::Analysis:
+      return emit_both(engine::aggregate(spec.sweep, merged.analysis));
+    case dist::SweepMode::Sim:
+      return emit_both(engine::aggregate_sim(spec, merged.sim));
+    case dist::SweepMode::Combined: {
+      const engine::ConsistencyTable table = engine::consistency_table(spec, merged.combined);
+      std::printf("bound violations: %llu; analysis-accepts-but-sim-misses: %zu\n",
+                  static_cast<unsigned long long>(table.total_bound_violations()),
+                  table.accept_but_miss_count());
+      const int rc = emit_both(table);
+      if (rc != 0) return rc;
+      // Same contract as `simulate --combined`: a consistency violation
+      // falsifies the corresponding analysis, so the merge fails loudly too.
+      return (table.accept_but_miss_count() > 0 || table.total_bound_violations() > 0) ? 1 : 0;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -474,6 +598,22 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "sweep") == 0) {
     try {
       return cmd_sweep(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (std::strcmp(argv[1], "shard") == 0) {
+    try {
+      return cmd_shard(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (std::strcmp(argv[1], "merge") == 0) {
+    try {
+      return cmd_merge(argc - 2, argv + 2);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
