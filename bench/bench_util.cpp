@@ -1,0 +1,108 @@
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace profisched::bench {
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_t(Ticks v) { return v == kNoBound ? "unbounded" : std::to_string(v); }
+
+std::string pct(double ratio) { return fmt(100.0 * ratio, 1) + "%"; }
+
+std::string ms_from_ticks(Ticks v, Ticks ticks_per_ms) {
+  return fmt(static_cast<double>(v) / static_cast<double>(ticks_per_ms), 2);
+}
+
+void banner(const char* experiment, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment, title);
+  std::printf("================================================================\n");
+}
+
+void sink(const void* p) {
+  // An opaque side effect the optimizer must assume reads *p.
+  static std::atomic<const void*> hole;
+  hole.store(p, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonObject::put(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  members_.emplace_back(key, buf);
+}
+
+void JsonObject::put(const std::string& key, std::uint64_t value) {
+  members_.emplace_back(key, std::to_string(value));
+}
+
+void JsonObject::put(const std::string& key, const std::string& value) {
+  members_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void JsonObject::put_raw(const std::string& key, const std::string& raw) {
+  members_.emplace_back(key, raw);
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    out += "  \"" + json_escape(members_[i].first) + "\": " + members_[i].second;
+    if (i + 1 < members_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace profisched::bench

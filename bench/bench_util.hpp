@@ -1,0 +1,79 @@
+// bench_util.hpp — shared infrastructure for the benches: the fixed-width
+// experiment tables and formatting helpers the e01–e17 binaries print, plus
+// the chrono timing loop and the minimal JSON emitter bench_runner uses for
+// BENCH_*.json. Deduplicated out of bench/common.hpp so the non-gbench
+// bench_runner can link it without dragging google-benchmark in.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time_types.hpp"
+
+namespace profisched::bench {
+
+/// Fixed-width plain-text table, printed as an experiment's output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  /// Add one row; each cell already formatted.
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+[[nodiscard]] std::string fmt_t(Ticks v);
+[[nodiscard]] std::string pct(double ratio);
+[[nodiscard]] std::string ms_from_ticks(Ticks v, Ticks ticks_per_ms = 500);
+
+void banner(const char* experiment, const char* title);
+
+// ------------------------------------------------------------------ timing
+
+/// Wall-clock a body until it has run for at least `min_seconds` (and at
+/// least once), returning nanoseconds per call. The body is a callable whose
+/// result the caller must already sink (return or store something observable
+/// — the loop adds no DoNotOptimize magic beyond keeping the call itself).
+template <class Fn>
+[[nodiscard]] double time_ns_per_op(Fn&& body, double min_seconds = 0.2) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t calls = 0;
+  const auto t0 = clock::now();
+  auto elapsed = [&] { return std::chrono::duration<double>(clock::now() - t0).count(); };
+  do {
+    body();
+    ++calls;
+  } while (elapsed() < min_seconds);
+  return elapsed() * 1e9 / static_cast<double>(calls);
+}
+
+/// Force a value to be observed (a portable DoNotOptimize).
+void sink(const void* p);
+
+// ---------------------------------------------------------------- JSON out
+
+/// Minimal flat JSON object writer: string/number members, insertion order
+/// preserved. Enough for the BENCH_*.json schema; not a general serializer.
+class JsonObject {
+ public:
+  void put(const std::string& key, double value);
+  void put(const std::string& key, std::uint64_t value);
+  void put(const std::string& key, const std::string& value);
+  void put_raw(const std::string& key, const std::string& raw);  ///< pre-encoded value
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> members_;
+};
+
+}  // namespace profisched::bench

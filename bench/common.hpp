@@ -1,9 +1,11 @@
-// common.hpp — shared infrastructure for the experiment benches.
+// common.hpp — shared infrastructure for the google-benchmark experiment
+// benches (e01–e17).
 //
 // Every bench binary regenerates one experiment from DESIGN.md §3: it prints
 // the experiment's table(s) to stdout (the "rows/series the paper reports"),
 // then runs its google-benchmark timings. The custom main in BENCH_MAIN
-// sequences the two.
+// sequences the two. The table/formatting helpers live in bench_util.hpp,
+// shared with the (gbench-free) bench_runner regression harness.
 #pragma once
 
 #include <algorithm>
@@ -13,67 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "core/time_types.hpp"
-
-namespace profisched::bench {
-
-/// Fixed-width plain-text table, printed as the experiment's output.
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
-
-  /// Add one row; each cell already formatted.
-  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
-
-  void print() const {
-    std::vector<std::size_t> width(headers_.size());
-    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
-    for (const auto& r : rows_) {
-      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
-        width[c] = std::max(width[c], r[c].size());
-      }
-    }
-    const auto print_row = [&](const std::vector<std::string>& cells) {
-      std::printf("|");
-      for (std::size_t c = 0; c < headers_.size(); ++c) {
-        const std::string& cell = c < cells.size() ? cells[c] : std::string{};
-        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
-      }
-      std::printf("\n");
-    };
-    print_row(headers_);
-    std::printf("|");
-    for (std::size_t c = 0; c < headers_.size(); ++c) {
-      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
-    }
-    std::printf("\n");
-    for (const auto& r : rows_) print_row(r);
-  }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-/// printf-style float formatting helpers for table cells.
-inline std::string fmt(double v, int precision = 3) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
-}
-inline std::string fmt_t(Ticks v) { return v == kNoBound ? "unbounded" : std::to_string(v); }
-inline std::string pct(double ratio) { return fmt(100.0 * ratio, 1) + "%"; }
-inline std::string ms_from_ticks(Ticks v, Ticks ticks_per_ms = 500) {
-  return fmt(static_cast<double>(v) / static_cast<double>(ticks_per_ms), 2);
-}
-
-inline void banner(const char* experiment, const char* title) {
-  std::printf("\n================================================================\n");
-  std::printf("%s — %s\n", experiment, title);
-  std::printf("================================================================\n");
-}
-
-}  // namespace profisched::bench
+#include "bench_util.hpp"
 
 /// Experiment entry point: print the tables, then run the registered
 /// google-benchmark timings.

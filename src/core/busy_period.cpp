@@ -1,5 +1,7 @@
 #include "core/busy_period.hpp"
 
+#include <algorithm>
+
 namespace profisched {
 
 BusyPeriod synchronous_busy_period(const TaskSet& ts, int fuel) {
@@ -15,6 +17,32 @@ BusyPeriod synchronous_busy_period(const TaskSet& ts, int fuel) {
     Ticks next = 0;
     for (const Task& t : ts) {
       next = sat_add(next, sat_mul(ceil_div_plus(sat_add(L, t.J), t.T), t.C));
+    }
+    out.iterations = it + 1;
+    if (next == L) {
+      out.length = L;
+      return out;
+    }
+    if (next == kNoBound) break;
+    L = next;
+  }
+  out.length = kNoBound;
+  return out;
+}
+
+BusyPeriod synchronous_busy_period(const TaskSetView& v, int fuel, Ticks warm_l) {
+  BusyPeriod out;
+  if (v.empty()) return out;
+  if (v.utilization() > 1.0) {
+    out.length = kNoBound;
+    return out;
+  }
+
+  Ticks L = std::max(v.total_execution(), warm_l);
+  for (int it = 0; it < fuel; ++it) {
+    Ticks next = 0;
+    for (std::size_t i = 0; i < v.n; ++i) {
+      next = sat_add(next, sat_mul(ceil_div_plus(sat_add(L, v.J[i]), v.T[i]), v.C[i]));
     }
     out.iterations = it + 1;
     if (next == L) {

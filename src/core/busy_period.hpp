@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/task.hpp"
+#include "core/taskset_view.hpp"
 
 namespace profisched {
 
@@ -27,5 +28,15 @@ struct BusyPeriod {
 /// Clark holistic analysis), which this uses; for J = 0 it reduces to the
 /// paper's form. Returns kNoBound when U > 1 or the iteration exceeds `fuel`.
 [[nodiscard]] BusyPeriod synchronous_busy_period(const TaskSet& ts, int fuel = 1 << 20);
+
+/// SoA fast path over an identity-bound view (the reference above is
+/// retained for the equivalence suite). `warm_l` seeds the iteration: 0
+/// reproduces the reference exactly; otherwise it must be a lower bound on
+/// the busy period (e.g. its converged length at a lower utilization — W(t)
+/// is monotone in every C), which shortens the iteration without changing
+/// the fixed point. The view must be identity-bound: the U > 1 guard
+/// compares a double sum whose value is summation-order-sensitive.
+[[nodiscard]] BusyPeriod synchronous_busy_period(const TaskSetView& v, int fuel = 1 << 20,
+                                                 Ticks warm_l = 0);
 
 }  // namespace profisched

@@ -90,4 +90,107 @@ FeasibilityResult np_edf_feasible_george(const TaskSet& ts, Formulation form) {
   });
 }
 
+// ------------------------------------------------------------ SoA fast path
+
+Ticks demand_bound(const TaskSetView& v, Ticks t, Formulation form) {
+  Ticks h = 0;
+  for (std::size_t i = 0; i < v.n; ++i) {
+    const Ticks arg = t - v.D[i];
+    const Ticks jobs = (form == Formulation::PaperLiteral) ? ceil_div_plus(arg, v.T[i])
+                                                           : floor_div_plus1(arg, v.T[i]);
+    h = sat_add(h, sat_mul(jobs, v.C[i]));
+  }
+  return h;
+}
+
+void deadline_checkpoints(const TaskSetView& v, Ticks limit, std::vector<Ticks>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < v.n; ++i) {
+    for (Ticks t = v.D[i]; t <= limit; t = sat_add(t, v.T[i])) {
+      out.push_back(t);
+      if (t == kNoBound) break;
+    }
+  }
+  std::ranges::sort(out);
+  const auto dup = std::ranges::unique(out);
+  out.erase(dup.begin(), dup.end());
+}
+
+namespace {
+
+/// View-based twin of check_over_checkpoints: same guards, same scan, with
+/// the checkpoint buffer and busy-period warm seed living in `scratch`.
+template <typename DemandFn>
+FeasibilityResult check_over_checkpoints(const TaskSetView& v, Ticks min_t, DemandFn demand,
+                                         RtaScratch& scratch, bool warm_start) {
+  FeasibilityResult out;
+  if (v.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (v.utilization() > 1.0) {
+    out.feasible = false;
+    out.first_violation = 0;
+    return out;
+  }
+  const BusyPeriod bp =
+      synchronous_busy_period(v, 1 << 20, warm_start ? scratch.warm_busy : 0);
+  if (!bp.bounded()) {
+    out.feasible = false;
+    return out;
+  }
+  scratch.warm_busy = bp.length;
+  out.horizon = bp.length;
+  deadline_checkpoints(v, bp.length, scratch.checkpoints);
+  for (const Ticks t : scratch.checkpoints) {
+    if (t < min_t) continue;
+    ++out.checkpoints;
+    if (demand(t) > t) {
+      out.first_violation = t;
+      out.feasible = false;
+      return out;
+    }
+  }
+  out.feasible = true;
+  return out;
+}
+
+}  // namespace
+
+FeasibilityResult edf_preemptive_feasible(const TaskSet& ts, Formulation form,
+                                          RtaScratch& scratch, bool warm_start) {
+  const TaskSetView& v = scratch.arena.bind(ts);
+  return check_over_checkpoints(
+      v, /*min_t=*/0, [&](Ticks t) { return demand_bound(v, t, form); }, scratch, warm_start);
+}
+
+FeasibilityResult np_edf_feasible_zheng_shin(const TaskSet& ts, Formulation form,
+                                             RtaScratch& scratch, bool warm_start) {
+  const TaskSetView& v = scratch.arena.bind(ts);
+  Ticks cmax = 0;
+  Ticks min_d = kNoBound;
+  for (std::size_t i = 0; i < v.n; ++i) {
+    cmax = std::max(cmax, v.C[i]);
+    min_d = std::min(min_d, v.D[i]);
+  }
+  return check_over_checkpoints(
+      v, min_d, [&](Ticks t) { return sat_add(demand_bound(v, t, form), cmax); }, scratch,
+      warm_start);
+}
+
+FeasibilityResult np_edf_feasible_george(const TaskSet& ts, Formulation form, RtaScratch& scratch,
+                                         bool warm_start) {
+  const TaskSetView& v = scratch.arena.bind(ts);
+  return check_over_checkpoints(
+      v, /*min_t=*/0,
+      [&](Ticks t) {
+        Ticks blocking = 0;
+        for (std::size_t i = 0; i < v.n; ++i) {
+          if (v.D[i] > t) blocking = std::max(blocking, v.C[i] - 1);
+        }
+        return sat_add(demand_bound(v, t, form), blocking);
+      },
+      scratch, warm_start);
+}
+
 }  // namespace profisched

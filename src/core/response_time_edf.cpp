@@ -137,16 +137,136 @@ EdfRtaResult edf_response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
   });
 }
 
+// ------------------------------------------------------------ SoA fast path
+
 namespace {
 
-template <typename PerTaskFn>
-EdfAnalysis analyze(const TaskSet& ts, PerTaskFn per_task) {
+/// Candidate offsets into a reused buffer — same generation order (hence
+/// identical sorted/deduplicated content) as edf_candidate_offsets above.
+void candidate_offsets_view(const TaskSetView& v, std::size_t i, Ticks horizon,
+                            std::vector<Ticks>& out) {
+  out.clear();
+  out.push_back(0);
+  const Ticks di = v.D[i];
+  for (std::size_t j = 0; j < v.n; ++j) {
+    const Ticks base = v.D[j] - v.J[j] - di;
+    const Ticks k0 = base >= 0 ? 0 : ceil_div(-base, v.T[j]);
+    for (Ticks k = k0;; ++k) {
+      const Ticks a = sat_add(sat_mul(k, v.T[j]), base);
+      if (a > horizon || a == kNoBound) break;
+      out.push_back(a);
+    }
+  }
+  std::ranges::sort(out);
+  const auto dup = std::ranges::unique(out);
+  out.erase(dup.begin(), dup.end());
+}
+
+/// W_i(a, t) / W*_i(a, t) over the view (abs_deadline = a + D_i, hoisted).
+Ticks hp_workload_view(const TaskSetView& v, std::size_t i, Ticks abs_deadline, Ticks t,
+                       bool start_time_form) {
+  Ticks sum = 0;
+  for (std::size_t j = 0; j < v.n; ++j) {
+    if (j == i) continue;
+    if (v.D[j] - v.J[j] > abs_deadline) continue;
+    const Ticks by_deadline = floor_div_plus1(abs_deadline - v.D[j] + v.J[j], v.T[j]);
+    const Ticks by_time = start_time_form ? floor_div_plus1(sat_add(t, v.J[j]), v.T[j])
+                                          : ceil_div_plus(sat_add(t, v.J[j]), v.T[j]);
+    sum = sat_add(sum, sat_mul(std::min(by_time, by_deadline), v.C[j]));
+  }
+  return sum;
+}
+
+/// OffsetResult plus the converged L(a) (the next offset's warm seed).
+struct OffsetOutcomeView {
+  bool converged = false;
+  Ticks response = kNoBound;
+  Ticks fixed_point = 0;
+};
+
+OffsetOutcomeView offset_preemptive_view(const TaskSetView& v, std::size_t i, Ticks a, int fuel,
+                                         Ticks warm_l) {
+  const Ticks own = sat_mul(floor_div_plus1(a, v.T[i]), v.C[i]);
+  const Ticks abs_deadline = sat_add(a, v.D[i]);
+  Ticks L = std::max(own, warm_l);
+  for (int it = 0; it < fuel; ++it) {
+    const Ticks next = sat_add(hp_workload_view(v, i, abs_deadline, L, false), own);
+    if (next == L) return {true, std::max(v.C[i], L - a), L};
+    if (next == kNoBound) return {};
+    L = next;
+  }
+  return {};
+}
+
+OffsetOutcomeView offset_nonpreemptive_view(const TaskSetView& v, std::size_t i, Ticks a,
+                                            int fuel) {
+  const Ticks abs_deadline = sat_add(a, v.D[i]);
+  Ticks blocking = 0;
+  for (std::size_t j = 0; j < v.n; ++j) {
+    if (j == i) continue;
+    if (v.D[j] - v.J[j] > abs_deadline) blocking = std::max(blocking, v.C[j] - 1);
+  }
+  const Ticks own_prior = sat_mul(floor_div(a, v.T[i]), v.C[i]);
+  Ticks L = 0;
+  for (int it = 0; it < fuel; ++it) {
+    const Ticks next =
+        sat_add(blocking, sat_add(hp_workload_view(v, i, abs_deadline, L, true), own_prior));
+    if (next == L) return {true, sat_add(v.C[i], std::max<Ticks>(0, L - a)), L};
+    if (next == kNoBound) return {};
+    L = next;
+  }
+  return {};
+}
+
+EdfAnalysis analyze_view_edf(const TaskSet& ts, const EdfRtaOptions& opt, RtaScratch& scratch,
+                             bool warm_start, bool preemptive) {
   EdfAnalysis out;
   out.per_task.resize(ts.size());
   out.schedulable = true;
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    out.per_task[i] = per_task(i);
-    if (!out.per_task[i].meets(ts[i].D)) out.schedulable = false;
+
+  const TaskSetView& v = scratch.arena.bind(ts);
+  // The reference evaluates these guards per task; they are task-independent,
+  // so hoist them (identical verdict either way).
+  const bool overloaded = v.utilization() > 1.0;
+  BusyPeriod bp;
+  if (!overloaded) {
+    bp = synchronous_busy_period(v, 1 << 20, warm_start ? scratch.warm_busy : 0);
+    if (bp.bounded()) scratch.warm_busy = bp.length;
+    out.busy_iterations = bp.iterations;
+  }
+
+  for (std::size_t i = 0; i < v.n; ++i) {
+    EdfRtaResult& r = out.per_task[i];
+    if (!overloaded && bp.bounded()) {
+      candidate_offsets_view(v, i, bp.length, scratch.offsets);
+      if (scratch.offsets.size() <= opt.max_offsets) {
+        Ticks best = 0;
+        Ticks best_a = 0;
+        Ticks warm_l = 0;
+        bool ok = true;
+        for (const Ticks a : scratch.offsets) {
+          ++r.offsets_examined;
+          const OffsetOutcomeView o =
+              preemptive ? offset_preemptive_view(v, i, a, opt.fixed_point_fuel, warm_l)
+                         : offset_nonpreemptive_view(v, i, a, opt.fixed_point_fuel);
+          if (!o.converged) {
+            ok = false;
+            break;
+          }
+          if (preemptive) warm_l = o.fixed_point;
+          if (o.response > best) {
+            best = o.response;
+            best_a = a;
+          }
+        }
+        if (ok) {
+          r.converged = true;
+          r.response = sat_add(best, v.J[i]);
+          r.critical_offset = best_a;
+        }
+      }
+    }
+    if (!r.meets(v.D[i])) out.schedulable = false;
   }
   return out;
 }
@@ -154,11 +274,23 @@ EdfAnalysis analyze(const TaskSet& ts, PerTaskFn per_task) {
 }  // namespace
 
 EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt) {
-  return analyze(ts, [&](std::size_t i) { return edf_response_time_preemptive(ts, i, opt); });
+  RtaScratch scratch;
+  return analyze_view_edf(ts, opt, scratch, /*warm_start=*/false, /*preemptive=*/true);
 }
 
 EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt) {
-  return analyze(ts, [&](std::size_t i) { return edf_response_time_nonpreemptive(ts, i, opt); });
+  RtaScratch scratch;
+  return analyze_view_edf(ts, opt, scratch, /*warm_start=*/false, /*preemptive=*/false);
+}
+
+EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt,
+                                   RtaScratch& scratch, bool warm_start) {
+  return analyze_view_edf(ts, opt, scratch, warm_start, /*preemptive=*/true);
+}
+
+EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt,
+                                      RtaScratch& scratch, bool warm_start) {
+  return analyze_view_edf(ts, opt, scratch, warm_start, /*preemptive=*/false);
 }
 
 }  // namespace profisched

@@ -37,6 +37,7 @@
 
 #include "core/busy_period.hpp"
 #include "core/task.hpp"
+#include "core/taskset_view.hpp"
 
 namespace profisched {
 
@@ -56,6 +57,10 @@ struct EdfRtaResult {
 struct EdfAnalysis {
   std::vector<EdfRtaResult> per_task;
   bool schedulable = false;
+  /// Iterations the (set-wide) synchronous busy-period fixed point took; 0
+  /// when the set was rejected before computing it. Warm-started calls
+  /// report fewer — the observable the benchmark-regression harness tracks.
+  int busy_iterations = 0;
 };
 
 /// Options bounding the (potentially large) offset enumeration.
@@ -76,9 +81,39 @@ struct EdfRtaOptions {
 [[nodiscard]] EdfRtaResult edf_response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
                                                            const EdfRtaOptions& opt = {});
 
-/// Whole-set analyses.
+/// Whole-set analyses. These run on the SoA fast path (shared busy period,
+/// reused offset buffers, warm-started per-offset fixed points — see the
+/// scratch overloads below); the per-task functions above are the retained
+/// references, and the two agree bit-for-bit
+/// (tests/core/test_kernel_equivalence.cpp). One caveat scopes that claim:
+/// a warm-seeded iteration starts closer to the fixed point, so with a fuel
+/// budget the reference exhausts mid-climb the fast path could still
+/// converge where the reference gave up. Identity therefore assumes fuel
+/// large enough for the reference to converge or saturate (the 1 << 16
+/// default; a fuel-bound verdict is a resource limit, not an analysis
+/// result).
 [[nodiscard]] EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt = {});
 [[nodiscard]] EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts,
                                                     const EdfRtaOptions& opt = {});
+
+// ---------------------------------------------------------- SoA fast path
+//
+// Optimizations over the reference, all output-preserving:
+//  * the synchronous busy period is computed once per set, not once per task
+//    (it does not depend on the analysed task), and can be warm-started from
+//    scratch.warm_busy across compatible calls (`warm_start`, usweep
+//    contract: same structure, parameters only grown);
+//  * candidate offsets land in a reused scratch buffer;
+//  * preemptive only: the offset scan seeds each offset's fixed point L(a)
+//    from the previous offset's converged value — L(a) is monotone
+//    non-decreasing in a (W_i(a,t) and the own-instance term only grow with
+//    a), so the seed is a valid lower bound and the least fixed point
+//    reached is unchanged. (Non-preemptive L(a) is *not* monotone in a: the
+//    blocking term shrinks as a grows — that scan stays cold.)
+[[nodiscard]] EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt,
+                                                 RtaScratch& scratch, bool warm_start = false);
+[[nodiscard]] EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt,
+                                                    RtaScratch& scratch,
+                                                    bool warm_start = false);
 
 }  // namespace profisched

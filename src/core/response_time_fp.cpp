@@ -79,36 +79,141 @@ RtaResult response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
   return r;
 }
 
+// ------------------------------------------------------------ SoA fast path
+
 namespace {
 
-FpAnalysis analyze(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+/// Σ_j I_j(w) over the priority prefix [0, hp_count) of a permuted view —
+/// the same sum as interference() above, streamed from flat arrays.
+Ticks interference(const TaskSetView& pv, std::size_t hp_count, Ticks w, Formulation form) {
+  Ticks sum = 0;
+  for (std::size_t j = 0; j < hp_count; ++j) {
+    const Ticks arg = sat_add(w, pv.J[j]);
+    const Ticks jobs = (form == Formulation::PaperLiteral) ? ceil_div_plus(arg, pv.T[j])
+                                                           : floor_div_plus1(arg, pv.T[j]);
+    sum = sat_add(sum, sat_mul(jobs, pv.C[j]));
+  }
+  return sum;
+}
+
+/// View-based fixed point, additionally exposing the last iterate w itself —
+/// the warm-start seed for the next compatible call (the RtaResult response
+/// has jitter/C folded in, so it cannot be reused directly). The last
+/// iterate is a sound seed even when the iteration diverged or ran out of
+/// fuel: every iterate is a lower bound on the (possibly nonexistent) fixed
+/// point, and at a higher utilization the recurrence only grows, so a
+/// re-diverging task resumes its climb near saturation instead of repeating
+/// it from the bottom.
+struct FixedPoint {
+  RtaResult result;
+  Ticks w = 0;
+};
+
+FixedPoint iterate(const TaskSetView& pv, std::size_t hp_count, Ticks base, Ticks w0,
                    Formulation form, int fuel) {
+  FixedPoint out;
+  Ticks w = w0;
+  for (int it = 0; it < fuel; ++it) {
+    out.w = w;
+    const Ticks next = sat_add(base, interference(pv, hp_count, w, form));
+    out.result.iterations = it + 1;
+    if (next == w) {
+      out.result.converged = true;
+      out.result.response = w;
+      return out;
+    }
+    if (next == kNoBound) return out;
+    w = next;
+  }
+  return out;
+}
+
+FixedPoint preemptive_fixed_point(const TaskSetView& pv, std::size_t rank, int fuel,
+                                  Ticks warm_w) {
+  const Ticks ci = pv.C[rank];
+  FixedPoint fp =
+      iterate(pv, rank, ci, std::max(ci, warm_w), Formulation::PaperLiteral, fuel);
+  if (fp.result.converged) fp.result.response = sat_add(fp.result.response, pv.J[rank]);
+  return fp;
+}
+
+FixedPoint nonpreemptive_fixed_point(const TaskSetView& pv, std::size_t rank, Formulation form,
+                                     int fuel, Ticks warm_w) {
+  const Ticks b = blocking_factor(pv, rank + 1, form);
+  Ticks w0 = b;
+  for (std::size_t j = 0; j < rank; ++j) w0 = sat_add(w0, pv.C[j]);
+  FixedPoint fp = iterate(pv, rank, b, std::max(w0, warm_w), form, fuel);
+  if (fp.result.converged) {
+    fp.result.response = sat_add(sat_add(fp.result.response, pv.C[rank]), pv.J[rank]);
+  }
+  return fp;
+}
+
+FpAnalysis analyze_view(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+                        Formulation form, int fuel, RtaScratch& scratch, bool warm_start) {
+  const TaskSetView& pv = scratch.arena.bind(ts, order);
+  const bool seed = warm_start && scratch.warm.size() == pv.n;
+  scratch.warm.resize(pv.n);
+
   FpAnalysis out;
   out.per_task.resize(ts.size());
   out.schedulable = true;
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    const std::size_t i = order[pos];
-    const std::vector<std::size_t> higher(order.begin(),
-                                          order.begin() + static_cast<std::ptrdiff_t>(pos));
-    const std::vector<std::size_t> lower(order.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
-                                         order.end());
-    out.per_task[i] = preemptive
-                          ? response_time_preemptive(ts, i, higher, fuel)
-                          : response_time_nonpreemptive(ts, i, higher, lower, form, fuel);
-    if (!out.per_task[i].meets(ts[i].D)) out.schedulable = false;
+  for (std::size_t rank = 0; rank < pv.n; ++rank) {
+    const Ticks warm_w = seed ? scratch.warm[rank] : 0;
+    const FixedPoint fp = preemptive
+                              ? preemptive_fixed_point(pv, rank, fuel, warm_w)
+                              : nonpreemptive_fixed_point(pv, rank, form, fuel, warm_w);
+    scratch.warm[rank] = fp.w;  // last iterate: sound even without convergence
+    out.per_task[pv.index[rank]] = fp.result;
+    if (!fp.result.meets(pv.D[rank])) out.schedulable = false;
   }
   return out;
 }
 
 }  // namespace
 
+Ticks blocking_factor(const TaskSetView& pv, std::size_t first_lower, Formulation form) {
+  Ticks b = 0;
+  for (std::size_t j = first_lower; j < pv.n; ++j) {
+    const Ticks c = (form == Formulation::PaperLiteral) ? pv.C[j] : std::max<Ticks>(pv.C[j] - 1, 0);
+    b = std::max(b, c);
+  }
+  return b;
+}
+
+RtaResult response_time_preemptive(const TaskSetView& pv, std::size_t rank, int fuel,
+                                   Ticks warm_w) {
+  return preemptive_fixed_point(pv, rank, fuel, warm_w).result;
+}
+
+RtaResult response_time_nonpreemptive(const TaskSetView& pv, std::size_t rank, Formulation form,
+                                      int fuel, Ticks warm_w) {
+  return nonpreemptive_fixed_point(pv, rank, form, fuel, warm_w).result;
+}
+
 FpAnalysis analyze_preemptive_fp(const TaskSet& ts, const PriorityOrder& order, int fuel) {
-  return analyze(ts, order, /*preemptive=*/true, kDefaultFormulation, fuel);
+  RtaScratch scratch;
+  return analyze_view(ts, order, /*preemptive=*/true, kDefaultFormulation, fuel, scratch,
+                      /*warm_start=*/false);
 }
 
 FpAnalysis analyze_nonpreemptive_fp(const TaskSet& ts, const PriorityOrder& order, Formulation form,
                                     int fuel) {
-  return analyze(ts, order, /*preemptive=*/false, form, fuel);
+  RtaScratch scratch;
+  return analyze_view(ts, order, /*preemptive=*/false, form, fuel, scratch,
+                      /*warm_start=*/false);
+}
+
+FpAnalysis analyze_preemptive_fp(const TaskSet& ts, const PriorityOrder& order, int fuel,
+                                 RtaScratch& scratch, bool warm_start) {
+  return analyze_view(ts, order, /*preemptive=*/true, kDefaultFormulation, fuel, scratch,
+                      warm_start);
+}
+
+FpAnalysis analyze_nonpreemptive_fp(const TaskSet& ts, const PriorityOrder& order,
+                                    Formulation form, int fuel, RtaScratch& scratch,
+                                    bool warm_start) {
+  return analyze_view(ts, order, /*preemptive=*/false, form, fuel, scratch, warm_start);
 }
 
 bool np_lowest_level_feasible(const TaskSet& ts, std::size_t i,

@@ -37,6 +37,7 @@
 #include "core/formulation.hpp"
 #include "core/priority_assignment.hpp"
 #include "core/task.hpp"
+#include "core/taskset_view.hpp"
 
 namespace profisched {
 
@@ -80,7 +81,41 @@ struct FpAnalysis {
                                                     Formulation form = kDefaultFormulation,
                                                     int fuel = 1 << 16);
 
+// ---------------------------------------------------------- SoA fast path
+//
+// The TaskSet/index-span functions above are the retained reference
+// implementations (tests/core/test_kernel_equivalence.cpp runs the two
+// against each other). The hot path iterates a priority-permuted TaskSetView
+// instead: higher-priority tasks are the prefix [0, rank), lower-priority
+// ones the suffix (rank, n), so the interference loop streams four flat
+// arrays with no index indirection and no per-task vector builds.
+//
+// `warm_w` seeds the fixed-point iteration: 0 reproduces the reference
+// iteration exactly (same iterates, same count); a non-zero seed must be a
+// lower bound on the fixed point (e.g. the converged w of the same task at a
+// lower utilization — the recurrence is monotone in every C). The iteration
+// then converges to the *same* least fixed point in fewer steps; only
+// RtaResult::iterations differs. (Starting closer also means a warm run can
+// converge within a fuel budget the cold run would exhaust — identical
+// verdicts assume fuel large enough for the cold iteration to converge or
+// saturate, which the 1 << 16 default is in practice.)
+
+/// Blocking factor over the view suffix [first_lower, n).
+[[nodiscard]] Ticks blocking_factor(const TaskSetView& pv, std::size_t first_lower,
+                                    Formulation form = kDefaultFormulation);
+
+/// Preemptive response time of the task at view position `rank`.
+[[nodiscard]] RtaResult response_time_preemptive(const TaskSetView& pv, std::size_t rank,
+                                                 int fuel = 1 << 16, Ticks warm_w = 0);
+
+/// Non-preemptive response time of the task at view position `rank`.
+[[nodiscard]] RtaResult response_time_nonpreemptive(const TaskSetView& pv, std::size_t rank,
+                                                    Formulation form = kDefaultFormulation,
+                                                    int fuel = 1 << 16, Ticks warm_w = 0);
+
 /// Analyse a whole set under a priority order (highest first), preemptive.
+/// Runs on the SoA fast path via an internal scratch; bit-identical to
+/// calling the reference response_time_preemptive per task.
 [[nodiscard]] FpAnalysis analyze_preemptive_fp(const TaskSet& ts, const PriorityOrder& order,
                                                int fuel = 1 << 16);
 
@@ -88,6 +123,19 @@ struct FpAnalysis {
 [[nodiscard]] FpAnalysis analyze_nonpreemptive_fp(const TaskSet& ts, const PriorityOrder& order,
                                                   Formulation form = kDefaultFormulation,
                                                   int fuel = 1 << 16);
+
+/// Scratch-reusing forms: bind/iterate entirely inside `scratch` (no
+/// steady-state allocations across calls). With `warm_start` true and a
+/// scratch.warm left by a previous compatible call (same structure and
+/// order, parameters only grown — the usweep contract), each task's
+/// iteration is seeded from its previous fixed point. Responses are
+/// identical either way; iteration counts shrink.
+[[nodiscard]] FpAnalysis analyze_preemptive_fp(const TaskSet& ts, const PriorityOrder& order,
+                                               int fuel, RtaScratch& scratch,
+                                               bool warm_start = false);
+[[nodiscard]] FpAnalysis analyze_nonpreemptive_fp(const TaskSet& ts, const PriorityOrder& order,
+                                                  Formulation form, int fuel, RtaScratch& scratch,
+                                                  bool warm_start = false);
 
 /// LevelFeasibility adaptor for Audsley's OPA using the non-preemptive RTA:
 /// task `i` is feasible at a level iff its NP response time — interference

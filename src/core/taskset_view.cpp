@@ -1,0 +1,33 @@
+#include "core/taskset_view.hpp"
+
+namespace profisched {
+
+const TaskSetView& TaskSetArena::bind(const TaskSet& ts) {
+  return fill(ts, nullptr, ts.size());
+}
+
+const TaskSetView& TaskSetArena::bind(const TaskSet& ts, std::span<const std::size_t> order) {
+  return fill(ts, order.data(), order.size());
+}
+
+const TaskSetView& TaskSetArena::fill(const TaskSet& ts, const std::size_t* order,
+                                      std::size_t n) {
+  c_.resize(n);
+  t_.resize(n);
+  d_.resize(n);
+  j_.resize(n);
+  idx_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t i = order != nullptr ? order[p] : p;
+    const Task& task = ts[i];
+    c_[p] = task.C;
+    t_[p] = task.T;
+    d_[p] = task.D;
+    j_[p] = task.J;
+    idx_[p] = i;
+  }
+  view_ = TaskSetView{c_.data(), t_.data(), d_.data(), j_.data(), idx_.data(), n};
+  return view_;
+}
+
+}  // namespace profisched

@@ -1,0 +1,117 @@
+#include "core/usweep.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/priority_assignment.hpp"
+#include "core/response_time_edf.hpp"
+#include "core/response_time_fp.hpp"
+
+namespace profisched {
+
+TaskSet scale_to_utilization(const TaskSet& base, double u) {
+  const double base_u = base.utilization();
+  if (base_u <= 0.0) throw std::invalid_argument("scale_to_utilization: empty base set");
+  const Ticks q1024 = static_cast<Ticks>(std::llround(u / base_u * 1024.0));
+  std::vector<Task> tasks(base.begin(), base.end());
+  for (Task& t : tasks) {
+    const Ticks scaled = ceil_div(sat_mul(t.C, std::max<Ticks>(q1024, 0)), 1024);
+    t.C = std::clamp<Ticks>(scaled, 1, std::min(t.T, t.D));
+  }
+  return TaskSet{std::move(tasks)};
+}
+
+namespace {
+
+USweepCell cell_from_fp(const FpAnalysis& a, std::uint64_t& fp_iterations) {
+  USweepCell cell;
+  cell.schedulable = a.schedulable;
+  Ticks worst = 0;
+  for (const RtaResult& r : a.per_task) {
+    fp_iterations += static_cast<std::uint64_t>(r.iterations);
+    worst = (!r.converged || worst == kNoBound) ? kNoBound : std::max(worst, r.response);
+  }
+  cell.worst_response = worst;
+  return cell;
+}
+
+USweepCell cell_from_edf(const EdfAnalysis& a, std::uint64_t& busy_iterations,
+                         std::uint64_t& edf_offsets) {
+  USweepCell cell;
+  cell.schedulable = a.schedulable;
+  busy_iterations += static_cast<std::uint64_t>(a.busy_iterations);
+  Ticks worst = 0;
+  for (const EdfRtaResult& r : a.per_task) {
+    edf_offsets += r.offsets_examined;
+    worst = (!r.converged || worst == kNoBound) ? kNoBound : std::max(worst, r.response);
+  }
+  cell.worst_response = worst;
+  return cell;
+}
+
+}  // namespace
+
+USweepResult run_usweep(const TaskSet& base, const USweepSpec& spec) {
+  if (base.empty()) throw std::invalid_argument("run_usweep: empty base set");
+  if (spec.u_grid.empty()) throw std::invalid_argument("run_usweep: empty u grid");
+  if (spec.policies.empty()) throw std::invalid_argument("run_usweep: empty policy list");
+  if (!std::is_sorted(spec.u_grid.begin(), spec.u_grid.end())) {
+    throw std::invalid_argument("run_usweep: u grid must be ascending (warm-start contract)");
+  }
+
+  // T and D never change across the grid, so the priority orders are fixed;
+  // computing them per point would yield the same permutations.
+  const PriorityOrder rm = rate_monotonic_order(base);
+  const PriorityOrder dm = deadline_monotonic_order(base);
+
+  USweepResult out;
+  out.points.reserve(spec.u_grid.size());
+  // One scratch per policy slot: warm fixed points are only comparable
+  // within one recurrence family.
+  std::vector<RtaScratch> scratch(spec.policies.size());
+
+  EdfRtaOptions edf_opt;
+  edf_opt.fixed_point_fuel = spec.fuel;
+
+  for (std::size_t k = 0; k < spec.u_grid.size(); ++k) {
+    const TaskSet ts = scale_to_utilization(base, spec.u_grid[k]);
+    const bool warm = spec.warm_start && k > 0;
+
+    USweepPoint pt;
+    pt.u_target = spec.u_grid[k];
+    pt.u_actual = ts.utilization();
+    pt.cells.reserve(spec.policies.size());
+
+    for (std::size_t p = 0; p < spec.policies.size(); ++p) {
+      RtaScratch& s = scratch[p];
+      switch (spec.policies[p]) {
+        case Policy::RateMonotonic:
+          pt.cells.push_back(
+              cell_from_fp(analyze_preemptive_fp(ts, rm, spec.fuel, s, warm), out.fp_iterations));
+          break;
+        case Policy::DeadlineMonotonic:
+          pt.cells.push_back(
+              cell_from_fp(analyze_preemptive_fp(ts, dm, spec.fuel, s, warm), out.fp_iterations));
+          break;
+        case Policy::NpDeadlineMonotonic:
+          pt.cells.push_back(cell_from_fp(
+              analyze_nonpreemptive_fp(ts, dm, spec.form, spec.fuel, s, warm),
+              out.fp_iterations));
+          break;
+        case Policy::Edf:
+          pt.cells.push_back(cell_from_edf(analyze_preemptive_edf(ts, edf_opt, s, warm),
+                                           out.busy_iterations, out.edf_offsets));
+          break;
+        case Policy::NpEdf:
+          pt.cells.push_back(cell_from_edf(analyze_nonpreemptive_edf(ts, edf_opt, s, warm),
+                                           out.busy_iterations, out.edf_offsets));
+          break;
+      }
+    }
+    out.points.push_back(std::move(pt));
+  }
+  return out;
+}
+
+}  // namespace profisched

@@ -1,0 +1,71 @@
+// usweep.hpp — warm-started utilization-grid sweeps over one task structure.
+//
+// The standard acceptance-curve experiment fixes a task structure (periods,
+// deadlines, jitters) and asks "up to which load is it schedulable?" by
+// re-running the §2 analyses at each point of an ascending utilization grid.
+// The seed-era way re-iterated every fixed point from cold at every point;
+// but the recurrences are monotone in every C, so the converged fixed point
+// at u-point k is a valid lower bound — hence a correct iteration seed — for
+// the same task at u-point k+1. A warm-started sweep performs the same
+// arithmetic from a later starting iterate and reaches the *same* fixed
+// points (verdicts and responses are bit-identical, locked in by
+// tests/core/test_usweep.cpp); only the iteration counts shrink, typically
+// by well over 2x on fine grids (tracked in BENCH_pr4.json).
+//
+// Scaling contract: only C grows with u (D/T/J fixed, C clamped to
+// [1, min(T, D)]), and the grid must be ascending — that is what makes the
+// warm seeds lower bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schedulability.hpp"
+#include "core/taskset_view.hpp"
+
+namespace profisched {
+
+/// One sweep definition. `policies` uses the §2 policy enum of
+/// schedulability.hpp; every listed policy is analysed at every grid point.
+struct USweepSpec {
+  std::vector<double> u_grid;  ///< ascending target utilizations
+  std::vector<Policy> policies{Policy::RateMonotonic, Policy::DeadlineMonotonic,
+                               Policy::NpDeadlineMonotonic, Policy::Edf, Policy::NpEdf};
+  Formulation form = kDefaultFormulation;
+  int fuel = 1 << 16;
+  bool warm_start = true;  ///< false re-iterates every point from cold
+};
+
+/// One (point, policy) verdict.
+struct USweepCell {
+  bool schedulable = false;
+  Ticks worst_response = kNoBound;  ///< max over tasks; kNoBound if any diverged
+};
+
+/// One grid point.
+struct USweepPoint {
+  double u_target = 0.0;
+  double u_actual = 0.0;  ///< utilization after integer scaling/clamping
+  std::vector<USweepCell> cells;  ///< indexed like USweepSpec::policies
+};
+
+/// Whole-sweep outcome plus the iteration-count observables the benchmark
+/// harness compares cold-vs-warm.
+struct USweepResult {
+  std::vector<USweepPoint> points;
+  std::uint64_t fp_iterations = 0;    ///< Σ RtaResult::iterations (FP policies)
+  std::uint64_t busy_iterations = 0;  ///< Σ busy-period iterations (EDF policies)
+  std::uint64_t edf_offsets = 0;      ///< Σ EdfRtaResult::offsets_examined
+};
+
+/// Scale `base`'s execution times to target utilization `u` (relative to the
+/// base set's own utilization): C_i -> clamp(ceil(C_i·q)/1, 1, min(T_i, D_i))
+/// with q = u / U(base) in 1/1024 units. Monotone in u, exact-integer, and
+/// the result always validates.
+[[nodiscard]] TaskSet scale_to_utilization(const TaskSet& base, double u);
+
+/// Run the sweep. Throws std::invalid_argument on an empty/descending grid,
+/// an empty policy list, or an empty base set.
+[[nodiscard]] USweepResult run_usweep(const TaskSet& base, const USweepSpec& spec);
+
+}  // namespace profisched

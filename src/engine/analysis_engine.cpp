@@ -117,7 +117,24 @@ Report AnalysisEngine::analyze(const Scenario& sc, Policy policy) {
   // otherwise touch stream parameters (divide by T, compare against D) before
   // any underlying analysis gets the chance to reject the network.
   sc.net.validate();
+  return analyze_with(sc, policy, memo_for(sc));
+}
+
+std::vector<Report> AnalysisEngine::analyze_all(const Scenario& sc,
+                                                std::span<const Policy> policies) {
+  if (policies.empty()) return {};
+  sc.net.validate();
   Memo& m = memo_for(sc);
+  // Every policy after the first is served from the shared bind — keep the
+  // hit counter equivalent to the per-policy analyze() sequence it replaces.
+  hits_ += policies.size() - 1;
+  std::vector<Report> out;
+  out.reserve(policies.size());
+  for (const Policy policy : policies) out.push_back(analyze_with(sc, policy, m));
+  return out;
+}
+
+Report AnalysisEngine::analyze_with(const Scenario& sc, Policy policy, Memo& m) {
   const TimingMemo& tm = m.timing;
 
   Report r;
@@ -131,12 +148,12 @@ Report AnalysisEngine::analyze(const Scenario& sc, Policy policy) {
       r.schedulable = r.detail.schedulable;
       break;
     case Policy::Dm:
-      r.detail = analyze_dm(sc.net, tm, opt_.formulation, opt_.fuel);
+      r.detail = analyze_dm(sc.net, tm, opt_.formulation, opt_.fuel, &scratch_);
       r.schedulable = r.detail.schedulable;
       break;
     case Policy::Edf:
       if (!m.edf_busy) m.edf_busy = profibus::edf_busy_periods(sc.net, tm, opt_.fuel);
-      r.detail = analyze_edf(sc.net, tm, nullptr, opt_.fuel, &*m.edf_busy);
+      r.detail = analyze_edf(sc.net, tm, nullptr, opt_.fuel, &*m.edf_busy, &scratch_);
       r.schedulable = r.detail.schedulable;
       break;
     case Policy::Opa: {

@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "core/formulation.hpp"
 #include "engine/scenario.hpp"
@@ -51,6 +53,14 @@ class AnalysisEngine {
   /// same scenario under several policies shares them.
   [[nodiscard]] Report analyze(const Scenario& sc, Policy policy);
 
+  /// Cross-policy batch: analyze one scenario under every listed policy,
+  /// validating the network, fingerprinting it and binding the scenario memo
+  /// exactly once instead of once per policy. Reports are identical to
+  /// calling analyze() per policy in the same order — this is the sweep
+  /// runner's per-scenario entry point.
+  [[nodiscard]] std::vector<Report> analyze_all(const Scenario& sc,
+                                                std::span<const Policy> policies);
+
   /// The memoized timing facts for a scenario (computing them on first use).
   [[nodiscard]] const profibus::TimingMemo& timing(const Scenario& sc);
 
@@ -75,9 +85,14 @@ class AnalysisEngine {
   };
 
   Memo& memo_for(const Scenario& sc);
+  Report analyze_with(const Scenario& sc, Policy policy, Memo& m);
 
   EngineOptions opt_;
   std::unordered_map<std::uint64_t, Memo> memo_;
+  /// Reused by every analysis this engine dispatches; engines are per-worker
+  /// (deliberately not thread-safe), so one scratch serves the whole sweep
+  /// without steady-state allocations in the DM/EDF kernels.
+  profibus::AnalysisScratch scratch_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };

@@ -354,6 +354,19 @@ SweepResult SweepRunner::run_range(const SweepSpec& spec, IdRange range, Scenari
       o.point = static_cast<std::size_t>(id) / spec.scenarios_per_point;
       o.schedulable.reserve(spec.policies.size());
       o.worst_slack.reserve(spec.policies.size());
+      if (cache == nullptr) {
+        // Cross-policy batch: validate + memo-bind the scenario once and
+        // share busy-period state across every policy. Identical reports,
+        // fewer per-policy overheads (the cache path stays per-policy so
+        // hits skip computation entirely).
+        for (const Report& r : engine.analyze_all(sc, spec.policies)) {
+          o.tcycle = r.tcycle;
+          o.schedulable.push_back(r.schedulable);
+          o.worst_slack.push_back(r.worst_slack);
+        }
+        engine.forget(sc.id);
+        return;
+      }
       for (std::size_t p = 0; p < spec.policies.size(); ++p) {
         const CacheKey key{content, params[p]};
         std::string payload;
@@ -506,6 +519,11 @@ CombinedResult SweepRunner::run_combined_range(const SimSweepSpec& spec, IdRange
       o.sim.seed = sc.seed;
       o.sim.point = static_cast<std::size_t>(id) / spec.sweep.scenarios_per_point;
       o.sim.horizon = sim.horizon_for(sc);
+      // Without a cache, every policy's analysis is needed: batch them so the
+      // scenario is validated and memo-bound once (identical reports). With a
+      // cache, analysis only runs on misses — stay per-policy.
+      std::vector<Report> batched;
+      if (cache == nullptr) batched = engine.analyze_all(sc, spec.sweep.policies);
       std::vector<std::vector<Ticks>> per_stream_max;
       for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
         const Policy policy = spec.sweep.policies[p];
@@ -534,7 +552,7 @@ CombinedResult SweepRunner::run_combined_range(const SimSweepSpec& spec, IdRange
           continue;
         }
 
-        const Report a = engine.analyze(sc, policy);
+        const Report a = cache == nullptr ? std::move(batched[p]) : engine.analyze(sc, policy);
         o.analytic_schedulable.push_back(a.schedulable);
         Ticks wcrt = 0;
         for (const profibus::MasterAnalysis& m : a.detail.masters) {

@@ -13,7 +13,7 @@ NetworkAnalysis analyze_dm(const Network& net, TcycleMethod method, Formulation 
 }
 
 NetworkAnalysis analyze_dm(const Network& net, const TimingMemo& memo, Formulation form,
-                           int fuel) {
+                           int fuel, AnalysisScratch* scratch) {
   net.validate();
   NetworkAnalysis out;
   out.tcycle = memo.tcycle;
@@ -22,13 +22,16 @@ NetworkAnalysis analyze_dm(const Network& net, const TimingMemo& memo, Formulati
   const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
 
+  std::vector<std::size_t> local_ranks;
+  std::vector<std::size_t>& by_deadline = scratch != nullptr ? scratch->ranks : local_ranks;
+
   for (std::size_t k = 0; k < net.n_masters(); ++k) {
     const Master& master = net.masters[k];
     MasterAnalysis& ma = out.masters[k];
     ma.schedulable = true;
     ma.streams.resize(master.nh());
 
-    std::vector<std::size_t> by_deadline(master.nh());
+    by_deadline.resize(master.nh());
     std::iota(by_deadline.begin(), by_deadline.end(), std::size_t{0});
     std::ranges::stable_sort(by_deadline, [&](std::size_t a, std::size_t b) {
       return master.high_streams[a].D < master.high_streams[b].D;

@@ -47,9 +47,11 @@ namespace profisched::profibus {
                                          int fuel = 1 << 16);
 
 /// Memoized form: reuse a precomputed TimingMemo (see compute_timing) instead
-/// of re-deriving T_del / T_cycle for this call.
+/// of re-deriving T_del / T_cycle for this call. `scratch`, when non-null,
+/// supplies the per-master rank buffer (see AnalysisScratch).
 [[nodiscard]] NetworkAnalysis analyze_dm(const Network& net, const TimingMemo& memo,
                                          Formulation form = Formulation::PaperLiteral,
-                                         int fuel = 1 << 16);
+                                         int fuel = 1 << 16,
+                                         AnalysisScratch* scratch = nullptr);
 
 }  // namespace profisched::profibus

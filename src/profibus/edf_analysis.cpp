@@ -24,9 +24,12 @@ Ticks master_busy_period(const Master& master, Ticks tcycle, int fuel) {
   return kNoBound;
 }
 
-/// Candidate offsets a (paper eq. 10, jitter-shifted) within [0, horizon].
-std::vector<Ticks> candidate_offsets(const Master& master, std::size_t i, Ticks horizon) {
-  std::vector<Ticks> offsets{0};
+/// Candidate offsets a (paper eq. 10, jitter-shifted) within [0, horizon],
+/// into a reused buffer.
+void candidate_offsets(const Master& master, std::size_t i, Ticks horizon,
+                       std::vector<Ticks>& offsets) {
+  offsets.clear();
+  offsets.push_back(0);
   const Ticks di = master.high_streams[i].D;
   for (const MessageStream& sj : master.high_streams) {
     const Ticks base = sj.D - sj.J - di;
@@ -40,7 +43,6 @@ std::vector<Ticks> candidate_offsets(const Master& master, std::size_t i, Ticks 
   std::ranges::sort(offsets);
   const auto dup = std::ranges::unique(offsets);
   offsets.erase(dup.begin(), dup.end());
-  return offsets;
 }
 
 struct OffsetOutcome {
@@ -103,11 +105,14 @@ NetworkAnalysis analyze_edf(const Network& net, TcycleMethod method,
 
 NetworkAnalysis analyze_edf(const Network& net, const TimingMemo& memo,
                             std::vector<std::vector<EdfStreamDetail>>* detail, int fuel,
-                            const std::vector<Ticks>* busy) {
+                            const std::vector<Ticks>* busy, AnalysisScratch* scratch) {
   net.validate();
   NetworkAnalysis out;
   out.tcycle = memo.tcycle;
   out.schedulable = true;
+
+  std::vector<Ticks> local_offsets;
+  std::vector<Ticks>& offsets = scratch != nullptr ? scratch->offsets : local_offsets;
 
   const std::vector<Ticks>& tc = memo.per_master;
   out.masters.resize(net.n_masters());
@@ -131,7 +136,8 @@ NetworkAnalysis analyze_edf(const Network& net, const TimingMemo& memo,
       Ticks best_a = 0;
       std::size_t examined = 0;
       bool ok = true;
-      for (const Ticks a : candidate_offsets(master, i, horizon)) {
+      candidate_offsets(master, i, horizon, offsets);
+      for (const Ticks a : offsets) {
         ++examined;
         const OffsetOutcome o = response_at_offset(master, i, a, tc[k], fuel);
         if (!o.converged) {

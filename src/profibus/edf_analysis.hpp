@@ -54,9 +54,11 @@ struct EdfStreamDetail {
 
 /// Memoized form: reuse a precomputed TimingMemo — and, when `busy` is
 /// non-null, precomputed edf_busy_periods — instead of re-deriving them.
+/// `scratch`, when non-null, supplies the candidate-offset buffer (see
+/// AnalysisScratch).
 [[nodiscard]] NetworkAnalysis analyze_edf(
     const Network& net, const TimingMemo& memo,
     std::vector<std::vector<EdfStreamDetail>>* detail = nullptr, int fuel = 1 << 16,
-    const std::vector<Ticks>* busy = nullptr);
+    const std::vector<Ticks>* busy = nullptr, AnalysisScratch* scratch = nullptr);
 
 }  // namespace profisched::profibus

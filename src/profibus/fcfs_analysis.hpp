@@ -41,6 +41,16 @@ struct NetworkAnalysis {
   Ticks tcycle = 0;  ///< the T_cycle used (eq. 14)
 };
 
+/// Reusable per-worker scratch for the network analyses: the buffers
+/// analyze_dm / analyze_edf would otherwise allocate per master (or per
+/// stream) per call. One instance per thread — the engine keeps one per
+/// AnalysisEngine — makes repeated analyses allocation-free in steady state.
+/// Purely an optimization: results are identical with or without.
+struct AnalysisScratch {
+  std::vector<std::size_t> ranks;  ///< DM deadline-rank permutation buffer
+  std::vector<Ticks> offsets;      ///< EDF candidate-offset buffer
+};
+
 /// FCFS analysis of the whole network (eqs. 11–12).
 [[nodiscard]] NetworkAnalysis analyze_fcfs(const Network& net,
                                            TcycleMethod method = TcycleMethod::PaperEq13);

@@ -1,13 +1,24 @@
 // event_queue.hpp — the simulator's time-ordered event queue.
 //
-// A binary min-heap keyed on (time, sequence number); the sequence number
-// makes same-instant events fire in scheduling order, which keeps runs
-// deterministic regardless of heap tie-breaking.
+// A binary min-heap keyed on (time, sequence number). ORDERING INVARIANT:
+// the sequence number makes same-instant events fire in scheduling order,
+// which keeps runs deterministic regardless of heap tie-breaking — every
+// comparison below goes through (time, seq) and nothing else.
+//
+// Pooled storage: the heap itself holds only 24-byte (time, seq, slot)
+// entries, so sift operations move small trivially-copyable records; the
+// payloads live beside it in a slot pool whose freed slots are recycled
+// through a free list. Once the pool reaches the run's high-water mark,
+// schedule()/pop() no longer touch the allocator — the property that
+// replaced the seed-era queue, which heap-allocated a std::function per
+// event (and popped via the const_cast idiom; owning the heap vector
+// directly makes pop() a plain std::pop_heap + move).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -15,46 +26,101 @@
 
 namespace profisched::sim {
 
-/// A scheduled callback.
-struct Event {
+/// A popped event: when it fired, its scheduling rank, and its payload.
+template <class Payload>
+struct BasicEvent {
   Ticks time = 0;
   std::uint64_t seq = 0;  ///< insertion order, breaks same-time ties FIFO
-  std::function<void()> action;
+  Payload payload{};
 };
 
-class EventQueue {
+/// Min-heap of Payload values ordered by (time, seq), with pooled payload
+/// slots. Payload only needs to be movable.
+template <class Payload>
+class BasicEventQueue {
  public:
-  /// Schedule `action` at absolute time `at`.
-  void schedule(Ticks at, std::function<void()> action) {
-    heap_.push(Entry{at, next_seq_++, std::move(action)});
+  /// Schedule `payload` at absolute time `at`.
+  void schedule(Ticks at, Payload payload) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(std::move(payload));
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::move(payload);
+    }
+    heap_.push_back(Entry{at, next_seq_++, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
   /// Time of the earliest pending event (kNoBound when empty).
-  [[nodiscard]] Ticks next_time() const { return heap_.empty() ? kNoBound : heap_.top().time; }
+  [[nodiscard]] Ticks next_time() const noexcept {
+    return heap_.empty() ? kNoBound : heap_.front().time;
+  }
 
-  /// Remove and return the earliest event. Precondition: !empty().
-  [[nodiscard]] Event pop() {
-    // std::priority_queue::top() is const&; the move is safe because we pop
-    // immediately after — const_cast is the documented idiom for this.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
-    return Event{e.time, e.seq, std::move(e.action)};
+  /// Remove and return the earliest event; its slot returns to the free
+  /// list. Precondition: !empty().
+  [[nodiscard]] BasicEvent<Payload> pop() {
+    assert(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    BasicEvent<Payload> out{e.time, e.seq, std::move(pool_[e.slot])};
+    free_.push_back(e.slot);
+    return out;
   }
 
  private:
   struct Entry {
     Ticks time;
     std::uint64_t seq;
-    std::function<void()> action;
-    bool operator>(const Entry& o) const noexcept {
-      return time != o.time ? time > o.time : seq > o.seq;
+    std::uint32_t slot;  ///< index into pool_
+  };
+  /// "a fires later than b" — std::push_heap/pop_heap keep the *earliest*
+  /// (time, seq) at front under this comparison.
+  struct Later {
+    [[nodiscard]] bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+
+  std::vector<Entry> heap_;
+  std::vector<Payload> pool_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
+};
+
+/// A scheduled callback — the generic (type-erased) event surface.
+struct Event {
+  Ticks time = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// The generic queue: callbacks as payloads. Hot simulators (network_sim)
+/// use BasicEventQueue over a small tag-dispatched payload instead, which
+/// avoids a std::function per event entirely.
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `at`.
+  void schedule(Ticks at, std::function<void()> action) { q_.schedule(at, std::move(action)); }
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] Ticks next_time() const noexcept { return q_.next_time(); }
+
+  /// Remove and return the earliest event. Precondition: !empty().
+  [[nodiscard]] Event pop() {
+    BasicEvent<std::function<void()>> e = q_.pop();
+    return Event{e.time, e.seq, std::move(e.payload)};
+  }
+
+ private:
+  BasicEventQueue<std::function<void()>> q_;
 };
 
 }  // namespace profisched::sim

@@ -1,39 +1,48 @@
 // kernel.hpp — minimal discrete-event simulation kernel: a clock plus the
 // event queue. Components schedule continuations against the kernel; the
 // kernel advances time to each event in order until the horizon.
+//
+// BasicKernel<Payload> is the pooled, tag-dispatched form: events are plain
+// values and run_until takes the handler that interprets them — no
+// allocation per event. Kernel is the generic std::function surface the
+// tests and ad-hoc users keep.
 #pragma once
 
 #include <cassert>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 
 namespace profisched::sim {
 
-class Kernel {
+template <class Payload>
+class BasicKernel {
  public:
   [[nodiscard]] Ticks now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
 
-  /// Schedule `action` `delay` ticks from now (delay >= 0).
-  void after(Ticks delay, std::function<void()> action) {
+  /// Schedule `payload` `delay` ticks from now (delay >= 0).
+  void after(Ticks delay, Payload payload) {
     assert(delay >= 0);
-    queue_.schedule(sat_add(now_, delay), std::move(action));
+    queue_.schedule(sat_add(now_, delay), std::move(payload));
   }
 
   /// Schedule at an absolute time (must not be in the past).
-  void at(Ticks time, std::function<void()> action) {
+  void at(Ticks time, Payload payload) {
     assert(time >= now_);
-    queue_.schedule(time, std::move(action));
+    queue_.schedule(time, std::move(payload));
   }
 
-  /// Run events until the queue empties or the next event is after `horizon`.
-  /// Events exactly at the horizon still fire. Returns events processed.
-  std::uint64_t run_until(Ticks horizon) {
+  /// Run events until the queue empties or the next event is after `horizon`,
+  /// passing each payload to `handle`. Events exactly at the horizon still
+  /// fire. Returns events processed by this call.
+  template <class Handler>
+  std::uint64_t run_until(Ticks horizon, Handler&& handle) {
     std::uint64_t n = 0;
     while (!queue_.empty() && queue_.next_time() <= horizon) {
-      Event e = queue_.pop();
+      BasicEvent<Payload> e = queue_.pop();
       now_ = e.time;
-      e.action();
+      handle(e.payload);
       ++n;
     }
     processed_ += n;
@@ -43,7 +52,15 @@ class Kernel {
  private:
   Ticks now_ = 0;
   std::uint64_t processed_ = 0;
-  EventQueue queue_;
+  BasicEventQueue<Payload> queue_;
+};
+
+/// Generic kernel: callback payloads, invoked directly.
+class Kernel : public BasicKernel<std::function<void()>> {
+ public:
+  std::uint64_t run_until(Ticks horizon) {
+    return BasicKernel::run_until(horizon, [](std::function<void()>& action) { action(); });
+  }
 };
 
 }  // namespace profisched::sim

@@ -25,6 +25,36 @@ struct MasterState {
   std::vector<Histogram> hist;  ///< sized only when histograms requested
 };
 
+// Phases of one token visit (see network_sim.hpp header comment).
+enum class Phase : std::uint8_t { GuaranteedHp, HpWhile, LpWhile };
+
+/// The simulator's pooled event representation: a tag plus a small payload,
+/// stored by value in the kernel's slot pool — no allocation per event. The
+/// kinds mirror exactly the continuations the seed-era simulator captured in
+/// per-event std::functions; the dispatch switch in Simulation::handle()
+/// replays the same bodies, so schedule order, sequence numbers and RNG draw
+/// order are unchanged and traces stay byte-identical (regression:
+/// tests/sim/test_event_pool.cpp).
+struct SimEvent {
+  enum class Kind : std::uint8_t {
+    TokenArrival,  ///< token reaches `master`
+    HpGenStep,     ///< release generator of (master, stream) at nominal t0
+    HpRelease,     ///< jitter-delayed release of (master, stream)
+    LpRelease,     ///< LP generator of master, lp-config index `stream`, at t0
+    HpCycleEnd,    ///< HP cycle of `req` completes; t0 = tth_expiry, t1 = visit_start
+    LpCycleEnd,    ///< LP cycle completes; t0 = tth_expiry, t1 = visit_start
+  };
+
+  Kind kind = Kind::TokenArrival;
+  Phase phase = Phase::GuaranteedHp;  ///< HpCycleEnd: phase to resume
+  bool dropped = false;               ///< HpCycleEnd: cycle lost to retries
+  std::uint32_t master = 0;
+  std::uint32_t stream = 0;
+  Ticks t0 = 0;
+  Ticks t1 = 0;
+  PendingRequest req{};  ///< HpCycleEnd only
+};
+
 /// The whole simulation; wires the kernel, the masters and the generators.
 class Simulation {
  public:
@@ -51,41 +81,98 @@ class Simulation {
 
   SimReport run() {
     arm_generators();
-    kernel_.at(0, [this] { on_token_arrival(0); });
-    kernel_.run_until(cfg_.horizon);
+    kernel_.at(0, SimEvent{.kind = SimEvent::Kind::TokenArrival, .master = 0});
+    kernel_.run_until(cfg_.horizon, [this](SimEvent& e) { handle(e); });
     return collect();
   }
 
  private:
+  /// The tag dispatch: each case is the body of the lambda the seed-era
+  /// simulator would have captured for this continuation, verbatim.
+  void handle(const SimEvent& e) {
+    const std::size_t k = e.master;
+    switch (e.kind) {
+      case SimEvent::Kind::TokenArrival:
+        on_token_arrival(k);
+        break;
+      case SimEvent::Kind::HpGenStep: {
+        const Ticks nominal = e.t0;
+        const ReleaseProcess::Step step = procs_[k][e.stream].step(nominal, rng_);
+        if (step.release <= kernel_.now()) {
+          // No jitter delay: release inline so a request released at the same
+          // instant as a token arrival is visible to that very token visit.
+          do_release(k, e.stream);
+        } else {
+          kernel_.at(step.release, SimEvent{.kind = SimEvent::Kind::HpRelease,
+                                            .master = e.master,
+                                            .stream = e.stream});
+        }
+        schedule_hp_release(e.master, e.stream, step.next_nominal);
+        break;
+      }
+      case SimEvent::Kind::HpRelease:
+        do_release(k, e.stream);
+        break;
+      case SimEvent::Kind::LpRelease: {
+        const LpTraffic& lp = cfg_.lp_traffic[k][e.stream];
+        masters_[k].lp_queue.push_back(lp.cycle_len);
+        schedule_lp_release(e.master, e.stream, sat_add(e.t0, lp.period));
+        break;
+      }
+      case SimEvent::Kind::HpCycleEnd: {
+        MasterState& mm = masters_[k];
+        StreamStats& st = mm.streams[e.req.stream];
+        if (e.dropped) {
+          ++st.dropped;
+          trace(TraceKind::CycleDropped, k, e.req.stream, 0);
+        } else {
+          const Ticks response = kernel_.now() - e.req.release;
+          st.record_completion(response, cfg_.net.masters[k].high_streams[e.req.stream].D);
+          if (!mm.hist.empty()) mm.hist[e.req.stream].add(response);
+          trace(TraceKind::CycleEnd, k, e.req.stream, response);
+        }
+        mm.dispatcher.complete_head();
+        token_phase(k, e.t0, e.phase, e.t1);
+        break;
+      }
+      case SimEvent::Kind::LpCycleEnd:
+        masters_[k].lp_queue.pop_front();
+        ++lp_completed_;
+        trace(TraceKind::LpCycleEnd, k, SIZE_MAX, 0);
+        token_phase(k, e.t0, Phase::LpWhile, e.t1);
+        break;
+    }
+  }
+
   // ---- traffic --------------------------------------------------------
 
   void arm_generators() {
+    procs_.resize(masters_.size());
     for (std::size_t k = 0; k < masters_.size(); ++k) {
       const Master& master = cfg_.net.masters[k];
+      procs_[k].reserve(master.nh());
       for (std::size_t i = 0; i < master.nh(); ++i) {
         const TrafficConfig tc =
             cfg_.hp_traffic.empty() ? TrafficConfig{} : cfg_.hp_traffic[k][i];
-        schedule_hp_release(k, i, ReleaseProcess(tc, master.high_streams[i].T), tc.phase);
+        procs_[k].emplace_back(tc, master.high_streams[i].T);
+        schedule_hp_release(static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(i),
+                            tc.phase);
       }
       if (!cfg_.lp_traffic.empty()) {
-        for (const LpTraffic& lp : cfg_.lp_traffic[k]) schedule_lp_release(k, lp, lp.phase);
+        for (std::size_t l = 0; l < cfg_.lp_traffic[k].size(); ++l) {
+          schedule_lp_release(static_cast<std::uint32_t>(k), static_cast<std::uint32_t>(l),
+                              cfg_.lp_traffic[k][l].phase);
+        }
       }
     }
   }
 
-  void schedule_hp_release(std::size_t k, std::size_t i, ReleaseProcess proc, Ticks nominal) {
+  void schedule_hp_release(std::uint32_t k, std::uint32_t i, Ticks nominal) {
     if (nominal > cfg_.horizon) return;
-    kernel_.at(nominal, [this, k, i, proc, nominal] {
-      const ReleaseProcess::Step step = proc.step(nominal, rng_);
-      if (step.release <= kernel_.now()) {
-        // No jitter delay: release inline so a request released at the same
-        // instant as a token arrival is visible to that very token visit.
-        do_release(k, i);
-      } else {
-        kernel_.at(step.release, [this, k, i] { do_release(k, i); });
-      }
-      schedule_hp_release(k, i, proc, step.next_nominal);
-    });
+    kernel_.at(nominal, SimEvent{.kind = SimEvent::Kind::HpGenStep,
+                                 .master = k,
+                                 .stream = i,
+                                 .t0 = nominal});
   }
 
   void do_release(std::size_t k, std::size_t i) {
@@ -104,18 +191,15 @@ class Simulation {
                                        static_cast<Ticks>(masters_[k].dispatcher.pending()));
   }
 
-  void schedule_lp_release(std::size_t k, const LpTraffic& lp, Ticks at) {
-    if (at > cfg_.horizon || lp.period < 1) return;
-    kernel_.at(at, [this, k, lp, at] {
-      masters_[k].lp_queue.push_back(lp.cycle_len);
-      schedule_lp_release(k, lp, sat_add(at, lp.period));
-    });
+  void schedule_lp_release(std::uint32_t k, std::uint32_t lp_index, Ticks at) {
+    if (at > cfg_.horizon || cfg_.lp_traffic[k][lp_index].period < 1) return;
+    kernel_.at(at, SimEvent{.kind = SimEvent::Kind::LpRelease,
+                            .master = k,
+                            .stream = lp_index,
+                            .t0 = at});
   }
 
   // ---- the token-passing procedure (paper §3.1) -----------------------
-
-  // Phases of one token visit (see network_sim.hpp header comment).
-  enum class Phase { GuaranteedHp, HpWhile, LpWhile };
 
   void on_token_arrival(std::size_t k) {
     MasterState& m = masters_[k];
@@ -175,21 +259,13 @@ class Simulation {
     trace(TraceKind::CycleStart, k, req.stream, dur);
     note_overrun(m, k, tth_expiry, dur);
 
-    kernel_.after(dur, [this, k, tth_expiry, next_phase, visit_start, req, dropped] {
-      MasterState& mm = masters_[k];
-      StreamStats& st = mm.streams[req.stream];
-      if (dropped) {
-        ++st.dropped;
-        trace(TraceKind::CycleDropped, k, req.stream, 0);
-      } else {
-        const Ticks response = kernel_.now() - req.release;
-        st.record_completion(response, cfg_.net.masters[k].high_streams[req.stream].D);
-        if (!mm.hist.empty()) mm.hist[req.stream].add(response);
-        trace(TraceKind::CycleEnd, k, req.stream, response);
-      }
-      mm.dispatcher.complete_head();
-      token_phase(k, tth_expiry, next_phase, visit_start);
-    });
+    kernel_.after(dur, SimEvent{.kind = SimEvent::Kind::HpCycleEnd,
+                                .phase = next_phase,
+                                .dropped = dropped,
+                                .master = static_cast<std::uint32_t>(k),
+                                .t0 = tth_expiry,
+                                .t1 = visit_start,
+                                .req = req});
   }
 
   void start_lp_cycle(std::size_t k, Ticks tth_expiry, Ticks visit_start) {
@@ -197,12 +273,10 @@ class Simulation {
     const Ticks dur = m.lp_queue.front();
     trace(TraceKind::LpCycleStart, k, SIZE_MAX, dur);
     note_overrun(m, k, tth_expiry, dur);
-    kernel_.after(dur, [this, k, tth_expiry, visit_start] {
-      masters_[k].lp_queue.pop_front();
-      ++lp_completed_;
-      trace(TraceKind::LpCycleEnd, k, SIZE_MAX, 0);
-      token_phase(k, tth_expiry, Phase::LpWhile, visit_start);
-    });
+    kernel_.after(dur, SimEvent{.kind = SimEvent::Kind::LpCycleEnd,
+                                .master = static_cast<std::uint32_t>(k),
+                                .t0 = tth_expiry,
+                                .t1 = visit_start});
   }
 
   void note_overrun(MasterState& m, std::size_t k, Ticks tth_expiry, Ticks dur) {
@@ -219,7 +293,8 @@ class Simulation {
     trace(TraceKind::TokenPass, k, SIZE_MAX, 0);
     const Ticks dur = profibus::token_pass_time(cfg_.net.bus);
     const std::size_t next = (k + 1) % masters_.size();
-    kernel_.after(dur, [this, next] { on_token_arrival(next); });
+    kernel_.after(dur, SimEvent{.kind = SimEvent::Kind::TokenArrival,
+                                .master = static_cast<std::uint32_t>(next)});
   }
 
   // ---- message-cycle duration models ----------------------------------
@@ -283,8 +358,12 @@ class Simulation {
 
   SimConfig cfg_;
   Rng rng_;
-  Kernel kernel_;
+  BasicKernel<SimEvent> kernel_;
   std::vector<MasterState> masters_;
+  /// Release processes per (master, stream): immutable after arming, so the
+  /// generator events carry only (master, stream, nominal) instead of a
+  /// per-event copy.
+  std::vector<std::vector<ReleaseProcess>> procs_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t lp_completed_ = 0;
 };

@@ -1,0 +1,192 @@
+// Kernel-equivalence suite: the SoA fast paths (taskset_view + scratch
+// overloads, the routes analyze_* take since the PR-4 overhaul) must produce
+// results identical to the retained TaskSet/index-span reference
+// implementations — response, convergence flag AND iteration count where the
+// result defines one — over randomized UUniFast task sets spanning
+// convergent, divergent and degenerate regimes.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/busy_period.hpp"
+#include "core/edf_feasibility.hpp"
+#include "core/priority_assignment.hpp"
+#include "core/response_time_edf.hpp"
+#include "core/response_time_fp.hpp"
+#include "sim/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched {
+namespace {
+
+constexpr std::size_t kSetsPerPolicy = 220;
+
+/// Randomized set: n in [2, 16], U in [0.3, 1.15] (past 1 exercises the
+/// divergence paths), deadlines down to 0.6·T, occasional jitter.
+TaskSet random_set(std::uint64_t seed) {
+  sim::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  workload::TaskSetParams p;
+  p.n = 2 + static_cast<std::size_t>(rng.uniform(0, 14));
+  p.total_u = 0.3 + 0.85 * rng.uniform01();
+  p.deadline_lo = 0.6 + 0.2 * rng.uniform01();
+  p.deadline_hi = 1.0 + 0.2 * rng.uniform01();
+  p.jitter_max = (seed % 3 == 0) ? 200 : 0;
+  return workload::random_task_set(p, rng);
+}
+
+/// The seed-era whole-set FP analysis, built from the retained per-task
+/// reference entry points (exactly what analyze_* did before the SoA path).
+FpAnalysis reference_fp(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+                        Formulation form, int fuel = 1 << 16) {
+  FpAnalysis out;
+  out.per_task.resize(ts.size());
+  out.schedulable = true;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t i = order[pos];
+    const std::vector<std::size_t> higher(order.begin(),
+                                          order.begin() + static_cast<std::ptrdiff_t>(pos));
+    const std::vector<std::size_t> lower(order.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                                         order.end());
+    out.per_task[i] = preemptive
+                          ? response_time_preemptive(ts, i, higher, fuel)
+                          : response_time_nonpreemptive(ts, i, higher, lower, form, fuel);
+    if (!out.per_task[i].meets(ts[i].D)) out.schedulable = false;
+  }
+  return out;
+}
+
+void expect_same(const RtaResult& ref, const RtaResult& fast, std::uint64_t seed,
+                 std::size_t task) {
+  EXPECT_EQ(ref.converged, fast.converged) << "seed " << seed << " task " << task;
+  EXPECT_EQ(ref.response, fast.response) << "seed " << seed << " task " << task;
+  EXPECT_EQ(ref.iterations, fast.iterations) << "seed " << seed << " task " << task;
+}
+
+TEST(KernelEquivalence, PreemptiveFpMatchesReference) {
+  RtaScratch scratch;
+  for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+    const TaskSet ts = random_set(seed);
+    const PriorityOrder order = rate_monotonic_order(ts);
+    const FpAnalysis ref = reference_fp(ts, order, /*preemptive=*/true, kDefaultFormulation);
+    const FpAnalysis plain = analyze_preemptive_fp(ts, order);
+    const FpAnalysis reused = analyze_preemptive_fp(ts, order, 1 << 16, scratch);
+    ASSERT_EQ(ref.per_task.size(), plain.per_task.size());
+    EXPECT_EQ(ref.schedulable, plain.schedulable) << "seed " << seed;
+    EXPECT_EQ(ref.schedulable, reused.schedulable) << "seed " << seed;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      expect_same(ref.per_task[i], plain.per_task[i], seed, i);
+      expect_same(ref.per_task[i], reused.per_task[i], seed, i);
+    }
+  }
+}
+
+TEST(KernelEquivalence, NonpreemptiveFpMatchesReferenceBothFormulations) {
+  RtaScratch scratch;
+  for (const Formulation form : {Formulation::PaperLiteral, Formulation::Refined}) {
+    for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+      const TaskSet ts = random_set(seed);
+      const PriorityOrder order = deadline_monotonic_order(ts);
+      const FpAnalysis ref = reference_fp(ts, order, /*preemptive=*/false, form);
+      const FpAnalysis plain = analyze_nonpreemptive_fp(ts, order, form);
+      const FpAnalysis reused = analyze_nonpreemptive_fp(ts, order, form, 1 << 16, scratch);
+      EXPECT_EQ(ref.schedulable, plain.schedulable) << "seed " << seed;
+      EXPECT_EQ(ref.schedulable, reused.schedulable) << "seed " << seed;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        expect_same(ref.per_task[i], plain.per_task[i], seed, i);
+        expect_same(ref.per_task[i], reused.per_task[i], seed, i);
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, PerTaskViewEntryPointsMatchReference) {
+  // The rank-indexed view functions themselves (not just the analyze loop).
+  RtaScratch scratch;
+  for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+    const TaskSet ts = random_set(seed);
+    const PriorityOrder order = deadline_monotonic_order(ts);
+    const TaskSetView& pv = scratch.arena.bind(ts, order);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      const std::size_t i = order[pos];
+      const std::vector<std::size_t> higher(order.begin(),
+                                            order.begin() + static_cast<std::ptrdiff_t>(pos));
+      const std::vector<std::size_t> lower(order.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                                           order.end());
+      expect_same(response_time_preemptive(ts, i, higher),
+                  response_time_preemptive(pv, pos), seed, i);
+      expect_same(response_time_nonpreemptive(ts, i, higher, lower),
+                  response_time_nonpreemptive(pv, pos), seed, i);
+      EXPECT_EQ(blocking_factor(ts, lower), blocking_factor(pv, pos + 1));
+    }
+  }
+}
+
+TEST(KernelEquivalence, BusyPeriodMatchesReference) {
+  TaskSetArena arena;
+  for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+    const TaskSet ts = random_set(seed);
+    const BusyPeriod ref = synchronous_busy_period(ts);
+    const BusyPeriod fast = synchronous_busy_period(arena.bind(ts));
+    EXPECT_EQ(ref.length, fast.length) << "seed " << seed;
+    EXPECT_EQ(ref.iterations, fast.iterations) << "seed " << seed;
+  }
+}
+
+TEST(KernelEquivalence, EdfFeasibilityMatchesReference) {
+  RtaScratch scratch;
+  for (const Formulation form : {Formulation::PaperLiteral, Formulation::Refined}) {
+    for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+      const TaskSet ts = random_set(seed);
+      const auto check = [&](const FeasibilityResult& ref, const FeasibilityResult& fast) {
+        EXPECT_EQ(ref.feasible, fast.feasible) << "seed " << seed;
+        EXPECT_EQ(ref.first_violation, fast.first_violation) << "seed " << seed;
+        EXPECT_EQ(ref.horizon, fast.horizon) << "seed " << seed;
+        EXPECT_EQ(ref.checkpoints, fast.checkpoints) << "seed " << seed;
+      };
+      check(edf_preemptive_feasible(ts, form), edf_preemptive_feasible(ts, form, scratch));
+      check(np_edf_feasible_zheng_shin(ts, form),
+            np_edf_feasible_zheng_shin(ts, form, scratch));
+      check(np_edf_feasible_george(ts, form), np_edf_feasible_george(ts, form, scratch));
+    }
+  }
+}
+
+TEST(KernelEquivalence, EdfRtaMatchesReference) {
+  RtaScratch scratch;
+  const EdfRtaOptions opt;
+  for (std::uint64_t seed = 1; seed <= kSetsPerPolicy; ++seed) {
+    const TaskSet ts = random_set(seed);
+    for (const bool preemptive : {true, false}) {
+      EdfAnalysis ref;
+      ref.per_task.resize(ts.size());
+      ref.schedulable = true;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        ref.per_task[i] = preemptive ? edf_response_time_preemptive(ts, i, opt)
+                                     : edf_response_time_nonpreemptive(ts, i, opt);
+        if (!ref.per_task[i].meets(ts[i].D)) ref.schedulable = false;
+      }
+      const EdfAnalysis plain =
+          preemptive ? analyze_preemptive_edf(ts, opt) : analyze_nonpreemptive_edf(ts, opt);
+      const EdfAnalysis reused = preemptive
+                                     ? analyze_preemptive_edf(ts, opt, scratch)
+                                     : analyze_nonpreemptive_edf(ts, opt, scratch);
+      EXPECT_EQ(ref.schedulable, plain.schedulable) << "seed " << seed;
+      EXPECT_EQ(ref.schedulable, reused.schedulable) << "seed " << seed;
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        for (const EdfAnalysis* fast : {&plain, &reused}) {
+          EXPECT_EQ(ref.per_task[i].converged, fast->per_task[i].converged)
+              << "seed " << seed << " task " << i << " preemptive " << preemptive;
+          EXPECT_EQ(ref.per_task[i].response, fast->per_task[i].response)
+              << "seed " << seed << " task " << i << " preemptive " << preemptive;
+          EXPECT_EQ(ref.per_task[i].critical_offset, fast->per_task[i].critical_offset)
+              << "seed " << seed << " task " << i << " preemptive " << preemptive;
+          EXPECT_EQ(ref.per_task[i].offsets_examined, fast->per_task[i].offsets_examined)
+              << "seed " << seed << " task " << i << " preemptive " << preemptive;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,121 @@
+// Warm-start utilization-sweep regression: warm and cold runs must agree on
+// every verdict and bound (the warm seeds only shorten the monotone
+// iterations), warm must never iterate more, and the scaling helper must be
+// exact-integer monotone.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/usweep.hpp"
+#include "sim/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched {
+namespace {
+
+TaskSet random_base(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng(seed * 7919 + 3);
+  workload::TaskSetParams p;
+  p.n = n;
+  p.total_u = 0.5;
+  p.deadline_lo = 0.8;
+  p.deadline_hi = 1.1;
+  p.jitter_max = (seed % 2 == 0) ? 100 : 0;
+  return workload::random_task_set(p, rng);
+}
+
+USweepSpec grid_spec(std::size_t points, double lo, double hi) {
+  USweepSpec spec;
+  for (std::size_t k = 0; k < points; ++k) {
+    spec.u_grid.push_back(lo + (hi - lo) * static_cast<double>(k) /
+                                   static_cast<double>(points - 1));
+  }
+  return spec;
+}
+
+TEST(USweep, WarmMatchesColdEverywhere) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const TaskSet base = random_base(seed, 4 + seed % 8);
+    USweepSpec spec = grid_spec(24, 0.35, 1.05);  // crosses every breakdown point
+    spec.warm_start = false;
+    const USweepResult cold = run_usweep(base, spec);
+    spec.warm_start = true;
+    const USweepResult warm = run_usweep(base, spec);
+
+    ASSERT_EQ(cold.points.size(), warm.points.size());
+    for (std::size_t k = 0; k < cold.points.size(); ++k) {
+      EXPECT_EQ(cold.points[k].u_actual, warm.points[k].u_actual);
+      ASSERT_EQ(cold.points[k].cells.size(), warm.points[k].cells.size());
+      for (std::size_t c = 0; c < cold.points[k].cells.size(); ++c) {
+        EXPECT_EQ(cold.points[k].cells[c].schedulable, warm.points[k].cells[c].schedulable)
+            << "seed " << seed << " point " << k << " policy " << c;
+        EXPECT_EQ(cold.points[k].cells[c].worst_response,
+                  warm.points[k].cells[c].worst_response)
+            << "seed " << seed << " point " << k << " policy " << c;
+      }
+    }
+    // Warm-start must never do more fixed-point work than cold.
+    EXPECT_LE(warm.fp_iterations, cold.fp_iterations) << "seed " << seed;
+    EXPECT_LE(warm.busy_iterations, cold.busy_iterations) << "seed " << seed;
+  }
+}
+
+TEST(USweep, WarmStartActuallySavesIterationsOnFineGrids) {
+  const TaskSet base = random_base(7, 12);
+  USweepSpec spec = grid_spec(60, 0.5, 0.99);
+  spec.policies = {Policy::RateMonotonic, Policy::DeadlineMonotonic,
+                   Policy::NpDeadlineMonotonic};
+  spec.warm_start = false;
+  const USweepResult cold = run_usweep(base, spec);
+  spec.warm_start = true;
+  const USweepResult warm = run_usweep(base, spec);
+  EXPECT_LT(warm.fp_iterations, cold.fp_iterations);
+}
+
+TEST(USweep, ScalingIsMonotoneExactAndValid) {
+  const TaskSet base = random_base(11, 10);
+  Ticks prev_total = 0;
+  for (double u = 0.2; u <= 1.2; u += 0.05) {
+    const TaskSet scaled = scale_to_utilization(base, u);
+    ASSERT_EQ(scaled.size(), base.size());
+    Ticks total = 0;
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      EXPECT_EQ(scaled[i].T, base[i].T);
+      EXPECT_EQ(scaled[i].D, base[i].D);
+      EXPECT_EQ(scaled[i].J, base[i].J);
+      EXPECT_GE(scaled[i].C, 1);
+      EXPECT_LE(scaled[i].C, std::min(base[i].T, base[i].D));
+      total += scaled[i].C;
+    }
+    EXPECT_GE(total, prev_total) << "u " << u;  // C grows monotonically with u
+    prev_total = total;
+    scaled.validate();  // throws on any violated invariant
+  }
+}
+
+TEST(USweep, TracksRequestedUtilization) {
+  const TaskSet base = random_base(13, 12);
+  const TaskSet scaled = scale_to_utilization(base, 0.8);
+  // Integer rounding and per-task clamping bound the error by one tick per
+  // task; with generated periods >= 100 that is at most n/100.
+  EXPECT_NEAR(scaled.utilization(), 0.8, 0.15);
+}
+
+TEST(USweep, RejectsBadSpecs) {
+  const TaskSet base = random_base(17, 5);
+  USweepSpec empty_grid;
+  EXPECT_THROW((void)run_usweep(base, empty_grid), std::invalid_argument);
+
+  USweepSpec descending = grid_spec(4, 0.3, 0.9);
+  std::swap(descending.u_grid.front(), descending.u_grid.back());
+  EXPECT_THROW((void)run_usweep(base, descending), std::invalid_argument);
+
+  USweepSpec no_policies = grid_spec(4, 0.3, 0.9);
+  no_policies.policies.clear();
+  EXPECT_THROW((void)run_usweep(base, no_policies), std::invalid_argument);
+
+  EXPECT_THROW((void)run_usweep(TaskSet{}, grid_spec(4, 0.3, 0.9)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate a bench_runner result against the committed baseline.
+
+Usage: bench_check.py CURRENT.json BASELINE.json
+
+Checks, in order:
+  1. schema match;
+  2. deterministic sanity — warm-started sweeps must do strictly less
+     fixed-point work than cold ones, and (same-config runs only) the
+     simulator must process exactly the baseline's event count: a drift
+     means the simulation behaved differently, not just slower;
+  3. the headline acceptance: at least one in-binary speedup pair
+     (reference vs optimized analyze, cold vs warm sweep) must show >= 2x;
+  4. regression: no tracked speedup ratio may fall below half its baseline
+     value, and no throughput metric below half the baseline (the ">2x
+     regression fails" contract — ratios are machine-independent, the two
+     throughput floors are the coarse backstop).
+
+Exit code 0 = pass, 1 = fail (reasons on stderr).
+"""
+import json
+import sys
+
+SPEEDUP_PAIRS = [
+    ("core_np_dm_analyze_ns_ref", "core_np_dm_analyze_ns_opt", "NP-DM analyze"),
+    ("core_edf_analyze_ns_ref", "core_edf_analyze_ns_opt", "EDF analyze"),
+    ("usweep_fp_cold_ms", "usweep_fp_warm_ms", "FP u-grid sweep"),
+    ("usweep_fp_cold_iters", "usweep_fp_warm_iters", "FP u-grid iterations"),
+]
+THROUGHPUT_KEYS = ["engine_scenarios_per_sec", "sim_events_per_sec"]
+WARM_LESS_THAN_COLD = [
+    ("usweep_warm_fp_iters", "usweep_cold_fp_iters"),
+    ("usweep_warm_busy_iters", "usweep_cold_busy_iters"),
+    ("usweep_fp_warm_iters", "usweep_fp_cold_iters"),
+]
+
+
+def fail(msg):
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def speedup(data, hi_key, lo_key):
+    hi, lo = data.get(hi_key), data.get(lo_key)
+    if hi is None or lo is None or lo <= 0:
+        return None
+    return hi / lo
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        cur = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    rc = 0
+    if cur.get("schema") != base.get("schema"):
+        rc |= fail(f"schema mismatch: {cur.get('schema')} vs {base.get('schema')}")
+
+    for warm_key, cold_key in WARM_LESS_THAN_COLD:
+        warm, cold = cur.get(warm_key), cur.get(cold_key)
+        if warm is None or cold is None:
+            rc |= fail(f"missing iteration counters {warm_key}/{cold_key}")
+        elif warm >= cold:
+            rc |= fail(f"warm start did not help: {warm_key}={warm} >= {cold_key}={cold}")
+
+    same_config = cur.get("quick") == base.get("quick")
+    if same_config and "sim_events_per_run" in base:
+        if cur.get("sim_events_per_run") != base["sim_events_per_run"]:
+            rc |= fail(
+                "simulator event count drifted: "
+                f"{cur.get('sim_events_per_run')} != {base['sim_events_per_run']} "
+                "(behavioural change, not a perf regression)"
+            )
+
+    best = 0.0
+    for hi, lo, label in SPEEDUP_PAIRS:
+        cur_s = speedup(cur, hi, lo)
+        if cur_s is None:
+            rc |= fail(f"missing metric pair for {label}")
+            continue
+        best = max(best, cur_s)
+        base_s = speedup(base, hi, lo)
+        if base_s is not None and cur_s < base_s / 2.0:
+            rc |= fail(
+                f"{label} speedup regressed >2x: {cur_s:.2f}x now vs {base_s:.2f}x baseline"
+            )
+        base_txt = f"{base_s:.2f}x" if base_s is not None else "n/a"
+        print(f"bench_check: {label}: {cur_s:.2f}x (baseline {base_txt})")
+
+    if best < 2.0:
+        rc |= fail(f"no tracked kernel reached the 2x acceptance bar (best {best:.2f}x)")
+
+    for key in THROUGHPUT_KEYS:
+        cur_v, base_v = cur.get(key), base.get(key)
+        if cur_v is None or base_v is None:
+            rc |= fail(f"missing throughput metric {key}")
+        elif cur_v < base_v / 2.0:
+            rc |= fail(f"{key} regressed >2x: {cur_v:.0f} vs baseline {base_v:.0f}")
+        else:
+            print(f"bench_check: {key}: {cur_v:.0f} (baseline {base_v:.0f})")
+
+    if rc == 0:
+        print(f"bench_check: PASS (best in-binary speedup {best:.2f}x)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
