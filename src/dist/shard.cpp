@@ -95,33 +95,55 @@ constexpr const char* kMagic = "profisched-shard v1";
 
 /// Line-oriented reader over an artifact: each fetch pops one line, checks
 /// its leading keyword, and returns the remaining space-separated tokens.
+/// peek_keyword() looks at the next line's keyword without consuming it, so
+/// optional spec lines (split/skew) parse without a format version bump.
 class LineReader {
  public:
   explicit LineReader(const std::string& text) : is_(text) {}
 
-  std::vector<std::string> line(const char* keyword, std::size_t n_tokens) {
-    std::string l;
-    if (!std::getline(is_, l)) {
+  /// Keyword (first token) of the next line; "" at end of input.
+  std::string peek_keyword() {
+    if (!fetch()) return "";
+    const std::size_t space = pending_.find(' ');
+    return pending_.substr(0, space);
+  }
+
+  /// Pop the next line, expecting `keyword` and a token count in
+  /// [n_tokens, n_tokens_max] (n_tokens_max = 0 means exactly n_tokens;
+  /// SIZE_MAX would read as "unbounded" at the call sites).
+  std::vector<std::string> line(const char* keyword, std::size_t n_tokens,
+                                std::size_t n_tokens_max = 0) {
+    if (n_tokens_max == 0) n_tokens_max = n_tokens;
+    if (!fetch()) {
       throw std::invalid_argument(std::string("shard artifact: missing '") + keyword + "' line");
     }
-    std::vector<std::string> tokens = engine::detail::split(l, ' ');
-    if (tokens.empty() || tokens[0] != keyword || tokens.size() != n_tokens + 1) {
+    std::vector<std::string> tokens = engine::detail::split(pending_, ' ');
+    pending_valid_ = false;
+    if (tokens.empty() || tokens[0] != keyword || tokens.size() < n_tokens + 1 ||
+        tokens.size() > n_tokens_max + 1) {
       throw std::invalid_argument(std::string("shard artifact: malformed '") + keyword +
-                                  "' line: '" + l + "'");
+                                  "' line: '" + pending_ + "'");
     }
     tokens.erase(tokens.begin());
     return tokens;
   }
 
   void literal(const char* expected) {
-    std::string l;
-    if (!std::getline(is_, l) || l != expected) {
+    if (!fetch() || pending_ != expected) {
       throw std::invalid_argument(std::string("shard artifact: expected '") + expected + "'");
     }
+    pending_valid_ = false;
   }
 
  private:
+  bool fetch() {
+    if (!pending_valid_) pending_valid_ = static_cast<bool>(std::getline(is_, pending_));
+    return pending_valid_;
+  }
+
   std::istringstream is_;
+  std::string pending_;
+  bool pending_valid_ = false;
 };
 
 [[nodiscard]] std::uint64_t to_u64(const std::string& s) {
@@ -158,10 +180,22 @@ void append_spec(std::string& out, const ShardSpec& sh) {
          std::to_string(b.response_chars_min) + ' ' + std::to_string(b.response_chars_max) +
          ' ' + (b.low_priority_traffic ? '1' : '0') + ' ' + std::to_string(b.ttr) + ' ' +
          fmt_double_exact(b.total_u) + '\n';
+  // Asymmetric-split provenance, emitted only when active: a classic
+  // symmetric sweep's spec block stays byte-identical to the pre-multi-axis
+  // format (and merge's byte-compare keeps rejecting mixed-split shard sets).
+  if (!b.master_split.empty()) {
+    out += "split";
+    for (const double w : b.master_split) out += ' ' + fmt_double_exact(w);
+    out += '\n';
+  }
+  if (b.master_skew != 0.0) out += "skew " + fmt_double_exact(b.master_skew) + '\n';
   out += "points " + std::to_string(sw.points.size()) + '\n';
   for (const engine::SweepPoint& pt : sw.points) {
     out += "point " + fmt_double_exact(pt.total_u) + ' ' + fmt_double_exact(pt.beta_lo) + ' ' +
-           fmt_double_exact(pt.beta_hi) + '\n';
+           fmt_double_exact(pt.beta_hi);
+    // Ring-size axis override carried as an optional 4th token.
+    if (pt.n_masters != 0) out += ' ' + std::to_string(pt.n_masters);
+    out += '\n';
   }
   out += std::string("sim ") + cycle_kind_name(so.cycle_model.kind) + ' ' +
          fmt_double_exact(so.cycle_model.min_fraction) + ' ' +
@@ -205,12 +239,19 @@ void append_spec(std::string& out, const ShardSpec& sh) {
   b.ttr = to_ll(base[11]);
   b.total_u = to_double(base[12]);
 
+  if (r.peek_keyword() == "split") {
+    const std::vector<std::string> weights = r.line("split", 1, 4'096);
+    b.master_split.reserve(weights.size());
+    for (const std::string& w : weights) b.master_split.push_back(to_double(w));
+  }
+  if (r.peek_keyword() == "skew") b.master_skew = to_double(r.line("skew", 1)[0]);
+
   const std::size_t n_points = to_size(r.line("points", 1)[0]);
   sw.points.clear();
   for (std::size_t i = 0; i < n_points; ++i) {
-    const std::vector<std::string> pt = r.line("point", 3);
-    sw.points.push_back(
-        engine::SweepPoint{to_double(pt[0]), to_double(pt[1]), to_double(pt[2])});
+    const std::vector<std::string> pt = r.line("point", 3, 4);
+    sw.points.push_back(engine::SweepPoint{to_double(pt[0]), to_double(pt[1]), to_double(pt[2]),
+                                           pt.size() == 4 ? to_size(pt[3]) : 0});
   }
 
   const std::vector<std::string> so = r.line("sim", 10);

@@ -12,13 +12,31 @@ using detail::split;
 using detail::to_double;
 using detail::to_size;
 
+namespace {
+
+/// Masters-axis detection for the serialized layouts: any point with an
+/// explicit ring size switches every row to the extended column set (mixed
+/// rows would be unparseable).
+bool curves_have_masters(const std::vector<CurvePoint>& points) {
+  for (const CurvePoint& pt : points) {
+    if (pt.n_masters != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string SweepCurves::to_csv() const {
-  std::string out = "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio\n";
+  const bool masters = curves_have_masters(points);
+  std::string out = masters ? "u,beta_lo,beta_hi,masters,scenarios,policy,schedulable,ratio\n"
+                            : "u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio\n";
   for (const CurvePoint& pt : points) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
       out += fmt_double(pt.total_u) + ',' + fmt_double(pt.beta_lo) + ',' +
-             fmt_double(pt.beta_hi) + ',' + std::to_string(pt.scenarios) + ',' + policies[p] +
-             ',' + std::to_string(pt.schedulable[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
+             fmt_double(pt.beta_hi) + ',';
+      if (masters) out += std::to_string(pt.n_masters) + ',';
+      out += std::to_string(pt.scenarios) + ',' + policies[p] + ',' +
+             std::to_string(pt.schedulable[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
     }
   }
   return out;
@@ -28,9 +46,16 @@ SweepCurves SweepCurves::from_csv(const std::string& csv) {
   SweepCurves out;
   std::istringstream is(csv);
   std::string line;
-  if (!std::getline(is, line) || split(line, ',').size() != 7) {
+  if (!std::getline(is, line)) {
     throw std::invalid_argument("SweepCurves: missing/short CSV header");
   }
+  // The header's column count selects the layout: 7 = classic, 8 = extended
+  // with the masters axis column after beta_hi.
+  const std::size_t n_cols = split(line, ',').size();
+  if (n_cols != 7 && n_cols != 8) {
+    throw std::invalid_argument("SweepCurves: missing/short CSV header");
+  }
+  const bool masters = n_cols == 8;
   // Which policies the current (last) point already has a row for. A repeated
   // policy starts a new point even when the grid keys repeat — distinct grid
   // points may share (u, beta) values, so key equality alone cannot merge.
@@ -38,15 +63,17 @@ SweepCurves SweepCurves::from_csv(const std::string& csv) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> cells = split(line, ',');
-    if (cells.size() != 7) {
+    if (cells.size() != n_cols) {
       throw std::invalid_argument("SweepCurves: bad CSV row '" + line + "'");
     }
     const double u = to_double(cells[0]);
     const double blo = to_double(cells[1]);
     const double bhi = to_double(cells[2]);
-    const std::size_t scenarios = to_size(cells[3]);
-    const std::string& policy = cells[4];
-    const std::size_t sched = to_size(cells[5]);
+    const std::size_t nm = masters ? to_size(cells[3]) : 0;
+    const std::size_t base = masters ? 4 : 3;
+    const std::size_t scenarios = to_size(cells[base]);
+    const std::string& policy = cells[base + 1];
+    const std::size_t sched = to_size(cells[base + 2]);
 
     std::size_t p = 0;
     while (p < out.policies.size() && out.policies[p] != policy) ++p;
@@ -54,9 +81,10 @@ SweepCurves SweepCurves::from_csv(const std::string& csv) {
 
     const bool same_key = !out.points.empty() && out.points.back().total_u == u &&
                           out.points.back().beta_lo == blo &&
-                          out.points.back().beta_hi == bhi;
+                          out.points.back().beta_hi == bhi &&
+                          out.points.back().n_masters == nm;
     if (!same_key || (p < filled.size() && filled[p])) {
-      out.points.push_back(CurvePoint{u, blo, bhi, scenarios, {}});
+      out.points.push_back(CurvePoint{u, blo, bhi, nm, scenarios, {}});
       filled.assign(out.policies.size(), false);
     }
     CurvePoint& pt = out.points.back();
@@ -70,6 +98,7 @@ SweepCurves SweepCurves::from_csv(const std::string& csv) {
 }
 
 std::string SweepCurves::to_json() const {
+  const bool masters = curves_have_masters(points);
   std::string out = "{\n  \"policies\": [";
   for (std::size_t p = 0; p < policies.size(); ++p) {
     out += (p == 0 ? "" : ", ");
@@ -79,8 +108,9 @@ std::string SweepCurves::to_json() const {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const CurvePoint& pt = points[i];
     out += "    {\"u\": " + fmt_double(pt.total_u) + ", \"beta_lo\": " + fmt_double(pt.beta_lo) +
-           ", \"beta_hi\": " + fmt_double(pt.beta_hi) +
-           ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"schedulable\": {";
+           ", \"beta_hi\": " + fmt_double(pt.beta_hi);
+    if (masters) out += ", \"masters\": " + std::to_string(pt.n_masters);
+    out += ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"schedulable\": {";
     for (std::size_t p = 0; p < policies.size(); ++p) {
       out += (p == 0 ? "" : ", ");
       out += '"' + policies[p] + "\": " + std::to_string(pt.schedulable[p]);
@@ -122,6 +152,10 @@ SweepCurves SweepCurves::from_json(const std::string& json) {
       c.key("beta_hi");
       pt.beta_hi = c.number();
       c.expect(',');
+      if (c.try_key("masters")) {
+        pt.n_masters = static_cast<std::size_t>(c.number());
+        c.expect(',');
+      }
       c.key("scenarios");
       pt.scenarios = static_cast<std::size_t>(c.number());
       c.expect(',');
@@ -184,6 +218,7 @@ SweepCurves aggregate(const SweepSpec& spec, const SweepResult& result) {
     out.points[i].total_u = spec.points[i].total_u;
     out.points[i].beta_lo = spec.points[i].beta_lo;
     out.points[i].beta_hi = spec.points[i].beta_hi;
+    out.points[i].n_masters = spec.points[i].n_masters;
     out.points[i].schedulable.assign(spec.policies.size(), 0);
   }
   for (const ScenarioOutcome& o : result.outcomes) {

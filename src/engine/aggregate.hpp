@@ -17,6 +17,11 @@ struct CurvePoint {
   double total_u = 0.0;
   double beta_lo = 1.0;
   double beta_hi = 1.0;
+  /// Ring-size axis value (SweepPoint::n_masters); 0 = no masters axis. When
+  /// any point carries a non-zero value the serialized formats add their
+  /// `masters` column — otherwise they stay byte-identical to the classic
+  /// single-structure layout.
+  std::size_t n_masters = 0;
   std::size_t scenarios = 0;
   std::vector<std::size_t> schedulable;  ///< indexed like SweepCurves::policies
 
@@ -35,13 +40,18 @@ struct SweepCurves {
 
   /// CSV: one row per (point, policy):
   ///   u,beta_lo,beta_hi,scenarios,policy,schedulable,ratio
+  /// With a masters axis (any point's n_masters != 0) a `masters` column is
+  /// inserted after beta_hi; without one the classic 7-column layout is
+  /// emitted unchanged.
   [[nodiscard]] std::string to_csv() const;
 
   /// JSON object {"policies": [...], "points": [{..., "schedulable": {...}}]}.
+  /// Points gain a "masters" key exactly when the CSV gains its column.
   [[nodiscard]] std::string to_json() const;
 
-  /// Parse what to_csv emitted. Throws std::invalid_argument on malformed
-  /// input. The derived `ratio` column is ignored (recomputed on demand).
+  /// Parse what to_csv emitted — either layout, keyed on the header's column
+  /// count. Throws std::invalid_argument on malformed input. The derived
+  /// `ratio` column is ignored (recomputed on demand).
   [[nodiscard]] static SweepCurves from_csv(const std::string& csv);
 
   /// Parse what to_json emitted (a minimal reader for exactly that shape —

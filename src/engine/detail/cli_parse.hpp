@@ -31,11 +31,31 @@ namespace profisched::engine {
 [[nodiscard]] bool parse_cli_u_grid(const std::string& s, double& u_lo, double& u_hi,
                                     std::size_t& u_steps);
 
-/// Expand a validated u-grid into sweep points. Rejects u_lo <= 0 (u = 0
-/// would silently flip a grid point to the legacy period-driven generator — a
-/// different workload distribution), HI < LO, and STEPS == 0.
-[[nodiscard]] bool expand_cli_u_grid(double u_lo, double u_hi, std::size_t u_steps,
-                                     double beta_lo, double beta_hi,
-                                     std::vector<SweepPoint>& points);
+/// The multi-axis grid flags of a sweep-style subcommand (sweep, simulate,
+/// shard), collected raw — an empty string means "flag absent". One struct so
+/// every subcommand validates and expands the u × beta × masters cross
+/// product identically (the shard/merge byte-identity depends on it).
+struct GridCliArgs {
+  std::string u;        ///< --u LO:HI:STEPS (default 0.1:0.9:9)
+  std::string beta;     ///< --beta LO:HI:STEPS — deadline-ratio axis, D = b·T
+  std::string beta_lo;  ///< --beta-lo X — constant spread (conflicts w/ --beta)
+  std::string beta_hi;  ///< --beta-hi X
+  std::string masters;  ///< --masters N[,N,...] — multi-valued = ring-size axis
+  std::string split;    ///< --split w1,...,wK — explicit per-master weights
+  std::string skew;     ///< --skew S — geometric per-master imbalance, S >= 0
+};
+
+/// Validate + expand the grid flags into sweep points (cross product, masters
+/// outermost, beta next, u innermost — so a u-only grid enumerates scenario
+/// ids exactly as the pre-multi-axis sweeps did) and apply the structural
+/// knobs (single --masters value, --split, --skew) to `base`. Returns false
+/// with a one-line diagnostic in `error` on any degenerate or inconsistent
+/// spec: inverted ranges (LO > HI), zero-length axes (STEPS == 0),
+/// non-positive u / beta lows (u = 0 would silently flip a grid point to the
+/// legacy period-driven generator — a different workload distribution),
+/// --split weight counts that do not match the master count, --split against
+/// a multi-valued --masters axis, and --split combined with --skew.
+[[nodiscard]] bool expand_cli_grid(const GridCliArgs& args, workload::NetworkParams& base,
+                                   std::vector<SweepPoint>& points, std::string& error);
 
 }  // namespace profisched::engine

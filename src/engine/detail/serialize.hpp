@@ -147,6 +147,22 @@ class JsonCursor {
     expect(':');
   }
 
+  /// Optional-key lookahead: consume `"name":` and return true when the next
+  /// key matches, otherwise restore the cursor and return false. Lets one
+  /// reader accept both the classic and the axis-extended grammars the
+  /// engine's multi-axis formats emit.
+  [[nodiscard]] bool try_key(const char* name) {
+    const std::size_t saved = pos_;
+    if (!peek('"')) return false;
+    const std::string k = string();
+    if (k != name || !peek(':')) {
+      pos_ = saved;
+      return false;
+    }
+    expect(':');
+    return true;
+  }
+
  private:
   void skip_ws() {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {

@@ -68,6 +68,17 @@ struct Scenario {
 /// cache folds Scenario::seed into its simulation-record keys on top of
 /// this digest. FNV-1a 64 over a length-prefixed canonical field walk,
 /// stable across hosts and builds.
+///
+/// Multi-axis sweeps (beta / ring-size axes, asymmetric per-master splits —
+/// PR 5) need no digest-version bump: every one of those knobs acts through
+/// the generated CONTENT (master count, stream periods/deadlines), which the
+/// field walk above already covers, and the analysis stays a pure function of
+/// that content. This is load-bearing for incremental re-sweeps: extending a
+/// grid with new beta values re-serves every previously computed scenario
+/// from the cache (tests/engine/test_multi_axis_sweep.cpp and the CI
+/// warm-cache step assert it). The committed golden-hash matrix
+/// (tests/engine/test_scenario_golden_hash.cpp) fails loudly if a generator
+/// or hash change ever perturbs these digests.
 [[nodiscard]] std::uint64_t canonical_hash(const Scenario& sc);
 
 }  // namespace profisched::engine

@@ -16,18 +16,34 @@ using detail::to_size;
 
 // ---------------------------------------------------------------- SimCurves
 
+namespace {
+
+bool sim_curves_have_masters(const std::vector<SimCurvePoint>& points) {
+  for (const SimCurvePoint& pt : points) {
+    if (pt.n_masters != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string SimCurves::to_csv() const {
+  const bool masters = sim_curves_have_masters(points);
   std::string out =
-      "u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,max_observed,"
-      "quantile_observed,ratio\n";
+      masters ? "u,beta_lo,beta_hi,masters,scenarios,policy,miss_free,total_misses,"
+                "total_dropped,max_observed,quantile_observed,ratio\n"
+              : "u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,"
+                "max_observed,quantile_observed,ratio\n";
   for (const SimCurvePoint& pt : points) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
       out += fmt_double(pt.total_u) + ',' + fmt_double(pt.beta_lo) + ',' +
-             fmt_double(pt.beta_hi) + ',' + std::to_string(pt.scenarios) + ',' + policies[p] +
-             ',' + std::to_string(pt.miss_free[p]) + ',' + std::to_string(pt.total_misses[p]) +
-             ',' + std::to_string(pt.total_dropped[p]) + ',' +
-             std::to_string(pt.max_observed[p]) + ',' +
-             std::to_string(pt.quantile_observed[p]) + ',' + fmt_double(pt.ratio(p)) + '\n';
+             fmt_double(pt.beta_hi) + ',';
+      if (masters) out += std::to_string(pt.n_masters) + ',';
+      out += std::to_string(pt.scenarios) + ',' + policies[p] + ',' +
+             std::to_string(pt.miss_free[p]) + ',' + std::to_string(pt.total_misses[p]) + ',' +
+             std::to_string(pt.total_dropped[p]) + ',' + std::to_string(pt.max_observed[p]) +
+             ',' + std::to_string(pt.quantile_observed[p]) + ',' + fmt_double(pt.ratio(p)) +
+             '\n';
     }
   }
   return out;
@@ -37,9 +53,15 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
   SimCurves out;
   std::istringstream is(csv);
   std::string line;
-  if (!std::getline(is, line) || split(line, ',').size() != 11) {
+  if (!std::getline(is, line)) {
     throw std::invalid_argument("SimCurves: missing/short CSV header");
   }
+  // 11 columns = classic layout, 12 = extended with the masters column.
+  const std::size_t n_cols = split(line, ',').size();
+  if (n_cols != 11 && n_cols != 12) {
+    throw std::invalid_argument("SimCurves: missing/short CSV header");
+  }
+  const bool masters = n_cols == 12;
   // Which policies the current (last) point already has a row for; a repeated
   // policy starts a new point even when grid keys repeat (distinct points may
   // share (u, beta) values).
@@ -47,23 +69,26 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> cells = split(line, ',');
-    if (cells.size() != 11) {
+    if (cells.size() != n_cols) {
       throw std::invalid_argument("SimCurves: bad CSV row '" + line + "'");
     }
     const double u = to_double(cells[0]);
     const double blo = to_double(cells[1]);
     const double bhi = to_double(cells[2]);
-    const std::size_t scenarios = to_size(cells[3]);
-    const std::string& policy = cells[4];
+    const std::size_t nm = masters ? to_size(cells[3]) : 0;
+    const std::size_t base = masters ? 4 : 3;
+    const std::size_t scenarios = to_size(cells[base]);
+    const std::string& policy = cells[base + 1];
 
     std::size_t p = 0;
     while (p < out.policies.size() && out.policies[p] != policy) ++p;
     if (p == out.policies.size()) out.policies.push_back(policy);
 
     const bool same_key = !out.points.empty() && out.points.back().total_u == u &&
-                          out.points.back().beta_lo == blo && out.points.back().beta_hi == bhi;
+                          out.points.back().beta_lo == blo &&
+                          out.points.back().beta_hi == bhi && out.points.back().n_masters == nm;
     if (!same_key || (p < filled.size() && filled[p])) {
-      out.points.push_back(SimCurvePoint{u, blo, bhi, scenarios, {}, {}, {}, {}, {}});
+      out.points.push_back(SimCurvePoint{u, blo, bhi, nm, scenarios, {}, {}, {}, {}, {}});
       filled.assign(out.policies.size(), false);
     }
     SimCurvePoint& pt = out.points.back();
@@ -73,11 +98,11 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
     pt.max_observed.resize(out.policies.size(), 0);
     pt.quantile_observed.resize(out.policies.size(), 0);
     filled.resize(out.policies.size(), false);
-    pt.miss_free[p] = to_size(cells[5]);
-    pt.total_misses[p] = static_cast<std::uint64_t>(to_ll(cells[6]));
-    pt.total_dropped[p] = static_cast<std::uint64_t>(to_ll(cells[7]));
-    pt.max_observed[p] = to_ll(cells[8]);
-    pt.quantile_observed[p] = to_ll(cells[9]);
+    pt.miss_free[p] = to_size(cells[base + 2]);
+    pt.total_misses[p] = static_cast<std::uint64_t>(to_ll(cells[base + 3]));
+    pt.total_dropped[p] = static_cast<std::uint64_t>(to_ll(cells[base + 4]));
+    pt.max_observed[p] = to_ll(cells[base + 5]);
+    pt.quantile_observed[p] = to_ll(cells[base + 6]);
     filled[p] = true;
   }
   for (SimCurvePoint& pt : out.points) {
@@ -91,6 +116,7 @@ SimCurves SimCurves::from_csv(const std::string& csv) {
 }
 
 std::string SimCurves::to_json() const {
+  const bool masters = sim_curves_have_masters(points);
   std::string out = "{\n  \"policies\": [";
   for (std::size_t p = 0; p < policies.size(); ++p) {
     out += (p == 0 ? "" : ", ");
@@ -100,8 +126,9 @@ std::string SimCurves::to_json() const {
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SimCurvePoint& pt = points[i];
     out += "    {\"u\": " + fmt_double(pt.total_u) + ", \"beta_lo\": " + fmt_double(pt.beta_lo) +
-           ", \"beta_hi\": " + fmt_double(pt.beta_hi) +
-           ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"series\": {";
+           ", \"beta_hi\": " + fmt_double(pt.beta_hi);
+    if (masters) out += ", \"masters\": " + std::to_string(pt.n_masters);
+    out += ", \"scenarios\": " + std::to_string(pt.scenarios) + ", \"series\": {";
     for (std::size_t p = 0; p < policies.size(); ++p) {
       out += (p == 0 ? "" : ", ");
       out += '"' + policies[p] + "\": [" + std::to_string(pt.miss_free[p]) + ", " +
@@ -146,6 +173,10 @@ SimCurves SimCurves::from_json(const std::string& json) {
       c.key("beta_hi");
       pt.beta_hi = c.number();
       c.expect(',');
+      if (c.try_key("masters")) {
+        pt.n_masters = static_cast<std::size_t>(c.number());
+        c.expect(',');
+      }
       c.key("scenarios");
       pt.scenarios = static_cast<std::size_t>(c.number());
       c.expect(',');
@@ -207,6 +238,7 @@ SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) 
     out.points[i].total_u = spec.sweep.points[i].total_u;
     out.points[i].beta_lo = spec.sweep.points[i].beta_lo;
     out.points[i].beta_hi = spec.sweep.points[i].beta_hi;
+    out.points[i].n_masters = spec.sweep.points[i].n_masters;
     out.points[i].miss_free.assign(spec.sweep.policies.size(), 0);
     out.points[i].total_misses.assign(spec.sweep.policies.size(), 0);
     out.points[i].total_dropped.assign(spec.sweep.policies.size(), 0);
@@ -233,11 +265,20 @@ SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) 
 
 std::string ConsistencyTable::to_csv() const {
   std::string out =
-      "id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,observed_p99,"
-      "misses,completed,dropped,bound_violations,accept_but_miss,pessimism\n";
+      multi_axis
+          ? "id,seed,u,beta_lo,beta_hi,masters,policy,analytic_schedulable,analytic_wcrt,"
+            "observed_max,observed_p99,misses,completed,dropped,bound_violations,"
+            "accept_but_miss,pessimism\n"
+          : "id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,observed_p99,"
+            "misses,completed,dropped,bound_violations,accept_but_miss,pessimism\n";
   for (const ConsistencyRow& r : rows) {
     out += std::to_string(r.id) + ',' + std::to_string(r.seed) + ',' + fmt_double(r.total_u) +
-           ',' + r.policy + ',' + (r.analytic_schedulable ? '1' : '0') + ',' +
+           ',';
+    if (multi_axis) {
+      out += fmt_double(r.beta_lo) + ',' + fmt_double(r.beta_hi) + ',' +
+             std::to_string(r.n_masters) + ',';
+    }
+    out += r.policy + ',' + (r.analytic_schedulable ? '1' : '0') + ',' +
            std::to_string(r.analytic_wcrt) + ',' + std::to_string(r.observed_max) + ',' +
            std::to_string(r.observed_p99) + ',' + std::to_string(r.misses) + ',' +
            std::to_string(r.completed) + ',' + std::to_string(r.dropped) + ',' +
@@ -251,41 +292,64 @@ ConsistencyTable ConsistencyTable::from_csv(const std::string& csv) {
   ConsistencyTable out;
   std::istringstream is(csv);
   std::string line;
-  if (!std::getline(is, line) || split(line, ',').size() != 14) {
+  if (!std::getline(is, line)) {
     throw std::invalid_argument("ConsistencyTable: missing/short CSV header");
   }
+  // 14 columns = classic layout, 17 = extended with beta_lo/beta_hi/masters.
+  const std::size_t n_cols = split(line, ',').size();
+  if (n_cols != 14 && n_cols != 17) {
+    throw std::invalid_argument("ConsistencyTable: missing/short CSV header");
+  }
+  out.multi_axis = n_cols == 17;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> cells = split(line, ',');
-    if (cells.size() != 14) {
+    if (cells.size() != n_cols) {
       throw std::invalid_argument("ConsistencyTable: bad CSV row '" + line + "'");
     }
     ConsistencyRow r;
     r.id = static_cast<std::uint64_t>(to_ll(cells[0]));
     r.seed = static_cast<std::uint64_t>(to_size(cells[1]));
     r.total_u = to_double(cells[2]);
-    r.policy = cells[3];
-    r.analytic_schedulable = cells[4] == "1";
-    r.analytic_wcrt = to_ll(cells[5]);
-    r.observed_max = to_ll(cells[6]);
-    r.observed_p99 = to_ll(cells[7]);
-    r.misses = static_cast<std::uint64_t>(to_ll(cells[8]));
-    r.completed = static_cast<std::uint64_t>(to_ll(cells[9]));
-    r.dropped = static_cast<std::uint64_t>(to_ll(cells[10]));
-    r.bound_violations = static_cast<std::uint64_t>(to_ll(cells[11]));
-    r.accept_but_miss = cells[12] == "1";
-    // cells[13] (pessimism) is derived; recomputed on demand.
+    std::size_t c = 3;
+    if (out.multi_axis) {
+      r.beta_lo = to_double(cells[3]);
+      r.beta_hi = to_double(cells[4]);
+      r.n_masters = to_size(cells[5]);
+      c = 6;
+    }
+    r.policy = cells[c + 0];
+    r.analytic_schedulable = cells[c + 1] == "1";
+    r.analytic_wcrt = to_ll(cells[c + 2]);
+    r.observed_max = to_ll(cells[c + 3]);
+    r.observed_p99 = to_ll(cells[c + 4]);
+    r.misses = static_cast<std::uint64_t>(to_ll(cells[c + 5]));
+    r.completed = static_cast<std::uint64_t>(to_ll(cells[c + 6]));
+    r.dropped = static_cast<std::uint64_t>(to_ll(cells[c + 7]));
+    r.bound_violations = static_cast<std::uint64_t>(to_ll(cells[c + 8]));
+    r.accept_but_miss = cells[c + 9] == "1";
+    // The trailing pessimism column is derived; recomputed on demand.
     out.rows.push_back(std::move(r));
   }
   return out;
 }
 
 std::string ConsistencyTable::to_json() const {
-  std::string out = "{\n  \"rows\": [\n";
+  // The multi-axis flag must survive JSON round-trips even with zero rows
+  // (the per-row axis keys cannot carry it then), so extended tables lead
+  // with an explicit marker. Classic tables keep the historical grammar.
+  std::string out = multi_axis ? "{\n  \"multi_axis\": true,\n  \"rows\": [\n"
+                               : "{\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ConsistencyRow& r = rows[i];
     out += "    {\"id\": " + std::to_string(r.id) + ", \"seed\": " + std::to_string(r.seed) +
-           ", \"u\": " + fmt_double(r.total_u) + ", \"policy\": \"" + r.policy +
+           ", \"u\": " + fmt_double(r.total_u);
+    if (multi_axis) {
+      out += ", \"beta_lo\": " + fmt_double(r.beta_lo) +
+             ", \"beta_hi\": " + fmt_double(r.beta_hi) +
+             ", \"masters\": " + std::to_string(r.n_masters);
+    }
+    out += ", \"policy\": \"" + r.policy +
            "\", \"analytic_schedulable\": " + (r.analytic_schedulable ? "true" : "false") +
            ", \"analytic_wcrt\": " + std::to_string(r.analytic_wcrt) +
            ", \"observed_max\": " + std::to_string(r.observed_max) +
@@ -326,6 +390,10 @@ ConsistencyTable ConsistencyTable::from_json(const std::string& json) {
   ConsistencyTable out;
   JsonCursor c(json);
   c.expect('{');
+  if (c.try_key("multi_axis")) {
+    out.multi_axis = parse_bool_token(c);
+    c.expect(',');
+  }
   c.key("rows");
   c.expect('[');
   if (!c.peek(']')) {
@@ -341,6 +409,17 @@ ConsistencyTable ConsistencyTable::from_json(const std::string& json) {
       c.key("u");
       r.total_u = c.number();
       c.expect(',');
+      if (c.try_key("beta_lo")) {
+        out.multi_axis = true;
+        r.beta_lo = c.number();
+        c.expect(',');
+        c.key("beta_hi");
+        r.beta_hi = c.number();
+        c.expect(',');
+        c.key("masters");
+        r.n_masters = static_cast<std::size_t>(c.number());
+        c.expect(',');
+      }
       c.key("policy");
       r.policy = c.string();
       c.expect(',');
@@ -395,13 +474,21 @@ std::uint64_t ConsistencyTable::total_bound_violations() const noexcept {
 
 ConsistencyTable consistency_table(const SimSweepSpec& spec, const CombinedResult& result) {
   ConsistencyTable out;
+  out.multi_axis = has_multi_axis(spec.sweep.points);
   out.rows.reserve(result.outcomes.size() * spec.sweep.policies.size());
   for (const CombinedOutcome& o : result.outcomes) {
     for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
       ConsistencyRow r;
       r.id = o.sim.id;
       r.seed = o.sim.seed;
-      r.total_u = spec.sweep.points[o.sim.point].total_u;
+      const SweepPoint& pt = spec.sweep.points[o.sim.point];
+      r.total_u = pt.total_u;
+      r.beta_lo = pt.beta_lo;
+      r.beta_hi = pt.beta_hi;
+      // Effective ring size, not the 0 sentinel: a beta-axis-only sweep still
+      // switches to the extended columns, and its rows must attribute
+      // themselves to the masters count the networks were generated with.
+      r.n_masters = pt.n_masters != 0 ? pt.n_masters : spec.sweep.base.n_masters;
       r.policy = std::string(to_string(spec.sweep.policies[p]));
       r.analytic_schedulable = o.analytic_schedulable[p];
       r.analytic_wcrt = o.analytic_wcrt[p];

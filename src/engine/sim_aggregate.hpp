@@ -20,6 +20,10 @@ struct SimCurvePoint {
   double total_u = 0.0;
   double beta_lo = 1.0;
   double beta_hi = 1.0;
+  /// Ring-size axis value (SweepPoint::n_masters); 0 = no masters axis. Any
+  /// non-zero value switches the serialized formats to their extended
+  /// `masters` column, exactly like SweepCurves.
+  std::size_t n_masters = 0;
   std::size_t scenarios = 0;
   std::vector<std::size_t> miss_free;        ///< indexed like SimCurves::policies
   std::vector<std::uint64_t> total_misses;
@@ -46,10 +50,14 @@ struct SimCurves {
   /// CSV: one row per (point, policy):
   ///   u,beta_lo,beta_hi,scenarios,policy,miss_free,total_misses,total_dropped,
   ///   max_observed,quantile_observed,ratio
+  /// With a masters axis a `masters` column is inserted after beta_hi;
+  /// without one the classic 11-column layout is emitted unchanged.
   [[nodiscard]] std::string to_csv() const;
-  /// JSON {"policies": [...], "points": [{...}]} mirroring the CSV columns.
+  /// JSON {"policies": [...], "points": [{...}]} mirroring the CSV columns
+  /// (a "masters" key appears exactly when the CSV gains its column).
   [[nodiscard]] std::string to_json() const;
-  /// Parse what to_csv emitted (the derived ratio column is recomputed).
+  /// Parse what to_csv emitted, either layout (the derived ratio column is
+  /// recomputed).
   [[nodiscard]] static SimCurves from_csv(const std::string& csv);
   /// Parse what to_json emitted. Throws std::invalid_argument on mismatch.
   [[nodiscard]] static SimCurves from_json(const std::string& json);
@@ -65,6 +73,12 @@ struct ConsistencyRow {
   std::uint64_t id = 0;
   std::uint64_t seed = 0;
   double total_u = 0.0;
+  /// Grid-point provenance beyond u. Always filled by consistency_table();
+  /// serialized only when the table's sweep was multi-axis (see
+  /// ConsistencyTable::multi_axis).
+  double beta_lo = 1.0;
+  double beta_hi = 1.0;
+  std::size_t n_masters = 0;  ///< 0 = no masters axis
   std::string policy;
   bool analytic_schedulable = false;
   Ticks analytic_wcrt = 0;  ///< kNoBound when some stream's iteration diverged
@@ -87,14 +101,22 @@ struct ConsistencyRow {
 /// The full joined table plus its serializations.
 struct ConsistencyTable {
   std::vector<ConsistencyRow> rows;
+  /// True when the producing sweep spanned more than the classic u-grid
+  /// (beta axis or masters axis — engine::has_multi_axis). Switches the
+  /// serialized formats to the extended beta_lo/beta_hi/masters columns;
+  /// false keeps the historical layouts byte-identical. Round-trips through
+  /// from_csv/from_json (keyed on the header / point grammar).
+  bool multi_axis = false;
 
   /// CSV: one row per (scenario, policy):
   ///   id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,
   ///   observed_p99,misses,completed,dropped,bound_violations,accept_but_miss,
   ///   pessimism
+  /// Multi-axis tables insert beta_lo,beta_hi,masters after u.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
-  /// Parse what to_csv emitted (the derived pessimism column is recomputed).
+  /// Parse what to_csv emitted, either layout (the derived pessimism column
+  /// is recomputed).
   [[nodiscard]] static ConsistencyTable from_csv(const std::string& csv);
   [[nodiscard]] static ConsistencyTable from_json(const std::string& json);
 

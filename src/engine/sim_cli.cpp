@@ -10,9 +10,7 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
   cli.spec.sweep.base.ttr = 3'000;
   cli.spec.sweep.scenarios_per_point = 100;
   cli.spec.sweep.policies = {Policy::Fcfs, Policy::Dm, Policy::Edf};
-  double u_lo = 0.1, u_hi = 0.9;
-  std::size_t u_steps = 9;
-  double beta_lo = 0.5, beta_hi = 1.0;
+  GridCliArgs grid;
 
   const auto fail = [&](const std::string& msg) {
     error = msg;
@@ -39,27 +37,37 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
         return fail("--reps needs an integer in [1, 10000]");
       }
     } else if (arg == "--masters") {
-      if (!next(v) || !parse_cli_count(v, cli.spec.sweep.base.n_masters, 4'096) ||
-          cli.spec.sweep.base.n_masters == 0) {
-        return fail("--masters needs an integer in [1, 4096]");
+      if (!next(v) || v.empty()) {
+        return fail("--masters needs a comma list of integers in [1, 4096]");
       }
+      grid.masters = v;
+    } else if (arg == "--split") {
+      if (!next(v) || v.empty()) return fail("--split needs a comma list of weights");
+      grid.split = v;
+    } else if (arg == "--skew") {
+      if (!next(v) || v.empty()) return fail("--skew needs a number >= 0");
+      grid.skew = v;
     } else if (arg == "--streams") {
       if (!next(v) || !parse_cli_count(v, cli.spec.sweep.base.streams_per_master, 4'096) ||
           cli.spec.sweep.base.streams_per_master == 0) {
         return fail("--streams needs an integer in [1, 4096]");
       }
     } else if (arg == "--u") {
-      if (!next(v) || !parse_cli_u_grid(v, u_lo, u_hi, u_steps)) {
+      if (!next(v) || v.empty()) {
         return fail("--u needs LO:HI:STEPS with numeric LO/HI and integer STEPS");
       }
+      grid.u = v;
+    } else if (arg == "--beta") {
+      if (!next(v) || v.empty()) {
+        return fail("--beta needs LO:HI:STEPS with numeric LO/HI and integer STEPS");
+      }
+      grid.beta = v;
     } else if (arg == "--beta-lo") {
-      if (!next(v) || !parse_cli_nonneg_double(v, beta_lo)) {
-        return fail("--beta-lo needs a number >= 0");
-      }
+      if (!next(v) || v.empty()) return fail("--beta-lo needs a number >= 0");
+      grid.beta_lo = v;
     } else if (arg == "--beta-hi") {
-      if (!next(v) || !parse_cli_nonneg_double(v, beta_hi)) {
-        return fail("--beta-hi needs a number >= 0");
-      }
+      if (!next(v) || v.empty()) return fail("--beta-hi needs a number >= 0");
+      grid.beta_hi = v;
     } else if (arg == "--policies") {
       if (!next(v) || !parse_cli_policies(v, simulable_only, cli.spec.sweep.policies)) {
         return fail(simulable_only
@@ -126,12 +134,12 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
     }
   }
 
-  if (!expand_cli_u_grid(u_lo, u_hi, u_steps, beta_lo, beta_hi, cli.spec.sweep.points)) {
-    return fail("--u grid must satisfy 0 < LO <= HI with STEPS >= 1");
+  if (!expand_cli_grid(grid, cli.spec.sweep.base, cli.spec.sweep.points, error)) {
+    return false;
   }
   if (cli.spec.sweep.total_scenarios() > 100'000'000) {
     return fail("sweep too large (" + std::to_string(cli.spec.sweep.total_scenarios()) +
-                " scenarios); shrink --u STEPS or --scenarios");
+                " scenarios); shrink the grid axes or --scenarios");
   }
   out = std::move(cli);
   error.clear();

@@ -26,11 +26,15 @@ struct SimSweepCli {
 /// Parse the flags after `profisched simulate` into `out`. Returns true on
 /// success; on failure returns false with a one-line diagnostic in `error`
 /// (never throws). Accepted flags:
-///   --scenarios N  --reps N  --masters N  --streams N
-///   --u LO:HI:STEPS  --beta-lo X  --beta-hi X
+///   --scenarios N  --reps N  --masters N[,N,...]  --streams N
+///   --u LO:HI:STEPS  --beta LO:HI:STEPS  --beta-lo X  --beta-hi X
+///   --split w1,...,wK  --skew S
 ///   --policies fcfs,dm,edf  --threads N  --seed N  --ttr TICKS
 ///   --horizon TICKS  --cycles X  --model worst|uniform|frame
 ///   --quantile Q  --lp  --combined  --csv FILE  --json FILE  --cache DIR
+/// Grid validation and the u × beta × masters cross-product expansion are
+/// shared with every other sweep-style subcommand via
+/// engine/detail/cli_parse.hpp (expand_cli_grid).
 /// `simulable_only` keeps --policies restricted to the AP-queue policies the
 /// simulator implements (the simulate subcommand's rule); `profisched shard
 /// --mode sweep` relaxes it to the full analysis-policy table.

@@ -13,6 +13,16 @@
 
 namespace profisched::engine {
 
+bool has_multi_axis(const std::vector<SweepPoint>& points) {
+  for (const SweepPoint& pt : points) {
+    if (pt.n_masters != 0) return true;
+    if (pt.beta_lo != points.front().beta_lo || pt.beta_hi != points.front().beta_hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
 SweepRunner::SweepRunner(unsigned threads)
     : pool_(threads == 0 ? ThreadPool::default_threads() : threads) {}
 
@@ -39,6 +49,7 @@ Scenario SweepRunner::make_scenario(const SweepSpec& spec, std::uint64_t id) {
   params.total_u = pt.total_u;
   params.deadline_lo = pt.beta_lo;
   params.deadline_hi = pt.beta_hi;
+  if (pt.n_masters != 0) params.n_masters = pt.n_masters;
 
   Scenario sc;
   sc.id = id;

@@ -59,16 +59,29 @@ class ScenarioCache {
   virtual void store(const CacheKey& key, const std::string& payload) = 0;
 };
 
-/// One grid point of a sweep.
+/// One grid point of a sweep: one coordinate of the u × beta × masters cross
+/// product. A sweep whose points all leave n_masters at 0 is a classic
+/// single-structure grid (u and/or beta only) — exactly the pre-multi-axis
+/// shape, which the serialized formats keep emitting unchanged.
 struct SweepPoint {
   double total_u = 0.0;  ///< UUniFast target utilization (0 = period-driven)
   double beta_lo = 1.0;  ///< deadlines drawn in [beta_lo·T, beta_hi·T]
   double beta_hi = 1.0;
+  /// Ring-size axis: masters this point's networks are generated with.
+  /// 0 = inherit SweepSpec::base.n_masters (no masters axis).
+  std::size_t n_masters = 0;
 };
 
+/// True when `points` spans more than the classic u-grid: any explicit
+/// per-point ring size, or a deadline-ratio (beta) spread that varies across
+/// points. The serialized result formats switch to their extended axis
+/// columns exactly when this holds, so single-axis sweeps stay byte-identical
+/// to the historical goldens.
+[[nodiscard]] bool has_multi_axis(const std::vector<SweepPoint>& points);
+
 /// Everything that defines a sweep. `base` supplies the structural knobs
-/// (masters, streams, frame sizes, T_TR mode); each point overrides the
-/// utilization / deadline-spread axes.
+/// (masters, streams, frame sizes, T_TR mode, per-master load split); each
+/// point overrides the utilization / deadline-spread / ring-size axes.
 struct SweepSpec {
   workload::NetworkParams base;
   std::vector<SweepPoint> points;

@@ -9,6 +9,70 @@
 
 namespace profisched::workload {
 
+std::vector<double> master_utilization_targets(const NetworkParams& p) {
+  if (!p.master_split.empty() && p.master_skew != 0.0) {
+    throw std::invalid_argument(
+        "master_utilization_targets: master_split and master_skew are mutually exclusive");
+  }
+  if (p.master_skew < 0.0 || !std::isfinite(p.master_skew)) {
+    throw std::invalid_argument("master_utilization_targets: master_skew must be >= 0");
+  }
+  const bool asymmetric = !p.master_split.empty() || p.master_skew > 0.0;
+  if (asymmetric && p.total_u <= 0.0) {
+    throw std::invalid_argument(
+        "master_utilization_targets: master_split/master_skew require total_u > 0 "
+        "(utilization-driven generation)");
+  }
+  if (!asymmetric) {
+    // Symmetric legacy semantics: every master's queue independently carries
+    // total_u — NOT a network-wide budget. Keeping this exact (the repeated
+    // value is p.total_u itself) is what keeps pre-existing sweeps
+    // bit-identical.
+    return std::vector<double>(p.n_masters, p.total_u);
+  }
+  std::vector<double> weights;
+  if (!p.master_split.empty()) {
+    if (p.master_split.size() != p.n_masters) {
+      throw std::invalid_argument("master_utilization_targets: master_split carries " +
+                                  std::to_string(p.master_split.size()) + " weights for " +
+                                  std::to_string(p.n_masters) + " masters");
+    }
+    for (const double w : p.master_split) {
+      if (!std::isfinite(w) || w <= 0.0) {
+        throw std::invalid_argument(
+            "master_utilization_targets: split weights must be finite and > 0");
+      }
+    }
+    weights = p.master_split;
+  } else {
+    weights.resize(p.n_masters);
+    for (std::size_t k = 0; k < p.n_masters; ++k) {
+      weights[k] = std::pow(1.0 + p.master_skew, static_cast<double>(p.n_masters - 1 - k));
+      // (1+skew)^(K-1) overflows to inf (or underflows to 0) for reachable
+      // inputs — e.g. 4096 masters at skew 1. inf/inf would turn every
+      // target into NaN and flow silently into generated workloads; honour
+      // the contract and throw instead.
+      if (!std::isfinite(weights[k]) || weights[k] <= 0.0) {
+        throw std::invalid_argument(
+            "master_utilization_targets: master_skew produces non-finite or zero weights "
+            "for this many masters; reduce master_skew or n_masters");
+      }
+    }
+  }
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  if (!std::isfinite(sum)) {
+    throw std::invalid_argument(
+        "master_utilization_targets: per-master weights overflow; reduce master_skew, "
+        "the weight magnitudes, or n_masters");
+  }
+  std::vector<double> targets(p.n_masters);
+  for (std::size_t k = 0; k < p.n_masters; ++k) {
+    targets[k] = p.total_u * (weights[k] / sum);
+  }
+  return targets;
+}
+
 Ticks log_uniform(Ticks lo, Ticks hi, sim::Rng& rng) {
   if (lo >= hi) return lo;
   const double llo = std::log(static_cast<double>(lo));
@@ -109,11 +173,14 @@ void fill_utilization_driven(const NetworkParams& p, GeneratedNetwork& out, sim:
     out.net.masters.push_back(std::move(master));
   }
   // Pass 2 — timing: every cycle length is now known, so eq. 14 gives
-  // T_cycle, and the per-master utilization shares give the periods.
+  // T_cycle, and the per-master utilization shares give the periods. In the
+  // symmetric mode every target equals p.total_u, so the RNG draw sequence is
+  // bit-identical to the pre-split generator.
+  const std::vector<double> targets = master_utilization_targets(p);
   out.net.ttr = p.ttr;
   const Ticks tcycle = profibus::t_cycle(out.net);
   for (std::size_t k = 0; k < p.n_masters; ++k) {
-    const std::vector<double> u = uunifast(p.streams_per_master, p.total_u, rng);
+    const std::vector<double> u = uunifast(p.streams_per_master, targets[k], rng);
     for (std::size_t i = 0; i < p.streams_per_master; ++i) {
       profibus::MessageStream& s = out.net.masters[k].high_streams[i];
       const double ui = std::max(u[i], 1e-9);
@@ -136,6 +203,12 @@ GeneratedNetwork random_network(const NetworkParams& p, sim::Rng& rng) {
   if (p.total_u > 0) {
     fill_utilization_driven(p, out, rng);
   } else {
+    if (!p.master_split.empty() || p.master_skew != 0.0) {
+      // Silently ignoring a split in period-driven mode would make the flag a
+      // no-op — the kind of workload drift this layer exists to reject.
+      throw std::invalid_argument(
+          "random_network: master_split/master_skew require total_u > 0");
+    }
     fill_period_driven(p, out, rng);
   }
 

@@ -52,11 +52,33 @@ struct NetworkParams {
   double total_u = 0.0;  ///< > 0: UUniFast-driven generation. Each master's
                          ///  token-service utilizations u_i (= T_cycle/T_i,
                          ///  the load one request per token visit puts on the
-                         ///  queue) are drawn summing to total_u, and periods
+                         ///  queue) are drawn summing to that master's target
+                         ///  (master_utilization_targets), and periods
                          ///  derived as T_i = T_cycle/u_i; t_min/t_max are
                          ///  ignored. Requires an explicit ttr (> 0). 0 keeps
                          ///  the legacy log-uniform period draw.
+  /// Explicit per-master load weights (asymmetric split). Empty = symmetric
+  /// mode: every master is independently loaded to total_u (the legacy
+  /// semantics every pre-existing sweep used). Non-empty: total_u becomes a
+  /// NETWORK-wide budget split as u_k = total_u * w_k / Σw, so the per-master
+  /// targets sum to total_u exactly. Requires size() == n_masters, every
+  /// weight finite and > 0, total_u > 0, and master_skew == 0.
+  std::vector<double> master_split;
+  /// Geometric skew (>= 0). 0 = off. When > 0, masters get weights
+  /// w_k = (1+skew)^(n_masters-1-k): consecutive masters' targets differ by
+  /// exactly (1+skew), master 0 is the hottest, and — like master_split —
+  /// the per-master targets sum to total_u. Mutually exclusive with
+  /// master_split; requires total_u > 0.
+  double master_skew = 0.0;
 };
+
+/// The per-master UUniFast targets `random_network` distributes within each
+/// master (deterministic, no RNG): symmetric legacy mode repeats total_u
+/// n_masters times; the split/skew modes divide total_u as documented on
+/// NetworkParams. Throws std::invalid_argument on every invalid combination
+/// (split size mismatch, non-positive/non-finite weights, negative skew,
+/// split together with skew, split/skew without total_u > 0).
+[[nodiscard]] std::vector<double> master_utilization_targets(const NetworkParams& p);
 
 /// Generated network plus the frame specs behind each stream's Ch (needed by
 /// the FrameLevel simulation model).

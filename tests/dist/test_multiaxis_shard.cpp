@@ -1,0 +1,143 @@
+// Distributed execution over the PR-5 multi-axis grids: shard ranges tile the
+// flattened u × beta × masters cross product, artifacts carry the new spec
+// fields (per-point ring sizes, split weights, skew) through their text form
+// exactly, and K-shard merges stay byte-identical to single-process runs for
+// all three modes. Also the loud-failure side: shards produced under
+// different splits must refuse to merge.
+#include "dist/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/aggregate.hpp"
+#include "engine/sim_aggregate.hpp"
+
+namespace profisched::dist {
+namespace {
+
+/// u × beta × masters cross product with an asymmetric (skewed) base — every
+/// new axis and split knob in one spec.
+ShardSpec multi_axis_spec(SweepMode mode) {
+  ShardSpec sh;
+  sh.mode = mode;
+  sh.spec.sweep.base.n_masters = 2;
+  sh.spec.sweep.base.streams_per_master = 3;
+  sh.spec.sweep.base.ttr = 3'000;
+  for (const std::size_t m : {std::size_t{2}, std::size_t{3}}) {
+    for (const double b : {0.7, 1.0}) {
+      for (const double u : {0.4, 0.9}) {
+        sh.spec.sweep.points.push_back(engine::SweepPoint{u, b, b, m});
+      }
+    }
+  }
+  sh.spec.sweep.scenarios_per_point = 4;
+  sh.spec.sweep.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  sh.spec.sweep.seed = 404;
+  sh.spec.sweep.base.master_skew = 0.5;
+  sh.spec.replications = 2;
+  return sh;
+}
+
+MergedSweep run_sharded(const ShardSpec& spec, std::uint64_t count) {
+  ShardRunner runner(2);
+  std::vector<ShardArtifact> artifacts;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const ShardArtifact art = runner.run(spec, k, count);
+    artifacts.push_back(ShardArtifact::from_text(art.to_text()));  // wire round trip
+  }
+  return merge_shards(artifacts);
+}
+
+TEST(MultiAxisShard, AnalysisModeMergesByteIdentical) {
+  const ShardSpec spec = multi_axis_spec(SweepMode::Analysis);
+  engine::SweepRunner single(2);
+  const engine::SweepCurves reference =
+      engine::aggregate(spec.spec.sweep, single.run(spec.spec.sweep));
+  for (const std::uint64_t k : {1ULL, 3ULL, 7ULL}) {
+    const MergedSweep merged = run_sharded(spec, k);
+    const engine::SweepCurves curves = engine::aggregate(spec.spec.sweep, merged.analysis);
+    EXPECT_EQ(curves.to_csv(), reference.to_csv()) << k << " shards";
+    EXPECT_EQ(curves.to_json(), reference.to_json()) << k << " shards";
+  }
+}
+
+TEST(MultiAxisShard, SimModeMergesByteIdentical) {
+  const ShardSpec spec = multi_axis_spec(SweepMode::Sim);
+  engine::SweepRunner single(2);
+  const engine::SimCurves reference = engine::aggregate_sim(spec.spec, single.run_sim(spec.spec));
+  for (const std::uint64_t k : {1ULL, 3ULL}) {
+    const MergedSweep merged = run_sharded(spec, k);
+    const engine::SimCurves curves = engine::aggregate_sim(spec.spec, merged.sim);
+    EXPECT_EQ(curves.to_csv(), reference.to_csv()) << k << " shards";
+    EXPECT_EQ(curves.to_json(), reference.to_json()) << k << " shards";
+  }
+}
+
+TEST(MultiAxisShard, CombinedModeMergesByteIdentical) {
+  const ShardSpec spec = multi_axis_spec(SweepMode::Combined);
+  engine::SweepRunner single(2);
+  const engine::ConsistencyTable reference =
+      engine::consistency_table(spec.spec, single.run_combined(spec.spec));
+  EXPECT_TRUE(reference.multi_axis);
+  for (const std::uint64_t k : {1ULL, 3ULL}) {
+    const MergedSweep merged = run_sharded(spec, k);
+    const engine::ConsistencyTable table = engine::consistency_table(spec.spec, merged.combined);
+    EXPECT_EQ(table.to_csv(), reference.to_csv()) << k << " shards";
+    EXPECT_EQ(table.to_json(), reference.to_json()) << k << " shards";
+  }
+}
+
+TEST(MultiAxisShard, SpecBlockRoundTripsEveryNewField) {
+  ShardSpec spec = multi_axis_spec(SweepMode::Analysis);
+  const std::string text = serialize_spec(spec);
+  EXPECT_NE(text.find("skew "), std::string::npos);
+
+  ShardRunner runner(1);
+  const ShardArtifact art = runner.run(spec, 0, 2);
+  const ShardArtifact back = ShardArtifact::from_text(art.to_text());
+  EXPECT_EQ(serialize_spec(back.spec), serialize_spec(art.spec));
+  EXPECT_EQ(back.spec.spec.sweep.base.master_skew, 0.5);
+  ASSERT_EQ(back.spec.spec.sweep.points.size(), art.spec.spec.sweep.points.size());
+  for (std::size_t i = 0; i < back.spec.spec.sweep.points.size(); ++i) {
+    EXPECT_EQ(back.spec.spec.sweep.points[i].n_masters,
+              art.spec.spec.sweep.points[i].n_masters);
+    EXPECT_EQ(back.spec.spec.sweep.points[i].beta_lo, art.spec.spec.sweep.points[i].beta_lo);
+  }
+
+  // Explicit weight vectors round-trip bit-exactly through the text form.
+  ShardSpec weighted = multi_axis_spec(SweepMode::Analysis);
+  weighted.spec.sweep.base.master_skew = 0.0;
+  weighted.spec.sweep.base.master_split = {0.5, 0.3, 0.2};
+  for (engine::SweepPoint& pt : weighted.spec.sweep.points) pt.n_masters = 3;
+  const ShardArtifact wart = ShardRunner(1).run(weighted, 0, 2);
+  const ShardArtifact wback = ShardArtifact::from_text(wart.to_text());
+  EXPECT_EQ(wback.spec.spec.sweep.base.master_split, weighted.spec.sweep.base.master_split);
+  EXPECT_NE(serialize_spec(wback.spec).find("split "), std::string::npos);
+}
+
+TEST(MultiAxisShard, ClassicSpecBlockStaysLegacyFormatted) {
+  ShardSpec classic;
+  classic.mode = SweepMode::Analysis;
+  classic.spec.sweep.base.ttr = 3'000;
+  classic.spec.sweep.points = {engine::SweepPoint{0.3, 0.5, 1.0}};
+  classic.spec.sweep.scenarios_per_point = 2;
+  const std::string text = serialize_spec(classic);
+  EXPECT_EQ(text.find("split"), std::string::npos);
+  EXPECT_EQ(text.find("skew"), std::string::npos);
+  // Point lines keep their historical 3-token shape.
+  EXPECT_NE(text.find("point 0.3 0.5 1\n"), std::string::npos);
+}
+
+TEST(MultiAxisShard, MixedSplitShardSetsRefuseToMerge) {
+  const ShardSpec spec = multi_axis_spec(SweepMode::Analysis);
+  ShardSpec other = spec;
+  other.spec.sweep.base.master_skew = 0.9;  // different split -> different workloads
+
+  ShardRunner runner(1);
+  std::vector<ShardArtifact> artifacts;
+  artifacts.push_back(ShardArtifact::from_text(runner.run(spec, 0, 2).to_text()));
+  artifacts.push_back(ShardArtifact::from_text(runner.run(other, 1, 2).to_text()));
+  EXPECT_THROW((void)merge_shards(artifacts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched::dist

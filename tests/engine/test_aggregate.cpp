@@ -12,9 +12,9 @@ SweepCurves sample_curves() {
   SweepCurves c;
   c.policies = {"FCFS", "DM", "EDF"};
   c.points = {
-      CurvePoint{0.3, 0.5, 1.0, 400, {123, 400, 400}},
-      CurvePoint{0.6, 0.5, 1.0, 400, {0, 287, 301}},
-      CurvePoint{0.9, 0.25, 0.75, 400, {0, 4, 36}},
+      CurvePoint{0.3, 0.5, 1.0, 0, 400, {123, 400, 400}},
+      CurvePoint{0.6, 0.5, 1.0, 0, 400, {0, 287, 301}},
+      CurvePoint{0.9, 0.25, 0.75, 0, 400, {0, 4, 36}},
   };
   return c;
 }
@@ -67,8 +67,8 @@ TEST(Aggregate, DuplicateGridPointsSurviveCsvRoundTrip) {
   SweepCurves c;
   c.policies = {"FCFS", "DM"};
   c.points = {
-      CurvePoint{0.5, 0.5, 1.0, 10, {3, 9}},
-      CurvePoint{0.5, 0.5, 1.0, 10, {4, 10}},
+      CurvePoint{0.5, 0.5, 1.0, 0, 10, {3, 9}},
+      CurvePoint{0.5, 0.5, 1.0, 0, 10, {4, 10}},
   };
   const std::string csv = c.to_csv();
   const SweepCurves back = SweepCurves::from_csv(csv);

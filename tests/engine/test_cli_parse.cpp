@@ -1,0 +1,210 @@
+// Unit tests for the shared multi-axis grid expansion (engine/detail/
+// cli_parse.hpp): cross-product shape and ordering, legacy equivalence for
+// u-only grids, and — the PR-5 hardening — loud, specific rejection of
+// inverted/degenerate grid specs that previously slipped through as silent
+// misbehaviour.
+#include "engine/detail/cli_parse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::engine {
+namespace {
+
+struct Expansion {
+  workload::NetworkParams base;
+  std::vector<SweepPoint> points;
+  std::string error;
+  bool ok = false;
+};
+
+Expansion expand(const GridCliArgs& args, std::size_t base_masters = 1) {
+  Expansion e;
+  e.base.n_masters = base_masters;
+  e.ok = expand_cli_grid(args, e.base, e.points, e.error);
+  return e;
+}
+
+std::string expand_error(const GridCliArgs& args, std::size_t base_masters = 1) {
+  const Expansion e = expand(args, base_masters);
+  EXPECT_FALSE(e.ok);
+  EXPECT_FALSE(e.error.empty());
+  return e.error;
+}
+
+TEST(CliGrid, DefaultGridMatchesLegacySweep) {
+  const Expansion e = expand({});
+  ASSERT_TRUE(e.ok) << e.error;
+  ASSERT_EQ(e.points.size(), 9u);  // 0.1:0.9:9
+  EXPECT_DOUBLE_EQ(e.points.front().total_u, 0.1);
+  EXPECT_DOUBLE_EQ(e.points.back().total_u, 0.9);
+  for (const SweepPoint& pt : e.points) {
+    EXPECT_DOUBLE_EQ(pt.beta_lo, 0.5);
+    EXPECT_DOUBLE_EQ(pt.beta_hi, 1.0);
+    EXPECT_EQ(pt.n_masters, 0u);  // no masters axis -> legacy sentinel
+  }
+  EXPECT_FALSE(has_multi_axis(e.points));
+}
+
+TEST(CliGrid, CrossProductOrderIsMastersBetaU) {
+  GridCliArgs args;
+  args.u = "0.2:0.4:2";
+  args.beta = "0.6:1.0:2";
+  args.masters = "1,3";
+  const Expansion e = expand(args);
+  ASSERT_TRUE(e.ok) << e.error;
+  ASSERT_EQ(e.points.size(), 8u);  // 2 masters x 2 beta x 2 u
+  // u innermost, beta next, masters outermost.
+  const auto& p = e.points;
+  EXPECT_DOUBLE_EQ(p[0].total_u, 0.2);
+  EXPECT_DOUBLE_EQ(p[1].total_u, 0.4);
+  EXPECT_DOUBLE_EQ(p[0].beta_lo, 0.6);
+  EXPECT_DOUBLE_EQ(p[0].beta_hi, 0.6);  // beta axis pins D = b*T exactly
+  EXPECT_DOUBLE_EQ(p[2].beta_lo, 1.0);
+  EXPECT_EQ(p[0].n_masters, 1u);
+  EXPECT_EQ(p[4].n_masters, 3u);
+  EXPECT_EQ(e.base.n_masters, 1u);  // first axis value
+  EXPECT_TRUE(has_multi_axis(e.points));
+}
+
+TEST(CliGrid, SingleMastersValueStaysLegacyShaped) {
+  GridCliArgs args;
+  args.u = "0.3:0.9:3";
+  args.masters = "4";
+  const Expansion e = expand(args);
+  ASSERT_TRUE(e.ok) << e.error;
+  EXPECT_EQ(e.base.n_masters, 4u);
+  for (const SweepPoint& pt : e.points) EXPECT_EQ(pt.n_masters, 0u);
+  EXPECT_FALSE(has_multi_axis(e.points));
+}
+
+TEST(CliGrid, SplitAndSkewApplyToBase) {
+  GridCliArgs args;
+  args.masters = "3";
+  args.split = "0.5,0.3,0.2";
+  const Expansion e = expand(args);
+  ASSERT_TRUE(e.ok) << e.error;
+  ASSERT_EQ(e.base.master_split.size(), 3u);
+  EXPECT_DOUBLE_EQ(e.base.master_split[1], 0.3);
+
+  GridCliArgs skew_args;
+  skew_args.skew = "0.75";
+  const Expansion s = expand(skew_args);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_DOUBLE_EQ(s.base.master_skew, 0.75);
+}
+
+TEST(CliGrid, RejectsInvertedUAxis) {
+  GridCliArgs args;
+  args.u = "0.9:0.1:5";
+  EXPECT_EQ(expand_error(args), "--u grid is inverted (LO > HI)");
+}
+
+TEST(CliGrid, RejectsZeroLengthAxes) {
+  GridCliArgs u0;
+  u0.u = "0.1:0.9:0";
+  EXPECT_EQ(expand_error(u0), "--u grid has a zero-length axis (STEPS must be >= 1)");
+  GridCliArgs b0;
+  b0.beta = "0.5:1.0:0";
+  EXPECT_EQ(expand_error(b0), "--beta grid has a zero-length axis (STEPS must be >= 1)");
+}
+
+TEST(CliGrid, RejectsNonPositiveLows) {
+  GridCliArgs u0;
+  u0.u = "0:0.9:5";
+  EXPECT_EQ(expand_error(u0), "--u grid needs LO > 0");
+  GridCliArgs b0;
+  b0.beta = "0:1.0:3";
+  EXPECT_EQ(expand_error(b0), "--beta grid needs LO > 0");
+}
+
+TEST(CliGrid, RejectsInvertedBetaAxisAndSpread) {
+  GridCliArgs axis;
+  axis.beta = "1.0:0.5:3";
+  EXPECT_EQ(expand_error(axis), "--beta grid is inverted (LO > HI)");
+  GridCliArgs spread;
+  spread.beta_lo = "1.0";
+  spread.beta_hi = "0.5";
+  EXPECT_EQ(expand_error(spread), "inverted deadline spread (--beta-lo > --beta-hi)");
+}
+
+TEST(CliGrid, RejectsBetaAxisCombinedWithSpread) {
+  GridCliArgs args;
+  args.beta = "0.5:1.0:3";
+  args.beta_lo = "0.5";
+  const std::string err = expand_error(args);
+  EXPECT_NE(err.find("--beta"), std::string::npos);
+  EXPECT_NE(err.find("--beta-lo/--beta-hi"), std::string::npos);
+}
+
+TEST(CliGrid, RejectsSplitCountMismatch) {
+  GridCliArgs args;
+  args.masters = "4";
+  args.split = "1,2,3";
+  EXPECT_EQ(expand_error(args),
+            "--split needs exactly one weight per master (got 3 weights for 4 masters)");
+  // Without --masters the base default is the reference count.
+  GridCliArgs no_masters;
+  no_masters.split = "1,2";
+  EXPECT_EQ(expand_error(no_masters, /*base_masters=*/3),
+            "--split needs exactly one weight per master (got 2 weights for 3 masters)");
+}
+
+TEST(CliGrid, RejectsSplitAgainstMastersAxisAndSkewMix) {
+  GridCliArgs axis;
+  axis.masters = "2,3";
+  axis.split = "1,2";
+  EXPECT_NE(expand_error(axis).find("multi-valued --masters axis"), std::string::npos);
+  GridCliArgs both;
+  both.split = "1";
+  both.skew = "0.5";
+  EXPECT_EQ(expand_error(both), "--split and --skew are mutually exclusive");
+}
+
+TEST(CliGrid, RejectsMalformedLists) {
+  GridCliArgs m;
+  m.masters = "2,,3";
+  EXPECT_EQ(expand_error(m), "--masters needs a comma list of integers in [1, 4096]");
+  GridCliArgs m0;
+  m0.masters = "0";
+  EXPECT_EQ(expand_error(m0), "--masters needs a comma list of integers in [1, 4096]");
+  GridCliArgs w;
+  w.split = "1,-2";
+  EXPECT_EQ(expand_error(w), "--split weights must be positive numbers");
+  GridCliArgs s;
+  s.skew = "-1";
+  EXPECT_EQ(expand_error(s), "--skew needs a number >= 0");
+}
+
+TEST(CliGrid, RejectsAmbiguousZeroSkew) {
+  // master_skew == 0 is the workload layer's "off" sentinel; accepting
+  // --skew 0 would silently load every master to the full u (factor-K jump
+  // against any positive skew in the same sweep series).
+  GridCliArgs s;
+  s.skew = "0";
+  const std::string err = expand_error(s);
+  EXPECT_NE(err.find("--skew 0 is ambiguous"), std::string::npos);
+  EXPECT_NE(err.find("--split 1,1,..."), std::string::npos);
+}
+
+TEST(CliGrid, RejectsAstronomicalCrossProductsBeforeExpanding) {
+  // Each axis is individually legal (<= 1e6 steps) but the product is ~1e12
+  // points; this must be a clean error, not an OOM mid-materialization.
+  GridCliArgs args;
+  args.u = "0.1:0.9:1000000";
+  args.beta = "0.1:0.9:1000000";
+  const std::string err = expand_error(args);
+  EXPECT_NE(err.find("grid too large"), std::string::npos);
+  EXPECT_NE(err.find("shrink the axis STEPS"), std::string::npos);
+}
+
+TEST(CliGrid, ScalarParsersStillStrict) {
+  double lo = 0, hi = 0;
+  std::size_t steps = 0;
+  EXPECT_TRUE(parse_cli_u_grid("0.1:0.9:9", lo, hi, steps));
+  EXPECT_FALSE(parse_cli_u_grid("0.1:0.9", lo, hi, steps));
+  EXPECT_FALSE(parse_cli_u_grid("0.1:0.9:9x", lo, hi, steps));
+  EXPECT_FALSE(parse_cli_u_grid("-0.1:0.9:9", lo, hi, steps));
+}
+
+}  // namespace
+}  // namespace profisched::engine

@@ -1,0 +1,126 @@
+// Golden scenario-hash regression matrix (PR 5): canonical_hash values for a
+// fixed (seed, params) grid of generated scenarios, committed as constants.
+// The matrix spans every generation mode — the pre-multi-axis symmetric
+// u-grid, the u × beta × masters cross product, explicit weighted splits and
+// geometric skew — so ANY refactor of the workload generators, the scenario
+// seeding, or the hash itself that perturbs generated workloads fails loudly
+// here instead of silently shifting every published curve (and silently
+// orphaning every persistent-cache entry).
+//
+// If this test fails, the workloads changed. That is only acceptable as a
+// deliberate, documented decision; regenerate the constants from the new
+// build and say so in the commit.
+#include <gtest/gtest.h>
+
+#include "engine/scenario.hpp"
+#include "engine/sweep_runner.hpp"
+
+namespace profisched::engine {
+namespace {
+
+struct GoldenHash {
+  std::uint64_t id;
+  std::uint64_t hash;
+};
+
+void expect_hashes(const SweepSpec& spec, const std::vector<GoldenHash>& golden,
+                   const char* label) {
+  ASSERT_EQ(golden.size(), spec.total_scenarios()) << label;
+  for (const GoldenHash& g : golden) {
+    const Scenario sc = SweepRunner::make_scenario(spec, g.id);
+    EXPECT_EQ(canonical_hash(sc), g.hash)
+        << label << " scenario id " << g.id
+        << ": generated workload drifted from the committed golden";
+  }
+}
+
+TEST(ScenarioGoldenHash, LegacySymmetricUGrid) {
+  SweepSpec s;
+  s.base.n_masters = 1;
+  s.base.streams_per_master = 5;
+  s.base.ttr = 3'000;
+  s.points = {SweepPoint{0.3, 0.5, 1.0}, SweepPoint{0.7, 0.5, 1.0}};
+  s.scenarios_per_point = 2;
+  s.seed = 1;
+  expect_hashes(s, {
+      {0ULL, 0x0891f2eed6540cd6ULL},
+      {1ULL, 0x0c2450e9cd5f26d1ULL},
+      {2ULL, 0x4055e55d2a8d1e4cULL},
+      {3ULL, 0x29b1d74f29a73f03ULL},
+  }, "symmetric");
+}
+
+TEST(ScenarioGoldenHash, UBetaMastersCrossProduct) {
+  SweepSpec s;
+  s.base.n_masters = 1;
+  s.base.streams_per_master = 4;
+  s.base.ttr = 4'000;
+  s.points = {SweepPoint{0.4, 0.6, 0.6, 1}, SweepPoint{0.4, 1.0, 1.0, 1},
+              SweepPoint{0.4, 0.6, 0.6, 3}, SweepPoint{0.4, 1.0, 1.0, 3}};
+  s.scenarios_per_point = 1;
+  s.seed = 42;
+  expect_hashes(s, {
+      {0ULL, 0x5ae1855d2758afc3ULL},
+      {1ULL, 0x859ae6f7ac4f42fcULL},
+      {2ULL, 0xcc327ec7be331b4eULL},
+      {3ULL, 0xbf83cd7be0fba3adULL},
+  }, "u x beta x masters");
+}
+
+TEST(ScenarioGoldenHash, WeightedSplit) {
+  SweepSpec s;
+  s.base.n_masters = 3;
+  s.base.streams_per_master = 3;
+  s.base.ttr = 5'000;
+  s.base.master_split = {0.5, 0.3, 0.2};
+  s.points = {SweepPoint{0.8, 0.5, 1.0}};
+  s.scenarios_per_point = 2;
+  s.seed = 7;
+  expect_hashes(s, {
+      {0ULL, 0xf1a801e6dd02e104ULL},
+      {1ULL, 0xaad248965e62d1b1ULL},
+  }, "weighted split");
+}
+
+TEST(ScenarioGoldenHash, GeometricSkew) {
+  SweepSpec s;
+  s.base.n_masters = 4;
+  s.base.streams_per_master = 3;
+  s.base.ttr = 5'000;
+  s.base.master_skew = 0.75;
+  s.points = {SweepPoint{0.9, 0.5, 1.0}};
+  s.scenarios_per_point = 2;
+  s.seed = 9;
+  expect_hashes(s, {
+      {0ULL, 0x0a6a8fa94c89e6ceULL},
+      {1ULL, 0x50c6ea04550c64c5ULL},
+  }, "geometric skew");
+}
+
+/// The hash must separate the modes: equal (seed, u) under different splits
+/// must digest differently — otherwise the content-addressed cache would
+/// serve a symmetric scenario's result for a skewed one.
+TEST(ScenarioGoldenHash, ModesDigestDifferently) {
+  SweepSpec sym;
+  sym.base.n_masters = 4;
+  sym.base.streams_per_master = 3;
+  sym.base.ttr = 5'000;
+  sym.points = {SweepPoint{0.9, 0.5, 1.0}};
+  sym.scenarios_per_point = 2;
+  sym.seed = 9;
+
+  SweepSpec skew = sym;
+  skew.base.master_skew = 0.75;
+  SweepSpec split = sym;
+  split.base.master_split = {0.4, 0.3, 0.2, 0.1};
+
+  const std::uint64_t h_sym = canonical_hash(SweepRunner::make_scenario(sym, 0));
+  const std::uint64_t h_skew = canonical_hash(SweepRunner::make_scenario(skew, 0));
+  const std::uint64_t h_split = canonical_hash(SweepRunner::make_scenario(split, 0));
+  EXPECT_NE(h_sym, h_skew);
+  EXPECT_NE(h_sym, h_split);
+  EXPECT_NE(h_skew, h_split);
+}
+
+}  // namespace
+}  // namespace profisched::engine

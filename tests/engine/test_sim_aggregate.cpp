@@ -13,9 +13,9 @@ SimCurves sample_curves() {
   SimCurves c;
   c.policies = {"FCFS", "DM"};
   c.points.push_back(
-      SimCurvePoint{0.3, 0.5, 1.0, 40, {40, 38}, {0, 7}, {0, 0}, {1200, 4096}, {900, 3000}});
+      SimCurvePoint{0.3, 0.5, 1.0, 0, 40, {40, 38}, {0, 7}, {0, 0}, {1200, 4096}, {900, 3000}});
   c.points.push_back(SimCurvePoint{
-      0.9, 0.5, 1.0, 40, {12, 30}, {220, 11}, {3, 0}, {99999, 1 << 20}, {80000, 1 << 19}});
+      0.9, 0.5, 1.0, 0, 40, {12, 30}, {220, 11}, {3, 0}, {99999, 1 << 20}, {80000, 1 << 19}});
   return c;
 }
 

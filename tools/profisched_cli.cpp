@@ -5,8 +5,9 @@
 //   profisched analyze  <file> [--policy fcfs|dm|edf|opa|all]
 //   profisched simulate <file> [--policy fcfs|dm|edf] [--ms N] [--seed N]
 //                              [--histograms] [--trace N]
-//   profisched simulate [--scenarios N] [--reps N] [--masters N] [--streams N]
-//                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
+//   profisched simulate [--scenarios N] [--reps N] [--masters N[,N,...]]
+//                       [--streams N] [--u LO:HI:STEPS] [--beta LO:HI:STEPS]
+//                       [--beta-lo X] [--beta-hi X] [--split w1,...,wK] [--skew S]
 //                       [--policies fcfs,dm,edf] [--threads N] [--seed N]
 //                       [--ttr TICKS] [--horizon TICKS] [--cycles X]
 //                       [--model worst|uniform|frame] [--lp] [--combined]
@@ -14,11 +15,14 @@
 //     (no INI file: fan simulation runs over UUniFast-generated scenarios;
 //      --combined also analyses each scenario and emits joined rows)
 //   profisched ttr      <file>
-//   profisched sweep    [--scenarios N] [--masters N] [--streams N]
-//                       [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]
+//   profisched sweep    [--scenarios N] [--masters N[,N,...]] [--streams N]
+//                       [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]
+//                       [--beta-hi X] [--split w1,...,wK] [--skew S]
 //                       [--policies fcfs,dm,edf,opa,token,holistic] [--threads N]
 //                       [--seed N] [--ttr TICKS] [--method paper|refined]
 //                       [--csv FILE] [--json FILE] [--cache DIR]
+//     (--u / --beta / --masters each expand to an axis; the sweep runs their
+//      full cross product. --split/--skew shape the per-master load division.)
 //   profisched shard    --shard k/K --out FILE [--mode sweep|simulate|combined]
 //                       [--cache DIR] [every sweep/simulate flag above]
 //     (runs shard k's contiguous slice of the sweep's N scenario ids —
@@ -64,15 +68,17 @@ int usage() {
                "  profisched analyze  <file.ini> [--policy fcfs|dm|edf|opa|all]\n"
                "  profisched simulate <file.ini> [--policy fcfs|dm|edf] [--ms N]\n"
                "                      [--seed N] [--histograms] [--trace N]\n"
-               "  profisched simulate [--scenarios N] [--reps N] [--masters N] [--streams N]\n"
-               "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
-               "                      [--policies fcfs,dm,edf] [--threads N] [--seed N]\n"
-               "                      [--ttr TICKS] [--horizon TICKS] [--cycles X]\n"
+               "  profisched simulate [--scenarios N] [--reps N] [--masters N[,N,...]]\n"
+               "                      [--streams N] [--u LO:HI:STEPS] [--beta LO:HI:STEPS]\n"
+               "                      [--beta-lo X] [--beta-hi X] [--split w1,...,wK]\n"
+               "                      [--skew S] [--policies fcfs,dm,edf] [--threads N]\n"
+               "                      [--seed N] [--ttr TICKS] [--horizon TICKS] [--cycles X]\n"
                "                      [--model worst|uniform|frame] [--quantile Q] [--lp]\n"
                "                      [--combined] [--csv FILE] [--json FILE] [--cache DIR]\n"
                "  profisched ttr      <file.ini>\n"
-               "  profisched sweep    [--scenarios N] [--masters N] [--streams N]\n"
-               "                      [--u LO:HI:STEPS] [--beta-lo X] [--beta-hi X]\n"
+               "  profisched sweep    [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
+               "                      [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]\n"
+               "                      [--beta-hi X] [--split w1,...,wK] [--skew S]\n"
                "                      [--policies fcfs,dm,edf,opa,token,holistic]\n"
                "                      [--threads N] [--seed N] [--ttr TICKS]\n"
                "                      [--method paper|refined] [--csv FILE] [--json FILE]\n"
@@ -208,11 +214,24 @@ int cmd_ttr(const LoadedNetwork& ln) {
 // rejecting) live in engine/detail/cli_parse.hpp so every sweep-style
 // subcommand (sweep, simulate, shard) shares one implementation and the
 // validation stays unit-tested.
-using engine::expand_cli_u_grid;
 using engine::parse_cli_count;
-using engine::parse_cli_nonneg_double;
 using engine::parse_cli_policies;
-using engine::parse_cli_u_grid;
+
+/// Banner text for the masters dimension: the axis values ("1,8") when the
+/// points carry per-point ring sizes, else the single base count.
+std::string masters_banner(const workload::NetworkParams& base,
+                           const std::vector<engine::SweepPoint>& points) {
+  std::string axis;
+  std::size_t last = 0;
+  for (const engine::SweepPoint& pt : points) {
+    if (pt.n_masters != 0 && pt.n_masters != last) {
+      if (!axis.empty()) axis += ',';
+      axis += std::to_string(pt.n_masters);
+      last = pt.n_masters;
+    }
+  }
+  return axis.empty() ? std::to_string(base.n_masters) : axis;
+}
 
 int cmd_sweep(int argc, char** argv) {
   engine::SweepSpec spec;
@@ -221,9 +240,7 @@ int cmd_sweep(int argc, char** argv) {
   spec.base.ttr = 3'000;
   spec.scenarios_per_point = 100;
   spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
-  double u_lo = 0.1, u_hi = 0.9;
-  std::size_t u_steps = 9;
-  double beta_lo = 0.5, beta_hi = 1.0;
+  engine::GridCliArgs grid;
   unsigned threads = 0;
   std::string csv_path, json_path, cache_dir;
 
@@ -240,23 +257,28 @@ int cmd_sweep(int argc, char** argv) {
           spec.scenarios_per_point == 0) {
         return usage();
       }
-    } else if (arg == "--masters" && (v = next())) {
-      if (!parse_cli_count(v, spec.base.n_masters, 4'096) || spec.base.n_masters == 0) {
-        return usage();
-      }
+    // Grid flags demand a non-empty value: an unset shell variable must not
+    // silently fall back to the default grid (expand_cli_grid reads "" as
+    // flag-absent).
+    } else if (arg == "--masters" && (v = next()) && *v != '\0') {
+      grid.masters = v;
+    } else if (arg == "--split" && (v = next()) && *v != '\0') {
+      grid.split = v;
+    } else if (arg == "--skew" && (v = next()) && *v != '\0') {
+      grid.skew = v;
     } else if (arg == "--streams" && (v = next())) {
       if (!parse_cli_count(v, spec.base.streams_per_master, 4'096) ||
           spec.base.streams_per_master == 0) {
         return usage();
       }
-    } else if (arg == "--u" && (v = next())) {
-      // LO:HI:STEPS through the same strict parsers as every other flag
-      // (sscanf %zu would wrap negatives into astronomically large grids).
-      if (!parse_cli_u_grid(v, u_lo, u_hi, u_steps)) return usage();
-    } else if (arg == "--beta-lo" && (v = next())) {
-      if (!parse_cli_nonneg_double(v, beta_lo)) return usage();
-    } else if (arg == "--beta-hi" && (v = next())) {
-      if (!parse_cli_nonneg_double(v, beta_hi)) return usage();
+    } else if (arg == "--u" && (v = next()) && *v != '\0') {
+      grid.u = v;
+    } else if (arg == "--beta" && (v = next()) && *v != '\0') {
+      grid.beta = v;
+    } else if (arg == "--beta-lo" && (v = next()) && *v != '\0') {
+      grid.beta_lo = v;
+    } else if (arg == "--beta-hi" && (v = next()) && *v != '\0') {
+      grid.beta_hi = v;
     } else if (arg == "--policies" && (v = next())) {
       if (!parse_cli_policies(v, /*simulable_only=*/false, spec.policies)) return usage();
     } else if (arg == "--threads" && (v = next())) {
@@ -283,23 +305,24 @@ int cmd_sweep(int argc, char** argv) {
     }
   }
 
-  if (!expand_cli_u_grid(u_lo, u_hi, u_steps, beta_lo, beta_hi, spec.points)) {
-    std::fprintf(stderr, "error: --u grid must satisfy 0 < LO <= HI with STEPS >= 1\n");
+  std::string grid_error;
+  if (!engine::expand_cli_grid(grid, spec.base, spec.points, grid_error)) {
+    std::fprintf(stderr, "error: %s\n", grid_error.c_str());
     return usage();
   }
   if (spec.total_scenarios() > 100'000'000) {
-    std::fprintf(stderr, "error: sweep too large (%zu scenarios); shrink --u STEPS or "
+    std::fprintf(stderr, "error: sweep too large (%zu scenarios); shrink the grid axes or "
                          "--scenarios\n",
                  spec.total_scenarios());
     return 2;
   }
 
   engine::SweepRunner runner(threads);
-  std::printf("sweep: %zu scenarios (%zu points x %zu), %zu masters x %zu streams, "
+  std::printf("sweep: %zu scenarios (%zu points x %zu), %s masters x %zu streams, "
               "%u thread%s, seed %llu\n",
               spec.total_scenarios(), spec.points.size(), spec.scenarios_per_point,
-              spec.base.n_masters, spec.base.streams_per_master, runner.threads(),
-              runner.threads() == 1 ? "" : "s",
+              masters_banner(spec.base, spec.points).c_str(), spec.base.streams_per_master,
+              runner.threads(), runner.threads() == 1 ? "" : "s",
               static_cast<unsigned long long>(spec.seed));
   std::unique_ptr<dist::ResultCache> cache;
   if (!cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cache_dir);
@@ -367,11 +390,12 @@ int cmd_simulate_sweep(int argc, char** argv) {
 
   engine::SweepRunner runner(cli.threads);
   std::printf("simulate sweep%s: %zu scenarios (%zu points x %zu) x %zu rep%s, "
-              "%zu masters x %zu streams, %u thread%s, seed %llu\n",
+              "%s masters x %zu streams, %u thread%s, seed %llu\n",
               cli.combined ? " (combined with analysis)" : "",
               cli.spec.sweep.total_scenarios(), cli.spec.sweep.points.size(),
               cli.spec.sweep.scenarios_per_point, cli.spec.replications,
-              cli.spec.replications == 1 ? "" : "s", cli.spec.sweep.base.n_masters,
+              cli.spec.replications == 1 ? "" : "s",
+              masters_banner(cli.spec.sweep.base, cli.spec.sweep.points).c_str(),
               cli.spec.sweep.base.streams_per_master, runner.threads(),
               runner.threads() == 1 ? "" : "s",
               static_cast<unsigned long long>(cli.spec.sweep.seed));
