@@ -138,11 +138,10 @@ void scenario_margins() {
   for (const auto& item : sets) {
     for (const Policy policy : {Policy::DeadlineMonotonic, Policy::Edf}) {
       const auto test = test_for(policy);
-      const auto q = breakdown_scaling(item.ts, test);
-      const auto u = breakdown_utilization(item.ts, test);
+      const auto q = sensitivity::breakdown_scaling(item.ts, test);
       t.row({item.name, std::string(to_string(policy)),
-             q ? bench::fmt(static_cast<double>(*q) / 1024.0, 3) : "none",
-             u ? bench::fmt(*u, 3) : "none"});
+             q ? bench::fmt(static_cast<double>(q.value) / 1024.0, 3) : "none",
+             q ? bench::fmt(sensitivity::utilization_at_scale(item.ts, q.value), 3) : "none"});
     }
   }
   t.print();
@@ -175,7 +174,7 @@ void BM_BreakdownScaling(benchmark::State& state) {
   p.total_u = 0.5;
   const TaskSet ts = workload::random_task_set(p, rng);
   const auto test = test_for(Policy::DeadlineMonotonic);
-  for (auto _ : state) benchmark::DoNotOptimize(breakdown_scaling(ts, test));
+  for (auto _ : state) benchmark::DoNotOptimize(sensitivity::breakdown_scaling(ts, test));
 }
 BENCHMARK(BM_BreakdownScaling);
 

@@ -4,11 +4,19 @@
 
 namespace profisched {
 
+SchedulabilityTest test_for(Policy policy, Formulation form) {
+  return [policy, form](const TaskSet& ts) { return analyze(ts, policy, form).schedulable; };
+}
+
+}  // namespace profisched
+
+namespace profisched::sensitivity {
+
 namespace {
 
 /// Scale C by q/1024, rounding up (pessimistic), clamped to [1, T].
 Ticks scale_c(Ticks c, Ticks q1024, Ticks period) {
-  const Ticks scaled = ceil_div(sat_mul(c, q1024), 1024);
+  const Ticks scaled = ceil_div(sat_mul(c, q1024), kScaleOne);
   return std::clamp<Ticks>(scaled, 1, period);
 }
 
@@ -24,74 +32,45 @@ TaskSet with_scaled(const TaskSet& ts, std::ptrdiff_t which, Ticks q1024) {
   return TaskSet{std::move(tasks)};
 }
 
-/// Largest q in [1024, cap] with pred(q) true, given pred(1024) true and
-/// pred monotone non-increasing. Exact binary search.
-template <typename Pred>
-Ticks max_true_q(Ticks cap, Pred pred) {
-  Ticks lo = 1024;  // known true
-  Ticks hi = cap;
-  if (pred(hi)) return hi;
-  while (hi - lo > 1) {
-    const Ticks mid = lo + (hi - lo) / 2;
-    (pred(mid) ? lo : hi) = mid;
-  }
-  return lo;
-}
-
-std::optional<Ticks> scaling_headroom_impl(const TaskSet& ts, std::ptrdiff_t which,
-                                           const SchedulabilityTest& test, Ticks cap) {
-  if (!test(ts)) return std::nullopt;
-  return max_true_q(cap, [&](Ticks q) { return test(with_scaled(ts, which, q)); });
+SensitivityResult scaling_headroom_impl(const TaskSet& ts, std::ptrdiff_t which,
+                                        const SchedulabilityTest& test, Ticks cap) {
+  // At q = kScaleOne the scaling is the identity (ceil(C·1024/1024) = C), so
+  // the bracket floor probe doubles as the "schedulable to begin with" check.
+  return max_satisfying(kScaleOne, cap,
+                        [&](Ticks q) { return test(with_scaled(ts, which, q)); });
 }
 
 }  // namespace
 
-SchedulabilityTest test_for(Policy policy, Formulation form) {
-  return [policy, form](const TaskSet& ts) { return analyze(ts, policy, form).schedulable; };
-}
-
-std::optional<Ticks> execution_scaling_headroom(const TaskSet& ts, std::size_t i,
-                                                const SchedulabilityTest& test,
-                                                Ticks max_factor_q1024) {
+SensitivityResult execution_scaling_headroom(const TaskSet& ts, std::size_t i,
+                                             const SchedulabilityTest& test,
+                                             Ticks max_factor_q1024) {
   return scaling_headroom_impl(ts, static_cast<std::ptrdiff_t>(i), test, max_factor_q1024);
 }
 
-std::optional<Ticks> breakdown_scaling(const TaskSet& ts, const SchedulabilityTest& test,
-                                       Ticks max_factor_q1024) {
+SensitivityResult breakdown_scaling(const TaskSet& ts, const SchedulabilityTest& test,
+                                    Ticks max_factor_q1024) {
   return scaling_headroom_impl(ts, /*which=*/-1, test, max_factor_q1024);
 }
 
-std::optional<Ticks> minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
-                                                  const SchedulabilityTest& test) {
+SensitivityResult minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
+                                               const SchedulabilityTest& test) {
   const auto with_deadline = [&](Ticks d) {
     std::vector<Task> tasks(ts.begin(), ts.end());
     tasks[i].D = d;
     return TaskSet{std::move(tasks)};
   };
-  const Ticks cap = sat_mul(ts[i].T, 64);
-  if (!test(with_deadline(cap))) return std::nullopt;
-
+  const Ticks cap = sat_mul(ts[i].T, kDefaultDeadlineCapMultiple);
   // Smallest d in [C_i, cap] with test true; monotone non-decreasing in d.
-  Ticks lo = ts[i].C;
-  Ticks hi = cap;  // known true
-  if (test(with_deadline(lo))) return lo;
-  while (hi - lo > 1) {
-    const Ticks mid = lo + (hi - lo) / 2;
-    (test(with_deadline(mid)) ? hi : lo) = mid;
-  }
-  return hi;
+  return min_satisfying(ts[i].C, cap, [&](Ticks d) { return test(with_deadline(d)); });
 }
 
-std::optional<double> breakdown_utilization(const TaskSet& ts, const SchedulabilityTest& test) {
-  const std::optional<Ticks> q = breakdown_scaling(ts, test);
-  if (!q.has_value()) return std::nullopt;
-  // Recompute utilization at the breakdown point (respecting clamping).
+double utilization_at_scale(const TaskSet& ts, Ticks q1024) {
   double u = 0.0;
   for (const Task& t : ts) {
-    const Ticks c = std::clamp<Ticks>(ceil_div(sat_mul(t.C, *q), 1024), 1, t.T);
-    u += static_cast<double>(c) / static_cast<double>(t.T);
+    u += static_cast<double>(scale_c(t.C, q1024, t.T)) / static_cast<double>(t.T);
   }
   return u;
 }
 
-}  // namespace profisched
+}  // namespace profisched::sensitivity

@@ -5,14 +5,20 @@
 // paper's pre-run-time tests): once a set is schedulable, the margin —
 // breakdown utilization, per-task execution-time scaling headroom, deadline
 // tightening headroom — tells the designer how robust the configuration is.
-// All searches are exact binary searches over integer parameters against the
-// library's own analyses, so the returned boundary is tight to one tick.
+// All searches run through the unified exact-binary-search core of
+// core/sensitivity_search.hpp and return its SensitivityResult (feasible /
+// cap_hit / value / probes), so the returned boundary is tight to one tick.
+//
+// The pre-unification std::optional<Ticks> signatures survive one PR as
+// deprecated inline forwarders at the bottom of this header (namespace
+// profisched); new code calls the profisched::sensitivity:: API.
 #pragma once
 
 #include <functional>
 #include <optional>
 
 #include "core/schedulability.hpp"
+#include "core/sensitivity_search.hpp"
 
 namespace profisched {
 
@@ -23,36 +29,79 @@ using SchedulabilityTest = std::function<bool(const TaskSet&)>;
 [[nodiscard]] SchedulabilityTest test_for(Policy policy,
                                           Formulation form = kDefaultFormulation);
 
-/// Largest factor (in 1/1024 units, i.e. the returned value q means q/1024)
-/// by which task `i`'s C can be multiplied with the set staying schedulable.
-/// Returns std::nullopt when the set is unschedulable to begin with; the
-/// result is >= 1024 iff there is headroom. The search caps at
-/// `max_factor_q1024` (default 64x).
-[[nodiscard]] std::optional<Ticks> execution_scaling_headroom(
+}  // namespace profisched
+
+namespace profisched::sensitivity {
+
+/// Largest factor (q/1024 fixed point) by which task `i`'s C can be
+/// multiplied with the set staying schedulable. Infeasible when the set is
+/// unschedulable to begin with; the boundary is >= kScaleOne iff there is
+/// headroom; cap_hit when even `max_factor_q1024` stays schedulable.
+[[nodiscard]] SensitivityResult execution_scaling_headroom(
     const TaskSet& ts, std::size_t i, const SchedulabilityTest& test,
-    Ticks max_factor_q1024 = 64 * 1024);
+    Ticks max_factor_q1024 = kDefaultMaxScaleQ);
 
 /// Largest uniform factor (q/1024) by which EVERY C can be multiplied —
 /// the breakdown scaling of the whole set. Same conventions as above.
-[[nodiscard]] std::optional<Ticks> breakdown_scaling(const TaskSet& ts,
-                                                     const SchedulabilityTest& test,
-                                                     Ticks max_factor_q1024 = 64 * 1024);
+[[nodiscard]] SensitivityResult breakdown_scaling(const TaskSet& ts,
+                                                  const SchedulabilityTest& test,
+                                                  Ticks max_factor_q1024 = kDefaultMaxScaleQ);
 
 /// Smallest deadline task `i` can sustain (all else fixed): the exact value
 /// D_min such that the set is schedulable with D_i = D_min but not with
-/// D_min − 1. Returns std::nullopt when unschedulable even at D_i = T_i·64.
+/// D_min − 1. Infeasible when unschedulable even at
+/// D_i = T_i · kDefaultDeadlineCapMultiple; cap_hit when D_i = C_i (the
+/// bracket floor) already works.
 ///
 /// The binary search relies on schedulability being monotone in D_i, which
 /// holds for every policy in this library: EDF tests are demand-based
 /// (relaxing a deadline only lowers demand), and DM is sustainable w.r.t.
 /// deadline relaxation (the pre-relaxation priority order remains feasible
 /// and DM is optimal among fixed-priority orders for constrained deadlines).
-[[nodiscard]] std::optional<Ticks> minimum_sustainable_deadline(
-    const TaskSet& ts, std::size_t i, const SchedulabilityTest& test);
+[[nodiscard]] SensitivityResult minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
+                                                             const SchedulabilityTest& test);
 
-/// Breakdown utilization by uniform C scaling, as a double in [0, n]:
-/// utilization of the set at the breakdown scaling point.
-[[nodiscard]] std::optional<double> breakdown_utilization(const TaskSet& ts,
-                                                          const SchedulabilityTest& test);
+/// Utilization of `ts` with every C uniformly scaled by q/1024 under the
+/// sensitivity layer's scaling contract (C -> clamp(ceil(C·q/1024), 1, T)).
+/// breakdown_scaling(...).value fed back through this is the set's breakdown
+/// utilization.
+[[nodiscard]] double utilization_at_scale(const TaskSet& ts, Ticks q1024);
+
+}  // namespace profisched::sensitivity
+
+namespace profisched {
+
+// ----------------------------------------------------------------------
+// Deprecated pre-unification surface (kept one PR; forwards to the
+// sensitivity:: API above). New code should use profisched::sensitivity.
+
+[[deprecated("use sensitivity::execution_scaling_headroom")]] [[nodiscard]] inline std::optional<
+    Ticks>
+execution_scaling_headroom(const TaskSet& ts, std::size_t i, const SchedulabilityTest& test,
+                           Ticks max_factor_q1024 = sensitivity::kDefaultMaxScaleQ) {
+  return sensitivity::execution_scaling_headroom(ts, i, test, max_factor_q1024).to_optional();
+}
+
+[[deprecated("use sensitivity::breakdown_scaling")]] [[nodiscard]] inline std::optional<Ticks>
+breakdown_scaling(const TaskSet& ts, const SchedulabilityTest& test,
+                  Ticks max_factor_q1024 = sensitivity::kDefaultMaxScaleQ) {
+  return sensitivity::breakdown_scaling(ts, test, max_factor_q1024).to_optional();
+}
+
+[[deprecated("use sensitivity::minimum_sustainable_deadline")]] [[nodiscard]] inline std::
+    optional<Ticks>
+    minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
+                                 const SchedulabilityTest& test) {
+  return sensitivity::minimum_sustainable_deadline(ts, i, test).to_optional();
+}
+
+[[deprecated(
+    "use sensitivity::breakdown_scaling + utilization_at_scale")]] [[nodiscard]] inline std::
+    optional<double>
+    breakdown_utilization(const TaskSet& ts, const SchedulabilityTest& test) {
+  const sensitivity::SensitivityResult q = sensitivity::breakdown_scaling(ts, test);
+  if (!q) return std::nullopt;
+  return sensitivity::utilization_at_scale(ts, q.value);
+}
 
 }  // namespace profisched

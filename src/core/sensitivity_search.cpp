@@ -1,0 +1,53 @@
+#include "core/sensitivity_search.hpp"
+
+#include <stdexcept>
+
+namespace profisched::sensitivity {
+
+SensitivityResult max_satisfying(Ticks lo, Ticks hi, const TicksPredicate& pred) {
+  if (lo > hi) throw std::invalid_argument("sensitivity: empty search bracket (lo > hi)");
+  SensitivityResult r;
+  ++r.probes;
+  if (!pred(lo)) return r;  // infeasible on the whole bracket
+  r.feasible = true;
+  ++r.probes;
+  if (pred(hi)) {
+    r.value = hi;
+    r.cap_hit = true;
+    return r;
+  }
+  Ticks good = lo;  // known true
+  Ticks bad = hi;   // known false
+  while (bad - good > 1) {
+    const Ticks mid = good + (bad - good) / 2;
+    ++r.probes;
+    (pred(mid) ? good : bad) = mid;
+  }
+  r.value = good;
+  return r;
+}
+
+SensitivityResult min_satisfying(Ticks lo, Ticks hi, const TicksPredicate& pred) {
+  if (lo > hi) throw std::invalid_argument("sensitivity: empty search bracket (lo > hi)");
+  SensitivityResult r;
+  ++r.probes;
+  if (!pred(hi)) return r;  // infeasible on the whole bracket
+  r.feasible = true;
+  ++r.probes;
+  if (pred(lo)) {
+    r.value = lo;
+    r.cap_hit = true;
+    return r;
+  }
+  Ticks bad = lo;   // known false
+  Ticks good = hi;  // known true
+  while (good - bad > 1) {
+    const Ticks mid = bad + (good - bad) / 2;
+    ++r.probes;
+    (pred(mid) ? good : bad) = mid;
+  }
+  r.value = good;
+  return r;
+}
+
+}  // namespace profisched::sensitivity

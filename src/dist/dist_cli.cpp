@@ -1,6 +1,7 @@
 #include "dist/dist_cli.hpp"
 
 #include "engine/sim_cli.hpp"
+#include "opt/opt_cli.hpp"
 
 namespace profisched::dist {
 
@@ -26,11 +27,12 @@ bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::
     };
     std::string v;
     if (arg == "--mode") {
-      if (!next(v)) return fail("--mode needs sweep|simulate|combined");
+      if (!next(v)) return fail("--mode needs sweep|simulate|combined|optimize");
       if (v == "sweep") cli.shard.mode = SweepMode::Analysis;
       else if (v == "simulate") cli.shard.mode = SweepMode::Sim;
       else if (v == "combined") cli.shard.mode = SweepMode::Combined;
-      else return fail("--mode needs sweep|simulate|combined");
+      else if (v == "optimize") cli.shard.mode = SweepMode::Optimize;
+      else return fail("--mode needs sweep|simulate|combined|optimize");
     } else if (arg == "--shard") {
       if (!next(v)) return fail("--shard needs k/K (e.g. 2/4)");
       const std::size_t slash = v.find('/');
@@ -60,22 +62,36 @@ bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::
     }
   }
 
-  engine::SimSweepCli sweep_cli;
-  if (!engine::parse_sim_sweep_args(sweep_args, sweep_cli, error,
-                                    /*simulable_only=*/cli.shard.mode != SweepMode::Analysis)) {
-    return false;
-  }
-  if (!sweep_cli.csv_path.empty() || !sweep_cli.json_path.empty()) {
-    return fail("shard emits one artifact via --out; merge the artifacts to get CSV/JSON");
-  }
-  if (sweep_cli.combined) {
-    return fail("use --mode combined instead of --combined");
-  }
   const engine::EngineOptions engine_opts = cli.shard.spec.sweep.engine;  // --method survives
-  cli.shard.spec = std::move(sweep_cli.spec);
+  if (cli.shard.mode == SweepMode::Optimize) {
+    // Optimize mode shares the optimize subcommand's flag table (search
+    // brackets included) the same way the other modes share simulate's.
+    opt::OptimizeCli opt_cli;
+    if (!opt::parse_optimize_args(sweep_args, opt_cli, error)) return false;
+    if (!opt_cli.csv_path.empty() || !opt_cli.json_path.empty()) {
+      return fail("shard emits one artifact via --out; merge the artifacts to get CSV/JSON");
+    }
+    cli.shard.spec.sweep = std::move(opt_cli.spec.sweep);
+    cli.shard.optimize = opt_cli.spec.options;
+    cli.threads = opt_cli.threads;
+    cli.cache_dir = std::move(opt_cli.cache_dir);
+  } else {
+    engine::SimSweepCli sweep_cli;
+    if (!engine::parse_sim_sweep_args(sweep_args, sweep_cli, error,
+                                      /*simulable_only=*/cli.shard.mode != SweepMode::Analysis)) {
+      return false;
+    }
+    if (!sweep_cli.csv_path.empty() || !sweep_cli.json_path.empty()) {
+      return fail("shard emits one artifact via --out; merge the artifacts to get CSV/JSON");
+    }
+    if (sweep_cli.combined) {
+      return fail("use --mode combined instead of --combined");
+    }
+    cli.shard.spec = std::move(sweep_cli.spec);
+    cli.threads = sweep_cli.threads;
+    cli.cache_dir = std::move(sweep_cli.cache_dir);
+  }
   cli.shard.spec.sweep.engine = engine_opts;
-  cli.threads = sweep_cli.threads;
-  cli.cache_dir = std::move(sweep_cli.cache_dir);
 
   if (!have_shard) return fail("--shard k/K is required");
   if (cli.out_path.empty()) return fail("--out FILE is required");

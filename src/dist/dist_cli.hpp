@@ -26,12 +26,15 @@ struct ShardCli {
 };
 
 /// Parse the flags after `profisched shard`. Accepts --shard k/K (required,
-/// 1 <= k <= K), --out FILE (required), --mode sweep|simulate|combined
-/// (default sweep), --cache DIR, --method paper|refined, and every sweep
-/// flag of `profisched simulate` (--scenarios/--u/--policies/...). In sweep
-/// mode --policies admits the full analysis table (opa, token, holistic);
-/// simulate/combined modes keep the simulable-only restriction. Returns true
-/// on success; false with a one-line diagnostic in `error` (never throws).
+/// 1 <= k <= K), --out FILE (required), --mode sweep|simulate|combined|
+/// optimize (default sweep), --cache DIR, --method paper|refined, and every
+/// sweep flag of `profisched simulate` (--scenarios/--u/--policies/...). In
+/// sweep mode --policies admits the full analysis table (opa, token,
+/// holistic); simulate/combined modes keep the simulable-only restriction;
+/// optimize mode shares `profisched optimize`'s flag table instead (search
+/// brackets included, policies restricted to the optimizable four). Returns
+/// true on success; false with a one-line diagnostic in `error` (never
+/// throws).
 [[nodiscard]] bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out,
                                     std::string& error);
 

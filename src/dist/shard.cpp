@@ -17,6 +17,7 @@ std::string_view to_string(SweepMode m) {
     case SweepMode::Analysis: return "analysis";
     case SweepMode::Sim: return "sim";
     case SweepMode::Combined: return "combined";
+    case SweepMode::Optimize: return "optimize";
   }
   return "?";
 }
@@ -81,6 +82,7 @@ constexpr const char* kMagic = "profisched-shard v1";
   if (s == "analysis") return SweepMode::Analysis;
   if (s == "sim") return SweepMode::Sim;
   if (s == "combined") return SweepMode::Combined;
+  if (s == "optimize") return SweepMode::Optimize;
   throw std::invalid_argument("shard artifact: unknown mode '" + s + "'");
 }
 
@@ -203,6 +205,14 @@ void append_spec(std::string& out, const ShardSpec& sh) {
          ' ' + fmt_double_exact(so.horizon_cycles) + ' ' + std::to_string(so.horizon_cap) + ' ' +
          (so.lp_traffic ? '1' : '0') + ' ' + (so.collect_histograms ? '1' : '0') + ' ' +
          fmt_double_exact(so.quantile) + ' ' + std::to_string(sh.spec.replications) + '\n';
+  // Optimize-mode search brackets, emitted only in that mode so every other
+  // mode's spec block stays byte-identical to the pre-optimizer format.
+  if (sh.mode == SweepMode::Optimize) {
+    const opt::OptimizeOptions& oo = sh.optimize;
+    out += "optimize " + std::to_string(oo.scale_lo_q) + ' ' + std::to_string(oo.scale_hi_q) +
+           ' ' + std::to_string(oo.ttr_cap) + ' ' + std::to_string(oo.dratio_lo_q) + ' ' +
+           std::to_string(oo.dratio_hi_q) + '\n';
+  }
 }
 
 [[nodiscard]] ShardSpec read_spec(LineReader& r) {
@@ -266,6 +276,15 @@ void append_spec(std::string& out, const ShardSpec& sh) {
   o.collect_histograms = to_bool01(so[7]);
   o.quantile = to_double(so[8]);
   sh.spec.replications = to_size(so[9]);
+
+  if (sh.mode == SweepMode::Optimize) {
+    const std::vector<std::string> oo = r.line("optimize", 5);
+    sh.optimize.scale_lo_q = to_ll(oo[0]);
+    sh.optimize.scale_hi_q = to_ll(oo[1]);
+    sh.optimize.ttr_cap = to_ll(oo[2]);
+    sh.optimize.dratio_lo_q = to_ll(oo[3]);
+    sh.optimize.dratio_hi_q = to_ll(oo[4]);
+  }
   return sh;
 }
 
@@ -322,6 +341,25 @@ std::string ShardArtifact::to_text() const {
         for (std::size_t p = 0; p < n_pol; ++p) {
           out += std::string(" ") + (o.analytic_schedulable[p] ? '1' : '0') + ' ' +
                  std::to_string(o.analytic_wcrt[p]) + ' ' + std::to_string(o.bound_violations[p]);
+        }
+        out += '\n';
+      }
+      break;
+    case SweepMode::Optimize:
+      out += "outcomes " + std::to_string(optimize.size()) + '\n';
+      for (const opt::OptimizeOutcome& o : optimize) {
+        out += "o " + std::to_string(o.id) + ' ' + std::to_string(o.seed) + ' ' +
+               std::to_string(o.point);
+        // breakdown_u rides along in shortest-round-trip form so a merged
+        // result equals the direct run bit-for-bit without regenerating the
+        // scenario (it is the exact double the shard computed).
+        for (std::size_t p = 0; p < n_pol; ++p) {
+          const opt::PolicyOptimum& po = o.per_policy[p];
+          out += std::string(" ") + (po.schedulable ? '1' : '0') + ' ' +
+                 std::to_string(po.breakdown_q) + ' ' + (po.breakdown_cap ? '1' : '0') + ' ' +
+                 fmt_double_exact(po.breakdown_u) + ' ' + std::to_string(po.max_ttr) + ' ' +
+                 (po.ttr_cap_hit ? '1' : '0') + ' ' + std::to_string(po.min_dratio_q) + ' ' +
+                 (po.dratio_floor ? '1' : '0');
         }
         out += '\n';
       }
@@ -402,6 +440,28 @@ ShardArtifact ShardArtifact::from_text(const std::string& text) {
         art.combined.push_back(std::move(o));
         break;
       }
+      case SweepMode::Optimize: {
+        const std::vector<std::string> t = r.line("o", 3 + n_pol * 8);
+        opt::OptimizeOutcome o;
+        o.id = to_u64(t[0]);
+        o.seed = to_u64(t[1]);
+        o.point = to_size(t[2]);
+        for (std::size_t p = 0; p < n_pol; ++p) {
+          const std::size_t c = 3 + p * 8;
+          opt::PolicyOptimum po;
+          po.schedulable = to_bool01(t[c + 0]);
+          po.breakdown_q = to_ll(t[c + 1]);
+          po.breakdown_cap = to_bool01(t[c + 2]);
+          po.breakdown_u = to_double(t[c + 3]);
+          po.max_ttr = to_ll(t[c + 4]);
+          po.ttr_cap_hit = to_bool01(t[c + 5]);
+          po.min_dratio_q = to_ll(t[c + 6]);
+          po.dratio_floor = to_bool01(t[c + 7]);
+          o.per_policy.push_back(po);
+        }
+        art.optimize.push_back(std::move(o));
+        break;
+      }
     }
   }
   r.literal("end");
@@ -421,22 +481,31 @@ ShardArtifact ShardRunner::run(const ShardSpec& spec, std::uint64_t index, std::
   art.range = plan.ranges[static_cast<std::size_t>(index)];
   switch (spec.mode) {
     case SweepMode::Analysis: {
-      engine::SweepResult r = runner_.run_range(spec.spec.sweep, art.range, cache);
+      engine::SweepResult r = runner_.run(spec.spec.sweep, art.range, cache);
       art.analysis = std::move(r.outcomes);
       art.cache_hits = r.cache_hits;
       art.cache_misses = r.cache_misses;
       break;
     }
     case SweepMode::Sim: {
-      engine::SimSweepResult r = runner_.run_sim_range(spec.spec, art.range, cache);
+      engine::SimSweepResult r = runner_.run_sim(spec.spec, art.range, cache);
       art.sim = std::move(r.outcomes);
       art.cache_hits = r.cache_hits;
       art.cache_misses = r.cache_misses;
       break;
     }
     case SweepMode::Combined: {
-      engine::CombinedResult r = runner_.run_combined_range(spec.spec, art.range, cache);
+      engine::CombinedResult r = runner_.run_combined(spec.spec, art.range, cache);
       art.combined = std::move(r.outcomes);
+      art.cache_hits = r.cache_hits;
+      art.cache_misses = r.cache_misses;
+      break;
+    }
+    case SweepMode::Optimize: {
+      opt::OptimizeResult r =
+          opt::run_optimize(runner_, opt::OptimizeSpec{spec.spec.sweep, spec.optimize},
+                            art.range, cache);
+      art.optimize = std::move(r.outcomes);
       art.cache_hits = r.cache_hits;
       art.cache_misses = r.cache_misses;
       break;
@@ -524,12 +593,16 @@ MergedSweep merge_shards(const std::vector<ShardArtifact>& shards) {
     case SweepMode::Combined:
       merged.combined.outcomes.resize(n);
       break;
+    case SweepMode::Optimize:
+      merged.optimize.outcomes.resize(n);
+      break;
   }
   for (std::uint64_t k = 0; k < count; ++k) {
     const ShardArtifact& s = *by_index[static_cast<std::size_t>(k)];
     std::size_t rows = s.combined.size();
     if (s.spec.mode == SweepMode::Analysis) rows = s.analysis.size();
     if (s.spec.mode == SweepMode::Sim) rows = s.sim.size();
+    if (s.spec.mode == SweepMode::Optimize) rows = s.optimize.size();
     if (rows != static_cast<std::size_t>(s.range.size())) {
       throw std::invalid_argument("merge: shard " + std::to_string(k) + " carries " +
                                   std::to_string(rows) + " outcomes for a range of " +
@@ -549,6 +622,10 @@ MergedSweep merge_shards(const std::vector<ShardArtifact>& shards) {
         case SweepMode::Combined:
           check_row(id, s.combined[i].sim.id, s.combined[i].sim.point);
           merged.combined.outcomes[static_cast<std::size_t>(id)] = s.combined[i];
+          break;
+        case SweepMode::Optimize:
+          check_row(id, s.optimize[i].id, s.optimize[i].point);
+          merged.optimize.outcomes[static_cast<std::size_t>(id)] = s.optimize[i];
           break;
       }
     }

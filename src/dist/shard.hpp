@@ -22,14 +22,17 @@
 #include <vector>
 
 #include "engine/sweep_runner.hpp"
+#include "opt/optimizer.hpp"
 
 namespace profisched::dist {
 
-/// Which engine backend a sharded sweep drives (the three SweepRunner modes).
+/// Which engine backend a sharded sweep drives (the three SweepRunner modes
+/// plus the optimizer, which fans through the same ranged core).
 enum class SweepMode {
   Analysis,  ///< SweepRunner::run      — `profisched sweep`
   Sim,       ///< SweepRunner::run_sim  — `profisched simulate`
   Combined,  ///< SweepRunner::run_combined — `profisched simulate --combined`
+  Optimize,  ///< opt::run_optimize    — `profisched optimize`
 };
 
 [[nodiscard]] std::string_view to_string(SweepMode m);
@@ -53,6 +56,10 @@ struct ShardPlan {
 struct ShardSpec {
   SweepMode mode = SweepMode::Analysis;
   engine::SimSweepSpec spec;
+  /// Search brackets for Optimize mode. Carried (and spec-compared) only in
+  /// that mode: the other modes' spec blocks stay byte-identical to the
+  /// pre-optimizer format.
+  opt::OptimizeOptions optimize;
 
   [[nodiscard]] std::uint64_t total_scenarios() const noexcept {
     return spec.sweep.total_scenarios();
@@ -60,7 +67,7 @@ struct ShardSpec {
 };
 
 /// One executed shard: the spec it ran under, its position in the plan, and
-/// the outcome rows of its id range (exactly one of the three vectors is
+/// the outcome rows of its id range (exactly one of the four vectors is
 /// populated, per mode). Serializes to a line-oriented text artifact that
 /// parses back exactly (detail/serialize.hpp primitives: locale-independent,
 /// doubles in shortest-round-trip form).
@@ -73,6 +80,7 @@ struct ShardArtifact {
   std::vector<engine::ScenarioOutcome> analysis;
   std::vector<engine::SimScenarioOutcome> sim;
   std::vector<engine::CombinedOutcome> combined;
+  std::vector<opt::OptimizeOutcome> optimize;
 
   /// Result-cache statistics of the run that produced this artifact, from
   /// the SweepRunner's own counters (which treat undecodable or mismatched
@@ -117,6 +125,7 @@ struct MergedSweep {
   engine::SweepResult analysis;
   engine::SimSweepResult sim;
   engine::CombinedResult combined;
+  opt::OptimizeResult optimize;
 };
 
 /// Reassemble one sweep from its shard artifacts. Validation is strict and

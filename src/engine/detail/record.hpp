@@ -1,0 +1,61 @@
+// record.hpp — tiny space-separated integer record format for result-cache
+// payloads. Every cached column is integral, so decode(encode(x)) == x
+// exactly; records carry a leading kind+version tag and decode strictly
+// (wrong tag, trailing garbage or non-integer tokens all read as "not a
+// record", which callers treat as a cache miss). Shared by the sweep runner's
+// analysis/sim/combined records and the optimizer's records (src/opt/).
+#pragma once
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+namespace profisched::engine::detail {
+
+inline void append_i64(std::string& out, long long v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+inline void append_u64(std::string& out, unsigned long long v) {
+  out += ' ';
+  out += std::to_string(v);
+}
+
+/// Strict space-separated integer reader over a record payload.
+class RecordReader {
+ public:
+  explicit RecordReader(const std::string& text) : text_(text) {}
+
+  bool tag(const char* expected) {
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ' ') ++end;
+    if (text_.compare(pos_, end - pos_, expected) != 0) return false;
+    pos_ = end < text_.size() ? end + 1 : end;
+    return true;
+  }
+
+  template <class T>
+  bool i64(T& v) { return parse(v); }
+
+  template <class T>
+  bool u64(T& v) { return parse(v); }
+
+  [[nodiscard]] bool done() const noexcept { return pos_ >= text_.size(); }
+
+ private:
+  template <class T>
+  bool parse(T& v) {
+    std::size_t end = pos_;
+    while (end < text_.size() && text_[end] != ' ') ++end;
+    const auto [ptr, ec] = std::from_chars(text_.data() + pos_, text_.data() + end, v);
+    if (ec != std::errc{} || ptr != text_.data() + end || end == pos_) return false;
+    pos_ = end < text_.size() ? end + 1 : end;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace profisched::engine::detail

@@ -8,16 +8,23 @@
 // pre-sized vector. Results are therefore bit-identical for any thread count
 // — the acceptance property tests/engine/test_sweep_runner.cpp locks in.
 //
-// The same machinery drives three backends over one scenario range:
+// The same machinery drives every backend over one scenario range, through a
+// single ranged core surface (run_scenarios): each mode is an adapter that
+// sets up its engines/cache digests and hands the core a per-scenario
+// callback. Every entry point takes an optional IdRange — the full-sweep
+// overloads are thin wrappers passing [0, total):
 //   run()          — analysis only (AnalysisEngine);
 //   run_sim()      — simulation only (SimulationEngine, replicated runs with
 //                    (seed, scenario, replication)-keyed RNG streams);
 //   run_combined() — both on the SAME generated scenarios, joining each
 //                    analytic verdict/bound with the observed simulation
-//                    behaviour (the analysis-vs-simulation acceptance data).
+//                    behaviour (the analysis-vs-simulation acceptance data);
+//   opt::run_optimize() (src/opt/) — per-scenario parameter synthesis,
+//                    driving the same core from outside this header.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "engine/analysis_engine.hpp"
@@ -106,16 +113,22 @@ struct ScenarioOutcome {
   std::vector<Ticks> worst_slack;
 };
 
-/// Whole-sweep result. `outcomes` is indexed by global scenario id (minus the
-/// range's begin for a ranged run), so its content is independent of thread
-/// count and scheduling order.
-struct SweepResult {
-  std::vector<ScenarioOutcome> outcomes;
-  double elapsed_s = 0.0;      ///< wall clock (NOT part of the deterministic data)
+/// Run-wide bookkeeping every mode's result carries: wall clock plus
+/// memo/cache counters. None of it is part of the deterministic data — the
+/// outcome vectors alone define a run's identity.
+struct RunStats {
+  double elapsed_s = 0.0;      ///< wall clock
   std::size_t memo_hits = 0;   ///< timing-memo reuse across policies
   std::size_t memo_misses = 0;
   std::size_t cache_hits = 0;    ///< result-cache lookups served (0 without a cache)
   std::size_t cache_misses = 0;  ///< result-cache lookups recomputed
+};
+
+/// Whole-sweep result. `outcomes` is indexed by global scenario id (minus the
+/// range's begin for a ranged run), so its content is independent of thread
+/// count and scheduling order.
+struct SweepResult : RunStats {
+  std::vector<ScenarioOutcome> outcomes;
 };
 
 /// A sweep whose scenarios are simulated instead of (or as well as) analysed.
@@ -148,11 +161,11 @@ struct SimScenarioOutcome {
   std::vector<std::uint64_t> dropped;
 };
 
-struct SimSweepResult {
+/// Simulation sweeps never touch the analysis memo, so memo_hits/misses stay
+/// 0; the struct still carries the full RunStats so every mode reports the
+/// same way.
+struct SimSweepResult : RunStats {
   std::vector<SimScenarioOutcome> outcomes;  ///< indexed by global scenario id
-  double elapsed_s = 0.0;  ///< wall clock (NOT part of the deterministic data)
-  std::size_t cache_hits = 0;
-  std::size_t cache_misses = 0;
 };
 
 /// Per-scenario joined analysis + simulation result (combined mode).
@@ -168,13 +181,8 @@ struct CombinedOutcome {
   std::vector<std::uint64_t> bound_violations;
 };
 
-struct CombinedResult {
+struct CombinedResult : RunStats {
   std::vector<CombinedOutcome> outcomes;  ///< indexed by global scenario id
-  double elapsed_s = 0.0;
-  std::size_t memo_hits = 0;
-  std::size_t memo_misses = 0;
-  std::size_t cache_hits = 0;
-  std::size_t cache_misses = 0;
 
   /// Total streams (across scenarios and policies) whose observed response
   /// exceeded the analytic bound. Must be 0 for a sound analysis.
@@ -196,34 +204,51 @@ class SweepRunner {
   /// Regenerate scenario `id` of the sweep (id in [0, total_scenarios())).
   [[nodiscard]] static Scenario make_scenario(const SweepSpec& spec, std::uint64_t id);
 
-  /// Run the whole sweep across the pool. With a cache, each (scenario,
-  /// policy) result is looked up by content address first and only misses are
-  /// computed (and stored) — the outcomes are bit-identical either way.
+  /// Per-scenario worker callback for run_scenarios: global scenario id, the
+  /// outcome slot it must write (id - range.begin), and the worker slot
+  /// (index into any per-worker state such as engine vectors).
+  using ScenarioFn = std::function<void(std::uint64_t id, std::size_t slot, unsigned worker)>;
+
+  /// The one ranged execution core every mode shares: validates `range`
+  /// against `total`, fans fn(id, slot, worker) across the pool for each id
+  /// in [range.begin, range.end), captures the first worker exception and
+  /// rethrows it on the calling thread after the pool drains, and records the
+  /// wall clock in `stats`. Callers size their outcome vector to
+  /// range.size() beforehand and write only their own slot — that (plus
+  /// index-keyed generation) is the whole thread-count-invariance argument.
+  /// Public so out-of-header modes (src/opt/) drive the identical surface.
+  void run_scenarios(std::uint64_t total, IdRange range, RunStats& stats,
+                     const ScenarioFn& fn);
+
+  /// Analyse the scenarios with ids in `range` (a shard of the sweep).
+  /// Outcomes land at slot id - range.begin; their content is exactly what
+  /// the same slots of a [0, total) run would hold, which is what makes
+  /// shard execution mergeable back into the single-process result
+  /// (src/dist/). With a cache, each (scenario, policy) result is looked up
+  /// by content address first and only misses are computed (and stored) —
+  /// the outcomes are bit-identical either way.
+  [[nodiscard]] SweepResult run(const SweepSpec& spec, IdRange range,
+                                ScenarioCache* cache = nullptr);
+
+  /// Whole-sweep wrapper: run over [0, total_scenarios()).
   [[nodiscard]] SweepResult run(const SweepSpec& spec, ScenarioCache* cache = nullptr);
 
-  /// Run only the scenarios with ids in `range` (a shard of the sweep).
-  /// Outcomes land at slot id - range.begin; their content is exactly what
-  /// the same slots of a full run() would hold, which is what makes shard
-  /// execution mergeable back into the single-process result (src/dist/).
-  [[nodiscard]] SweepResult run_range(const SweepSpec& spec, IdRange range,
-                                      ScenarioCache* cache = nullptr);
+  /// Simulate the ranged scenarios under every policy × `replications`.
+  /// Outcomes are bit-identical for any thread count (generation and RNG
+  /// streams are index-keyed).
+  [[nodiscard]] SimSweepResult run_sim(const SimSweepSpec& spec, IdRange range,
+                                       ScenarioCache* cache = nullptr);
 
-  /// Simulate every scenario of the sweep under every policy ×
-  /// `replications`, fanned across the pool. Outcomes are bit-identical for
-  /// any thread count (generation and RNG streams are index-keyed).
+  /// Whole-sweep wrapper: run_sim over [0, total_scenarios()).
   [[nodiscard]] SimSweepResult run_sim(const SimSweepSpec& spec, ScenarioCache* cache = nullptr);
 
-  /// Ranged variant of run_sim (see run_range).
-  [[nodiscard]] SimSweepResult run_sim_range(const SimSweepSpec& spec, IdRange range,
-                                             ScenarioCache* cache = nullptr);
-
-  /// Analyse AND simulate every scenario, joining the verdicts per policy.
-  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec,
+  /// Analyse AND simulate the ranged scenarios, joining verdicts per policy.
+  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec, IdRange range,
                                             ScenarioCache* cache = nullptr);
 
-  /// Ranged variant of run_combined (see run_range).
-  [[nodiscard]] CombinedResult run_combined_range(const SimSweepSpec& spec, IdRange range,
-                                                  ScenarioCache* cache = nullptr);
+  /// Whole-sweep wrapper: run_combined over [0, total_scenarios()).
+  [[nodiscard]] CombinedResult run_combined(const SimSweepSpec& spec,
+                                            ScenarioCache* cache = nullptr);
 
   [[nodiscard]] unsigned threads() const noexcept;
 

@@ -1,0 +1,255 @@
+#include "opt/optimizer.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "engine/detail/hash.hpp"
+#include "engine/detail/record.hpp"
+#include "profibus/dm_analysis.hpp"
+#include "profibus/edf_analysis.hpp"
+#include "profibus/fcfs_analysis.hpp"
+#include "profibus/priority_assignment.hpp"
+
+namespace profisched::opt {
+
+bool optimizable(engine::Policy policy) {
+  switch (policy) {
+    case engine::Policy::Fcfs:
+    case engine::Policy::Dm:
+    case engine::Policy::Edf:
+    case engine::Policy::Opa:
+      return true;
+    default:
+      return false;
+  }
+}
+
+profibus::NetworkTest optimize_network_test(engine::Policy policy,
+                                            const engine::EngineOptions& engine) {
+  // Mirror AnalysisEngine::analyze_with exactly, minus the per-scenario memo
+  // (probes run on mutated networks, which a Scenario-id-keyed memo would
+  // poison): same method, formulation and fuel per policy, so the base
+  // verdict here equals the sweep's verdict for the same scenario.
+  switch (policy) {
+    case engine::Policy::Fcfs:
+      return [engine](const profibus::Network& net) {
+        return profibus::analyze_fcfs(net, engine.method).schedulable;
+      };
+    case engine::Policy::Dm:
+      return [engine](const profibus::Network& net) {
+        return profibus::analyze_dm(net, engine.method, engine.formulation, engine.fuel)
+            .schedulable;
+      };
+    case engine::Policy::Edf:
+      return [engine](const profibus::Network& net) {
+        return profibus::analyze_edf(net, engine.method, nullptr, engine.fuel).schedulable;
+      };
+    case engine::Policy::Opa:
+      return [engine](const profibus::Network& net) {
+        const auto orders =
+            profibus::audsley_stream_orders(net, engine.method, engine.formulation, engine.fuel);
+        if (!orders) return false;
+        return profibus::analyze_fixed_priority(net, *orders, engine.method, engine.formulation,
+                                                engine.fuel)
+            .schedulable;
+      };
+    default:
+      throw std::invalid_argument(std::string("optimize: policy ") +
+                                  std::string(engine::to_string(policy)) +
+                                  " has no verdict to bisect against");
+  }
+}
+
+double breakdown_utilization_at(const profibus::Network& net, Ticks q1024) {
+  if (q1024 <= 0) return 0.0;
+  return profibus::message_utilization(profibus::with_scaled_frames(net, q1024));
+}
+
+PolicyOptimum optimize_policy(const profibus::Network& net, const profibus::NetworkTest& test,
+                              const OptimizeOptions& options) {
+  PolicyOptimum o;
+  o.schedulable = test(net);
+
+  const auto breakdown = sensitivity::max_satisfying(
+      options.scale_lo_q, options.scale_hi_q,
+      [&](Ticks q) { return test(profibus::with_scaled_frames(net, q)); });
+  if (breakdown) {
+    o.breakdown_q = breakdown.value;
+    o.breakdown_cap = breakdown.cap_hit;
+    o.breakdown_u = breakdown_utilization_at(net, breakdown.value);
+  }
+
+  const auto ttr = profibus::max_schedulable_ttr(net, test, options.ttr_cap);
+  if (ttr) {
+    o.max_ttr = ttr.value;
+    o.ttr_cap_hit = ttr.cap_hit;
+  }
+
+  const auto dratio =
+      profibus::min_deadline_ratio(net, test, options.dratio_lo_q, options.dratio_hi_q);
+  if (dratio) {
+    o.min_dratio_q = dratio.value;
+    o.dratio_floor = dratio.cap_hit;
+  }
+  return o;
+}
+
+namespace {
+
+using engine::detail::append_i64;
+using engine::detail::append_u64;
+using engine::detail::RecordReader;
+
+// Cache record kind 4 ("z1"): the optimizer's entry in the shared ResultCache
+// namespace (1 = analysis, 2 = sim, 3 = combined). The payload stores only
+// integers — breakdown_u is a derived double and is recomputed from the
+// regenerated scenario on hits, keeping cached == recomputed exact.
+constexpr std::uint64_t kOptimizeRecordKind = 4;
+/// Bump when the record layout or search semantics change: old entries then
+/// miss cleanly instead of being misread.
+constexpr std::uint64_t kOptimizeRecordVersion = 1;
+
+std::uint64_t optimize_params_digest(engine::Policy policy, const engine::EngineOptions& eng,
+                                     const OptimizeOptions& opt) {
+  engine::detail::Fnv1a64 h;
+  h.u64(kOptimizeRecordKind)
+      .u64(kOptimizeRecordVersion)
+      .u64(static_cast<std::uint64_t>(policy))
+      .u64(static_cast<std::uint64_t>(eng.method))
+      .u64(static_cast<std::uint64_t>(eng.formulation))
+      .i64(eng.fuel)
+      .i64(opt.scale_lo_q)
+      .i64(opt.scale_hi_q)
+      .i64(opt.ttr_cap)
+      .i64(opt.dratio_lo_q)
+      .i64(opt.dratio_hi_q);
+  return h.digest();
+}
+
+std::string encode_optimize_record(const PolicyOptimum& o) {
+  std::string out = "z1";
+  append_u64(out, o.schedulable ? 1 : 0);
+  append_i64(out, o.breakdown_q);
+  append_u64(out, o.breakdown_cap ? 1 : 0);
+  append_i64(out, o.max_ttr);
+  append_u64(out, o.ttr_cap_hit ? 1 : 0);
+  append_i64(out, o.min_dratio_q);
+  append_u64(out, o.dratio_floor ? 1 : 0);
+  return out;
+}
+
+bool decode_optimize_record(const std::string& payload, PolicyOptimum& o) {
+  RecordReader r(payload);
+  long long bq = 0, ttr = 0, dq = 0;
+  unsigned long long sched = 0, bcap = 0, tcap = 0, dfloor = 0;
+  if (!r.tag("z1") || !r.u64(sched) || !r.i64(bq) || !r.u64(bcap) || !r.i64(ttr) ||
+      !r.u64(tcap) || !r.i64(dq) || !r.u64(dfloor) || !r.done() || sched > 1 || bcap > 1 ||
+      tcap > 1 || dfloor > 1) {
+    return false;
+  }
+  o.schedulable = sched == 1;
+  o.breakdown_q = bq;
+  o.breakdown_cap = bcap == 1;
+  o.max_ttr = ttr;
+  o.ttr_cap_hit = tcap == 1;
+  o.min_dratio_q = dq;
+  o.dratio_floor = dfloor == 1;
+  return true;
+}
+
+void validate_spec(const OptimizeSpec& spec) {
+  if (spec.sweep.policies.empty()) {
+    throw std::invalid_argument("OptimizeSpec: needs >= 1 policy");
+  }
+  for (const engine::Policy p : spec.sweep.policies) {
+    if (!optimizable(p)) {
+      throw std::invalid_argument(std::string("OptimizeSpec: policy ") +
+                                  std::string(engine::to_string(p)) + " cannot be optimized");
+    }
+  }
+  if (spec.sweep.points.empty() || spec.sweep.scenarios_per_point == 0) {
+    throw std::invalid_argument("OptimizeSpec: needs >= 1 point and >= 1 scenario per point");
+  }
+  const OptimizeOptions& o = spec.options;
+  if (o.scale_lo_q < 1 || o.scale_lo_q > o.scale_hi_q) {
+    throw std::invalid_argument("OptimizeOptions: scale bracket needs 1 <= lo <= hi");
+  }
+  if (o.dratio_lo_q < 1 || o.dratio_lo_q > o.dratio_hi_q) {
+    throw std::invalid_argument("OptimizeOptions: dratio bracket needs 1 <= lo <= hi");
+  }
+  if (o.ttr_cap < 1) {
+    throw std::invalid_argument("OptimizeOptions: ttr cap needs >= 1");
+  }
+}
+
+}  // namespace
+
+OptimizeResult run_optimize(engine::SweepRunner& runner, const OptimizeSpec& spec,
+                            engine::ScenarioCache* cache) {
+  return run_optimize(runner, spec, engine::IdRange{0, spec.sweep.total_scenarios()}, cache);
+}
+
+OptimizeResult run_optimize(engine::SweepRunner& runner, const OptimizeSpec& spec,
+                            engine::IdRange range, engine::ScenarioCache* cache) {
+  validate_spec(spec);
+  if (range.begin > range.end || range.end > spec.sweep.total_scenarios()) {
+    throw std::out_of_range("run_optimize: shard range outside the sweep");
+  }
+  OptimizeResult out;
+  out.outcomes.resize(static_cast<std::size_t>(range.size()));
+
+  // One predicate per policy, shared by every worker: the tests are stateless
+  // closures over pure analysis calls, safe to probe concurrently.
+  std::vector<profibus::NetworkTest> tests;
+  tests.reserve(spec.sweep.policies.size());
+  for (const engine::Policy p : spec.sweep.policies) {
+    tests.push_back(optimize_network_test(p, spec.sweep.engine));
+  }
+
+  std::vector<std::uint64_t> params(spec.sweep.policies.size(), 0);
+  if (cache != nullptr) {
+    for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+      params[p] = optimize_params_digest(spec.sweep.policies[p], spec.sweep.engine, spec.options);
+    }
+  }
+  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
+
+  const auto per_scenario = [&](std::uint64_t id, std::size_t i, unsigned) {
+    const engine::Scenario sc = engine::SweepRunner::make_scenario(spec.sweep, id);
+    // Optima are a pure function of network content + options (no RNG use
+    // past generation), so the scenario half of the key is the plain content
+    // hash — equal-content scenarios share entries like analysis records do.
+    const std::uint64_t content = cache != nullptr ? engine::canonical_hash(sc) : 0;
+
+    OptimizeOutcome& o = out.outcomes[i];  // disjoint slot per index
+    o.id = sc.id;
+    o.seed = sc.seed;
+    o.point = static_cast<std::size_t>(id) / spec.sweep.scenarios_per_point;
+    o.per_policy.reserve(spec.sweep.policies.size());
+    for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
+      const engine::CacheKey key{content, params[p]};
+      std::string payload;
+      PolicyOptimum po;
+      if (cache != nullptr && cache->load(key, payload) &&
+          decode_optimize_record(payload, po)) {
+        ++cache_hits;
+        po.breakdown_u = breakdown_utilization_at(sc.net, po.breakdown_q);
+        o.per_policy.push_back(po);
+        continue;
+      }
+      po = optimize_policy(sc.net, tests[p], spec.options);
+      o.per_policy.push_back(po);
+      if (cache != nullptr) {
+        ++cache_misses;
+        cache->store(key, encode_optimize_record(po));
+      }
+    }
+  };
+  runner.run_scenarios(spec.sweep.total_scenarios(), range, out, per_scenario);
+  out.cache_hits = cache_hits.load();
+  out.cache_misses = cache_misses.load();
+  return out;
+}
+
+}  // namespace profisched::opt

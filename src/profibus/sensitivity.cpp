@@ -4,78 +4,84 @@
 
 namespace profisched::profibus {
 
-namespace {
+NetworkTest network_test_for(ApPolicy policy, TcycleMethod method) {
+  return [policy, method](const Network& net) {
+    return analyze_network(net, policy, method).schedulable;
+  };
+}
 
-/// Scale every cycle length by q/1024, rounding up (pessimistic).
 Network with_scaled_frames(const Network& net, Ticks q1024) {
   Network out = net;
   for (Master& m : out.masters) {
     for (MessageStream& s : m.high_streams) {
-      s.Ch = std::max<Ticks>(ceil_div(sat_mul(s.Ch, q1024), 1024), 1);
+      s.Ch = std::max<Ticks>(ceil_div(sat_mul(s.Ch, q1024), sensitivity::kScaleOne), 1);
     }
-    m.longest_low_cycle = ceil_div(sat_mul(m.longest_low_cycle, q1024), 1024);
+    m.longest_low_cycle = ceil_div(sat_mul(m.longest_low_cycle, q1024), sensitivity::kScaleOne);
   }
   return out;
 }
 
-bool schedulable(const Network& net, ApPolicy policy) {
-  return analyze_network(net, policy).schedulable;
-}
-
-}  // namespace
-
-std::optional<Ticks> frame_growth_headroom(const Network& net, ApPolicy policy,
-                                           Ticks max_factor_q1024) {
-  if (!schedulable(net, policy)) return std::nullopt;
-  Ticks lo = 1024;  // known schedulable
-  Ticks hi = max_factor_q1024;
-  if (schedulable(with_scaled_frames(net, hi), policy)) return hi;
-  while (hi - lo > 1) {
-    const Ticks mid = lo + (hi - lo) / 2;
-    (schedulable(with_scaled_frames(net, mid), policy) ? lo : hi) = mid;
+Network with_deadline_ratio(const Network& net, Ticks beta_q1024) {
+  Network out = net;
+  for (Master& m : out.masters) {
+    for (MessageStream& s : m.high_streams) {
+      s.D = std::max(s.Ch, ceil_div(sat_mul(s.T, beta_q1024), sensitivity::kScaleOne));
+    }
   }
-  return lo;
+  return out;
 }
 
-std::optional<Ticks> stream_deadline_margin(const Network& net, ApPolicy policy,
-                                            std::size_t master, std::size_t stream) {
+Network with_ttr(const Network& net, Ticks ttr) {
+  Network out = net;
+  out.ttr = ttr;
+  return out;
+}
+
+double message_utilization(const Network& net) {
+  double u = 0.0;
+  for (const Master& m : net.masters) {
+    for (const MessageStream& s : m.high_streams) {
+      u += static_cast<double>(s.Ch) / static_cast<double>(s.T);
+    }
+  }
+  return u;
+}
+
+sensitivity::SensitivityResult frame_scaling_headroom(const Network& net,
+                                                      const NetworkTest& test,
+                                                      Ticks max_factor_q1024) {
+  // q = kScaleOne is the identity scaling, so the floor probe doubles as the
+  // "schedulable to begin with" check.
+  return sensitivity::max_satisfying(
+      sensitivity::kScaleOne, max_factor_q1024,
+      [&](Ticks q) { return test(with_scaled_frames(net, q)); });
+}
+
+sensitivity::SensitivityResult stream_deadline_margin(const Network& net,
+                                                      const NetworkTest& test,
+                                                      std::size_t master, std::size_t stream) {
   const MessageStream& target = net.masters.at(master).high_streams.at(stream);
   const auto with_deadline = [&](Ticks d) {
     Network modified = net;
     modified.masters[master].high_streams[stream].D = d;
     return modified;
   };
-  const Ticks floor = target.Ch;
-  const Ticks cap = sat_mul(target.T, 64);
-  if (!schedulable(with_deadline(cap), policy)) return std::nullopt;
-  if (schedulable(with_deadline(floor), policy)) return floor;
-
-  Ticks lo = floor;  // known unschedulable
-  Ticks hi = cap;    // known schedulable
-  while (hi - lo > 1) {
-    const Ticks mid = lo + (hi - lo) / 2;
-    (schedulable(with_deadline(mid), policy) ? hi : lo) = mid;
-  }
-  return hi;
+  const Ticks cap = sat_mul(target.T, sensitivity::kDefaultDeadlineCapMultiple);
+  return sensitivity::min_satisfying(target.Ch, cap,
+                                     [&](Ticks d) { return test(with_deadline(d)); });
 }
 
-std::optional<Ticks> max_schedulable_ttr_for(const Network& net, ApPolicy policy, Ticks cap) {
-  const auto with_ttr = [&](Ticks ttr) {
-    Network modified = net;
-    modified.ttr = ttr;
-    return modified;
-  };
+sensitivity::SensitivityResult max_schedulable_ttr(const Network& net, const NetworkTest& test,
+                                                   Ticks cap) {
   const Ticks floor = sat_add(net.ring_latency(), 1);
-  if (!schedulable(with_ttr(floor), policy)) return std::nullopt;
-  if (schedulable(with_ttr(cap), policy)) return cap;
+  return sensitivity::max_satisfying(floor, std::max(floor, cap),
+                                     [&](Ticks ttr) { return test(with_ttr(net, ttr)); });
+}
 
-  Ticks lo = floor;  // known schedulable
-  Ticks hi = cap;    // known unschedulable
-  while (hi - lo > 1) {
-    const Ticks mid = lo + (hi - lo) / 2;
-    (schedulable(with_ttr(mid), policy) ? lo : hi) = mid;
-  }
-  return lo;
+sensitivity::SensitivityResult min_deadline_ratio(const Network& net, const NetworkTest& test,
+                                                  Ticks lo_q1024, Ticks hi_q1024) {
+  return sensitivity::min_satisfying(
+      lo_q1024, hi_q1024, [&](Ticks q) { return test(with_deadline_ratio(net, q)); });
 }
 
 }  // namespace profisched::profibus

@@ -1,0 +1,85 @@
+// Property test (PR 6): the bisected breakdown scaling must bracket the
+// accept→reject flip run_usweep reports on the same scenario and policy.
+//
+// Both layers scale C identically (C -> clamp(ceil(C·q/1024), 1, T); with
+// D = T the usweep clamp [1, min(T, D)] coincides with the sensitivity
+// clamp [1, T]), so a usweep grid point with scale factor q_k probes the
+// EXACT task set the breakdown bisection probes at q_k. The verdict at every
+// grid point must therefore equal (q_k <= q*), with q* the bisected
+// breakdown boundary — across >= 100 UUniFast scenarios for each of the five
+// §2 policies.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hpp"
+#include "core/usweep.hpp"
+#include "sim/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace profisched {
+namespace {
+
+TaskSet implicit_deadline_base(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  workload::TaskSetParams p;
+  p.n = n;
+  p.total_u = 0.3;
+  p.deadline_lo = 1.0;  // D = T: the two scaling clamps coincide
+  p.deadline_hi = 1.0;
+  return workload::random_task_set(p, rng);
+}
+
+TEST(BreakdownVsUSweep, BisectionBracketsTheCoarseGridFlip) {
+  constexpr std::size_t kScenarios = 120;
+  const std::vector<Policy> policies{Policy::RateMonotonic, Policy::DeadlineMonotonic,
+                                     Policy::NpDeadlineMonotonic, Policy::Edf, Policy::NpEdf};
+
+  for (std::uint64_t seed = 1; seed <= kScenarios; ++seed) {
+    const TaskSet base = implicit_deadline_base(seed, 4 + seed % 6);
+    const double base_u = base.utilization();
+
+    USweepSpec spec;
+    spec.policies = policies;
+    for (std::size_t k = 0; k < 14; ++k) {
+      spec.u_grid.push_back(base_u * (1.0 + 0.2 * static_cast<double>(k)));
+    }
+    const USweepResult sweep = run_usweep(base, spec);
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const SchedulabilityTest test = test_for(policies[p]);
+      const sensitivity::SensitivityResult bd = sensitivity::breakdown_scaling(base, test);
+
+      for (std::size_t k = 0; k < spec.u_grid.size(); ++k) {
+        // The scale factor scale_to_utilization derives for this grid point —
+        // the same expression, so the probed task sets are identical.
+        const Ticks q_k =
+            static_cast<Ticks>(std::llround(spec.u_grid[k] / base_u * 1024.0));
+        ASSERT_GE(q_k, sensitivity::kScaleOne);  // grid starts at the base load
+        const bool expect_schedulable = bd.feasible && q_k <= bd.value;
+        EXPECT_EQ(sweep.points[k].cells[p].schedulable, expect_schedulable)
+            << "seed " << seed << " policy " << p << " grid point " << k << " (q=" << q_k
+            << ", breakdown q*="
+            << (bd.feasible ? std::to_string(bd.value) : std::string("infeasible")) << ")";
+      }
+
+      // And the breakdown utilization itself must land inside the coarse
+      // grid's flip interval: at least the last accepted point's actual
+      // utilization, below the first rejected point's.
+      if (bd.feasible && !bd.cap_hit) {
+        const double breakdown_u = sensitivity::utilization_at_scale(base, bd.value);
+        for (std::size_t k = 0; k < spec.u_grid.size(); ++k) {
+          const Ticks q_k =
+              static_cast<Ticks>(std::llround(spec.u_grid[k] / base_u * 1024.0));
+          if (q_k <= bd.value) {
+            EXPECT_GE(breakdown_u + 1e-12, sweep.points[k].u_actual)
+                << "seed " << seed << " policy " << p;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace profisched

@@ -1,5 +1,5 @@
 // Unit tests for the sensitivity analyses (scaling headroom, sustainable
-// deadlines, breakdown utilization).
+// deadlines, breakdown utilization), on the unified SensitivityResult API.
 #include "core/sensitivity.hpp"
 
 #include <gtest/gtest.h>
@@ -21,17 +21,16 @@ TEST(Sensitivity, UnschedulableSetHasNoHeadroom) {
       Task{.C = 3, .D = 6, .T = 6, .J = 0, .name = ""},
   }};
   const auto test = test_for(Policy::DeadlineMonotonic);
-  EXPECT_FALSE(breakdown_scaling(ts, test).has_value());
-  EXPECT_FALSE(execution_scaling_headroom(ts, 0, test).has_value());
-  EXPECT_FALSE(breakdown_utilization(ts, test).has_value());
+  EXPECT_FALSE(sensitivity::breakdown_scaling(ts, test).feasible);
+  EXPECT_FALSE(sensitivity::execution_scaling_headroom(ts, 0, test).feasible);
 }
 
 TEST(Sensitivity, SchedulableSetHasAtLeastFactorOne) {
   const TaskSet ts = classic();
   const auto test = test_for(Policy::DeadlineMonotonic);
-  const auto q = breakdown_scaling(ts, test);
-  ASSERT_TRUE(q.has_value());
-  EXPECT_GE(*q, 1024);
+  const auto q = sensitivity::breakdown_scaling(ts, test);
+  ASSERT_TRUE(q.feasible);
+  EXPECT_GE(q.value, sensitivity::kScaleOne);
 }
 
 TEST(Sensitivity, BoundaryIsExactToOneStep) {
@@ -41,12 +40,13 @@ TEST(Sensitivity, BoundaryIsExactToOneStep) {
   // stay equal under rounding; accept q in [1024, 1024 + small]).
   const TaskSet ts = classic();
   const auto test = test_for(Policy::DeadlineMonotonic);
-  const auto q = breakdown_scaling(ts, test);
-  ASSERT_TRUE(q.has_value());
-  // Verify exactness directly: scaling by *q keeps it schedulable, +1 flips
+  const auto q = sensitivity::breakdown_scaling(ts, test);
+  ASSERT_TRUE(q.feasible);
+  // Verify exactness directly: scaling by q keeps it schedulable, +1 flips
   // it or leaves C unchanged by rounding.
   EXPECT_TRUE(test(ts));
-  EXPECT_LT(*q, 2048);  // no 2x headroom in a set at its breakdown point
+  EXPECT_LT(q.value, 2048);  // no 2x headroom in a set at its breakdown point
+  EXPECT_FALSE(q.cap_hit);
 }
 
 TEST(Sensitivity, SingleTaskHeadroomAtLeastBreakdown) {
@@ -56,30 +56,32 @@ TEST(Sensitivity, SingleTaskHeadroomAtLeastBreakdown) {
       Task{.C = 3, .D = 20, .T = 20, .J = 0, .name = ""},
   }};
   const auto test = test_for(Policy::Edf);
-  const auto all = breakdown_scaling(ts, test);
-  ASSERT_TRUE(all.has_value());
+  const auto all = sensitivity::breakdown_scaling(ts, test);
+  ASSERT_TRUE(all.feasible);
   for (std::size_t i = 0; i < ts.size(); ++i) {
-    const auto one = execution_scaling_headroom(ts, i, test);
-    ASSERT_TRUE(one.has_value());
-    EXPECT_GE(*one, *all) << "task " << i;
+    const auto one = sensitivity::execution_scaling_headroom(ts, i, test);
+    ASSERT_TRUE(one.feasible);
+    EXPECT_GE(one.value, all.value) << "task " << i;
   }
 }
 
 TEST(Sensitivity, HeadroomCapRespected) {
   const TaskSet ts{{Task{.C = 1, .D = 1'000'000, .T = 1'000'000, .J = 0, .name = ""}}};
   const auto test = test_for(Policy::Edf);
-  const auto q = execution_scaling_headroom(ts, 0, test, /*max_factor_q1024=*/4 * 1024);
-  ASSERT_TRUE(q.has_value());
-  EXPECT_EQ(*q, 4 * 1024);  // capped, not unbounded
+  const auto q =
+      sensitivity::execution_scaling_headroom(ts, 0, test, /*max_factor_q1024=*/4 * 1024);
+  ASSERT_TRUE(q.feasible);
+  EXPECT_EQ(q.value, 4 * 1024);  // capped, not unbounded
+  EXPECT_TRUE(q.cap_hit);
 }
 
 TEST(Sensitivity, MinimumSustainableDeadlineExact) {
   // Single task under EDF: minimal D is exactly C.
   const TaskSet ts{{Task{.C = 7, .D = 50, .T = 50, .J = 0, .name = ""}}};
   const auto test = test_for(Policy::Edf);
-  const auto d = minimum_sustainable_deadline(ts, 0, test);
-  ASSERT_TRUE(d.has_value());
-  EXPECT_EQ(*d, 7);
+  const auto d = sensitivity::minimum_sustainable_deadline(ts, 0, test);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.value, 7);
 }
 
 TEST(Sensitivity, MinimumDeadlineAccountsForInterference) {
@@ -90,11 +92,11 @@ TEST(Sensitivity, MinimumDeadlineAccountsForInterference) {
       Task{.C = 3, .D = 40, .T = 40, .J = 0, .name = "lp"},
   }};
   const auto test = test_for(Policy::DeadlineMonotonic);
-  const auto d = minimum_sustainable_deadline(ts, 1, test);
-  ASSERT_TRUE(d.has_value());
+  const auto d = sensitivity::minimum_sustainable_deadline(ts, 1, test);
+  ASSERT_TRUE(d.feasible);
   // With D1 below 5 it outranks "hp" (R = 3, but then hp gets R = 5 <= 5 ok):
   // D1 = 3 works: order (lp, hp): R_lp = 3 <= 3, R_hp = 2+3 = 5 <= 5. So 3.
-  EXPECT_EQ(*d, 3);
+  EXPECT_EQ(d.value, 3);
 }
 
 TEST(Sensitivity, BreakdownUtilizationBetweenCurrentAndOne) {
@@ -103,10 +105,14 @@ TEST(Sensitivity, BreakdownUtilizationBetweenCurrentAndOne) {
       Task{.C = 2, .D = 25, .T = 25, .J = 0, .name = ""},
   }};  // U = 0.18
   const auto test = test_for(Policy::Edf);
-  const auto u = breakdown_utilization(ts, test);
-  ASSERT_TRUE(u.has_value());
-  EXPECT_GT(*u, ts.utilization());
-  EXPECT_LE(*u, 1.0 + 1e-9);
+  const auto q = sensitivity::breakdown_scaling(ts, test);
+  ASSERT_TRUE(q.feasible);
+  const double u = sensitivity::utilization_at_scale(ts, q.value);
+  EXPECT_GT(u, ts.utilization());
+  EXPECT_LE(u, 1.0 + 1e-9);
+  // Unscaled (q = 1024), utilization_at_scale reproduces the set's own U.
+  EXPECT_DOUBLE_EQ(sensitivity::utilization_at_scale(ts, sensitivity::kScaleOne),
+                   ts.utilization());
 }
 
 TEST(Sensitivity, EdfBreakdownHigherThanDm) {
@@ -115,10 +121,10 @@ TEST(Sensitivity, EdfBreakdownHigherThanDm) {
       Task{.C = 2, .D = 5, .T = 5, .J = 0, .name = ""},
       Task{.C = 2, .D = 7, .T = 7, .J = 0, .name = ""},
   }};
-  const auto q_dm = breakdown_scaling(ts, test_for(Policy::DeadlineMonotonic));
-  const auto q_edf = breakdown_scaling(ts, test_for(Policy::Edf));
-  ASSERT_TRUE(q_dm.has_value() && q_edf.has_value());
-  EXPECT_GE(*q_edf, *q_dm);
+  const auto q_dm = sensitivity::breakdown_scaling(ts, test_for(Policy::DeadlineMonotonic));
+  const auto q_edf = sensitivity::breakdown_scaling(ts, test_for(Policy::Edf));
+  ASSERT_TRUE(q_dm.feasible && q_edf.feasible);
+  EXPECT_GE(q_edf.value, q_dm.value);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+// Unit tests for the unified exact-binary-search core (PR 6): boundary
+// exactness, infeasible/cap conventions, probe counts, bracket validation,
+// and the deprecated pre-unification forwarders staying equivalent for their
+// final PR.
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hpp"
+#include "core/sensitivity_search.hpp"
+
+namespace profisched::sensitivity {
+namespace {
+
+TEST(SensitivitySearch, MaxSatisfyingFindsExactBoundary) {
+  for (Ticks boundary = 1; boundary <= 2'000; boundary += 97) {
+    const SensitivityResult r =
+        max_satisfying(1, 2'000, [&](Ticks v) { return v <= boundary; });
+    ASSERT_TRUE(r.feasible) << "boundary " << boundary;
+    EXPECT_EQ(r.value, boundary);
+    EXPECT_EQ(r.cap_hit, boundary >= 2'000);
+  }
+}
+
+TEST(SensitivitySearch, MinSatisfyingFindsExactBoundary) {
+  for (Ticks boundary = 1; boundary <= 2'000; boundary += 97) {
+    const SensitivityResult r =
+        min_satisfying(1, 2'000, [&](Ticks v) { return v >= boundary; });
+    ASSERT_TRUE(r.feasible) << "boundary " << boundary;
+    EXPECT_EQ(r.value, boundary);
+    EXPECT_EQ(r.cap_hit, boundary <= 1);  // floor already satisfies
+  }
+}
+
+TEST(SensitivitySearch, InfeasibleWhenNothingSatisfies) {
+  const SensitivityResult max = max_satisfying(10, 100, [](Ticks) { return false; });
+  EXPECT_FALSE(max.feasible);
+  EXPECT_FALSE(static_cast<bool>(max));
+  EXPECT_FALSE(max.to_optional().has_value());
+  EXPECT_EQ(max.probes, 1u);  // the floor probe alone decides
+
+  const SensitivityResult min = min_satisfying(10, 100, [](Ticks) { return false; });
+  EXPECT_FALSE(min.feasible);
+}
+
+TEST(SensitivitySearch, CapHitShortCircuitsTheBisection) {
+  const SensitivityResult r = max_satisfying(1, 1 << 20, [](Ticks) { return true; });
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.cap_hit);
+  EXPECT_EQ(r.value, 1 << 20);
+  EXPECT_EQ(r.probes, 2u);  // floor + ceiling, no interior probes
+}
+
+TEST(SensitivitySearch, SingletonBracket) {
+  const SensitivityResult yes = max_satisfying(42, 42, [](Ticks) { return true; });
+  ASSERT_TRUE(yes.feasible);
+  EXPECT_EQ(yes.value, 42);
+  EXPECT_TRUE(yes.cap_hit);
+
+  const SensitivityResult no = min_satisfying(42, 42, [](Ticks) { return false; });
+  EXPECT_FALSE(no.feasible);
+}
+
+TEST(SensitivitySearch, ProbeCountIsLogarithmic) {
+  const SensitivityResult r =
+      max_satisfying(1, 1 << 24, [](Ticks v) { return v <= 5'000'000; });
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.value, 5'000'000);
+  EXPECT_LE(r.probes, 27u);  // floor + ceiling + ~log2(2^24) interior probes
+}
+
+TEST(SensitivitySearch, RejectsEmptyBracket) {
+  EXPECT_THROW((void)max_satisfying(10, 9, [](Ticks) { return true; }),
+               std::invalid_argument);
+  EXPECT_THROW((void)min_satisfying(10, 9, [](Ticks) { return true; }),
+               std::invalid_argument);
+}
+
+// The deprecated optional-returning wrappers must forward exactly until they
+// are dropped next PR.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SensitivitySearch, DeprecatedForwardersStayEquivalent) {
+  std::vector<Task> tasks;
+  tasks.push_back(Task{.C = 10, .D = 100, .T = 100});
+  tasks.push_back(Task{.C = 20, .D = 200, .T = 200});
+  tasks.push_back(Task{.C = 40, .D = 400, .T = 400});
+  const TaskSet ts{std::move(tasks)};
+  const SchedulabilityTest test = test_for(Policy::DeadlineMonotonic);
+
+  const SensitivityResult bd = sensitivity::breakdown_scaling(ts, test);
+  EXPECT_EQ(profisched::breakdown_scaling(ts, test), bd.to_optional());
+
+  const SensitivityResult head = sensitivity::execution_scaling_headroom(ts, 0, test);
+  EXPECT_EQ(profisched::execution_scaling_headroom(ts, 0, test), head.to_optional());
+
+  const SensitivityResult dmin = sensitivity::minimum_sustainable_deadline(ts, 1, test);
+  EXPECT_EQ(profisched::minimum_sustainable_deadline(ts, 1, test), dmin.to_optional());
+
+  const std::optional<double> bu = profisched::breakdown_utilization(ts, test);
+  ASSERT_TRUE(bd.feasible);
+  ASSERT_TRUE(bu.has_value());
+  EXPECT_EQ(*bu, utilization_at_scale(ts, bd.value));
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace profisched::sensitivity

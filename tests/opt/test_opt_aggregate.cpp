@@ -1,0 +1,160 @@
+// OptimizeTable aggregation + serialization (PR 6): nearest-rank quantiles
+// on hand-built outcome sets, zero-filled infeasible cells, multi-axis
+// masters column gating, and exact CSV/JSON round trips (the golden-file and
+// shard-merge identities both ride on these).
+#include "opt/opt_aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace profisched::opt {
+namespace {
+
+OptimizeSpec two_point_spec() {
+  OptimizeSpec spec;
+  spec.sweep.points = {engine::SweepPoint{0.3, 0.5, 1.0}, engine::SweepPoint{0.7, 0.5, 1.0}};
+  spec.sweep.scenarios_per_point = 4;
+  spec.sweep.policies = {engine::Policy::Fcfs, engine::Policy::Dm};
+  return spec;
+}
+
+PolicyOptimum optimum(bool sched, Ticks bq, double bu, Ticks ttr, Ticks dq) {
+  PolicyOptimum po;
+  po.schedulable = sched;
+  po.breakdown_q = bq;
+  po.breakdown_u = bu;
+  po.max_ttr = ttr;
+  po.min_dratio_q = dq;
+  return po;
+}
+
+TEST(OptAggregate, QuantileIndexIsNearestRank) {
+  EXPECT_EQ(quantile_index(1, 50), 0u);
+  EXPECT_EQ(quantile_index(1, 90), 0u);
+  EXPECT_EQ(quantile_index(2, 50), 0u);   // ceil(0.5·2) = 1 → index 0
+  EXPECT_EQ(quantile_index(2, 90), 1u);   // ceil(0.9·2) = 2 → index 1
+  EXPECT_EQ(quantile_index(4, 50), 1u);
+  EXPECT_EQ(quantile_index(10, 50), 4u);
+  EXPECT_EQ(quantile_index(10, 90), 8u);
+  EXPECT_EQ(quantile_index(10, 100), 9u);
+  EXPECT_EQ(quantile_index(0, 50), 0u);  // degenerate, never dereferenced
+}
+
+TEST(OptAggregate, FoldsOutcomesIntoPerPointDistributions) {
+  const OptimizeSpec spec = two_point_spec();
+  OptimizeResult result;
+  // Point 0: FCFS feasible on 3 of 4 scenarios, DM on none.
+  for (std::size_t i = 0; i < 4; ++i) {
+    OptimizeOutcome o;
+    o.id = i;
+    o.point = 0;
+    const bool feasible = i < 3;
+    o.per_policy.push_back(optimum(feasible, feasible ? Ticks(1'000 + 100 * i) : 0,
+                                   feasible ? 0.5 + 0.1 * static_cast<double>(i) : 0.0,
+                                   feasible ? Ticks(10'000 + 1'000 * i) : 0,
+                                   feasible ? Ticks(512 + 64 * i) : 0));
+    o.per_policy.push_back(optimum(false, 0, 0.0, 0, 0));
+    result.outcomes.push_back(o);
+  }
+  const OptimizeTable table = aggregate_optimize(spec, result);
+
+  ASSERT_EQ(table.policies.size(), 2u);
+  EXPECT_EQ(table.policies[0], "FCFS");
+  ASSERT_EQ(table.points.size(), 2u);
+  const OptimumStats& fcfs = table.points[0].stats[0];
+  EXPECT_EQ(table.points[0].scenarios, 4u);
+  EXPECT_EQ(fcfs.schedulable, 3u);
+  EXPECT_EQ(fcfs.breakdown_feasible, 3u);
+  EXPECT_DOUBLE_EQ(fcfs.breakdown_u_min, 0.5);
+  EXPECT_DOUBLE_EQ(fcfs.breakdown_u_p50, 0.6);  // nearest rank of {0.5, 0.6, 0.7}
+  EXPECT_DOUBLE_EQ(fcfs.breakdown_u_p90, 0.7);
+  EXPECT_DOUBLE_EQ(fcfs.breakdown_u_max, 0.7);
+  EXPECT_EQ(fcfs.ttr_feasible, 3u);
+  EXPECT_EQ(fcfs.max_ttr_p50, 11'000);
+  EXPECT_EQ(fcfs.max_ttr_max, 12'000);
+  EXPECT_EQ(fcfs.dratio_feasible, 3u);
+  EXPECT_DOUBLE_EQ(fcfs.min_dratio_min, 512.0 / 1024.0);
+  EXPECT_DOUBLE_EQ(fcfs.min_dratio_p50, 576.0 / 1024.0);
+
+  // The all-infeasible DM cell zero-fills its quantiles.
+  const OptimumStats& dm = table.points[0].stats[1];
+  EXPECT_EQ(dm.schedulable, 0u);
+  EXPECT_EQ(dm.breakdown_feasible, 0u);
+  EXPECT_DOUBLE_EQ(dm.breakdown_u_p50, 0.0);
+  EXPECT_EQ(dm.max_ttr_max, 0);
+
+  // Point 1 received no outcomes (a shard-slice fold): zero scenarios.
+  EXPECT_EQ(table.points[1].scenarios, 0u);
+}
+
+TEST(OptAggregate, CsvRoundTripsExactly) {
+  const OptimizeSpec spec = two_point_spec();
+  OptimizeResult result;
+  for (std::size_t i = 0; i < 8; ++i) {
+    OptimizeOutcome o;
+    o.id = i;
+    o.point = i / 4;
+    o.per_policy.push_back(
+        optimum(i % 2 == 0, Ticks(900 + 31 * i), 0.25 + 0.05 * static_cast<double>(i),
+                Ticks(5'000 + 777 * i), Ticks(300 + 17 * i)));
+    o.per_policy.push_back(optimum(false, 0, 0.0, 0, 0));
+    result.outcomes.push_back(o);
+  }
+  const OptimizeTable table = aggregate_optimize(spec, result);
+  const std::string csv = table.to_csv();
+  EXPECT_EQ(OptimizeTable::from_csv(csv).to_csv(), csv);
+  // Classic (no masters axis) layout: 17 columns.
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "u,beta_lo,beta_hi,scenarios,policy,schedulable,breakdown_feasible,"
+            "breakdown_u_min,breakdown_u_p50,breakdown_u_p90,breakdown_u_max,ttr_feasible,"
+            "max_ttr_p50,max_ttr_max,dratio_feasible,min_dratio_p50,min_dratio_min");
+}
+
+TEST(OptAggregate, JsonRoundTripsExactly) {
+  const OptimizeSpec spec = two_point_spec();
+  OptimizeResult result;
+  OptimizeOutcome o;
+  o.point = 1;
+  o.per_policy.push_back(optimum(true, 2'048, 0.625, 40'000, 256));
+  o.per_policy.push_back(optimum(true, 1'024, 0.5, 20'000, 1'024));
+  result.outcomes.push_back(o);
+  const OptimizeTable table = aggregate_optimize(spec, result);
+  const std::string json = table.to_json();
+  EXPECT_EQ(OptimizeTable::from_json(json).to_json(), json);
+}
+
+TEST(OptAggregate, MastersAxisGatesTheExtraColumn) {
+  OptimizeSpec spec = two_point_spec();
+  spec.sweep.points[0].n_masters = 1;
+  spec.sweep.points[1].n_masters = 8;
+  OptimizeResult result;
+  OptimizeOutcome o;
+  o.point = 0;
+  o.per_policy.push_back(optimum(true, 1'100, 0.4, 9'000, 700));
+  o.per_policy.push_back(optimum(false, 0, 0.0, 0, 0));
+  result.outcomes.push_back(o);
+  const OptimizeTable table = aggregate_optimize(spec, result);
+
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("u,beta_lo,beta_hi,masters,"), std::string::npos);
+  const OptimizeTable back = OptimizeTable::from_csv(csv);
+  ASSERT_EQ(back.points.size(), 2u);
+  EXPECT_EQ(back.points[0].n_masters, 1u);
+  EXPECT_EQ(back.points[1].n_masters, 8u);
+  EXPECT_EQ(back.to_csv(), csv);
+
+  const std::string json = table.to_json();
+  EXPECT_NE(json.find("\"masters\": 8"), std::string::npos);
+  EXPECT_EQ(OptimizeTable::from_json(json).to_json(), json);
+}
+
+TEST(OptAggregate, FromCsvRejectsGarbage) {
+  EXPECT_THROW((void)OptimizeTable::from_csv(""), std::invalid_argument);
+  EXPECT_THROW((void)OptimizeTable::from_csv("a,b,c\n"), std::invalid_argument);
+  const OptimizeTable table = aggregate_optimize(two_point_spec(), OptimizeResult{});
+  std::string csv = table.to_csv();
+  csv += "0.5,0.5,1.0,4,FCFS,1\n";  // truncated row
+  EXPECT_THROW((void)OptimizeTable::from_csv(csv), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace profisched::opt

@@ -1,0 +1,63 @@
+// Golden lock (PR 6): the optimize tables for a small fixed spec are frozen
+// byte-for-byte on disk. Any change to the bisection order, quantile math,
+// serialization, or scenario generation shows up as a diff here
+// (regenerate deliberately with PROFISCHED_REGEN_GOLDEN=1).
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "opt/opt_aggregate.hpp"
+#include "opt/optimizer.hpp"
+
+namespace profisched::opt {
+namespace {
+
+constexpr const char* kCsvGolden = "tests/golden/optimize_pr6.csv";
+constexpr const char* kJsonGolden = "tests/golden/optimize_pr6.json";
+
+OptimizeSpec golden_spec() {
+  OptimizeSpec spec;
+  spec.sweep.base.n_masters = 2;
+  spec.sweep.base.streams_per_master = 3;
+  spec.sweep.base.ttr = 3'000;
+  spec.sweep.points = {engine::SweepPoint{0.3, 0.5, 1.0}, engine::SweepPoint{0.7, 0.5, 1.0}};
+  spec.sweep.scenarios_per_point = 6;
+  spec.sweep.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  spec.sweep.seed = 99;
+  return spec;
+}
+
+void check_golden(const char* path, const std::string& got) {
+  if (std::getenv("PROFISCHED_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing " << path
+                         << " (run with PROFISCHED_REGEN_GOLDEN=1 to create)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  // Byte-identical: the optimize output is part of the artifact contract —
+  // shard merges and cache hits are compared against these exact bytes.
+  ASSERT_EQ(got, want.str());
+}
+
+TEST(OptimizeGolden, CsvMatches) {
+  const OptimizeSpec spec = golden_spec();
+  engine::SweepRunner runner(2);
+  check_golden(kCsvGolden, aggregate_optimize(spec, run_optimize(runner, spec)).to_csv());
+}
+
+TEST(OptimizeGolden, JsonMatches) {
+  const OptimizeSpec spec = golden_spec();
+  engine::SweepRunner runner(2);
+  check_golden(kJsonGolden, aggregate_optimize(spec, run_optimize(runner, spec)).to_json());
+}
+
+}  // namespace
+}  // namespace profisched::opt

@@ -1,4 +1,5 @@
-// Unit tests for network-level sensitivity analysis.
+// Unit tests for network-level sensitivity analysis, on the unified
+// predicate-based SensitivityResult API.
 #include "profibus/sensitivity.hpp"
 
 #include <gtest/gtest.h>
@@ -13,23 +14,20 @@ Network demo() { return workload::scenarios::factory_cell(); }
 
 TEST(NetSensitivity, UnschedulableHasNoHeadroom) {
   const Network net = workload::scenarios::tight_deadline_mix();
-  EXPECT_FALSE(frame_growth_headroom(net, ApPolicy::Fcfs).has_value());  // FCFS fails already
-  EXPECT_TRUE(frame_growth_headroom(net, ApPolicy::Dm).has_value());
+  // FCFS fails already; DM holds.
+  EXPECT_FALSE(frame_scaling_headroom(net, network_test_for(ApPolicy::Fcfs)).feasible);
+  EXPECT_TRUE(frame_scaling_headroom(net, network_test_for(ApPolicy::Dm)).feasible);
 }
 
 TEST(NetSensitivity, FrameGrowthBoundaryExact) {
   const Network net = demo();
   for (const ApPolicy policy : {ApPolicy::Fcfs, ApPolicy::Dm, ApPolicy::Edf}) {
-    const auto q = frame_growth_headroom(net, policy);
-    ASSERT_TRUE(q.has_value()) << to_string(policy);
-    EXPECT_GE(*q, 1024);
+    const auto q = frame_scaling_headroom(net, network_test_for(policy));
+    ASSERT_TRUE(q.feasible) << to_string(policy);
+    EXPECT_GE(q.value, sensitivity::kScaleOne);
     // Exactness: schedulable at q, not at q+1 (unless capped).
-    if (*q < 64 * 1024) {
-      Network grown = net;
-      for (auto& m : grown.masters) {
-        for (auto& s : m.high_streams) s.Ch = ceil_div(sat_mul(s.Ch, *q + 1), 1024);
-        m.longest_low_cycle = ceil_div(sat_mul(m.longest_low_cycle, *q + 1), 1024);
-      }
+    if (!q.cap_hit) {
+      const Network grown = with_scaled_frames(net, q.value + 1);
       EXPECT_FALSE(analyze_network(grown, policy).schedulable) << to_string(policy);
     }
   }
@@ -39,10 +37,10 @@ TEST(NetSensitivity, PriorityQueuesHaveMoreFrameHeadroomThanFcfs) {
   // factory_cell's T_TR sits at the eq.-15 maximum: FCFS has zero slack, so
   // DM/EDF must tolerate at least as much frame growth.
   const Network net = demo();
-  const auto f = frame_growth_headroom(net, ApPolicy::Fcfs);
-  const auto d = frame_growth_headroom(net, ApPolicy::Dm);
-  ASSERT_TRUE(f.has_value() && d.has_value());
-  EXPECT_GE(*d, *f);
+  const auto f = frame_scaling_headroom(net, network_test_for(ApPolicy::Fcfs));
+  const auto d = frame_scaling_headroom(net, network_test_for(ApPolicy::Dm));
+  ASSERT_TRUE(f.feasible && d.feasible);
+  EXPECT_GE(d.value, f.value);
 }
 
 TEST(NetSensitivity, DeadlineMarginMatchesResponseBoundForFcfs) {
@@ -50,36 +48,36 @@ TEST(NetSensitivity, DeadlineMarginMatchesResponseBoundForFcfs) {
   // sustainable deadline IS the bound.
   const Network net = demo();
   const NetworkAnalysis a = analyze_network(net, ApPolicy::Fcfs);
-  const auto d = stream_deadline_margin(net, ApPolicy::Fcfs, 1, 0);
-  ASSERT_TRUE(d.has_value());
-  EXPECT_EQ(*d, a.masters[1].streams[0].response);
+  const auto d = stream_deadline_margin(net, network_test_for(ApPolicy::Fcfs), 1, 0);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.value, a.masters[1].streams[0].response);
 }
 
 TEST(NetSensitivity, DmDeadlineMarginBelowFcfs) {
   // The tightest robot stream can sustain a smaller deadline under DM than
   // under FCFS — the paper's claim as a margin statement.
   const Network net = demo();
-  const auto fcfs = stream_deadline_margin(net, ApPolicy::Fcfs, 1, 0);
-  const auto dm = stream_deadline_margin(net, ApPolicy::Dm, 1, 0);
-  ASSERT_TRUE(fcfs.has_value() && dm.has_value());
-  EXPECT_LT(*dm, *fcfs);
+  const auto fcfs = stream_deadline_margin(net, network_test_for(ApPolicy::Fcfs), 1, 0);
+  const auto dm = stream_deadline_margin(net, network_test_for(ApPolicy::Dm), 1, 0);
+  ASSERT_TRUE(fcfs.feasible && dm.feasible);
+  EXPECT_LT(dm.value, fcfs.value);
 }
 
 TEST(NetSensitivity, MaxTtrForFcfsMatchesEq15) {
   // The generic search must reproduce the closed-form eq.-15 maximum.
   const Network net = demo();
-  const auto searched = max_schedulable_ttr_for(net, ApPolicy::Fcfs);
+  const auto searched = max_schedulable_ttr(net, network_test_for(ApPolicy::Fcfs));
   const auto closed_form = max_schedulable_ttr(net);
-  ASSERT_TRUE(searched.has_value() && closed_form.has_value());
-  EXPECT_EQ(*searched, *closed_form);
+  ASSERT_TRUE(searched.feasible && closed_form.has_value());
+  EXPECT_EQ(searched.value, *closed_form);
 }
 
 TEST(NetSensitivity, MaxTtrOrderedByPolicyStrength) {
   const Network net = demo();
-  const auto f = max_schedulable_ttr_for(net, ApPolicy::Fcfs);
-  const auto d = max_schedulable_ttr_for(net, ApPolicy::Dm);
-  ASSERT_TRUE(f.has_value() && d.has_value());
-  EXPECT_GT(*d, *f);  // E9's observation, now as an exact margin
+  const auto f = max_schedulable_ttr(net, network_test_for(ApPolicy::Fcfs));
+  const auto d = max_schedulable_ttr(net, network_test_for(ApPolicy::Dm));
+  ASSERT_TRUE(f.feasible && d.feasible);
+  EXPECT_GT(d.value, f.value);  // E9's observation, now as an exact margin
 }
 
 TEST(NetSensitivity, DeadlineMarginUnattainableWhenMasterOverloaded) {
@@ -91,7 +89,32 @@ TEST(NetSensitivity, DeadlineMarginUnattainableWhenMasterOverloaded) {
       MessageStream{.Ch = 300, .D = 3'000, .T = 2'100, .J = 0, .name = ""},
   };
   net.masters = {m};
-  EXPECT_FALSE(stream_deadline_margin(net, ApPolicy::Dm, 0, 1).has_value());
+  EXPECT_FALSE(stream_deadline_margin(net, network_test_for(ApPolicy::Dm), 0, 1).feasible);
+}
+
+TEST(NetSensitivity, MinDeadlineRatioBoundaryExact) {
+  const Network net = demo();
+  for (const ApPolicy policy : {ApPolicy::Dm, ApPolicy::Edf}) {
+    const auto test = network_test_for(policy);
+    const auto beta = min_deadline_ratio(net, test);
+    ASSERT_TRUE(beta.feasible) << to_string(policy);
+    EXPECT_TRUE(test(with_deadline_ratio(net, beta.value))) << to_string(policy);
+    if (!beta.cap_hit) {
+      EXPECT_FALSE(test(with_deadline_ratio(net, beta.value - 1))) << to_string(policy);
+    }
+  }
+}
+
+TEST(NetSensitivity, MessageUtilizationSumsStreams) {
+  Network net;
+  net.ttr = 2'000;
+  Master m;
+  m.high_streams = {
+      MessageStream{.Ch = 100, .D = 1'000, .T = 1'000, .J = 0, .name = ""},
+      MessageStream{.Ch = 300, .D = 2'000, .T = 2'000, .J = 0, .name = ""},
+  };
+  net.masters = {m, m};
+  EXPECT_DOUBLE_EQ(message_utilization(net), 2 * (0.1 + 0.15));
 }
 
 }  // namespace

@@ -23,8 +23,20 @@
 //                       [--csv FILE] [--json FILE] [--cache DIR]
 //     (--u / --beta / --masters each expand to an axis; the sweep runs their
 //      full cross product. --split/--skew shape the per-master load division.)
-//   profisched shard    --shard k/K --out FILE [--mode sweep|simulate|combined]
-//                       [--cache DIR] [every sweep/simulate flag above]
+//   profisched optimize [--scenarios N] [--masters N[,N,...]] [--streams N]
+//                       [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]
+//                       [--beta-hi X] [--split w1,...,wK] [--skew S]
+//                       [--policies fcfs,dm,edf,opa] [--threads N] [--seed N]
+//                       [--ttr TICKS] [--method paper|refined]
+//                       [--scale-lo X] [--scale-hi X] [--ttr-cap TICKS]
+//                       [--dratio-lo X] [--dratio-hi X]
+//                       [--csv FILE] [--json FILE] [--cache DIR]
+//     (per scenario and policy, bisect the exact breakdown utilization, the
+//      largest schedulable T_TR, and the smallest sustainable D/T ratio;
+//      emits per-point distribution quantiles)
+//   profisched shard    --shard k/K --out FILE
+//                       [--mode sweep|simulate|combined|optimize]
+//                       [--cache DIR] [every sweep/simulate/optimize flag]
 //     (runs shard k's contiguous slice of the sweep's N scenario ids —
 //      near-equal slices, the first N mod K shards one scenario larger
 //      (dist::ShardPlan::split) — and writes one artifact; K artifacts
@@ -51,6 +63,8 @@
 #include "engine/aggregate.hpp"
 #include "engine/sim_aggregate.hpp"
 #include "engine/sim_cli.hpp"
+#include "opt/opt_aggregate.hpp"
+#include "opt/opt_cli.hpp"
 #include "profibus/dispatching.hpp"
 #include "profibus/priority_assignment.hpp"
 #include "profibus/ttr_setting.hpp"
@@ -76,6 +90,14 @@ int usage() {
                "                      [--model worst|uniform|frame] [--quantile Q] [--lp]\n"
                "                      [--combined] [--csv FILE] [--json FILE] [--cache DIR]\n"
                "  profisched ttr      <file.ini>\n"
+               "  profisched optimize [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
+               "                      [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]\n"
+               "                      [--beta-hi X] [--split w1,...,wK] [--skew S]\n"
+               "                      [--policies fcfs,dm,edf,opa] [--threads N] [--seed N]\n"
+               "                      [--ttr TICKS] [--method paper|refined]\n"
+               "                      [--scale-lo X] [--scale-hi X] [--ttr-cap TICKS]\n"
+               "                      [--dratio-lo X] [--dratio-hi X]\n"
+               "                      [--csv FILE] [--json FILE] [--cache DIR]\n"
                "  profisched sweep    [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
                "                      [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]\n"
                "                      [--beta-hi X] [--split w1,...,wK] [--skew S]\n"
@@ -83,8 +105,9 @@ int usage() {
                "                      [--threads N] [--seed N] [--ttr TICKS]\n"
                "                      [--method paper|refined] [--csv FILE] [--json FILE]\n"
                "                      [--cache DIR]\n"
-               "  profisched shard    --shard k/K --out FILE [--mode sweep|simulate|combined]\n"
-               "                      [--cache DIR] [sweep/simulate flags]\n"
+               "  profisched shard    --shard k/K --out FILE\n"
+               "                      [--mode sweep|simulate|combined|optimize]\n"
+               "                      [--cache DIR] [sweep/simulate/optimize flags]\n"
                "  profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...\n");
   return 2;
 }
@@ -512,6 +535,64 @@ int cmd_simulate_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_optimize(int argc, char** argv) {
+  opt::OptimizeCli cli;
+  std::string error;
+  if (!opt::parse_optimize_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+
+  engine::SweepRunner runner(cli.threads);
+  std::printf("optimize: %zu scenarios (%zu points x %zu), %s masters x %zu streams, "
+              "%u thread%s, seed %llu\n",
+              cli.spec.sweep.total_scenarios(), cli.spec.sweep.points.size(),
+              cli.spec.sweep.scenarios_per_point,
+              masters_banner(cli.spec.sweep.base, cli.spec.sweep.points).c_str(),
+              cli.spec.sweep.base.streams_per_master, runner.threads(),
+              runner.threads() == 1 ? "" : "s",
+              static_cast<unsigned long long>(cli.spec.sweep.seed));
+  std::unique_ptr<dist::ResultCache> cache;
+  if (!cli.cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cli.cache_dir);
+  const opt::OptimizeResult result = opt::run_optimize(runner, cli.spec, cache.get());
+  const opt::OptimizeTable table = opt::aggregate_optimize(cli.spec, result);
+
+  // Median breakdown utilization per policy — the headline synthesis answer;
+  // the full distributions go to --csv/--json.
+  std::printf("\n%-8s", "U");
+  for (const std::string& p : table.policies) std::printf(" %12s", (p + ":bu").c_str());
+  std::printf("\n");
+  for (const opt::OptimizePoint& pt : table.points) {
+    std::printf("%-8.3f", pt.total_u);
+    for (std::size_t p = 0; p < table.policies.size(); ++p) {
+      std::printf(" %12.3f", pt.stats[p].breakdown_u_p50);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%zu scenarios x %zu policies in %.3f s (3 bisections each)\n",
+              result.outcomes.size(), cli.spec.sweep.policies.size(), result.elapsed_s);
+  if (cache) {
+    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
+                result.cache_misses, cache->dir().c_str());
+  }
+
+  if (!cli.csv_path.empty()) {
+    if (!write_output_file(cli.csv_path, table.to_csv())) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.csv_path.c_str());
+  }
+  if (!cli.json_path.empty()) {
+    if (!write_output_file(cli.json_path, table.to_json())) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.json_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_shard(int argc, char** argv) {
   dist::ShardCli cli;
   std::string error;
@@ -611,6 +692,9 @@ int cmd_merge(int argc, char** argv) {
       // falsifies the corresponding analysis, so the merge fails loudly too.
       return (table.accept_but_miss_count() > 0 || table.total_bound_violations() > 0) ? 1 : 0;
     }
+    case dist::SweepMode::Optimize:
+      return emit_both(opt::aggregate_optimize(
+          opt::OptimizeSpec{spec.sweep, merged.spec.optimize}, merged.optimize));
   }
   return 0;
 }
@@ -622,6 +706,14 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "sweep") == 0) {
     try {
       return cmd_sweep(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (std::strcmp(argv[1], "optimize") == 0) {
+    try {
+      return cmd_optimize(argc - 2, argv + 2);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
