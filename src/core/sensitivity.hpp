@@ -8,14 +8,9 @@
 // All searches run through the unified exact-binary-search core of
 // core/sensitivity_search.hpp and return its SensitivityResult (feasible /
 // cap_hit / value / probes), so the returned boundary is tight to one tick.
-//
-// The pre-unification std::optional<Ticks> signatures survive one PR as
-// deprecated inline forwarders at the bottom of this header (namespace
-// profisched); new code calls the profisched::sensitivity:: API.
 #pragma once
 
 #include <functional>
-#include <optional>
 
 #include "core/schedulability.hpp"
 #include "core/sensitivity_search.hpp"
@@ -68,40 +63,3 @@ namespace profisched::sensitivity {
 [[nodiscard]] double utilization_at_scale(const TaskSet& ts, Ticks q1024);
 
 }  // namespace profisched::sensitivity
-
-namespace profisched {
-
-// ----------------------------------------------------------------------
-// Deprecated pre-unification surface (kept one PR; forwards to the
-// sensitivity:: API above). New code should use profisched::sensitivity.
-
-[[deprecated("use sensitivity::execution_scaling_headroom")]] [[nodiscard]] inline std::optional<
-    Ticks>
-execution_scaling_headroom(const TaskSet& ts, std::size_t i, const SchedulabilityTest& test,
-                           Ticks max_factor_q1024 = sensitivity::kDefaultMaxScaleQ) {
-  return sensitivity::execution_scaling_headroom(ts, i, test, max_factor_q1024).to_optional();
-}
-
-[[deprecated("use sensitivity::breakdown_scaling")]] [[nodiscard]] inline std::optional<Ticks>
-breakdown_scaling(const TaskSet& ts, const SchedulabilityTest& test,
-                  Ticks max_factor_q1024 = sensitivity::kDefaultMaxScaleQ) {
-  return sensitivity::breakdown_scaling(ts, test, max_factor_q1024).to_optional();
-}
-
-[[deprecated("use sensitivity::minimum_sustainable_deadline")]] [[nodiscard]] inline std::
-    optional<Ticks>
-    minimum_sustainable_deadline(const TaskSet& ts, std::size_t i,
-                                 const SchedulabilityTest& test) {
-  return sensitivity::minimum_sustainable_deadline(ts, i, test).to_optional();
-}
-
-[[deprecated(
-    "use sensitivity::breakdown_scaling + utilization_at_scale")]] [[nodiscard]] inline std::
-    optional<double>
-    breakdown_utilization(const TaskSet& ts, const SchedulabilityTest& test) {
-  const sensitivity::SensitivityResult q = sensitivity::breakdown_scaling(ts, test);
-  if (!q) return std::nullopt;
-  return sensitivity::utilization_at_scale(ts, q.value);
-}
-
-}  // namespace profisched

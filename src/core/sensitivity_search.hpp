@@ -14,7 +14,6 @@
 #pragma once
 
 #include <functional>
-#include <optional>
 
 #include "core/time_types.hpp"
 
@@ -49,11 +48,6 @@ struct SensitivityResult {
   std::uint64_t probes = 0;
 
   explicit operator bool() const noexcept { return feasible; }
-
-  /// Bridge to the pre-unification convention (the deprecated forwarders).
-  [[nodiscard]] std::optional<Ticks> to_optional() const {
-    return feasible ? std::optional<Ticks>(value) : std::nullopt;
-  }
 };
 
 /// A monotone feasibility predicate over the searched parameter.

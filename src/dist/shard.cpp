@@ -205,6 +205,17 @@ void append_spec(std::string& out, const ShardSpec& sh) {
          ' ' + fmt_double_exact(so.horizon_cycles) + ' ' + std::to_string(so.horizon_cap) + ' ' +
          (so.lp_traffic ? '1' : '0') + ' ' + (so.collect_histograms ? '1' : '0') + ' ' +
          fmt_double_exact(so.quantile) + ' ' + std::to_string(sh.spec.replications) + '\n';
+  // Fault-injection knobs, emitted only when any are active: a zero-fault
+  // spec block stays byte-identical to the pre-fault format, and merge's
+  // spec byte-compare automatically refuses mixed fault/zero-fault shard
+  // sets.
+  if (so.faults.any()) {
+    const profibus::FaultModel& f = so.faults;
+    out += "faults " + fmt_double_exact(f.token_loss_prob) + ' ' +
+           std::to_string(f.token_recovery) + ' ' + fmt_double_exact(f.corruption_prob) + ' ' +
+           std::to_string(f.max_retransmissions) + ' ' + fmt_double_exact(f.churn_prob) + ' ' +
+           std::to_string(f.churn_offline) + ' ' + fmt_double_exact(f.burst_correlation) + '\n';
+  }
   // Optimize-mode search brackets, emitted only in that mode so every other
   // mode's spec block stays byte-identical to the pre-optimizer format.
   if (sh.mode == SweepMode::Optimize) {
@@ -277,6 +288,18 @@ void append_spec(std::string& out, const ShardSpec& sh) {
   o.quantile = to_double(so[8]);
   sh.spec.replications = to_size(so[9]);
 
+  if (r.peek_keyword() == "faults") {
+    const std::vector<std::string> f = r.line("faults", 7);
+    o.faults.token_loss_prob = to_double(f[0]);
+    o.faults.token_recovery = to_ll(f[1]);
+    o.faults.corruption_prob = to_double(f[2]);
+    o.faults.max_retransmissions = static_cast<int>(to_ll(f[3]));
+    o.faults.churn_prob = to_double(f[4]);
+    o.faults.churn_offline = to_ll(f[5]);
+    o.faults.burst_correlation = to_double(f[6]);
+    o.faults.validate();
+  }
+
   if (sh.mode == SweepMode::Optimize) {
     const std::vector<std::string> oo = r.line("optimize", 5);
     sh.optimize.scale_lo_q = to_ll(oo[0]);
@@ -334,17 +357,25 @@ std::string ShardArtifact::to_text() const {
         out += '\n';
       }
       break;
-    case SweepMode::Combined:
+    case SweepMode::Combined: {
+      // Fault-axis rows append the degraded verdict/bound per policy; the
+      // zero-fault row grammar is byte-identical to the pre-fault format.
+      const bool faulted = spec.spec.sim.faults.any();
       out += "outcomes " + std::to_string(combined.size()) + '\n';
       for (const engine::CombinedOutcome& o : combined) {
         append_sim_outcome(o.sim);
         for (std::size_t p = 0; p < n_pol; ++p) {
           out += std::string(" ") + (o.analytic_schedulable[p] ? '1' : '0') + ' ' +
                  std::to_string(o.analytic_wcrt[p]) + ' ' + std::to_string(o.bound_violations[p]);
+          if (faulted) {
+            out += std::string(" ") + (o.degraded_schedulable[p] ? '1' : '0') + ' ' +
+                   std::to_string(o.degraded_wcrt[p]);
+          }
         }
         out += '\n';
       }
       break;
+    }
     case SweepMode::Optimize:
       out += "outcomes " + std::to_string(optimize.size()) + '\n';
       for (const opt::OptimizeOutcome& o : optimize) {
@@ -428,14 +459,20 @@ ShardArtifact ShardArtifact::from_text(const std::string& text) {
         break;
       }
       case SweepMode::Combined: {
-        const std::vector<std::string> t = r.line("o", 4 + n_pol * 9);
+        const bool faulted = art.spec.spec.sim.faults.any();
+        const std::size_t per_pol = faulted ? 5 : 3;
+        const std::vector<std::string> t = r.line("o", 4 + n_pol * (6 + per_pol));
         engine::CombinedOutcome o;
         read_sim_outcome(t, 0, o.sim);
         const std::size_t base = 4 + n_pol * 6;
         for (std::size_t p = 0; p < n_pol; ++p) {
-          o.analytic_schedulable.push_back(to_bool01(t[base + p * 3 + 0]));
-          o.analytic_wcrt.push_back(to_ll(t[base + p * 3 + 1]));
-          o.bound_violations.push_back(to_u64(t[base + p * 3 + 2]));
+          o.analytic_schedulable.push_back(to_bool01(t[base + p * per_pol + 0]));
+          o.analytic_wcrt.push_back(to_ll(t[base + p * per_pol + 1]));
+          o.bound_violations.push_back(to_u64(t[base + p * per_pol + 2]));
+          if (faulted) {
+            o.degraded_schedulable.push_back(to_bool01(t[base + p * per_pol + 3]));
+            o.degraded_wcrt.push_back(to_ll(t[base + p * per_pol + 4]));
+          }
         }
         art.combined.push_back(std::move(o));
         break;

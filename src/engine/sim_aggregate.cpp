@@ -264,13 +264,13 @@ SimCurves aggregate_sim(const SimSweepSpec& spec, const SimSweepResult& result) 
 // ---------------------------------------------------------- ConsistencyTable
 
 std::string ConsistencyTable::to_csv() const {
-  std::string out =
-      multi_axis
-          ? "id,seed,u,beta_lo,beta_hi,masters,policy,analytic_schedulable,analytic_wcrt,"
-            "observed_max,observed_p99,misses,completed,dropped,bound_violations,"
-            "accept_but_miss,pessimism\n"
-          : "id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,observed_p99,"
-            "misses,completed,dropped,bound_violations,accept_but_miss,pessimism\n";
+  std::string out = "id,seed,u,";
+  if (multi_axis) out += "beta_lo,beta_hi,masters,";
+  out += "policy,analytic_schedulable,analytic_wcrt,";
+  if (fault_axis) out += "degraded_schedulable,degraded_wcrt,";
+  out +=
+      "observed_max,observed_p99,misses,completed,dropped,bound_violations,"
+      "accept_but_miss,pessimism\n";
   for (const ConsistencyRow& r : rows) {
     out += std::to_string(r.id) + ',' + std::to_string(r.seed) + ',' + fmt_double(r.total_u) +
            ',';
@@ -279,11 +279,15 @@ std::string ConsistencyTable::to_csv() const {
              std::to_string(r.n_masters) + ',';
     }
     out += r.policy + ',' + (r.analytic_schedulable ? '1' : '0') + ',' +
-           std::to_string(r.analytic_wcrt) + ',' + std::to_string(r.observed_max) + ',' +
-           std::to_string(r.observed_p99) + ',' + std::to_string(r.misses) + ',' +
-           std::to_string(r.completed) + ',' + std::to_string(r.dropped) + ',' +
-           std::to_string(r.bound_violations) + ',' + (r.accept_but_miss ? '1' : '0') + ',' +
-           fmt_double(r.pessimism()) + '\n';
+           std::to_string(r.analytic_wcrt) + ',';
+    if (fault_axis) {
+      out += std::string(1, r.degraded_schedulable ? '1' : '0') + ',' +
+             std::to_string(r.degraded_wcrt) + ',';
+    }
+    out += std::to_string(r.observed_max) + ',' + std::to_string(r.observed_p99) + ',' +
+           std::to_string(r.misses) + ',' + std::to_string(r.completed) + ',' +
+           std::to_string(r.dropped) + ',' + std::to_string(r.bound_violations) + ',' +
+           (r.accept_but_miss ? '1' : '0') + ',' + fmt_double(r.pessimism()) + '\n';
   }
   return out;
 }
@@ -295,12 +299,15 @@ ConsistencyTable ConsistencyTable::from_csv(const std::string& csv) {
   if (!std::getline(is, line)) {
     throw std::invalid_argument("ConsistencyTable: missing/short CSV header");
   }
-  // 14 columns = classic layout, 17 = extended with beta_lo/beta_hi/masters.
+  // 14 columns = classic layout; +3 for the multi-axis beta_lo/beta_hi/masters
+  // block, +2 for the fault-axis degraded block — each count is distinct, so
+  // the header width alone identifies the layout.
   const std::size_t n_cols = split(line, ',').size();
-  if (n_cols != 14 && n_cols != 17) {
+  if (n_cols != 14 && n_cols != 16 && n_cols != 17 && n_cols != 19) {
     throw std::invalid_argument("ConsistencyTable: missing/short CSV header");
   }
-  out.multi_axis = n_cols == 17;
+  out.multi_axis = n_cols == 17 || n_cols == 19;
+  out.fault_axis = n_cols == 16 || n_cols == 19;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> cells = split(line, ',');
@@ -321,13 +328,19 @@ ConsistencyTable ConsistencyTable::from_csv(const std::string& csv) {
     r.policy = cells[c + 0];
     r.analytic_schedulable = cells[c + 1] == "1";
     r.analytic_wcrt = to_ll(cells[c + 2]);
-    r.observed_max = to_ll(cells[c + 3]);
-    r.observed_p99 = to_ll(cells[c + 4]);
-    r.misses = static_cast<std::uint64_t>(to_ll(cells[c + 5]));
-    r.completed = static_cast<std::uint64_t>(to_ll(cells[c + 6]));
-    r.dropped = static_cast<std::uint64_t>(to_ll(cells[c + 7]));
-    r.bound_violations = static_cast<std::uint64_t>(to_ll(cells[c + 8]));
-    r.accept_but_miss = cells[c + 9] == "1";
+    c += 3;
+    if (out.fault_axis) {
+      r.degraded_schedulable = cells[c] == "1";
+      r.degraded_wcrt = to_ll(cells[c + 1]);
+      c += 2;
+    }
+    r.observed_max = to_ll(cells[c + 0]);
+    r.observed_p99 = to_ll(cells[c + 1]);
+    r.misses = static_cast<std::uint64_t>(to_ll(cells[c + 2]));
+    r.completed = static_cast<std::uint64_t>(to_ll(cells[c + 3]));
+    r.dropped = static_cast<std::uint64_t>(to_ll(cells[c + 4]));
+    r.bound_violations = static_cast<std::uint64_t>(to_ll(cells[c + 5]));
+    r.accept_but_miss = cells[c + 6] == "1";
     // The trailing pessimism column is derived; recomputed on demand.
     out.rows.push_back(std::move(r));
   }
@@ -335,11 +348,13 @@ ConsistencyTable ConsistencyTable::from_csv(const std::string& csv) {
 }
 
 std::string ConsistencyTable::to_json() const {
-  // The multi-axis flag must survive JSON round-trips even with zero rows
-  // (the per-row axis keys cannot carry it then), so extended tables lead
-  // with an explicit marker. Classic tables keep the historical grammar.
-  std::string out = multi_axis ? "{\n  \"multi_axis\": true,\n  \"rows\": [\n"
-                               : "{\n  \"rows\": [\n";
+  // The multi-axis / fault-axis flags must survive JSON round-trips even with
+  // zero rows (the per-row keys cannot carry them then), so extended tables
+  // lead with explicit markers. Classic tables keep the historical grammar.
+  std::string out = "{\n";
+  if (multi_axis) out += "  \"multi_axis\": true,\n";
+  if (fault_axis) out += "  \"fault_axis\": true,\n";
+  out += "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ConsistencyRow& r = rows[i];
     out += "    {\"id\": " + std::to_string(r.id) + ", \"seed\": " + std::to_string(r.seed) +
@@ -351,8 +366,13 @@ std::string ConsistencyTable::to_json() const {
     }
     out += ", \"policy\": \"" + r.policy +
            "\", \"analytic_schedulable\": " + (r.analytic_schedulable ? "true" : "false") +
-           ", \"analytic_wcrt\": " + std::to_string(r.analytic_wcrt) +
-           ", \"observed_max\": " + std::to_string(r.observed_max) +
+           ", \"analytic_wcrt\": " + std::to_string(r.analytic_wcrt);
+    if (fault_axis) {
+      out += std::string(", \"degraded_schedulable\": ") +
+             (r.degraded_schedulable ? "true" : "false") +
+             ", \"degraded_wcrt\": " + std::to_string(r.degraded_wcrt);
+    }
+    out += ", \"observed_max\": " + std::to_string(r.observed_max) +
            ", \"observed_p99\": " + std::to_string(r.observed_p99) +
            ", \"misses\": " + std::to_string(r.misses) +
            ", \"completed\": " + std::to_string(r.completed) +
@@ -394,6 +414,10 @@ ConsistencyTable ConsistencyTable::from_json(const std::string& json) {
     out.multi_axis = parse_bool_token(c);
     c.expect(',');
   }
+  if (c.try_key("fault_axis")) {
+    out.fault_axis = parse_bool_token(c);
+    c.expect(',');
+  }
   c.key("rows");
   c.expect('[');
   if (!c.peek(']')) {
@@ -429,6 +453,14 @@ ConsistencyTable ConsistencyTable::from_json(const std::string& json) {
       c.key("analytic_wcrt");
       r.analytic_wcrt = c.integer();
       c.expect(',');
+      if (c.try_key("degraded_schedulable")) {
+        out.fault_axis = true;
+        r.degraded_schedulable = parse_bool_token(c);
+        c.expect(',');
+        c.key("degraded_wcrt");
+        r.degraded_wcrt = c.integer();
+        c.expect(',');
+      }
       c.key("observed_max");
       r.observed_max = c.integer();
       c.expect(',');
@@ -475,6 +507,7 @@ std::uint64_t ConsistencyTable::total_bound_violations() const noexcept {
 ConsistencyTable consistency_table(const SimSweepSpec& spec, const CombinedResult& result) {
   ConsistencyTable out;
   out.multi_axis = has_multi_axis(spec.sweep.points);
+  out.fault_axis = spec.sim.faults.any();
   out.rows.reserve(result.outcomes.size() * spec.sweep.policies.size());
   for (const CombinedOutcome& o : result.outcomes) {
     for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
@@ -492,13 +525,18 @@ ConsistencyTable consistency_table(const SimSweepSpec& spec, const CombinedResul
       r.policy = std::string(to_string(spec.sweep.policies[p]));
       r.analytic_schedulable = o.analytic_schedulable[p];
       r.analytic_wcrt = o.analytic_wcrt[p];
+      if (out.fault_axis) {
+        r.degraded_schedulable = o.degraded_schedulable[p];
+        r.degraded_wcrt = o.degraded_wcrt[p];
+      }
       r.observed_max = o.sim.observed_max[p];
       r.observed_p99 = o.sim.observed_p99[p];
       r.misses = o.sim.misses[p];
       r.completed = o.sim.completed[p];
       r.dropped = o.sim.dropped[p];
       r.bound_violations = o.bound_violations[p];
-      r.accept_but_miss = o.analytic_schedulable[p] && o.sim.misses[p] > 0;
+      // accept_basis(): the degraded verdict when the sweep ran with faults.
+      r.accept_but_miss = o.accept_basis()[p] && o.sim.misses[p] > 0;
       out.rows.push_back(std::move(r));
     }
   }

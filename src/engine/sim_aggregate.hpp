@@ -82,13 +82,22 @@ struct ConsistencyRow {
   std::string policy;
   bool analytic_schedulable = false;
   Ticks analytic_wcrt = 0;  ///< kNoBound when some stream's iteration diverged
+  /// Degraded-mode verdict/bound (fault axis only): the guarantee the faulted
+  /// simulation is actually held to. Meaningful — and serialized — exactly
+  /// when the table's ConsistencyTable::fault_axis is set; otherwise they keep
+  /// their zero defaults.
+  bool degraded_schedulable = false;
+  Ticks degraded_wcrt = 0;
   Ticks observed_max = 0;
   Ticks observed_p99 = 0;
   std::uint64_t misses = 0;
   std::uint64_t completed = 0;
   std::uint64_t dropped = 0;           ///< cycles abandoned after exhausting retries
   std::uint64_t bound_violations = 0;  ///< streams with observed > bound (must be 0)
-  bool accept_but_miss = false;        ///< analysis accepts, simulation missed (must be false)
+  /// The accepting analysis (degraded under faults, clean otherwise) claimed
+  /// schedulability yet the simulation missed a deadline — the must-never-fire
+  /// consistency flag of the suite, fault axis included.
+  bool accept_but_miss = false;
 
   /// Bound/observed pessimism ratio; 0 when undefined (unbounded analytic
   /// WCRT or nothing observed). >= 1 whenever the analysis is sound.
@@ -107,12 +116,18 @@ struct ConsistencyTable {
   /// false keeps the historical layouts byte-identical. Round-trips through
   /// from_csv/from_json (keyed on the header / point grammar).
   bool multi_axis = false;
+  /// True when the producing sweep ran with an active FaultModel. Adds the
+  /// degraded_schedulable/degraded_wcrt columns to both formats; false keeps
+  /// every zero-fault serialization byte-identical to the pre-fault layouts.
+  /// Round-trips like multi_axis (header column count / JSON marker).
+  bool fault_axis = false;
 
   /// CSV: one row per (scenario, policy):
   ///   id,seed,u,policy,analytic_schedulable,analytic_wcrt,observed_max,
   ///   observed_p99,misses,completed,dropped,bound_violations,accept_but_miss,
   ///   pessimism
-  /// Multi-axis tables insert beta_lo,beta_hi,masters after u.
+  /// Multi-axis tables insert beta_lo,beta_hi,masters after u; fault-axis
+  /// tables insert degraded_schedulable,degraded_wcrt after analytic_wcrt.
   [[nodiscard]] std::string to_csv() const;
   [[nodiscard]] std::string to_json() const;
   /// Parse what to_csv emitted, either layout (the derived pessimism column

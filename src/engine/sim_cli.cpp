@@ -1,6 +1,77 @@
 #include "engine/sim_cli.hpp"
 
+#include <exception>
+
 namespace profisched::engine {
+
+namespace {
+
+// `--faults key=val[,key=val...]` — the single-flag surface for the whole
+// FaultModel, so shell quoting stays trivial and shard specs can forward the
+// verbatim string. Validation (probability ranges, sign) is deferred to
+// FaultModel::validate() so the CLI and the library reject identically.
+bool parse_cli_faults(const std::string& v, profibus::FaultModel& out, std::string& error) {
+  const auto fail = [&](const std::string& msg) {
+    error = "--faults: " + msg;
+    return false;
+  };
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    const std::size_t comma = v.find(',', pos);
+    const std::string item = v.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? v.size() : comma + 1;
+    // A comma with nothing after it would otherwise fall out of the loop
+    // silently; treat it as the empty entry it is.
+    if (comma != std::string::npos && pos >= v.size()) {
+      return fail("expected key=value, got ''");
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= item.size()) {
+      return fail("expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    double d = 0.0;
+    std::size_t count = 0;
+    if (key == "loss") {
+      if (!parse_cli_nonneg_double(val, d)) return fail("loss needs a probability in [0, 1]");
+      out.token_loss_prob = d;
+    } else if (key == "recovery") {
+      if (!parse_cli_count(val, count, 1'000'000'000'000ULL)) {
+        return fail("recovery needs a tick count");
+      }
+      out.token_recovery = static_cast<Ticks>(count);
+    } else if (key == "corrupt") {
+      if (!parse_cli_nonneg_double(val, d)) return fail("corrupt needs a probability in [0, 1]");
+      out.corruption_prob = d;
+    } else if (key == "retrans") {
+      if (!parse_cli_count(val, count, 1'000)) return fail("retrans needs an integer in [0, 1000]");
+      out.max_retransmissions = static_cast<int>(count);
+    } else if (key == "churn") {
+      if (!parse_cli_nonneg_double(val, d)) return fail("churn needs a probability in [0, 1]");
+      out.churn_prob = d;
+    } else if (key == "offline") {
+      if (!parse_cli_count(val, count, 1'000'000'000'000ULL)) {
+        return fail("offline needs a tick count");
+      }
+      out.churn_offline = static_cast<Ticks>(count);
+    } else if (key == "burst") {
+      if (!parse_cli_nonneg_double(val, d)) return fail("burst needs a correlation in [0, 1]");
+      out.burst_correlation = d;
+    } else {
+      return fail("unknown key '" + key +
+                  "' (expected loss, recovery, corrupt, retrans, churn, offline, burst)");
+    }
+  }
+  try {
+    out.validate();
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  return true;
+}
+
+}  // namespace
 
 bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out,
                           std::string& error, bool simulable_only) {
@@ -116,6 +187,12 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
         return fail("--quantile needs a percentile in (0, 1]");
       }
       cli.spec.sim.quantile = q;
+    } else if (arg == "--faults") {
+      if (!next(v) || v.empty()) {
+        return fail("--faults needs key=value[,key=value...] (keys: loss, recovery, corrupt, "
+                    "retrans, churn, offline, burst)");
+      }
+      if (!parse_cli_faults(v, cli.spec.sim.faults, error)) return false;
     } else if (arg == "--lp") {
       cli.spec.sim.lp_traffic = true;
     } else if (arg == "--combined") {

@@ -32,6 +32,14 @@ struct SimSweepCli {
 ///   --policies fcfs,dm,edf  --threads N  --seed N  --ttr TICKS
 ///   --horizon TICKS  --cycles X  --model worst|uniform|frame
 ///   --quantile Q  --lp  --combined  --csv FILE  --json FILE  --cache DIR
+///   --faults k=v[,k=v...]   with keys
+///     loss=P (token-loss probability), recovery=TICKS, corrupt=P (frame
+///     corruption probability), retrans=N (retransmission cap), churn=P
+///     (per-pass leave probability), offline=TICKS, burst=C (release
+///     correlation in [0,1])
+/// Fault knobs feed SimOptions::faults (see profibus/fault_model.hpp);
+/// `--faults loss=0,...` with every knob at zero is exactly the flag's
+/// absence — outputs stay byte-identical to a fault-free invocation.
 /// Grid validation and the u × beta × masters cross-product expansion are
 /// shared with every other sweep-style subcommand via
 /// engine/detail/cli_parse.hpp (expand_cli_grid).

@@ -43,6 +43,7 @@ sim::SimConfig SimulationEngine::make_config(const Scenario& sc, Policy policy,
   cfg.horizon = horizon_for(sc);
   cfg.seed = rep_seed(sc.seed, rep);
   cfg.cycle_model = opt_.cycle_model;
+  cfg.faults = opt_.faults;
   cfg.collect_histograms = opt_.collect_histograms;
 
   if (opt_.cycle_model.kind == sim::CycleModel::Kind::FrameLevel) {
@@ -56,13 +57,26 @@ sim::SimConfig SimulationEngine::make_config(const Scenario& sc, Policy policy,
   if (rep > 0) {
     // Replications beyond the synchronous one: random per-stream phases drawn
     // from a dedicated stream (cfg.seed stays reserved for in-run sampling).
+    // With burst_correlation > 0 every phase is blended toward one
+    // network-wide fraction drawn first, aligning releases across streams and
+    // masters into correlated bursts; at 0 the draw sequence and phases are
+    // exactly the historical ones. Any phasing is admissible to the analysis,
+    // so bursts need no degraded bound of their own.
     std::uint64_t phase_state = cfg.seed ^ 0x2545f4914f6cdd1dULL;
     sim::Rng phase_rng(sim::splitmix64(phase_state));
+    const double corr = opt_.faults.burst_correlation;
+    const double common01 = corr > 0 ? phase_rng.uniform01() : 0.0;
     cfg.hp_traffic.resize(sc.net.n_masters());
     for (std::size_t k = 0; k < sc.net.n_masters(); ++k) {
       for (const profibus::MessageStream& s : sc.net.masters[k].high_streams) {
-        cfg.hp_traffic[k].push_back(
-            sim::TrafficConfig{.phase = phase_rng.uniform(std::max<Ticks>(s.T - 1, 0))});
+        const Ticks span = std::max<Ticks>(s.T - 1, 0);
+        Ticks phase = phase_rng.uniform(span);
+        if (corr > 0) {
+          const double common = common01 * static_cast<double>(span);
+          phase = static_cast<Ticks>(
+              std::llround((1.0 - corr) * static_cast<double>(phase) + corr * common));
+        }
+        cfg.hp_traffic[k].push_back(sim::TrafficConfig{.phase = phase});
       }
     }
   }

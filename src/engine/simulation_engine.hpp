@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "engine/scenario.hpp"
+#include "profibus/fault_model.hpp"
 #include "sim/network_sim.hpp"
 
 namespace profisched::engine {
@@ -39,6 +40,13 @@ struct SimOptions {
   /// Cl^k, one release per T_TR). Off by default: the validation regime runs
   /// the HP streams the analyses bound.
   bool lp_traffic = false;
+
+  /// Injected faults (token loss / corruption / churn / release bursts); all
+  /// off by default. Threaded into every sim::SimConfig; burst_correlation
+  /// additionally blends the random replication phases toward one
+  /// network-wide draw in make_config. A default FaultModel leaves every
+  /// output byte-identical to a fault-free build.
+  profibus::FaultModel faults;
 
   /// Collect per-stream latency histograms (enables the observed-p99 column).
   bool collect_histograms = true;

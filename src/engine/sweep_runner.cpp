@@ -5,10 +5,12 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "engine/detail/hash.hpp"
 #include "engine/detail/record.hpp"
+#include "profibus/fault_bounds.hpp"
 #include "sim/rng.hpp"
 
 namespace profisched::engine {
@@ -175,6 +177,16 @@ std::uint64_t sim_params_digest(Policy policy, const SimOptions& opt, std::size_
       .u64(opt.collect_histograms ? 1 : 0)
       .f64(opt.quantile)
       .u64(replications);
+  // Every fault knob shapes simulation outcomes (and the burst correlation
+  // shapes replication phases), so all of them fold into the digest — a
+  // faulted re-sweep can never be served a steady-state record or vice versa.
+  h.f64(opt.faults.token_loss_prob)
+      .i64(opt.faults.token_recovery)
+      .f64(opt.faults.corruption_prob)
+      .i64(opt.faults.max_retransmissions)
+      .f64(opt.faults.churn_prob)
+      .i64(opt.faults.churn_offline)
+      .f64(opt.faults.burst_correlation);
   return h.digest();
 }
 
@@ -238,9 +250,17 @@ bool decode_sim_record(const std::string& payload, Ticks& horizon, SimSummary& s
   return true;
 }
 
-std::string encode_combined_record(Ticks horizon, bool analytic_schedulable, Ticks analytic_wcrt,
-                                   std::uint64_t violations, const SimSummary& s) {
-  std::string out = "c1";
+/// Combined records come in two formats: the historical "c1" for fault-free
+/// sweeps (byte-identical to pre-fault caches) and "c2", which appends the
+/// degraded-mode verdict/bound, used exactly when the spec's FaultModel is
+/// active. A decode only accepts the tag matching the requesting spec, so a
+/// faulted sweep can never consume a clean record's shape (the params digest
+/// already separates the keys; the tag keeps the payloads self-describing).
+std::string encode_combined_record(bool faulted, Ticks horizon, bool analytic_schedulable,
+                                   Ticks analytic_wcrt, std::uint64_t violations,
+                                   const SimSummary& s, bool degraded_schedulable,
+                                   Ticks degraded_wcrt) {
+  std::string out = faulted ? "c2" : "c1";
   append_i64(out, horizon);
   append_u64(out, analytic_schedulable ? 1 : 0);
   append_i64(out, analytic_wcrt);
@@ -251,24 +271,36 @@ std::string encode_combined_record(Ticks horizon, bool analytic_schedulable, Tic
   append_u64(out, s.completed);
   append_u64(out, s.misses);
   append_u64(out, s.dropped);
+  if (faulted) {
+    append_u64(out, degraded_schedulable ? 1 : 0);
+    append_i64(out, degraded_wcrt);
+  }
   return out;
 }
 
-bool decode_combined_record(const std::string& payload, Ticks& horizon, bool& analytic_schedulable,
-                            Ticks& analytic_wcrt, std::uint64_t& violations, SimSummary& s) {
+bool decode_combined_record(const std::string& payload, bool faulted, Ticks& horizon,
+                            bool& analytic_schedulable, Ticks& analytic_wcrt,
+                            std::uint64_t& violations, SimSummary& s, bool& degraded_schedulable,
+                            Ticks& degraded_wcrt) {
   RecordReader r(payload);
   long long h = 0, wcrt = 0, omax = 0, p99 = 0;
   unsigned long long sched = 0;
-  if (!r.tag("c1") || !r.i64(h) || !r.u64(sched) || !r.i64(wcrt) || !r.u64(violations) ||
-      !r.i64(omax) || !r.i64(p99) || !r.u64(s.released) || !r.u64(s.completed) ||
-      !r.u64(s.misses) || !r.u64(s.dropped) || !r.done() || sched > 1) {
+  if (!r.tag(faulted ? "c2" : "c1") || !r.i64(h) || !r.u64(sched) || !r.i64(wcrt) ||
+      !r.u64(violations) || !r.i64(omax) || !r.i64(p99) || !r.u64(s.released) ||
+      !r.u64(s.completed) || !r.u64(s.misses) || !r.u64(s.dropped) || sched > 1) {
     return false;
   }
+  long long dwcrt = 0;
+  unsigned long long dsched = 0;
+  if (faulted && (!r.u64(dsched) || !r.i64(dwcrt) || dsched > 1)) return false;
+  if (!r.done()) return false;
   horizon = h;
   analytic_schedulable = sched == 1;
   analytic_wcrt = wcrt;
   s.observed_max = omax;
   s.observed_p99 = p99;
+  degraded_schedulable = dsched == 1;
+  degraded_wcrt = dwcrt;
   return true;
 }
 
@@ -457,6 +489,7 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
   out.outcomes.resize(static_cast<std::size_t>(range.size()));
 
   const SimulationEngine sim(spec.sim);
+  const bool faulted = spec.sim.faults.any();
   std::vector<AnalysisEngine> engines(pool_.size(), AnalysisEngine(spec.sweep.engine));
   std::vector<std::uint64_t> params(spec.sweep.policies.size(), 0);
   if (cache != nullptr) {
@@ -482,25 +515,34 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
     // cache, analysis only runs on misses — stay per-policy.
     std::vector<Report> batched;
     if (cache == nullptr) batched = engine.analyze_all(sc, spec.sweep.policies);
+    // Under faults the degraded network and timing memo are shared across
+    // this scenario's policies (the per-policy degraded analyses dispatch
+    // through them), computed lazily so full-hit cached scenarios skip it.
+    std::optional<profibus::Network> dnet;
+    std::optional<profibus::TimingMemo> dmemo;
     std::vector<std::vector<Ticks>> per_stream_max;
     for (std::size_t p = 0; p < spec.sweep.policies.size(); ++p) {
       const Policy policy = spec.sweep.policies[p];
       const CacheKey key{content, params[p]};
       std::string payload;
-      Ticks horizon = 0, analytic_wcrt = 0;
-      bool analytic_schedulable = false;
+      Ticks horizon = 0, analytic_wcrt = 0, degraded_wcrt = 0;
+      bool analytic_schedulable = false, degraded_schedulable = false;
       std::uint64_t violations = 0;
       SimSummary s;
       // Horizon check as in run_sim: refuse records whose derived
       // horizon disagrees (corruption / collision guard).
       if (cache != nullptr && cache->load(key, payload) &&
-          decode_combined_record(payload, horizon, analytic_schedulable, analytic_wcrt,
-                                 violations, s) &&
+          decode_combined_record(payload, faulted, horizon, analytic_schedulable, analytic_wcrt,
+                                 violations, s, degraded_schedulable, degraded_wcrt) &&
           horizon == o.sim.horizon) {
         ++cache_hits;
         o.analytic_schedulable.push_back(analytic_schedulable);
         o.analytic_wcrt.push_back(analytic_wcrt);
         o.bound_violations.push_back(violations);
+        if (faulted) {
+          o.degraded_schedulable.push_back(degraded_schedulable);
+          o.degraded_wcrt.push_back(degraded_wcrt);
+        }
         o.sim.observed_max.push_back(s.observed_max);
         o.sim.observed_p99.push_back(s.observed_p99);
         o.sim.released.push_back(s.released);
@@ -512,15 +554,38 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
 
       const Report a = cache == nullptr ? std::move(batched[p]) : engine.analyze(sc, policy);
       o.analytic_schedulable.push_back(a.schedulable);
-      Ticks wcrt = 0;
-      for (const profibus::MasterAnalysis& m : a.detail.masters) {
-        for (const profibus::StreamResponse& sr : m.streams) {
-          wcrt = sr.response == kNoBound ? kNoBound : std::max(wcrt, sr.response);
+      const auto max_response = [](const profibus::NetworkAnalysis& na) {
+        Ticks wcrt = 0;
+        for (const profibus::MasterAnalysis& m : na.masters) {
+          for (const profibus::StreamResponse& sr : m.streams) {
+            wcrt = sr.response == kNoBound ? kNoBound : std::max(wcrt, sr.response);
+            if (wcrt == kNoBound) break;
+          }
           if (wcrt == kNoBound) break;
         }
-        if (wcrt == kNoBound) break;
-      }
+        return wcrt;
+      };
+      const Ticks wcrt = max_response(a.detail);
       o.analytic_wcrt.push_back(wcrt);
+
+      // Degraded-mode analysis: the guarantee the FAULTED simulation is held
+      // to. The clean columns above keep the steady-state verdict (their gap
+      // is the price of faults); the consistency checks below reference the
+      // degraded bounds instead.
+      profibus::NetworkAnalysis degraded;
+      if (faulted) {
+        if (!dnet) {
+          dnet = profibus::degraded_network(sc.net, spec.sim.faults);
+          dmemo = profibus::degraded_timing(*dnet, spec.sim.faults, spec.sweep.engine.method);
+        }
+        degraded = profibus::analyze_degraded(*dnet, *dmemo, SimulationEngine::to_ap_policy(policy),
+                                              spec.sweep.engine.formulation,
+                                              spec.sweep.engine.fuel);
+        degraded_schedulable = degraded.schedulable;
+        degraded_wcrt = max_response(degraded);
+        o.degraded_schedulable.push_back(degraded_schedulable);
+        o.degraded_wcrt.push_back(degraded_wcrt);
+      }
 
       s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
       o.sim.observed_max.push_back(s.observed_max);
@@ -530,20 +595,23 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
       o.sim.misses.push_back(s.misses);
       o.sim.dropped.push_back(s.dropped);
 
-      // Per-stream consistency: every bounded analytic response must
-      // dominate that stream's observed max across all replications.
+      // Per-stream consistency: every bounded reference response (degraded
+      // under faults) must dominate that stream's observed max across all
+      // replications.
+      const profibus::NetworkAnalysis& ref = faulted ? degraded : a.detail;
       violations = 0;
-      for (std::size_t k = 0; k < a.detail.masters.size(); ++k) {
-        for (std::size_t si = 0; si < a.detail.masters[k].streams.size(); ++si) {
-          const Ticks bound = a.detail.masters[k].streams[si].response;
+      for (std::size_t k = 0; k < ref.masters.size(); ++k) {
+        for (std::size_t si = 0; si < ref.masters[k].streams.size(); ++si) {
+          const Ticks bound = ref.masters[k].streams[si].response;
           if (bound != kNoBound && per_stream_max[k][si] > bound) ++violations;
         }
       }
       o.bound_violations.push_back(violations);
       if (cache != nullptr) {
         ++cache_misses;
-        cache->store(key, encode_combined_record(o.sim.horizon, a.schedulable, wcrt,
-                                                 violations, s));
+        cache->store(key, encode_combined_record(faulted, o.sim.horizon, a.schedulable, wcrt,
+                                                 violations, s, degraded_schedulable,
+                                                 degraded_wcrt));
       }
     }
     engine.forget(sc.id);
@@ -570,8 +638,11 @@ std::uint64_t CombinedResult::total_bound_violations() const noexcept {
 std::uint64_t CombinedResult::accept_but_miss_count() const noexcept {
   std::uint64_t n = 0;
   for (const CombinedOutcome& o : outcomes) {
-    for (std::size_t p = 0; p < o.analytic_schedulable.size(); ++p) {
-      if (o.analytic_schedulable[p] && o.sim.misses[p] > 0) ++n;
+    // accept_basis(): degraded verdicts when the sweep ran with faults —
+    // clean acceptance is not a promise the faulted run is held to.
+    const std::vector<bool>& accept = o.accept_basis();
+    for (std::size_t p = 0; p < accept.size(); ++p) {
+      if (accept[p] && o.sim.misses[p] > 0) ++n;
     }
   }
   return n;

@@ -171,24 +171,45 @@ struct SimSweepResult : RunStats {
 /// Per-scenario joined analysis + simulation result (combined mode).
 struct CombinedOutcome {
   SimScenarioOutcome sim;
-  /// Analysis columns, indexed like the sweep's policies.
+  /// Analysis columns, indexed like the sweep's policies. Always the CLEAN
+  /// (fault-free) analysis — under faults these retain the steady-state
+  /// verdict so the degraded columns can be read against it.
   std::vector<bool> analytic_schedulable;
   /// Max over streams of the analytic response bound; kNoBound when any
   /// stream's iteration diverged.
   std::vector<Ticks> analytic_wcrt;
-  /// Streams whose observed max response exceeded their (bounded) analytic
-  /// response bound — a correct analysis keeps this identically 0.
+  /// Streams whose observed max response exceeded their (bounded) reference
+  /// response bound — a correct analysis keeps this identically 0. The
+  /// reference is the clean analysis for fault-free sweeps and the DEGRADED
+  /// analysis (profibus/fault_bounds.hpp) when the spec injects faults: a
+  /// faulted sim may legitimately exceed steady-state bounds, but never the
+  /// degraded ones.
   std::vector<std::uint64_t> bound_violations;
+  /// Degraded-mode verdict/bound per policy; filled only when the sweep's
+  /// FaultModel is active (empty otherwise, keeping zero-fault outputs
+  /// byte-identical).
+  std::vector<bool> degraded_schedulable;
+  std::vector<Ticks> degraded_wcrt;
+
+  /// The acceptance column the must-never-fire miss check uses: degraded
+  /// under faults, clean otherwise.
+  [[nodiscard]] const std::vector<bool>& accept_basis() const noexcept {
+    return degraded_schedulable.empty() ? analytic_schedulable : degraded_schedulable;
+  }
 };
 
 struct CombinedResult : RunStats {
   std::vector<CombinedOutcome> outcomes;  ///< indexed by global scenario id
 
   /// Total streams (across scenarios and policies) whose observed response
-  /// exceeded the analytic bound. Must be 0 for a sound analysis.
+  /// exceeded the reference bound (degraded under faults, clean otherwise).
+  /// Must be 0 for a sound analysis.
   [[nodiscard]] std::uint64_t total_bound_violations() const noexcept;
-  /// Scenarios×policies the analysis accepts but the simulation misses a
-  /// deadline in. Must be 0: accept ⇒ R_i <= D_i ⇒ no observable miss.
+  /// Scenarios×policies the reference analysis accepts but the simulation
+  /// misses a deadline in. Must be 0: accept ⇒ R_i <= D_i ⇒ no observable
+  /// miss. Under faults the accepting analysis is the DEGRADED one — this is
+  /// the fault axis's must-never-fire flag (an accepted degraded guarantee
+  /// the faulted sim violates).
   [[nodiscard]] std::uint64_t accept_but_miss_count() const noexcept;
 };
 

@@ -1,0 +1,79 @@
+// fault_model.hpp — the seeded fault-injection model the simulator executes
+// and the degraded-mode analysis (fault_bounds.hpp) bounds.
+//
+// Tovar & Vasques' analysis assumes a steady-state token ring; this struct
+// opens the failure axis the ROADMAP names: token loss with a bounded
+// recovery delay, frame corruption with bounded retransmission, station
+// leave/rejoin churn, and bursty (correlated) release phases. Every knob
+// defaults to "off", and the simulator consults its dedicated fault RNG only
+// behind `knob > 0` gates, so a default FaultModel leaves the event sequence,
+// RNG draws, traces and serialized outputs of a run byte-identical to a
+// fault-free build — the zero-fault golden guarantee.
+//
+// The models are deliberately *bounded* so degraded guarantees remain
+// derivable (fault_bounds.hpp):
+//  * token loss   — a lost pass is recovered out-of-band after exactly
+//                   `token_recovery` ticks (GAP-list / claim-token recovery
+//                   with a known worst case); the token always re-arrives, so
+//                   each pass costs at most one recovery delay;
+//  * corruption   — a corrupted message cycle is retransmitted, at most
+//                   `max_retransmissions` times, and the final attempt always
+//                   delivers: corruption delays completions (up to
+//                   (1 + R) x the cycle length) but never drops them;
+//  * churn        — a master other than 0 may leave the ring after a token
+//                   visit and rejoins `churn_offline` ticks later; its
+//                   pending requests are abandoned (counted as dropped, never
+//                   as misses) and passing over it costs a slot time plus a
+//                   re-addressed pass per skip. Master 0 never leaves, so the
+//                   ring always has a token holder;
+//  * bursts       — replications >= 1 blend their random per-stream release
+//                   phases toward one network-wide phase draw, aligning
+//                   releases across masters (any phasing is admissible to the
+//                   analysis, so this needs no bound of its own).
+#pragma once
+
+#include <stdexcept>
+
+#include "core/time_types.hpp"
+
+namespace profisched::profibus {
+
+/// All fault-injection knobs. Probabilities are per-event Bernoulli draws
+/// from the simulator's dedicated fault RNG stream.
+struct FaultModel {
+  double token_loss_prob = 0.0;   ///< per token pass: pass suffers a loss
+  Ticks token_recovery = 0;       ///< dead time per lost pass (bounded recovery)
+  double corruption_prob = 0.0;   ///< per transmission attempt of a cycle
+  int max_retransmissions = 2;    ///< bounded resends; the last always delivers
+  double churn_prob = 0.0;        ///< per token visit of masters k >= 1: leave
+  Ticks churn_offline = 0;        ///< ticks a churned master stays off the ring
+  double burst_correlation = 0.0; ///< [0,1]: phase correlation across streams
+
+  /// True when any knob can alter a run. Gating on this (and per-knob `> 0`
+  /// checks) is what keeps zero-fault runs byte-identical.
+  [[nodiscard]] bool any() const noexcept {
+    return token_loss_prob > 0.0 || corruption_prob > 0.0 || churn_prob > 0.0 ||
+           burst_correlation > 0.0;
+  }
+
+  void validate() const {
+    const auto prob = [](double p, const char* what) {
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(std::string("FaultModel: ") + what + " must be in [0, 1]");
+      }
+    };
+    prob(token_loss_prob, "token_loss_prob");
+    prob(corruption_prob, "corruption_prob");
+    prob(churn_prob, "churn_prob");
+    prob(burst_correlation, "burst_correlation");
+    if (token_recovery < 0) {
+      throw std::invalid_argument("FaultModel: token_recovery must be >= 0");
+    }
+    if (churn_offline < 0) throw std::invalid_argument("FaultModel: churn_offline must be >= 0");
+    if (max_retransmissions < 0) {
+      throw std::invalid_argument("FaultModel: max_retransmissions must be >= 0");
+    }
+  }
+};
+
+}  // namespace profisched::profibus

@@ -10,13 +10,9 @@
 // The network mutators (with_scaled_frames / with_deadline_ratio / with_ttr)
 // are exported so callers can evaluate the configuration the boundary value
 // denotes (e.g. its message utilization).
-//
-// The pre-unification ApPolicy-taking std::optional<Ticks> signatures
-// survive one PR as deprecated inline forwarders at the bottom.
 #pragma once
 
 #include <functional>
-#include <optional>
 
 #include "core/sensitivity_search.hpp"
 #include "profibus/dispatching.hpp"
@@ -83,30 +79,5 @@ using NetworkTest = std::function<bool(const Network&)>;
 [[nodiscard]] sensitivity::SensitivityResult min_deadline_ratio(
     const Network& net, const NetworkTest& test, Ticks lo_q1024 = 64,
     Ticks hi_q1024 = sensitivity::kDefaultMaxScaleQ);
-
-// ----------------------------------------------------------------------
-// Deprecated pre-unification surface (kept one PR; forwards to the
-// predicate-based API above).
-
-[[deprecated("use frame_scaling_headroom(net, network_test_for(policy))")]] [[nodiscard]] inline std::
-    optional<Ticks>
-    frame_growth_headroom(const Network& net, ApPolicy policy,
-                          Ticks max_factor_q1024 = sensitivity::kDefaultMaxScaleQ) {
-  return frame_scaling_headroom(net, network_test_for(policy), max_factor_q1024).to_optional();
-}
-
-[[deprecated("use stream_deadline_margin(net, network_test_for(policy), master, "
-             "stream)")]] [[nodiscard]] inline std::optional<Ticks>
-stream_deadline_margin(const Network& net, ApPolicy policy, std::size_t master,
-                       std::size_t stream) {
-  return stream_deadline_margin(net, network_test_for(policy), master, stream).to_optional();
-}
-
-[[deprecated("use max_schedulable_ttr(net, network_test_for(policy))")]] [[nodiscard]] inline std::
-    optional<Ticks>
-    max_schedulable_ttr_for(const Network& net, ApPolicy policy,
-                            Ticks cap = sensitivity::kDefaultTtrCap) {
-  return max_schedulable_ttr(net, network_test_for(policy), cap).to_optional();
-}
 
 }  // namespace profisched::profibus

@@ -80,6 +80,17 @@ class Dispatcher {
   /// Total requests waiting anywhere in the architecture.
   [[nodiscard]] std::size_t pending() const noexcept { return stack_.size() + ap_.size(); }
 
+  /// Abandon every pending request (the station left the ring), invoking
+  /// `fn(req)` on each — stack slot first, then the AP queue in priority
+  /// order, so the callback sequence is deterministic.
+  template <class Fn>
+  void drain(Fn&& fn) {
+    for (const PendingRequest& r : stack_) fn(r);
+    stack_.clear();
+    for (const Keyed& kv : ap_) fn(kv.req);
+    ap_.clear();
+  }
+
  private:
   struct Key {
     Ticks primary;       ///< D (DM) or absolute deadline (EDF)

@@ -8,7 +8,7 @@
 // tests and ad-hoc users keep.
 #pragma once
 
-#include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -21,15 +21,21 @@ class BasicKernel {
   [[nodiscard]] Ticks now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
 
-  /// Schedule `payload` `delay` ticks from now (delay >= 0).
+  /// Schedule `payload` `delay` ticks from now. Throws std::invalid_argument
+  /// on a negative delay — always, not just in Debug builds: run_until sets
+  /// now_ = event.time, so a past-time schedule would silently rewind the
+  /// clock and corrupt event ordering for the rest of the run.
   void after(Ticks delay, Payload payload) {
-    assert(delay >= 0);
+    if (delay < 0) throw std::invalid_argument("BasicKernel::after: negative delay");
     queue_.schedule(sat_add(now_, delay), std::move(payload));
   }
 
-  /// Schedule at an absolute time (must not be in the past).
+  /// Schedule at an absolute time. Throws std::invalid_argument when `time`
+  /// precedes now() (same always-on guard as after()). A saturated time
+  /// (kNoBound) is legal: the event simply never fires under a finite
+  /// horizon and cannot starve earlier events (the queue orders by time).
   void at(Ticks time, Payload payload) {
-    assert(time >= now_);
+    if (time < now_) throw std::invalid_argument("BasicKernel::at: time precedes now()");
     queue_.schedule(time, std::move(payload));
   }
 

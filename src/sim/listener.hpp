@@ -1,0 +1,44 @@
+// listener.hpp — observer hook for fault events, in the spirit of adevs'
+// EventListener: a virtual interface registered on the simulation
+// configuration, notified synchronously as each injected fault takes effect.
+// Lets tests and tooling watch the fault stream without threading new state
+// through the trace or the stats plumbing; costs nothing when not attached.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time_types.hpp"
+
+namespace profisched::sim {
+
+/// What kind of injected fault fired.
+enum class FaultKind : std::uint8_t {
+  TokenLost,        ///< a token pass was lost; detail = recovery delay
+  TokenSkip,        ///< the token was re-addressed past an offline station
+  StationLeft,      ///< master left the ring; detail = offline duration
+  StationRejoined,  ///< master re-entered the ring
+  FrameCorrupted,   ///< a message cycle was corrupted; detail = retransmissions
+  ChurnDrop,        ///< a pending/arriving request was abandoned (offline master)
+};
+
+/// One observed fault. `master` identifies the station; `stream` is the HP
+/// stream index where applicable (SIZE_MAX otherwise); `detail` is
+/// kind-specific (see FaultKind).
+struct FaultEvent {
+  Ticks time = 0;
+  FaultKind kind{};
+  std::size_t master = 0;
+  std::size_t stream = SIZE_MAX;
+  Ticks detail = 0;
+};
+
+/// Attach to SimConfig::listener to observe fault injection as it happens.
+/// Called from inside the simulation loop on the simulating thread; must not
+/// re-enter the simulator. Not owned; must outlive the run.
+class SimListener {
+ public:
+  virtual ~SimListener() = default;
+  virtual void on_fault(const FaultEvent& event) = 0;
+};
+
+}  // namespace profisched::sim

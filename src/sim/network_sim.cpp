@@ -20,6 +20,7 @@ struct MasterState {
   Dispatcher dispatcher;
   std::deque<Ticks> lp_queue;  ///< pending low-priority cycle lengths (FCFS)
   Ticks last_token_arrival = 0;  ///< T_RR timer start (pseudocode init: 0)
+  bool online = true;            ///< false while churned off the ring
   TokenStats token;
   std::vector<StreamStats> streams;
   std::vector<Histogram> hist;  ///< sized only when histograms requested
@@ -43,6 +44,7 @@ struct SimEvent {
     LpRelease,     ///< LP generator of master, lp-config index `stream`, at t0
     HpCycleEnd,    ///< HP cycle of `req` completes; t0 = tth_expiry, t1 = visit_start
     LpCycleEnd,    ///< LP cycle completes; t0 = tth_expiry, t1 = visit_start
+    Rejoin,        ///< churned `master` re-enters the ring
   };
 
   Kind kind = Kind::TokenArrival;
@@ -56,10 +58,20 @@ struct SimEvent {
 };
 
 /// The whole simulation; wires the kernel, the masters and the generators.
+/// Seed of the dedicated fault RNG stream: derived from the run seed, but a
+/// stream of its own so enabling faults never perturbs the main sequence of
+/// cycle-duration / jitter draws (and disabling them never consumes a draw).
+std::uint64_t fault_stream_seed(std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0x8bb84b93962eacc9ULL;
+  return splitmix64(state);
+}
+
 class Simulation {
  public:
-  explicit Simulation(const SimConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  explicit Simulation(const SimConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed), frng_(fault_stream_seed(cfg.seed)) {
     cfg_.net.validate();
+    cfg_.faults.validate();
     if (cfg_.horizon < 1) throw std::invalid_argument("SimConfig: horizon must be >= 1");
     const std::size_t n = cfg_.net.n_masters();
     if (!cfg_.hp_traffic.empty() && cfg_.hp_traffic.size() != n) {
@@ -141,6 +153,18 @@ class Simulation {
         trace(TraceKind::LpCycleEnd, k, SIZE_MAX, 0);
         token_phase(k, e.t0, Phase::LpWhile, e.t1);
         break;
+      case SimEvent::Kind::Rejoin: {
+        MasterState& m = masters_[k];
+        m.online = true;
+        // A rejoining station initializes its T_RR timer on ring entry, as on
+        // the pseudocode's start-up: the first visit is not astronomically
+        // "late" from its own perspective.
+        m.last_token_arrival = kernel_.now();
+        ++faults_.rejoins;
+        trace(TraceKind::StationRejoin, k, SIZE_MAX, 0);
+        notify(FaultKind::StationRejoined, k, SIZE_MAX, 0);
+        break;
+      }
     }
   }
 
@@ -179,6 +203,17 @@ class Simulation {
     const MessageStream& s = cfg_.net.masters[k].high_streams[i];
     StreamStats& st = masters_[k].streams[i];
     ++st.released;
+    if (!masters_[k].online) {
+      // The station is off the ring: the request has no queue to enter.
+      // Counted as dropped (never a miss — it records no response time), the
+      // same disqualifying effect dropped FrameLevel cycles already have on
+      // the miss-free aggregates.
+      ++st.dropped;
+      ++faults_.churn_dropped;
+      trace(TraceKind::ChurnDrop, k, i, 0);
+      notify(FaultKind::ChurnDrop, k, i, 0);
+      return;
+    }
     trace(TraceKind::Release, k, i, 0);
     masters_[k].dispatcher.release(PendingRequest{
         .stream = i,
@@ -210,7 +245,7 @@ class Simulation {
     trace(TraceKind::TokenArrival, k, SIZE_MAX, trr);
 
     const Ticks tth = cfg_.net.ttr - trr;  // may be <= 0 (late token)
-    const Ticks tth_expiry = now + std::max<Ticks>(tth, 0);
+    const Ticks tth_expiry = sat_add(now, std::max<Ticks>(tth, 0));
     token_phase(k, tth_expiry, Phase::GuaranteedHp, now);
   }
 
@@ -255,7 +290,7 @@ class Simulation {
     const MessageStream& s = cfg_.net.masters[k].high_streams[req.stream];
 
     bool dropped = false;
-    const Ticks dur = sample_hp_duration(k, req.stream, s, dropped);
+    const Ticks dur = corrupted_duration(k, req.stream, sample_hp_duration(k, req.stream, s, dropped));
     trace(TraceKind::CycleStart, k, req.stream, dur);
     note_overrun(m, k, tth_expiry, dur);
 
@@ -270,7 +305,7 @@ class Simulation {
 
   void start_lp_cycle(std::size_t k, Ticks tth_expiry, Ticks visit_start) {
     MasterState& m = masters_[k];
-    const Ticks dur = m.lp_queue.front();
+    const Ticks dur = corrupted_duration(k, SIZE_MAX, m.lp_queue.front());
     trace(TraceKind::LpCycleStart, k, SIZE_MAX, dur);
     note_overrun(m, k, tth_expiry, dur);
     kernel_.after(dur, SimEvent{.kind = SimEvent::Kind::LpCycleEnd,
@@ -280,10 +315,14 @@ class Simulation {
   }
 
   void note_overrun(MasterState& m, std::size_t k, Ticks tth_expiry, Ticks dur) {
+    // sat_add, not raw +: a saturated cycle length (kNoBound from the
+    // FrameLevel retry path under extreme bus parameters) must compare as
+    // "past the expiry", not wrap negative and read as within budget.
     const Ticks now = kernel_.now();
-    if (now < tth_expiry && now + dur > tth_expiry) {
+    const Ticks end = sat_add(now, dur);
+    if (now < tth_expiry && end > tth_expiry) {
       ++m.token.tth_overruns;
-      trace(TraceKind::TthOverrun, k, SIZE_MAX, now + dur - tth_expiry);
+      trace(TraceKind::TthOverrun, k, SIZE_MAX, end - tth_expiry);
     }
   }
 
@@ -291,10 +330,79 @@ class Simulation {
     MasterState& m = masters_[k];
     m.token.total_hold = sat_add(m.token.total_hold, kernel_.now() - visit_start);
     trace(TraceKind::TokenPass, k, SIZE_MAX, 0);
-    const Ticks dur = profibus::token_pass_time(cfg_.net.bus);
-    const std::size_t next = (k + 1) % masters_.size();
+
+    // Churn: after completing a visit, a master other than 0 may drop off
+    // the ring (master 0 stays, so there is always a token holder).
+    if (cfg_.faults.churn_prob > 0 && k != 0 && masters_[k].online &&
+        frng_.chance(cfg_.faults.churn_prob)) {
+      leave_ring(k);
+    }
+
+    const Ticks pass = profibus::token_pass_time(cfg_.net.bus);
+    Ticks dur = pass;
+    std::size_t next = (k + 1) % masters_.size();
+    while (!masters_[next].online) {
+      // Offline successor: the pass times out after one slot time and the
+      // token is re-addressed to the following station.
+      dur = sat_add(dur, sat_add(cfg_.net.bus.t_sl, pass));
+      ++faults_.token_skips;
+      trace(TraceKind::TokenSkip, next, SIZE_MAX, 0);
+      notify(FaultKind::TokenSkip, next, SIZE_MAX, 0);
+      next = (next + 1) % masters_.size();
+    }
+
+    // Token loss: the pass fails and the ring recovers the token out-of-band
+    // after a bounded delay — at most one recovery per pass, so a rotation
+    // accumulates at most n · token_recovery of loss dead time (the term
+    // fault_bounds.hpp charges).
+    if (cfg_.faults.token_loss_prob > 0 && frng_.chance(cfg_.faults.token_loss_prob)) {
+      ++faults_.tokens_lost;
+      trace(TraceKind::TokenLost, k, SIZE_MAX, cfg_.faults.token_recovery);
+      notify(FaultKind::TokenLost, k, SIZE_MAX, cfg_.faults.token_recovery);
+      dur = sat_add(dur, cfg_.faults.token_recovery);
+    }
+
     kernel_.after(dur, SimEvent{.kind = SimEvent::Kind::TokenArrival,
                                 .master = static_cast<std::uint32_t>(next)});
+  }
+
+  void leave_ring(std::size_t k) {
+    MasterState& m = masters_[k];
+    m.online = false;
+    ++faults_.leaves;
+    trace(TraceKind::StationLeave, k, SIZE_MAX, cfg_.faults.churn_offline);
+    notify(FaultKind::StationLeft, k, SIZE_MAX, cfg_.faults.churn_offline);
+    // A station off the ring loses its outgoing queues: every pending request
+    // is abandoned (dropped, never missed — it records no response time).
+    m.dispatcher.drain([&](const PendingRequest& req) {
+      ++m.streams[req.stream].dropped;
+      ++faults_.churn_dropped;
+      trace(TraceKind::ChurnDrop, k, req.stream, 0);
+      notify(FaultKind::ChurnDrop, k, req.stream, 0);
+    });
+    m.lp_queue.clear();
+    kernel_.after(cfg_.faults.churn_offline,
+                  SimEvent{.kind = SimEvent::Kind::Rejoin,
+                           .master = static_cast<std::uint32_t>(k)});
+  }
+
+  /// Frame corruption: each transmission attempt of a message cycle is
+  /// corrupted with corruption_prob, retransmitted at most max_retransmissions
+  /// times, and the final attempt always delivers — so corruption stretches a
+  /// cycle to at most (1 + R) x its sampled length but never drops it.
+  Ticks corrupted_duration(std::size_t k, std::size_t stream, Ticks base) {
+    if (cfg_.faults.corruption_prob <= 0) return base;
+    int extra = 0;
+    while (extra < cfg_.faults.max_retransmissions &&
+           frng_.chance(cfg_.faults.corruption_prob)) {
+      ++extra;
+    }
+    if (extra == 0) return base;
+    ++faults_.corrupted_cycles;
+    faults_.retransmissions += static_cast<std::uint64_t>(extra);
+    trace(TraceKind::FrameCorrupted, k, stream, extra);
+    notify(FaultKind::FrameCorrupted, k, stream, extra);
+    return sat_mul(static_cast<Ticks>(1 + extra), base);
   }
 
   // ---- message-cycle duration models ----------------------------------
@@ -341,10 +449,17 @@ class Simulation {
     }
   }
 
+  void notify(FaultKind kind, std::size_t master, std::size_t stream, Ticks detail) {
+    if (cfg_.listener != nullptr) {
+      cfg_.listener->on_fault(FaultEvent{kernel_.now(), kind, master, stream, detail});
+    }
+  }
+
   SimReport collect() {
     SimReport r;
     r.horizon = cfg_.horizon;
     r.events = kernel_.events_processed();
+    r.faults = faults_;
     r.lp_cycles_completed = lp_completed_;
     r.hp.reserve(masters_.size());
     r.token.reserve(masters_.size());
@@ -358,6 +473,12 @@ class Simulation {
 
   SimConfig cfg_;
   Rng rng_;
+  /// Dedicated fault stream: consulted only behind per-knob `> 0` gates, so
+  /// disabling faults never perturbs rng_'s draw sequence (zero-fault runs
+  /// stay byte-identical) and enabling one knob never shifts another's draws
+  /// relative to the main traffic.
+  Rng frng_;
+  FaultStats faults_;
   BasicKernel<SimEvent> kernel_;
   std::vector<MasterState> masters_;
   /// Release processes per (master, stream): immutable after arming, so the

@@ -37,9 +37,11 @@
 #include <vector>
 
 #include "profibus/dispatching.hpp"
+#include "profibus/fault_model.hpp"
 #include "sim/dispatcher.hpp"
 #include "sim/histogram.hpp"
 #include "sim/kernel.hpp"
+#include "sim/listener.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/traffic.hpp"
@@ -78,11 +80,23 @@ struct SimConfig {
   std::vector<std::vector<profibus::MessageCycleSpec>> frame_specs;
 
   CycleModel cycle_model;
+
+  /// Injected faults (token loss, corruption, churn); default: all off. The
+  /// fault draws come from a dedicated RNG stream derived from `seed`, gated
+  /// behind per-knob `> 0` checks, so a default FaultModel leaves the run —
+  /// events, main-RNG draws, traces, stats — byte-identical to pre-fault
+  /// builds (regression: the PR-4 trace golden).
+  profibus::FaultModel faults;
+
   std::uint64_t seed = 1;
   Ticks horizon = 0;  ///< simulate [0, horizon]
 
   /// Optional protocol-event trace sink (not owned; must outlive the run).
   Trace* trace = nullptr;
+
+  /// Optional fault observer (adevs EventListener style): notified
+  /// synchronously per injected fault. Not owned; must outlive the run.
+  SimListener* listener = nullptr;
 
   /// When true, SimReport::response_hist carries a per-stream latency
   /// histogram in addition to the scalar StreamStats.

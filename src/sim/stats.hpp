@@ -51,6 +51,24 @@ struct TokenStats {
   }
 };
 
+/// Network-wide counters of injected faults (see profibus::FaultModel). All
+/// zero when no fault knob is active — and a zero-fault run's report is
+/// byte-for-byte the pre-fault report, these fields aside.
+struct FaultStats {
+  std::uint64_t tokens_lost = 0;       ///< token passes that suffered a loss
+  std::uint64_t token_skips = 0;       ///< passes re-addressed over offline stations
+  std::uint64_t leaves = 0;            ///< stations that left the ring
+  std::uint64_t rejoins = 0;           ///< stations that re-entered it
+  std::uint64_t corrupted_cycles = 0;  ///< message cycles with >= 1 corruption
+  std::uint64_t retransmissions = 0;   ///< total extra transmission attempts
+  std::uint64_t churn_dropped = 0;     ///< requests abandoned at/while offline
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return tokens_lost + token_skips + leaves + rejoins + corrupted_cycles + retransmissions +
+           churn_dropped;
+  }
+};
+
 /// Full simulation report.
 struct SimReport {
   /// hp[k][i] — stream i of master k (same indexing as profibus::Network).
@@ -60,6 +78,7 @@ struct SimReport {
   /// Per-stream response-time histograms; empty unless
   /// SimConfig::collect_histograms was set. Indexed like `hp`.
   std::vector<std::vector<Histogram>> response_hist;
+  FaultStats faults;  ///< injected-fault counters (all zero without faults)
   std::uint64_t lp_cycles_completed = 0;
   std::uint64_t events = 0;
   Ticks horizon = 0;

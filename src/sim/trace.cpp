@@ -15,6 +15,12 @@ const char* to_string(TraceKind kind) {
     case TraceKind::LpCycleStart: return "LpCycleStart";
     case TraceKind::LpCycleEnd: return "LpCycleEnd";
     case TraceKind::TthOverrun: return "TthOverrun";
+    case TraceKind::TokenLost: return "TokenLost";
+    case TraceKind::TokenSkip: return "TokenSkip";
+    case TraceKind::StationLeave: return "StationLeave";
+    case TraceKind::StationRejoin: return "StationRejoin";
+    case TraceKind::FrameCorrupted: return "FrameCorrupted";
+    case TraceKind::ChurnDrop: return "ChurnDrop";
   }
   return "?";
 }

@@ -23,6 +23,13 @@ enum class TraceKind : std::uint8_t {
   LpCycleStart,   ///< low-priority cycle started
   LpCycleEnd,     ///< low-priority cycle finished
   TthOverrun,     ///< a cycle started with budget but outlived it
+  // Injected-fault kinds (appended so existing renders stay byte-identical):
+  TokenLost,      ///< token pass lost (detail = recovery delay)
+  TokenSkip,      ///< token re-addressed past an offline station
+  StationLeave,   ///< master left the ring (detail = offline duration)
+  StationRejoin,  ///< master re-entered the ring
+  FrameCorrupted, ///< message cycle corrupted (detail = retransmissions)
+  ChurnDrop,      ///< pending/arriving request abandoned (offline master)
 };
 
 [[nodiscard]] const char* to_string(TraceKind kind);

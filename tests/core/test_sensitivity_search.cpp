@@ -1,7 +1,7 @@
 // Unit tests for the unified exact-binary-search core (PR 6): boundary
 // exactness, infeasible/cap conventions, probe counts, bracket validation,
-// and the deprecated pre-unification forwarders staying equivalent for their
-// final PR.
+// and the task-set sensitivity searches agreeing through the unified
+// SensitivityResult surface.
 #include <stdexcept>
 
 #include <gtest/gtest.h>
@@ -36,7 +36,6 @@ TEST(SensitivitySearch, InfeasibleWhenNothingSatisfies) {
   const SensitivityResult max = max_satisfying(10, 100, [](Ticks) { return false; });
   EXPECT_FALSE(max.feasible);
   EXPECT_FALSE(static_cast<bool>(max));
-  EXPECT_FALSE(max.to_optional().has_value());
   EXPECT_EQ(max.probes, 1u);  // the floor probe alone decides
 
   const SensitivityResult min = min_satisfying(10, 100, [](Ticks) { return false; });
@@ -76,11 +75,10 @@ TEST(SensitivitySearch, RejectsEmptyBracket) {
                std::invalid_argument);
 }
 
-// The deprecated optional-returning wrappers must forward exactly until they
-// are dropped next PR.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(SensitivitySearch, DeprecatedForwardersStayEquivalent) {
+// The unified SensitivityResult API is the only sensitivity surface: the
+// searches agree with each other on a schedulable set, and the breakdown
+// utilization falls out of breakdown_scaling + utilization_at_scale.
+TEST(SensitivitySearch, UnifiedApiCoversTheSensitivitySearches) {
   std::vector<Task> tasks;
   tasks.push_back(Task{.C = 10, .D = 100, .T = 100});
   tasks.push_back(Task{.C = 20, .D = 200, .T = 200});
@@ -89,20 +87,23 @@ TEST(SensitivitySearch, DeprecatedForwardersStayEquivalent) {
   const SchedulabilityTest test = test_for(Policy::DeadlineMonotonic);
 
   const SensitivityResult bd = sensitivity::breakdown_scaling(ts, test);
-  EXPECT_EQ(profisched::breakdown_scaling(ts, test), bd.to_optional());
+  ASSERT_TRUE(bd.feasible);
+  EXPECT_GE(bd.value, kScaleOne);  // schedulable set: at least 1.0x headroom
 
+  // Scaling every task is at least as constraining as scaling one.
   const SensitivityResult head = sensitivity::execution_scaling_headroom(ts, 0, test);
-  EXPECT_EQ(profisched::execution_scaling_headroom(ts, 0, test), head.to_optional());
+  ASSERT_TRUE(head.feasible);
+  EXPECT_GE(head.value, bd.value);
 
   const SensitivityResult dmin = sensitivity::minimum_sustainable_deadline(ts, 1, test);
-  EXPECT_EQ(profisched::minimum_sustainable_deadline(ts, 1, test), dmin.to_optional());
+  ASSERT_TRUE(dmin.feasible);
+  EXPECT_LE(dmin.value, ts[1].D);
+  EXPECT_GE(dmin.value, ts[1].C);
 
-  const std::optional<double> bu = profisched::breakdown_utilization(ts, test);
-  ASSERT_TRUE(bd.feasible);
-  ASSERT_TRUE(bu.has_value());
-  EXPECT_EQ(*bu, utilization_at_scale(ts, bd.value));
+  const double bu = utilization_at_scale(ts, bd.value);
+  EXPECT_GE(bu, ts.utilization());
+  EXPECT_LE(bu, 1.0);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace profisched::sensitivity

@@ -91,6 +91,60 @@ TEST(ShardMerge, ArtifactTextRoundTripsEveryField) {
   EXPECT_EQ(back.to_text(), art.to_text());  // emitting again reproduces the bytes
 }
 
+// The fault axis travels the wire: a faulted combined run round-trips its
+// degraded verdicts through the artifact text, sharded merges stay
+// byte-identical to the single-process run, and the `faults` spec line —
+// emitted only when a knob is active — makes merge's spec byte-compare
+// refuse mixed faulted/zero-fault shard sets automatically.
+TEST(ShardMerge, FaultedCombinedShardsRoundTripAndMerge) {
+  ShardSpec spec = small_spec(SweepMode::Combined);
+  spec.spec.sim.faults.token_loss_prob = 0.03;
+  spec.spec.sim.faults.token_recovery = 900;
+  spec.spec.sim.faults.corruption_prob = 0.04;
+  spec.spec.sim.faults.max_retransmissions = 2;
+  spec.spec.sim.faults.churn_prob = 0.01;
+  spec.spec.sim.faults.churn_offline = 6'000;
+  spec.spec.sim.faults.burst_correlation = 0.25;
+
+  // Spec serialization carries the knobs exactly; the zero-fault form omits
+  // the line entirely (zero-fault byte-identity with pre-fault artifacts).
+  const std::string with_faults = serialize_spec(spec);
+  EXPECT_NE(with_faults.find("\nfaults 0.03 900 0.04 2 0.01 6000 0.25\n"), std::string::npos);
+  ShardSpec clean = spec;
+  clean.spec.sim.faults = profibus::FaultModel{};
+  EXPECT_EQ(serialize_spec(clean).find("faults"), std::string::npos);
+  // Artifact round trip preserves the spec knobs and degraded outcome columns.
+  ShardRunner runner(2);
+  const ShardArtifact art = runner.run(spec, 0, 2);
+  ASSERT_FALSE(art.combined.empty());
+  ASSERT_FALSE(art.combined[0].degraded_schedulable.empty());
+  const ShardArtifact back = ShardArtifact::from_text(art.to_text());
+  EXPECT_EQ(serialize_spec(back.spec), with_faults);
+  EXPECT_DOUBLE_EQ(back.spec.spec.sim.faults.token_loss_prob, 0.03);
+  EXPECT_EQ(back.spec.spec.sim.faults.churn_offline, 6'000);
+  ASSERT_EQ(back.combined.size(), art.combined.size());
+  for (std::size_t i = 0; i < art.combined.size(); ++i) {
+    EXPECT_EQ(back.combined[i].degraded_schedulable, art.combined[i].degraded_schedulable);
+    EXPECT_EQ(back.combined[i].degraded_wcrt, art.combined[i].degraded_wcrt);
+  }
+  EXPECT_EQ(back.to_text(), art.to_text());
+
+  // Sharded faulted run merges byte-identical to single-process.
+  engine::SweepRunner single(2);
+  const engine::ConsistencyTable reference =
+      engine::consistency_table(spec.spec, single.run_combined(spec.spec));
+  ASSERT_TRUE(reference.fault_axis);
+  const MergedSweep merged = run_sharded(spec, 2);
+  const engine::ConsistencyTable table = engine::consistency_table(spec.spec, merged.combined);
+  EXPECT_EQ(table.to_csv(), reference.to_csv());
+  EXPECT_EQ(table.to_json(), reference.to_json());
+
+  // Mixed faulted/zero-fault shard sets are refused by the spec compare.
+  ShardRunner one(1);
+  std::vector<ShardArtifact> mixed = {one.run(spec, 0, 2), one.run(clean, 1, 2)};
+  EXPECT_THROW((void)merge_shards(mixed), std::invalid_argument);
+}
+
 TEST(ShardMerge, RejectsMissingShard) {
   const ShardSpec spec = small_spec(SweepMode::Analysis);
   ShardRunner runner(1);

@@ -95,6 +95,7 @@ ConsistencyTable sample_table() {
 
 void expect_same_rows(const ConsistencyTable& x, const ConsistencyTable& y) {
   ASSERT_EQ(x.rows.size(), y.rows.size());
+  EXPECT_EQ(x.fault_axis, y.fault_axis);
   for (std::size_t i = 0; i < x.rows.size(); ++i) {
     EXPECT_EQ(x.rows[i].id, y.rows[i].id);
     EXPECT_EQ(x.rows[i].seed, y.rows[i].seed);
@@ -102,6 +103,8 @@ void expect_same_rows(const ConsistencyTable& x, const ConsistencyTable& y) {
     EXPECT_EQ(x.rows[i].policy, y.rows[i].policy);
     EXPECT_EQ(x.rows[i].analytic_schedulable, y.rows[i].analytic_schedulable);
     EXPECT_EQ(x.rows[i].analytic_wcrt, y.rows[i].analytic_wcrt);
+    EXPECT_EQ(x.rows[i].degraded_schedulable, y.rows[i].degraded_schedulable);
+    EXPECT_EQ(x.rows[i].degraded_wcrt, y.rows[i].degraded_wcrt);
     EXPECT_EQ(x.rows[i].observed_max, y.rows[i].observed_max);
     EXPECT_EQ(x.rows[i].observed_p99, y.rows[i].observed_p99);
     EXPECT_EQ(x.rows[i].misses, y.rows[i].misses);
@@ -124,6 +127,42 @@ TEST(SimAggregate, ConsistencyJsonRoundTrip) {
   const ConsistencyTable back = ConsistencyTable::from_json(t.to_json());
   expect_same_rows(t, back);
   EXPECT_EQ(t.to_json(), back.to_json());
+}
+
+// The fault axis adds degraded_schedulable/degraded_wcrt to both formats —
+// which must round-trip — while a zero-fault table's serialization stays
+// byte-free of any degraded column.
+TEST(SimAggregate, FaultAxisConsistencyRoundTrips) {
+  ConsistencyTable t = sample_table();
+  t.fault_axis = true;
+  t.rows[0].degraded_schedulable = true;
+  t.rows[0].degraded_wcrt = 61'000;
+  t.rows[1].degraded_schedulable = false;
+  t.rows[1].degraded_wcrt = kNoBound;
+
+  const ConsistencyTable csv_back = ConsistencyTable::from_csv(t.to_csv());
+  expect_same_rows(t, csv_back);
+  EXPECT_EQ(t.to_csv(), csv_back.to_csv());
+  const ConsistencyTable json_back = ConsistencyTable::from_json(t.to_json());
+  expect_same_rows(t, json_back);
+  EXPECT_EQ(t.to_json(), json_back.to_json());
+
+  // Fault axis composes with the multi-axis columns (19-column layout).
+  t.multi_axis = true;
+  t.rows[0].beta_lo = 0.4;
+  t.rows[0].beta_hi = 0.9;
+  t.rows[0].n_masters = 3;
+  const ConsistencyTable both = ConsistencyTable::from_csv(t.to_csv());
+  EXPECT_TRUE(both.multi_axis);
+  EXPECT_TRUE(both.fault_axis);
+  expect_same_rows(t, both);
+  expect_same_rows(t, ConsistencyTable::from_json(t.to_json()));
+
+  // Zero-fault serializations never mention the degraded columns.
+  const ConsistencyTable clean = sample_table();
+  EXPECT_EQ(clean.to_csv().find("degraded"), std::string::npos);
+  EXPECT_EQ(clean.to_json().find("degraded"), std::string::npos);
+  EXPECT_EQ(clean.to_json().find("fault_axis"), std::string::npos);
 }
 
 TEST(SimAggregate, ConsistencyHelpersCountViolations) {

@@ -130,6 +130,48 @@ TEST(SimCli, CacheFlagCarriesTheDirectory) {
   (void)parse_fail({"--cache"});
 }
 
+TEST(SimCli, FaultsFlagFillsEveryKnob) {
+  const SimSweepCli cli = parse_ok(
+      {"--faults",
+       "loss=0.02,recovery=800,corrupt=0.05,retrans=2,churn=0.01,offline=5000,burst=0.7"});
+  const profibus::FaultModel& f = cli.spec.sim.faults;
+  EXPECT_DOUBLE_EQ(f.token_loss_prob, 0.02);
+  EXPECT_EQ(f.token_recovery, 800);
+  EXPECT_DOUBLE_EQ(f.corruption_prob, 0.05);
+  EXPECT_EQ(f.max_retransmissions, 2u);
+  EXPECT_DOUBLE_EQ(f.churn_prob, 0.01);
+  EXPECT_EQ(f.churn_offline, 5'000);
+  EXPECT_DOUBLE_EQ(f.burst_correlation, 0.7);
+  EXPECT_TRUE(f.any());
+  // Subsets leave the other knobs at their zero defaults.
+  const SimSweepCli loss_only = parse_ok({"--faults", "loss=0.1"});
+  EXPECT_DOUBLE_EQ(loss_only.spec.sim.faults.token_loss_prob, 0.1);
+  EXPECT_DOUBLE_EQ(loss_only.spec.sim.faults.corruption_prob, 0.0);
+  // All-zero knobs parse fine and leave the spec fault-free — the
+  // byte-identity escape hatch.
+  EXPECT_FALSE(parse_ok({"--faults", "loss=0,corrupt=0"}).spec.sim.faults.any());
+  // Default: no faults at all.
+  EXPECT_FALSE(parse_ok({}).spec.sim.faults.any());
+}
+
+TEST(SimCli, FaultsFlagRejectsBadInput) {
+  (void)parse_fail({"--faults"});                       // missing value
+  (void)parse_fail({"--faults", ""});                   // empty value
+  (void)parse_fail({"--faults", "loss"});               // no '='
+  (void)parse_fail({"--faults", "banana=1"});           // unknown key
+  (void)parse_fail({"--faults", "loss=abc"});           // not a number
+  (void)parse_fail({"--faults", "loss=-0.1"});          // negative probability
+  (void)parse_fail({"--faults", "loss=1.5"});           // validate(): prob > 1
+  (void)parse_fail({"--faults", "loss=nan"});
+  (void)parse_fail({"--faults", "recovery=-5"});
+  (void)parse_fail({"--faults", "retrans=5000"});       // above the cap
+  (void)parse_fail({"--faults", "loss=0.1,"});          // trailing empty entry
+  (void)parse_fail({"--faults", "loss=0.1,loss"});      // malformed second entry
+  // validate() failures and parse failures both name the flag.
+  EXPECT_NE(parse_fail({"--faults", "burst=2"}).find("--faults"), std::string::npos);
+  EXPECT_NE(parse_fail({"--faults", "frob=1"}).find("--faults"), std::string::npos);
+}
+
 TEST(SimCli, SimulableOnlyFalseAdmitsTheAnalysisPolicyTable) {
   SimSweepCli cli;
   std::string error;

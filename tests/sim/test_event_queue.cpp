@@ -41,6 +41,28 @@ TEST(EventQueue, NextTimeTracksEarliest) {
   EXPECT_EQ(q.next_time(), 50);
 }
 
+// Horizon saturation: kNoBound is a legal event time that must sort after
+// every finite time (never starving earlier events) and sat_add must pin at
+// kNoBound instead of wrapping negative — a wrapped time would sort first
+// and starve the whole queue.
+TEST(EventQueue, SaturatedTimesSortLastAndNeverWrap) {
+  EXPECT_EQ(sat_add(kNoBound, 1), kNoBound);
+  EXPECT_EQ(sat_add(kNoBound - 3, 10), kNoBound);
+  EXPECT_EQ(sat_add(kNoBound, kNoBound), kNoBound);
+  EXPECT_EQ(sat_mul(kNoBound, 2), kNoBound);
+  EXPECT_EQ(sat_mul(kNoBound / 2 + 1, 2), kNoBound);
+
+  EventQueue q;
+  std::vector<Ticks> popped;
+  q.schedule(kNoBound, [] {});
+  q.schedule(sat_add(kNoBound - 1, 100), [] {});  // saturates, joins the far bucket
+  q.schedule(10, [] {});
+  q.schedule(kNoBound - 1, [] {});
+  EXPECT_EQ(q.next_time(), 10);  // finite work is never starved
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, (std::vector<Ticks>{10, kNoBound - 1, kNoBound, kNoBound}));
+}
+
 TEST(EventQueue, PopReturnsTimeAndSeq) {
   EventQueue q;
   q.schedule(7, [] {});

@@ -70,5 +70,42 @@ TEST(Kernel, SecondRunContinuesWhereFirstStopped) {
   EXPECT_EQ(seen, (std::vector<Ticks>{10, 20, 30}));
 }
 
+// The past-time guards must hold in EVERY build configuration — they were
+// once plain assert()s, which Release (NDEBUG) compiled away, letting a
+// negative delay or stale absolute time silently rewind the clock and
+// corrupt event ordering for the rest of the run.
+TEST(Kernel, RejectsPastTimeSchedulingInAllBuildConfigurations) {
+  Kernel k;
+  k.at(10, [] {});
+  k.run_until(10);
+  ASSERT_EQ(k.now(), 10);
+  EXPECT_THROW(k.after(-1, [] {}), std::invalid_argument);
+  EXPECT_THROW(k.at(9, [] {}), std::invalid_argument);
+  // The guard must not over-reject the boundary: now() itself is legal.
+  bool fired = false;
+  EXPECT_NO_THROW(k.at(10, [&] { fired = true; }));
+  EXPECT_NO_THROW(k.after(0, [] {}));
+  k.run_until(10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(k.now(), 10);  // clock never rewound
+}
+
+// Saturated times are legal and inert: an event at kNoBound never fires
+// under a finite horizon, and a saturating after() from a late clock must
+// not wrap negative (which the guard would then misreport as a rewind).
+TEST(Kernel, SaturatedTimesNeverFireOrWrap) {
+  Kernel k;
+  bool fired = false;
+  k.at(kNoBound, [&] { fired = true; });
+  k.at(5, [] {});
+  k.run_until(1'000'000);
+  EXPECT_EQ(k.now(), 5);
+  EXPECT_FALSE(fired);
+  // after() saturates instead of overflowing past kNoBound.
+  EXPECT_NO_THROW(k.after(kNoBound, [&] { fired = true; }));
+  k.run_until(kNoBound - 1);
+  EXPECT_FALSE(fired);
+}
+
 }  // namespace
 }  // namespace profisched::sim

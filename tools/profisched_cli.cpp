@@ -10,10 +10,14 @@
 //                       [--beta-lo X] [--beta-hi X] [--split w1,...,wK] [--skew S]
 //                       [--policies fcfs,dm,edf] [--threads N] [--seed N]
 //                       [--ttr TICKS] [--horizon TICKS] [--cycles X]
-//                       [--model worst|uniform|frame] [--lp] [--combined]
+//                       [--model worst|uniform|frame] [--lp]
+//                       [--faults loss=P,recovery=T,corrupt=P,retrans=N,
+//                                 churn=P,offline=T,burst=C] [--combined]
 //                       [--csv FILE] [--json FILE]
 //     (no INI file: fan simulation runs over UUniFast-generated scenarios;
-//      --combined also analyses each scenario and emits joined rows)
+//      --combined also analyses each scenario and emits joined rows. --faults
+//      injects token loss / frame corruption / ring churn / release bursts;
+//      combined runs then check the simulation against degraded-mode bounds.)
 //   profisched ttr      <file>
 //   profisched sweep    [--scenarios N] [--masters N[,N,...]] [--streams N]
 //                       [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]
@@ -88,6 +92,8 @@ int usage() {
                "                      [--skew S] [--policies fcfs,dm,edf] [--threads N]\n"
                "                      [--seed N] [--ttr TICKS] [--horizon TICKS] [--cycles X]\n"
                "                      [--model worst|uniform|frame] [--quantile Q] [--lp]\n"
+               "                      [--faults loss=P,recovery=T,corrupt=P,retrans=N,\n"
+               "                                churn=P,offline=T,burst=C]\n"
                "                      [--combined] [--csv FILE] [--json FILE] [--cache DIR]\n"
                "  profisched ttr      <file.ini>\n"
                "  profisched optimize [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
