@@ -1,4 +1,4 @@
-// bench_runner — the tracked benchmark-regression harness (BENCH_pr4.json).
+// bench_runner — the tracked benchmark-regression harness (BENCH_pr8.json).
 //
 // Unlike the e01–e17 experiment benches (google-benchmark, paper tables),
 // this binary exists to pin the repo's measured performance trajectory: it
@@ -41,7 +41,7 @@ namespace profisched::bench {
 namespace {
 
 struct Options {
-  std::string json_path = "BENCH_pr4.json";
+  std::string json_path = "BENCH_pr8.json";
   bool quick = false;  ///< CI smoke: shorter timing windows
 };
 

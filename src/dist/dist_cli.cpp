@@ -75,6 +75,8 @@ bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::
     cli.shard.optimize = opt_cli.spec.options;
     cli.threads = opt_cli.threads;
     cli.cache_dir = std::move(opt_cli.cache_dir);
+    cli.metrics_path = std::move(opt_cli.metrics_path);
+    cli.progress = opt_cli.progress;
   } else {
     engine::SimSweepCli sweep_cli;
     if (!engine::parse_sim_sweep_args(sweep_args, sweep_cli, error,
@@ -90,6 +92,8 @@ bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::
     cli.shard.spec = std::move(sweep_cli.spec);
     cli.threads = sweep_cli.threads;
     cli.cache_dir = std::move(sweep_cli.cache_dir);
+    cli.metrics_path = std::move(sweep_cli.metrics_path);
+    cli.progress = sweep_cli.progress;
   }
   cli.shard.spec.sweep.engine = engine_opts;
 
@@ -120,6 +124,9 @@ bool parse_merge_args(const std::vector<std::string>& args, MergeCli& out, std::
     } else if (arg == "--json") {
       if (!next(v) || v.empty()) return fail("--json needs a file path");
       cli.json_path = v;
+    } else if (arg == "--metrics") {
+      if (!next(v) || v.empty()) return fail("--metrics needs a file path");
+      cli.metrics_path = v;
     } else if (arg.rfind("--", 0) == 0) {
       return fail("unknown merge flag '" + arg + "'");
     } else {

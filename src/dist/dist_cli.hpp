@@ -21,8 +21,10 @@ struct ShardCli {
   std::uint64_t index = 0;  ///< 0-based (the CLI's k/K form is 1-based)
   std::uint64_t count = 1;
   std::string out_path;
-  std::string cache_dir;  ///< optional --cache DIR
-  unsigned threads = 0;   ///< 0 = auto
+  std::string cache_dir;     ///< optional --cache DIR
+  unsigned threads = 0;      ///< 0 = auto
+  std::string metrics_path;  ///< --metrics FILE: metrics + run-manifest JSON sidecar
+  bool progress = false;     ///< --progress: stderr heartbeat while scenarios run
 };
 
 /// Parse the flags after `profisched shard`. Accepts --shard k/K (required,
@@ -44,11 +46,13 @@ struct MergeCli {
   std::vector<std::string> inputs;
   std::string csv_path;
   std::string json_path;
+  std::string metrics_path;  ///< --metrics FILE: metrics + run-manifest JSON sidecar
 };
 
 /// Parse the flags after `profisched merge`: [--csv FILE] [--json FILE]
-/// SHARD_FILE... (at least one artifact; anything starting with "--" that is
-/// not a known flag is rejected rather than read as a file name).
+/// [--metrics FILE] SHARD_FILE... (at least one artifact; anything starting
+/// with "--" that is not a known flag is rejected rather than read as a file
+/// name).
 [[nodiscard]] bool parse_merge_args(const std::vector<std::string>& args, MergeCli& out,
                                     std::string& error);
 

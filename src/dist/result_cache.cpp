@@ -47,8 +47,13 @@ ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
 }
 
 bool ResultCache::load(const engine::CacheKey& key, std::string& payload) {
-  const auto miss = [this] {
+  // `heal` distinguishes "no entry" from "entry present but refused": the
+  // refused file will be recomputed and overwritten — a self-heal worth
+  // counting separately from cold misses.
+  const auto miss = [this](bool heal = false) {
     ++misses_;
+    obs_misses_.add(1);
+    if (heal) obs_heals_.add(1);
     return false;
   };
   std::ifstream is(entry_path(key), std::ios::binary);
@@ -61,24 +66,26 @@ bool ResultCache::load(const engine::CacheKey& key, std::string& payload) {
   if (!(is >> magic >> version >> kw >> key_hex) || magic != kMagic ||
       version != 'v' + std::to_string(kFormatVersion) || kw != "key" ||
       key_hex != entry_name(key)) {
-    return miss();
+    return miss(true);
   }
   std::size_t len = 0;
-  if (!(is >> kw >> len_str) || kw != "len") return miss();
+  if (!(is >> kw >> len_str) || kw != "len") return miss(true);
   try {
     len = std::stoul(len_str);
   } catch (...) {
-    return miss();
+    return miss(true);
   }
-  if (is.get() != '\n' || len > (std::size_t{1} << 30)) return miss();
+  if (is.get() != '\n' || len > (std::size_t{1} << 30)) return miss(true);
 
   std::string body(len, '\0');
   is.read(body.data(), static_cast<std::streamsize>(len));
   if (static_cast<std::size_t>(is.gcount()) != len || is.get() != std::ifstream::traits_type::eof()) {
-    return miss();
+    return miss(true);
   }
   payload = std::move(body);
   ++hits_;
+  obs_hits_.add(1);
+  obs_bytes_read_.add(len);
   return true;
 }
 
@@ -119,6 +126,8 @@ void ResultCache::store(const engine::CacheKey& key, const std::string& payload)
       return;
     }
     ++stores_;
+    obs_stores_.add(1);
+    obs_bytes_written_.add(payload.size());
   } catch (...) {
     // Never let cache I/O take down the sweep.
   }

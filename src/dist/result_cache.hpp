@@ -24,6 +24,7 @@
 #include <string>
 
 #include "engine/sweep_runner.hpp"
+#include "obs/metrics.hpp"
 
 namespace profisched::dist {
 
@@ -56,6 +57,17 @@ class ResultCache final : public engine::ScenarioCache {
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> stores_{0};
   std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp-file suffix source
+
+  // File-level telemetry, distinct from the runner's record-level cache.*
+  // series: bytes moved and "heals" — entries that existed but were refused
+  // (wrong version / foreign key / bad length / short read) and will be
+  // recomputed and overwritten.
+  obs::Counter obs_hits_ = obs::Registry::global().counter("cache.file.hits");
+  obs::Counter obs_misses_ = obs::Registry::global().counter("cache.file.misses");
+  obs::Counter obs_heals_ = obs::Registry::global().counter("cache.file.corruption_heals");
+  obs::Counter obs_stores_ = obs::Registry::global().counter("cache.file.stores");
+  obs::Counter obs_bytes_read_ = obs::Registry::global().counter("cache.file.bytes_read");
+  obs::Counter obs_bytes_written_ = obs::Registry::global().counter("cache.file.bytes_written");
 };
 
 }  // namespace profisched::dist

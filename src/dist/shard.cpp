@@ -4,8 +4,27 @@
 #include <stdexcept>
 
 #include "engine/detail/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace profisched::dist {
+
+namespace {
+
+/// Shard/merge telemetry: row counts in and out of artifacts plus how many
+/// cross-shard spec validations the merge performed.
+struct DistMetrics {
+  obs::Counter rows_written = obs::Registry::global().counter("dist.shard.rows_written");
+  obs::Counter artifacts = obs::Registry::global().counter("dist.merge.artifacts");
+  obs::Counter spec_validations = obs::Registry::global().counter("dist.merge.spec_validations");
+  obs::Counter rows_merged = obs::Registry::global().counter("dist.merge.rows_merged");
+};
+
+DistMetrics& dist_metrics() {
+  static DistMetrics m;
+  return m;
+}
+
+}  // namespace
 
 using engine::detail::fmt_double_exact;
 using engine::detail::to_double;
@@ -397,6 +416,11 @@ std::string ShardArtifact::to_text() const {
       break;
   }
   out += "end\n";
+  std::size_t rows = combined.size();
+  if (spec.mode == SweepMode::Analysis) rows = analysis.size();
+  if (spec.mode == SweepMode::Sim) rows = sim.size();
+  if (spec.mode == SweepMode::Optimize) rows = optimize.size();
+  dist_metrics().rows_written.add(rows);
   return out;
 }
 
@@ -563,8 +587,12 @@ MergedSweep merge_shards(const std::vector<ShardArtifact>& shards) {
                                 " artifacts for a " + std::to_string(count) + "-shard sweep");
   }
 
+  DistMetrics& dm = dist_metrics();
+  dm.artifacts.add(shards.size());
+
   std::vector<const ShardArtifact*> by_index(static_cast<std::size_t>(count), nullptr);
   for (const ShardArtifact& s : shards) {
+    dm.spec_validations.add(1);
     if (serialize_spec(s.spec) != spec_block) {
       throw std::invalid_argument("merge: shard " + std::to_string(s.shard_index) +
                                   " was produced under a different spec");
@@ -645,6 +673,7 @@ MergedSweep merge_shards(const std::vector<ShardArtifact>& shards) {
                                   std::to_string(rows) + " outcomes for a range of " +
                                   std::to_string(s.range.size()));
     }
+    dm.rows_merged.add(rows);
     for (std::size_t i = 0; i < rows; ++i) {
       const std::uint64_t id = s.range.begin + i;
       switch (merged.spec.mode) {

@@ -206,6 +206,11 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
     } else if (arg == "--cache") {
       if (!next(v) || v.empty()) return fail("--cache needs a directory path");
       cli.cache_dir = v;
+    } else if (arg == "--metrics") {
+      if (!next(v) || v.empty()) return fail("--metrics needs a file path");
+      cli.metrics_path = v;
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else {
       return fail("unknown simulate flag '" + arg + "'");
     }

@@ -20,7 +20,9 @@ struct SimSweepCli {
   bool combined = false; ///< also analyse; emit joined consistency rows
   std::string csv_path;
   std::string json_path;
-  std::string cache_dir;  ///< --cache DIR: persistent scenario-result cache
+  std::string cache_dir;     ///< --cache DIR: persistent scenario-result cache
+  std::string metrics_path;  ///< --metrics FILE: metrics + run-manifest JSON sidecar
+  bool progress = false;     ///< --progress: stderr heartbeat while scenarios run
 };
 
 /// Parse the flags after `profisched simulate` into `out`. Returns true on
@@ -32,6 +34,7 @@ struct SimSweepCli {
 ///   --policies fcfs,dm,edf  --threads N  --seed N  --ttr TICKS
 ///   --horizon TICKS  --cycles X  --model worst|uniform|frame
 ///   --quantile Q  --lp  --combined  --csv FILE  --json FILE  --cache DIR
+///   --metrics FILE  --progress
 ///   --faults k=v[,k=v...]   with keys
 ///     loss=P (token-loss probability), recovery=TICKS, corrupt=P (frame
 ///     corruption probability), retrans=N (retransmission cap), churn=P

@@ -1,15 +1,17 @@
 #include "engine/sweep_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "engine/detail/hash.hpp"
 #include "engine/detail/record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "profibus/fault_bounds.hpp"
 #include "sim/rng.hpp"
 
@@ -92,6 +94,52 @@ void validate_range(IdRange range, std::uint64_t total) {
   }
 }
 
+/// Registry handles the runner's hot loops write through. Fetched once per
+/// process (function-local static) so per-scenario cost is the relaxed add
+/// itself — no registry lookup, no lock. Cache accounting lives here (not in
+/// per-run atomics) so the registry is the single source of truth; RunStats
+/// carries per-run values computed as deltas around each run.
+struct RunnerMetrics {
+  obs::Counter scenarios_done = obs::Registry::global().counter("runner.scenarios_completed");
+  obs::Counter ranges = obs::Registry::global().counter("runner.ranges");
+  obs::Counter cache_lookups = obs::Registry::global().counter("cache.lookups");
+  obs::Counter cache_hits = obs::Registry::global().counter("cache.hits");
+  obs::Counter cache_misses = obs::Registry::global().counter("cache.misses");
+  obs::Counter memo_hits = obs::Registry::global().counter("engine.memo_hits");
+  obs::Counter memo_misses = obs::Registry::global().counter("engine.memo_misses");
+  obs::Timer range_timer = obs::Registry::global().timer("runner.range");
+  obs::Timer generate = obs::Registry::global().timer("runner.generate");
+  obs::Timer analyze = obs::Registry::global().timer("runner.analyze");
+  obs::Timer simulate = obs::Registry::global().timer("runner.simulate");
+};
+
+RunnerMetrics& runner_metrics() {
+  static RunnerMetrics m;
+  return m;
+}
+
+/// Simulation-kernel bridge counters: the kernel's own tallies are plain
+/// per-run members (the inner event loop stays untouched); each completed
+/// replication folds them into the registry here, at the one funnel every
+/// sim-backed mode shares.
+struct SimBridgeMetrics {
+  obs::Counter replications = obs::Registry::global().counter("sim.replications");
+  obs::Counter events = obs::Registry::global().counter("sim.events");
+  obs::Counter pool_recycles = obs::Registry::global().counter("sim.pool_recycles");
+  obs::Counter tokens_lost = obs::Registry::global().counter("sim.faults.tokens_lost");
+  obs::Counter token_skips = obs::Registry::global().counter("sim.faults.token_skips");
+  obs::Counter leaves = obs::Registry::global().counter("sim.faults.leaves");
+  obs::Counter rejoins = obs::Registry::global().counter("sim.faults.rejoins");
+  obs::Counter corrupted = obs::Registry::global().counter("sim.faults.corrupted_cycles");
+  obs::Counter retrans = obs::Registry::global().counter("sim.faults.retransmissions");
+  obs::Counter churn_dropped = obs::Registry::global().counter("sim.faults.churn_dropped");
+};
+
+SimBridgeMetrics& sim_bridge() {
+  static SimBridgeMetrics b;
+  return b;
+}
+
 /// Simulate one (scenario, policy) across every replication, reducing to the
 /// sweep's scalar columns. When `per_stream_max` is non-null it receives, per
 /// (master, stream), the max observed response over all replications — the
@@ -106,8 +154,19 @@ SimSummary simulate_policy(const SimulationEngine& sim, const Scenario& sc, Poli
       (*per_stream_max)[k].assign(sc.net.masters[k].nh(), 0);
     }
   }
+  SimBridgeMetrics& b = sim_bridge();
   for (std::size_t rep = 0; rep < replications; ++rep) {
     const sim::SimReport r = sim.simulate(sc, policy, rep);
+    b.replications.add(1);
+    b.events.add(r.events);
+    b.pool_recycles.add(r.pool_recycles);
+    b.tokens_lost.add(r.faults.tokens_lost);
+    b.token_skips.add(r.faults.token_skips);
+    b.leaves.add(r.faults.leaves);
+    b.rejoins.add(r.faults.rejoins);
+    b.corrupted.add(r.faults.corrupted_cycles);
+    b.retrans.add(r.faults.retransmissions);
+    b.churn_dropped.add(r.faults.churn_dropped);
     const SimSummary s = SimulationEngine::summarize(r, sim.options().quantile);
     agg.observed_max = std::max(agg.observed_max, s.observed_max);
     agg.observed_p99 = std::max(agg.observed_p99, s.observed_p99);
@@ -310,6 +369,15 @@ void SweepRunner::run_scenarios(std::uint64_t total, IdRange range, RunStats& st
                                 const ScenarioFn& fn) {
   validate_range(range, total);
   const std::size_t n = static_cast<std::size_t>(range.size());
+  RunnerMetrics& m = runner_metrics();
+  m.ranges.add(1);
+  // The heartbeat exists only when --progress asked for it; otherwise the
+  // per-scenario cost is the single relaxed counter add below.
+  std::unique_ptr<obs::ProgressMeter> meter;
+  if (obs::progress_enabled()) {
+    meter = std::make_unique<obs::ProgressMeter>("scenarios", n);
+  }
+  obs::Span range_span(m.range_timer);
 
   // A worker exception (e.g. a generation parameter the workload layer
   // rejects) must surface on the calling thread, not std::terminate the
@@ -321,12 +389,15 @@ void SweepRunner::run_scenarios(std::uint64_t total, IdRange range, RunStats& st
   pool_.parallel_for(n, [&](std::size_t i, unsigned worker) {
     try {
       fn(range.begin + i, i, worker);
+      m.scenarios_done.add(1);
+      if (meter) meter->tick();
     } catch (...) {
       std::lock_guard lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
   });
   const auto t1 = std::chrono::steady_clock::now();
+  range_span.stop();
   if (first_error) std::rethrow_exception(first_error);
   stats.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
 }
@@ -357,12 +428,16 @@ SweepResult SweepRunner::run(const SweepSpec& spec, IdRange range, ScenarioCache
       params[p] = analysis_params_digest(spec.policies[p], spec.engine);
     }
   }
-  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
+  RunnerMetrics& m = runner_metrics();
+  const std::uint64_t hits0 = m.cache_hits.value(), misses0 = m.cache_misses.value();
 
   const auto per_scenario = [&](std::uint64_t id, std::size_t i, unsigned worker) {
     AnalysisEngine& engine = engines[worker];
+    obs::Span gen_span(m.generate);
     const Scenario sc = make_scenario(spec, id);
     const std::uint64_t content = cache != nullptr ? canonical_hash(sc) : 0;
+    gen_span.stop();
+    const obs::Span stage_span(m.analyze);
 
     ScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
     o.id = sc.id;
@@ -388,9 +463,10 @@ SweepResult SweepRunner::run(const SweepSpec& spec, IdRange range, ScenarioCache
       std::string payload;
       Ticks tcycle = 0, worst_slack = 0;
       bool schedulable = false;
+      m.cache_lookups.add(1);
       if (cache->load(key, payload) &&
           decode_analysis_record(payload, tcycle, schedulable, worst_slack)) {
-        ++cache_hits;
+        m.cache_hits.add(1);
         o.tcycle = tcycle;
         o.schedulable.push_back(schedulable);
         o.worst_slack.push_back(worst_slack);
@@ -400,19 +476,21 @@ SweepResult SweepRunner::run(const SweepSpec& spec, IdRange range, ScenarioCache
       o.tcycle = r.tcycle;
       o.schedulable.push_back(r.schedulable);
       o.worst_slack.push_back(r.worst_slack);
-      ++cache_misses;
+      m.cache_misses.add(1);
       cache->store(key, encode_analysis_record(r.tcycle, r.schedulable, r.worst_slack));
     }
     engine.forget(sc.id);
   };
   run_scenarios(spec.total_scenarios(), range, out, per_scenario);
-  out.cache_hits = cache_hits.load();
-  out.cache_misses = cache_misses.load();
+  out.cache_hits = m.cache_hits.value() - hits0;
+  out.cache_misses = m.cache_misses.value() - misses0;
 
   for (const AnalysisEngine& e : engines) {
     out.memo_hits += e.memo_hits();
     out.memo_misses += e.memo_misses();
   }
+  m.memo_hits.add(out.memo_hits);
+  m.memo_misses.add(out.memo_misses);
   return out;
 }
 
@@ -434,11 +512,15 @@ SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec, IdRange range,
       params[p] = sim_params_digest(spec.sweep.policies[p], spec.sim, spec.replications);
     }
   }
-  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
+  RunnerMetrics& m = runner_metrics();
+  const std::uint64_t hits0 = m.cache_hits.value(), misses0 = m.cache_misses.value();
 
   const auto per_scenario = [&](std::uint64_t id, std::size_t i, unsigned) {
+    obs::Span gen_span(m.generate);
     const Scenario sc = make_scenario(spec.sweep, id);
     const std::uint64_t content = cache != nullptr ? seeded_content_digest(sc) : 0;
+    gen_span.stop();
+    const obs::Span stage_span(m.simulate);
 
     SimScenarioOutcome& o = out.outcomes[i];  // disjoint slot per index
     o.id = sc.id;
@@ -453,13 +535,14 @@ SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec, IdRange range,
       // The stored horizon must match the one this spec derives — it is a
       // pure function of (scenario, options), so a mismatch means a
       // corrupted or colliding entry and the record is refused.
+      if (cache != nullptr) m.cache_lookups.add(1);
       if (cache != nullptr && cache->load(key, payload) &&
           decode_sim_record(payload, horizon, s) && horizon == o.horizon) {
-        ++cache_hits;
+        m.cache_hits.add(1);
       } else {
         s = simulate_policy(sim, sc, spec.sweep.policies[p], spec.replications, nullptr);
         if (cache != nullptr) {
-          ++cache_misses;
+          m.cache_misses.add(1);
           cache->store(key, encode_sim_record(o.horizon, s));
         }
       }
@@ -472,8 +555,8 @@ SimSweepResult SweepRunner::run_sim(const SimSweepSpec& spec, IdRange range,
     }
   };
   run_scenarios(spec.sweep.total_scenarios(), range, out, per_scenario);
-  out.cache_hits = cache_hits.load();
-  out.cache_misses = cache_misses.load();
+  out.cache_hits = m.cache_hits.value() - hits0;
+  out.cache_misses = m.cache_misses.value() - misses0;
   return out;
 }
 
@@ -498,12 +581,15 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
                                          spec.replications);
     }
   }
-  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
+  RunnerMetrics& m = runner_metrics();
+  const std::uint64_t hits0 = m.cache_hits.value(), misses0 = m.cache_misses.value();
 
   const auto per_scenario = [&](std::uint64_t id, std::size_t i, unsigned worker) {
     AnalysisEngine& engine = engines[worker];
+    obs::Span gen_span(m.generate);
     const Scenario sc = make_scenario(spec.sweep, id);
     const std::uint64_t content = cache != nullptr ? seeded_content_digest(sc) : 0;
+    gen_span.stop();
 
     CombinedOutcome& o = out.outcomes[i];  // disjoint slot per index
     o.sim.id = sc.id;
@@ -514,7 +600,10 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
     // scenario is validated and memo-bound once (identical reports). With a
     // cache, analysis only runs on misses — stay per-policy.
     std::vector<Report> batched;
-    if (cache == nullptr) batched = engine.analyze_all(sc, spec.sweep.policies);
+    if (cache == nullptr) {
+      const obs::Span an_span(m.analyze);
+      batched = engine.analyze_all(sc, spec.sweep.policies);
+    }
     // Under faults the degraded network and timing memo are shared across
     // this scenario's policies (the per-policy degraded analyses dispatch
     // through them), computed lazily so full-hit cached scenarios skip it.
@@ -531,11 +620,12 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
       SimSummary s;
       // Horizon check as in run_sim: refuse records whose derived
       // horizon disagrees (corruption / collision guard).
+      if (cache != nullptr) m.cache_lookups.add(1);
       if (cache != nullptr && cache->load(key, payload) &&
           decode_combined_record(payload, faulted, horizon, analytic_schedulable, analytic_wcrt,
                                  violations, s, degraded_schedulable, degraded_wcrt) &&
           horizon == o.sim.horizon) {
-        ++cache_hits;
+        m.cache_hits.add(1);
         o.analytic_schedulable.push_back(analytic_schedulable);
         o.analytic_wcrt.push_back(analytic_wcrt);
         o.bound_violations.push_back(violations);
@@ -552,6 +642,7 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
         continue;
       }
 
+      obs::Span an_span(m.analyze);
       const Report a = cache == nullptr ? std::move(batched[p]) : engine.analyze(sc, policy);
       o.analytic_schedulable.push_back(a.schedulable);
       const auto max_response = [](const profibus::NetworkAnalysis& na) {
@@ -587,7 +678,11 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
         o.degraded_wcrt.push_back(degraded_wcrt);
       }
 
-      s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
+      an_span.stop();
+      {
+        const obs::Span sim_span(m.simulate);
+        s = simulate_policy(sim, sc, policy, spec.replications, &per_stream_max);
+      }
       o.sim.observed_max.push_back(s.observed_max);
       o.sim.observed_p99.push_back(s.observed_p99);
       o.sim.released.push_back(s.released);
@@ -608,7 +703,7 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
       }
       o.bound_violations.push_back(violations);
       if (cache != nullptr) {
-        ++cache_misses;
+        m.cache_misses.add(1);
         cache->store(key, encode_combined_record(faulted, o.sim.horizon, a.schedulable, wcrt,
                                                  violations, s, degraded_schedulable,
                                                  degraded_wcrt));
@@ -617,13 +712,15 @@ CombinedResult SweepRunner::run_combined(const SimSweepSpec& spec, IdRange range
     engine.forget(sc.id);
   };
   run_scenarios(spec.sweep.total_scenarios(), range, out, per_scenario);
-  out.cache_hits = cache_hits.load();
-  out.cache_misses = cache_misses.load();
+  out.cache_hits = m.cache_hits.value() - hits0;
+  out.cache_misses = m.cache_misses.value() - misses0;
 
   for (const AnalysisEngine& e : engines) {
     out.memo_hits += e.memo_hits();
     out.memo_misses += e.memo_misses();
   }
+  m.memo_hits.add(out.memo_hits);
+  m.memo_misses.add(out.memo_misses);
   return out;
 }
 

@@ -25,7 +25,9 @@ void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(job));
+    queue_hwm_.update_max(queue_.size());
   }
+  tasks_submitted_.add(1);
   cv_job_.notify_one();
 }
 
@@ -45,7 +47,13 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    // Counted at dequeue, not completion: a parallel_for caller is released
+    // from inside its last job (before the post-job bookkeeping here runs),
+    // so completion-side counts could be snapshotted one short.
+    tasks_executed_.add(1);
+    const std::int64_t t0 = obs::enabled() ? obs::now_ns() : -1;
     job();
+    if (t0 >= 0) task_latency_.record(static_cast<std::uint64_t>(obs::now_ns() - t0));
     {
       std::lock_guard lock(mu_);
       --in_flight_;

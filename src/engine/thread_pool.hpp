@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace profisched::engine {
 
 class ThreadPool {
@@ -57,6 +59,16 @@ class ThreadPool {
   std::size_t in_flight_ = 0;  // popped but not yet finished
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Telemetry handles (relaxed adds; the latency histogram reads the clock
+  // only while obs::enabled()). Fetched once here so workers never touch the
+  // registry lock.
+  obs::Counter tasks_submitted_ = obs::Registry::global().counter("pool.tasks_submitted");
+  /// Bumped at dequeue (see worker_loop) so it never trails a finished
+  /// parallel_for in a snapshot.
+  obs::Counter tasks_executed_ = obs::Registry::global().counter("pool.tasks_executed");
+  obs::Gauge queue_hwm_ = obs::Registry::global().gauge("pool.queue_depth_hwm");
+  obs::Histogram task_latency_ = obs::Registry::global().histogram("pool.task_latency_ns");
 };
 
 }  // namespace profisched::engine

@@ -1,0 +1,175 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace profisched::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace detail {
+
+std::size_t shard_index() noexcept {
+  // One hash per thread, computed lazily and cached. +1 so the sentinel 0
+  // ("not yet computed") can never collide with a real cached value.
+  thread_local std::size_t cached = 0;
+  if (cached == 0) {
+    cached = (std::hash<std::thread::id>{}(std::this_thread::get_id()) % kCounterShards) + 1;
+  }
+  return cached - 1;
+}
+
+}  // namespace detail
+
+std::uint64_t Counter::value() const noexcept {
+  if (s_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (const auto& cell : s_->cells) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::uint64_t Snapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+TimerSample Snapshot::timer(std::string_view name) const noexcept {
+  for (const auto& t : timers) {
+    if (t.name == name) return t;
+  }
+  return {};
+}
+
+Counter Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : counters_) {
+    if (s.name == name) return Counter(&s);
+  }
+  auto& s = counters_.emplace_back();
+  s.name = std::string(name);
+  return Counter(&s);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : gauges_) {
+    if (s.name == name) return Gauge(&s);
+  }
+  auto& s = gauges_.emplace_back();
+  s.name = std::string(name);
+  return Gauge(&s);
+}
+
+Timer Registry::timer(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : timers_) {
+    if (s.name == name) return Timer(&s);
+  }
+  auto& s = timers_.emplace_back();
+  s.name = std::string(name);
+  return Timer(&s);
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : histograms_) {
+    if (s.name == name) return Histogram(&s);
+  }
+  auto& s = histograms_.emplace_back();
+  s.name = std::string(name);
+  return Histogram(&s);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  {
+    const std::scoped_lock lock(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& s : counters_) {
+      std::uint64_t total = 0;
+      for (const auto& cell : s.cells) total += cell.v.load(std::memory_order_relaxed);
+      out.counters.push_back({s.name, total});
+    }
+    out.gauges.reserve(gauges_.size());
+    for (const auto& s : gauges_) {
+      out.gauges.push_back({s.name, s.v.load(std::memory_order_relaxed)});
+    }
+    out.timers.reserve(timers_.size());
+    for (const auto& s : timers_) {
+      out.timers.push_back({s.name, s.count.load(std::memory_order_relaxed),
+                            s.total_ns.load(std::memory_order_relaxed)});
+    }
+    out.histograms.reserve(histograms_.size());
+    for (const auto& s : histograms_) {
+      HistogramSample h;
+      h.name = s.name;
+      h.sum = s.sum.load(std::memory_order_relaxed);
+      std::size_t last = 0;
+      for (std::size_t i = 0; i < detail::kHistogramBins; ++i) {
+        const std::uint64_t b = s.bins[i].load(std::memory_order_relaxed);
+        h.count += b;
+        if (b != 0) last = i + 1;
+        if (i < detail::kHistogramBins) h.bins.push_back(b);
+      }
+      h.bins.resize(last);  // trim trailing zero bins
+      out.histograms.push_back(std::move(h));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.timers.begin(), out.timers.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (auto& s : counters_) {
+    for (auto& cell : s.cells) cell.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& s : gauges_) s.v.store(0, std::memory_order_relaxed);
+  for (auto& s : timers_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+  }
+  for (auto& s : histograms_) {
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.bins) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::global() {
+  // Deliberately leaked: handles stored in static-duration objects anywhere
+  // in the process must outlive every destructor.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+}  // namespace profisched::obs

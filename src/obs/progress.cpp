@@ -1,0 +1,60 @@
+#include "obs/progress.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace profisched::obs {
+
+namespace {
+
+constexpr std::int64_t kHeartbeatNs = 250'000'000;  // 250 ms between lines
+
+std::atomic<bool> g_progress{false};
+
+}  // namespace
+
+bool progress_enabled() noexcept { return g_progress.load(std::memory_order_relaxed); }
+
+void set_progress_enabled(bool on) noexcept { g_progress.store(on, std::memory_order_relaxed); }
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total)
+    : label_(std::move(label)),
+      total_(total),
+      start_ns_(now_ns()),
+      next_print_ns_(start_ns_ + kHeartbeatNs) {}
+
+ProgressMeter::~ProgressMeter() {
+  // A sub-heartbeat run stays silent; once a heartbeat went out, close the
+  // story with the final count so logs never end mid-flight.
+  if (printed_.load(std::memory_order_relaxed)) {
+    print_line(done_.load(std::memory_order_relaxed), now_ns());
+  }
+}
+
+void ProgressMeter::tick(std::uint64_t n) {
+  const std::uint64_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const std::int64_t now = now_ns();
+  std::int64_t deadline = next_print_ns_.load(std::memory_order_relaxed);
+  if (now < deadline) return;
+  // One winner per heartbeat window prints; everyone else moves on.
+  if (next_print_ns_.compare_exchange_strong(deadline, now + kHeartbeatNs,
+                                             std::memory_order_relaxed)) {
+    printed_.store(true, std::memory_order_relaxed);
+    print_line(done, now);
+  }
+}
+
+void ProgressMeter::print_line(std::uint64_t done, std::int64_t now) {
+  const double secs = static_cast<double>(now - start_ns_) / 1e9;
+  const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+  const double pct =
+      total_ > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total_) : 0.0;
+  const std::uint64_t left = done < total_ ? total_ - done : 0;
+  const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
+  std::fprintf(stderr, "progress: %s %" PRIu64 "/%" PRIu64 " (%.1f%%) %.0f/s eta %.1fs\n",
+               label_.c_str(), done, total_, pct, rate, eta);
+}
+
+}  // namespace profisched::obs

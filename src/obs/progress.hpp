@@ -1,0 +1,41 @@
+// progress.hpp — opt-in stderr heartbeat for long sweeps. A ProgressMeter
+// counts completed work items and prints a rate-limited one-line report
+// (done/total, percent, items/s, ETA) at most every 250 ms, from whichever
+// worker thread happens to cross the deadline — the claim is a single CAS,
+// so ticks never serialize. The meter is only constructed when --progress
+// was given (obs::progress_enabled()); primary outputs are untouched either
+// way, since everything goes to stderr.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace profisched::obs {
+
+/// Set by the CLI iff --progress was given.
+[[nodiscard]] bool progress_enabled() noexcept;
+void set_progress_enabled(bool on) noexcept;
+
+class ProgressMeter {
+ public:
+  ProgressMeter(std::string label, std::uint64_t total);
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+  /// Prints the final 100% line if any heartbeat was emitted.
+  ~ProgressMeter();
+
+  void tick(std::uint64_t n = 1);
+
+ private:
+  void print_line(std::uint64_t done, std::int64_t now);
+
+  std::string label_;
+  std::uint64_t total_;
+  std::int64_t start_ns_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::int64_t> next_print_ns_;
+  std::atomic<bool> printed_{false};
+};
+
+}  // namespace profisched::obs

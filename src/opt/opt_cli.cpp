@@ -144,6 +144,11 @@ bool parse_optimize_args(const std::vector<std::string>& args, OptimizeCli& out,
     } else if (arg == "--cache") {
       if (!next(v) || v.empty()) return fail("--cache needs a directory path");
       cli.cache_dir = v;
+    } else if (arg == "--metrics") {
+      if (!next(v) || v.empty()) return fail("--metrics needs a file path");
+      cli.metrics_path = v;
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else {
       return fail("unknown optimize flag '" + arg + "'");
     }

@@ -19,7 +19,9 @@ struct OptimizeCli {
   unsigned threads = 0;  ///< 0 = auto
   std::string csv_path;
   std::string json_path;
-  std::string cache_dir;  ///< --cache DIR: persistent scenario-result cache
+  std::string cache_dir;     ///< --cache DIR: persistent scenario-result cache
+  std::string metrics_path;  ///< --metrics FILE: metrics + run-manifest JSON sidecar
+  bool progress = false;     ///< --progress: stderr heartbeat while scenarios run
 };
 
 /// Parse the flags after `profisched optimize` into `out`. Returns true on
@@ -33,7 +35,7 @@ struct OptimizeCli {
 ///   --scale-lo X  --scale-hi X     frame-scaling bracket (factors, e.g. 0.25)
 ///   --ttr-cap TICKS                upper bracket of the max-T_TR search
 ///   --dratio-lo X  --dratio-hi X   D/T-ratio bracket
-///   --csv FILE  --json FILE  --cache DIR
+///   --csv FILE  --json FILE  --cache DIR  --metrics FILE  --progress
 /// Fractional bracket flags are rounded to the q/1024 fixed point the
 /// searches run in; bracket sanity (1 <= lo <= hi after rounding) is checked
 /// here so run_optimize never throws on CLI-built specs.

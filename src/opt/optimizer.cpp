@@ -1,17 +1,39 @@
 #include "opt/optimizer.hpp"
 
-#include <atomic>
 #include <stdexcept>
 #include <string>
 
 #include "engine/detail/hash.hpp"
 #include "engine/detail/record.hpp"
+#include "obs/metrics.hpp"
 #include "profibus/dm_analysis.hpp"
 #include "profibus/edf_analysis.hpp"
 #include "profibus/fcfs_analysis.hpp"
 #include "profibus/priority_assignment.hpp"
 
 namespace profisched::opt {
+
+namespace {
+
+/// Probe accounting per bisection axis: each counter totals the exact
+/// analysis evaluations that axis's binary search spent, straight from
+/// SensitivityResult::probes. `bisections` counts searches run.
+struct OptMetrics {
+  obs::Counter bisections = obs::Registry::global().counter("opt.bisections");
+  obs::Counter probes_breakdown = obs::Registry::global().counter("opt.probes.breakdown");
+  obs::Counter probes_ttr = obs::Registry::global().counter("opt.probes.ttr");
+  obs::Counter probes_dratio = obs::Registry::global().counter("opt.probes.dratio");
+  obs::Counter cache_lookups = obs::Registry::global().counter("cache.lookups");
+  obs::Counter cache_hits = obs::Registry::global().counter("cache.hits");
+  obs::Counter cache_misses = obs::Registry::global().counter("cache.misses");
+};
+
+OptMetrics& opt_metrics() {
+  static OptMetrics m;
+  return m;
+}
+
+}  // namespace
 
 bool optimizable(engine::Policy policy) {
   switch (policy) {
@@ -68,12 +90,15 @@ double breakdown_utilization_at(const profibus::Network& net, Ticks q1024) {
 
 PolicyOptimum optimize_policy(const profibus::Network& net, const profibus::NetworkTest& test,
                               const OptimizeOptions& options) {
+  OptMetrics& m = opt_metrics();
   PolicyOptimum o;
   o.schedulable = test(net);
 
   const auto breakdown = sensitivity::max_satisfying(
       options.scale_lo_q, options.scale_hi_q,
       [&](Ticks q) { return test(profibus::with_scaled_frames(net, q)); });
+  m.bisections.add(1);
+  m.probes_breakdown.add(breakdown.probes);
   if (breakdown) {
     o.breakdown_q = breakdown.value;
     o.breakdown_cap = breakdown.cap_hit;
@@ -81,6 +106,8 @@ PolicyOptimum optimize_policy(const profibus::Network& net, const profibus::Netw
   }
 
   const auto ttr = profibus::max_schedulable_ttr(net, test, options.ttr_cap);
+  m.bisections.add(1);
+  m.probes_ttr.add(ttr.probes);
   if (ttr) {
     o.max_ttr = ttr.value;
     o.ttr_cap_hit = ttr.cap_hit;
@@ -88,6 +115,8 @@ PolicyOptimum optimize_policy(const profibus::Network& net, const profibus::Netw
 
   const auto dratio =
       profibus::min_deadline_ratio(net, test, options.dratio_lo_q, options.dratio_hi_q);
+  m.bisections.add(1);
+  m.probes_dratio.add(dratio.probes);
   if (dratio) {
     o.min_dratio_q = dratio.value;
     o.dratio_floor = dratio.cap_hit;
@@ -213,7 +242,8 @@ OptimizeResult run_optimize(engine::SweepRunner& runner, const OptimizeSpec& spe
       params[p] = optimize_params_digest(spec.sweep.policies[p], spec.sweep.engine, spec.options);
     }
   }
-  std::atomic<std::size_t> cache_hits{0}, cache_misses{0};
+  OptMetrics& m = opt_metrics();
+  const std::uint64_t hits0 = m.cache_hits.value(), misses0 = m.cache_misses.value();
 
   const auto per_scenario = [&](std::uint64_t id, std::size_t i, unsigned) {
     const engine::Scenario sc = engine::SweepRunner::make_scenario(spec.sweep, id);
@@ -231,9 +261,10 @@ OptimizeResult run_optimize(engine::SweepRunner& runner, const OptimizeSpec& spe
       const engine::CacheKey key{content, params[p]};
       std::string payload;
       PolicyOptimum po;
+      if (cache != nullptr) m.cache_lookups.add(1);
       if (cache != nullptr && cache->load(key, payload) &&
           decode_optimize_record(payload, po)) {
-        ++cache_hits;
+        m.cache_hits.add(1);
         po.breakdown_u = breakdown_utilization_at(sc.net, po.breakdown_q);
         o.per_policy.push_back(po);
         continue;
@@ -241,14 +272,14 @@ OptimizeResult run_optimize(engine::SweepRunner& runner, const OptimizeSpec& spe
       po = optimize_policy(sc.net, tests[p], spec.options);
       o.per_policy.push_back(po);
       if (cache != nullptr) {
-        ++cache_misses;
+        m.cache_misses.add(1);
         cache->store(key, encode_optimize_record(po));
       }
     }
   };
   runner.run_scenarios(spec.sweep.total_scenarios(), range, out, per_scenario);
-  out.cache_hits = cache_hits.load();
-  out.cache_misses = cache_misses.load();
+  out.cache_hits = m.cache_hits.value() - hits0;
+  out.cache_misses = m.cache_misses.value() - misses0;
   return out;
 }
 

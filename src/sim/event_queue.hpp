@@ -49,6 +49,7 @@ class BasicEventQueue {
       slot = free_.back();
       free_.pop_back();
       pool_[slot] = std::move(payload);
+      ++recycled_;
     }
     heap_.push_back(Entry{at, next_seq_++, slot});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
@@ -56,6 +57,13 @@ class BasicEventQueue {
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Pool slots reused from the free list (vs freshly grown) — how much of
+  /// the pooling actually paid off; surfaced in the telemetry sidecar.
+  [[nodiscard]] std::uint64_t recycled() const noexcept { return recycled_; }
+
+  /// High-water slot count: peak live+free pool size over the run.
+  [[nodiscard]] std::size_t pool_high_water() const noexcept { return pool_.size(); }
 
   /// Time of the earliest pending event (kNoBound when empty).
   [[nodiscard]] Ticks next_time() const noexcept {
@@ -92,6 +100,7 @@ class BasicEventQueue {
   std::vector<Payload> pool_;
   std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t recycled_ = 0;
 };
 
 /// A scheduled callback — the generic (type-erased) event surface.

@@ -20,6 +20,8 @@ class BasicKernel {
  public:
   [[nodiscard]] Ticks now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::uint64_t pool_recycles() const noexcept { return queue_.recycled(); }
+  [[nodiscard]] std::size_t pool_high_water() const noexcept { return queue_.pool_high_water(); }
 
   /// Schedule `payload` `delay` ticks from now. Throws std::invalid_argument
   /// on a negative delay — always, not just in Debug builds: run_until sets

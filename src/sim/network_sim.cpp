@@ -459,6 +459,7 @@ class Simulation {
     SimReport r;
     r.horizon = cfg_.horizon;
     r.events = kernel_.events_processed();
+    r.pool_recycles = kernel_.pool_recycles();
     r.faults = faults_;
     r.lp_cycles_completed = lp_completed_;
     r.hp.reserve(masters_.size());

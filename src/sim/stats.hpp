@@ -81,6 +81,7 @@ struct SimReport {
   FaultStats faults;  ///< injected-fault counters (all zero without faults)
   std::uint64_t lp_cycles_completed = 0;
   std::uint64_t events = 0;
+  std::uint64_t pool_recycles = 0;  ///< event-pool slot reuses (telemetry)
   Ticks horizon = 0;
 
   /// Largest observed response across every stream of every master.

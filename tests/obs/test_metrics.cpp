@@ -1,0 +1,184 @@
+// Unit tests for the telemetry registry: concurrent counter/gauge/histogram
+// hammering (snapshot-equals-sum once writers join — the TSan CI job runs
+// this suite), snapshot ordering/trimming, reset semantics, and the Span
+// enabled/disabled contract. Every test uses its own series names: the
+// registry is process-global and the gtest binary runs tests sequentially,
+// so fresh names keep tests independent without needing isolation.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace profisched::obs {
+namespace {
+
+TEST(ObsCounter, ConcurrentAddsSumExactlyAfterJoin) {
+  Counter c = Registry::global().counter("test.counter.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+  EXPECT_EQ(Registry::global().snapshot().counter("test.counter.concurrent"),
+            kThreads * kAddsPerThread);
+}
+
+TEST(ObsCounter, SameNameSharesState) {
+  Counter a = Registry::global().counter("test.counter.shared");
+  Counter b = Registry::global().counter("test.counter.shared");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(ObsGauge, ConcurrentUpdateMaxKeepsTheMaximum) {
+  Gauge g = Registry::global().gauge("test.gauge.hwm");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g, t] {
+      for (std::uint64_t i = 0; i < 10'000; ++i) {
+        g.update_max(static_cast<std::uint64_t>(t) * 10'000 + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(g.value(), 7u * 10'000 + 9'999);
+}
+
+TEST(ObsHistogram, BinsByBitWidthAndSumsValues) {
+  Histogram h = Registry::global().histogram("test.hist.bins");
+  h.record(0);  // bin 0
+  h.record(1);  // bin 1: width 1
+  h.record(2);  // bin 2: width 2
+  h.record(3);  // bin 2
+  h.record(1024);  // bin 11
+  h.record(~std::uint64_t{0});  // width 64 -> capped at bin 63
+
+  const Snapshot snap = Registry::global().snapshot();
+  const HistogramSample* s = nullptr;
+  for (const HistogramSample& hs : snap.histograms) {
+    if (hs.name == "test.hist.bins") s = &hs;
+  }
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 6u);
+  EXPECT_EQ(s->sum, 0u + 1 + 2 + 3 + 1024 + ~std::uint64_t{0});
+  ASSERT_EQ(s->bins.size(), 64u);  // bin 63 populated, nothing to trim
+  EXPECT_EQ(s->bins[0], 1u);
+  EXPECT_EQ(s->bins[1], 1u);
+  EXPECT_EQ(s->bins[2], 2u);
+  EXPECT_EQ(s->bins[11], 1u);
+  EXPECT_EQ(s->bins[63], 1u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : s->bins) total += b;
+  EXPECT_EQ(total, s->count);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsSumExactlyAfterJoin) {
+  Histogram h = Registry::global().histogram("test.hist.concurrent");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) h.record(i & 0xff);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const Snapshot snap = Registry::global().snapshot();
+  for (const HistogramSample& hs : snap.histograms) {
+    if (hs.name != "test.hist.concurrent") continue;
+    EXPECT_EQ(hs.count, kThreads * kPerThread);
+    std::uint64_t total = 0;
+    for (const std::uint64_t b : hs.bins) total += b;
+    EXPECT_EQ(total, hs.count);
+  }
+}
+
+TEST(ObsSnapshot, SeriesAreSortedByNameAndLookupsWork) {
+  Registry& reg = Registry::global();
+  (void)reg.counter("test.sort.zzz");
+  (void)reg.counter("test.sort.aaa");
+  (void)reg.gauge("test.sort.gauge");
+  (void)reg.timer("test.sort.timer");
+  const Snapshot snap = reg.snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  for (std::size_t i = 1; i < snap.timers.size(); ++i) {
+    EXPECT_LT(snap.timers[i - 1].name, snap.timers[i].name);
+  }
+  EXPECT_EQ(snap.counter("test.sort.aaa"), 0u);
+  EXPECT_EQ(snap.counter("test.absent"), 0u);
+  EXPECT_EQ(snap.gauge("test.sort.gauge"), 0u);
+  EXPECT_EQ(snap.timer("test.sort.timer").count, 0u);
+}
+
+TEST(ObsSpan, RecordsOnlyWhenEnabled) {
+  Timer t = Registry::global().timer("test.span.timer");
+  const bool was_enabled = enabled();
+  set_enabled(false);
+  { const Span s(t); }
+  EXPECT_EQ(t.count(), 0u);
+
+  set_enabled(true);
+  { const Span s(t); }
+  EXPECT_EQ(t.count(), 1u);
+
+  // stop() is idempotent: the dtor after an explicit stop records nothing.
+  {
+    Span s(t);
+    s.stop();
+    s.stop();
+  }
+  EXPECT_EQ(t.count(), 2u);
+  set_enabled(was_enabled);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsHandlesLive) {
+  Registry& reg = Registry::global();
+  Counter c = reg.counter("test.reset.counter");
+  Gauge g = reg.gauge("test.reset.gauge");
+  Timer t = reg.timer("test.reset.timer");
+  c.add(5);
+  g.set(9);
+  t.record(123);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.total_ns(), 0u);
+  c.add(2);  // the handle still points at live state
+  EXPECT_EQ(c.value(), 2u);
+  EXPECT_EQ(reg.snapshot().counter("test.reset.counter"), 2u);
+}
+
+TEST(ObsHandles, DefaultConstructedHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Timer t;
+  Histogram h;
+  c.add(1);
+  g.set(1);
+  g.update_max(2);
+  t.record(1);
+  h.record(1);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0u);
+  EXPECT_EQ(t.count(), 0u);
+}
+
+}  // namespace
+}  // namespace profisched::obs

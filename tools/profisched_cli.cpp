@@ -48,6 +48,11 @@
 //   profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...
 //     (validates that the artifacts tile the sweep exactly and emits output
 //      byte-identical to the equivalent single-process run)
+//
+// Every sweep-style subcommand additionally accepts --metrics FILE (write a
+// versioned metrics + run-manifest JSON sidecar, see obs/manifest.hpp) and
+// --progress (opt-in stderr heartbeat). Both are strictly out-of-band: the
+// primary CSV/JSON/artifact bytes are identical with or without them.
 #include <algorithm>
 #include <cerrno>
 #include <cstdint>
@@ -65,8 +70,12 @@
 #include "dist/result_cache.hpp"
 #include "dist/shard.hpp"
 #include "engine/aggregate.hpp"
+#include "engine/detail/hash.hpp"
 #include "engine/sim_aggregate.hpp"
 #include "engine/sim_cli.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "opt/opt_aggregate.hpp"
 #include "opt/opt_cli.hpp"
 #include "profibus/dispatching.hpp"
@@ -95,6 +104,7 @@ int usage() {
                "                      [--faults loss=P,recovery=T,corrupt=P,retrans=N,\n"
                "                                churn=P,offline=T,burst=C]\n"
                "                      [--combined] [--csv FILE] [--json FILE] [--cache DIR]\n"
+               "                      [--metrics FILE] [--progress]\n"
                "  profisched ttr      <file.ini>\n"
                "  profisched optimize [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
                "                      [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]\n"
@@ -104,17 +114,20 @@ int usage() {
                "                      [--scale-lo X] [--scale-hi X] [--ttr-cap TICKS]\n"
                "                      [--dratio-lo X] [--dratio-hi X]\n"
                "                      [--csv FILE] [--json FILE] [--cache DIR]\n"
+               "                      [--metrics FILE] [--progress]\n"
                "  profisched sweep    [--scenarios N] [--masters N[,N,...]] [--streams N]\n"
                "                      [--u LO:HI:STEPS] [--beta LO:HI:STEPS] [--beta-lo X]\n"
                "                      [--beta-hi X] [--split w1,...,wK] [--skew S]\n"
                "                      [--policies fcfs,dm,edf,opa,token,holistic]\n"
                "                      [--threads N] [--seed N] [--ttr TICKS]\n"
                "                      [--method paper|refined] [--csv FILE] [--json FILE]\n"
-               "                      [--cache DIR]\n"
+               "                      [--cache DIR] [--metrics FILE] [--progress]\n"
                "  profisched shard    --shard k/K --out FILE\n"
                "                      [--mode sweep|simulate|combined|optimize]\n"
-               "                      [--cache DIR] [sweep/simulate/optimize flags]\n"
-               "  profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...\n");
+               "                      [--cache DIR] [--metrics FILE] [--progress]\n"
+               "                      [sweep/simulate/optimize flags]\n"
+               "  profisched merge    [--csv FILE] [--json FILE] [--metrics FILE]\n"
+               "                      SHARD_FILE...\n");
   return 2;
 }
 
@@ -262,6 +275,69 @@ std::string masters_banner(const workload::NetworkParams& base,
   return axis.empty() ? std::to_string(base.n_masters) : axis;
 }
 
+/// The sequential top-level command stages. These are the only `phase.*`
+/// series, so their totals sum to at most the command's wall time — the
+/// invariant tools/metrics_check.py enforces on every --metrics sidecar.
+struct PhaseMetrics {
+  obs::Timer run = obs::Registry::global().timer("phase.run");
+  obs::Timer aggregate = obs::Registry::global().timer("phase.aggregate");
+  obs::Timer write = obs::Registry::global().timer("phase.write");
+};
+
+PhaseMetrics& phase_metrics() {
+  static PhaseMetrics m;
+  return m;
+}
+
+/// Arms the telemetry switches right after a subcommand's flags parse:
+/// --metrics turns on the timed instrumentation (Span clock reads, task
+/// latency), --progress the stderr heartbeat. Returns the wall-clock start
+/// for the manifest's elapsed_s (taken only when a sidecar was requested, so
+/// a flags-off run stays clock-read-free).
+std::int64_t arm_observability(const std::string& metrics_path, bool progress) {
+  obs::set_enabled(!metrics_path.empty());
+  obs::set_progress_enabled(progress);
+  return metrics_path.empty() ? -1 : obs::now_ns();
+}
+
+/// Builds and writes the --metrics sidecar. The config digest hashes the
+/// same canonical spec block `merge` compares byte-for-byte, so identical
+/// sweeps digest identically whether run whole, sharded, or merged.
+bool emit_manifest(const std::string& path, const char* subcommand, int argc, char** argv,
+                   const dist::ShardSpec& spec, std::uint64_t scenarios, unsigned threads,
+                   std::int64_t t0_ns) {
+  obs::Manifest m;
+  m.run.subcommand = subcommand;
+  m.run.argv.assign(argv, argv + argc);
+  const std::string spec_text = dist::serialize_spec(spec);
+  m.run.config_digest =
+      engine::detail::Fnv1a64().bytes(spec_text.data(), spec_text.size()).digest();
+  m.run.scenarios = scenarios;
+  m.run.points = spec.spec.sweep.points.size();
+  m.run.policies = spec.spec.sweep.policies.size();
+  m.run.replications = spec.spec.replications;
+  m.run.threads = threads;
+  m.run.elapsed_s = static_cast<double>(obs::now_ns() - t0_ns) / 1e9;
+  m.metrics = obs::Registry::global().snapshot();
+  if (!obs::write_manifest_file(path, m)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// The one cache summary the CLI prints, fed from the registry's record-
+/// level counters — the same `cache.*` series the --metrics sidecar carries,
+/// so the console line and the sidecar can never disagree.
+void print_cache_line(const dist::ResultCache& cache) {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  std::printf("result cache: %llu hits / %llu misses (%s)\n",
+              static_cast<unsigned long long>(snap.counter("cache.hits")),
+              static_cast<unsigned long long>(snap.counter("cache.misses")),
+              cache.dir().c_str());
+}
+
 int cmd_sweep(int argc, char** argv) {
   engine::SweepSpec spec;
   spec.base.n_masters = 1;
@@ -271,7 +347,8 @@ int cmd_sweep(int argc, char** argv) {
   spec.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
   engine::GridCliArgs grid;
   unsigned threads = 0;
-  std::string csv_path, json_path, cache_dir;
+  std::string csv_path, json_path, cache_dir, metrics_path;
+  bool progress = false;
 
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -329,10 +406,15 @@ int cmd_sweep(int argc, char** argv) {
       json_path = v;
     } else if (arg == "--cache" && (v = next())) {
       cache_dir = v;
+    } else if (arg == "--metrics" && (v = next()) && *v != '\0') {
+      metrics_path = v;
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       return usage();
     }
   }
+  const std::int64_t t0_ns = arm_observability(metrics_path, progress);
 
   std::string grid_error;
   if (!engine::expand_cli_grid(grid, spec.base, spec.points, grid_error)) {
@@ -355,8 +437,12 @@ int cmd_sweep(int argc, char** argv) {
               static_cast<unsigned long long>(spec.seed));
   std::unique_ptr<dist::ResultCache> cache;
   if (!cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cache_dir);
+  obs::Span run_span(phase_metrics().run);
   const engine::SweepResult result = runner.run(spec, cache.get());
+  run_span.stop();
+  obs::Span agg_span(phase_metrics().aggregate);
   const engine::SweepCurves curves = engine::aggregate(spec, result);
+  agg_span.stop();
 
   std::printf("\n%-8s", "U");
   for (const std::string& p : curves.policies) std::printf(" %9s", p.c_str());
@@ -374,10 +460,7 @@ int cmd_sweep(int argc, char** argv) {
               static_cast<double>(result.outcomes.size() * spec.policies.size()) /
                   (result.elapsed_s > 0 ? result.elapsed_s : 1.0),
               result.memo_hits, result.memo_misses);
-  if (cache) {
-    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
-                result.cache_misses, cache->dir().c_str());
-  }
+  if (cache) print_cache_line(*cache);
 
   const auto write_file = [](const std::string& path, const std::string& content) {
     std::ofstream os(path, std::ios::binary);
@@ -385,6 +468,7 @@ int cmd_sweep(int argc, char** argv) {
     os.flush();  // surface ENOSPC-style errors now, not in the destructor
     return os.good();
   };
+  obs::Span write_span(phase_metrics().write);
   if (!csv_path.empty()) {
     if (!write_file(csv_path, curves.to_csv())) {
       std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
@@ -398,6 +482,16 @@ int cmd_sweep(int argc, char** argv) {
       return 1;
     }
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  write_span.stop();
+  if (!metrics_path.empty()) {
+    dist::ShardSpec ds;
+    ds.mode = dist::SweepMode::Analysis;
+    ds.spec.sweep = spec;
+    if (!emit_manifest(metrics_path, "sweep", argc, argv, ds, spec.total_scenarios(),
+                       runner.threads(), t0_ns)) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -416,6 +510,7 @@ int cmd_simulate_sweep(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage();
   }
+  const std::int64_t t0_ns = arm_observability(cli.metrics_path, cli.progress);
 
   engine::SweepRunner runner(cli.threads);
   std::printf("simulate sweep%s: %zu scenarios (%zu points x %zu) x %zu rep%s, "
@@ -432,8 +527,12 @@ int cmd_simulate_sweep(int argc, char** argv) {
   if (!cli.cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cli.cache_dir);
 
   if (cli.combined) {
+    obs::Span run_span(phase_metrics().run);
     const engine::CombinedResult result = runner.run_combined(cli.spec, cache.get());
+    run_span.stop();
+    obs::Span agg_span(phase_metrics().aggregate);
     const engine::ConsistencyTable table = engine::consistency_table(cli.spec, result);
+    agg_span.stop();
 
     // Per-point analysis-accept vs simulation-miss-free ratios side by side,
     // bucketed in one pass over the outcomes (a per-point rescan would be
@@ -477,11 +576,9 @@ int cmd_simulate_sweep(int argc, char** argv) {
                 table.rows.size(), result.elapsed_s,
                 static_cast<unsigned long long>(result.total_bound_violations()),
                 table.accept_but_miss_count(), max_pessimism);
-    if (cache) {
-      std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
-                  result.cache_misses, cache->dir().c_str());
-    }
+    if (cache) print_cache_line(*cache);
 
+    obs::Span write_span(phase_metrics().write);
     if (!cli.csv_path.empty()) {
       if (!write_output_file(cli.csv_path, table.to_csv())) {
         std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
@@ -496,13 +593,27 @@ int cmd_simulate_sweep(int argc, char** argv) {
       }
       std::printf("wrote %s\n", cli.json_path.c_str());
     }
+    write_span.stop();
+    if (!cli.metrics_path.empty()) {
+      dist::ShardSpec ds;
+      ds.mode = dist::SweepMode::Combined;
+      ds.spec = cli.spec;
+      if (!emit_manifest(cli.metrics_path, "simulate", argc, argv, ds,
+                         cli.spec.sweep.total_scenarios(), runner.threads(), t0_ns)) {
+        return 1;
+      }
+    }
     // A consistency violation falsifies the corresponding analysis — make the
     // run fail loudly so CI catches it.
     return (table.accept_but_miss_count() > 0 || result.total_bound_violations() > 0) ? 1 : 0;
   }
 
+  obs::Span run_span(phase_metrics().run);
   const engine::SimSweepResult result = runner.run_sim(cli.spec, cache.get());
+  run_span.stop();
+  obs::Span agg_span(phase_metrics().aggregate);
   const engine::SimCurves curves = engine::aggregate_sim(cli.spec, result);
+  agg_span.stop();
 
   std::printf("\n%-8s", "U");
   for (const std::string& p : curves.policies) std::printf(" %9s", p.c_str());
@@ -519,11 +630,9 @@ int cmd_simulate_sweep(int argc, char** argv) {
               static_cast<double>(result.outcomes.size() * cli.spec.sweep.policies.size() *
                                   cli.spec.replications) /
                   (result.elapsed_s > 0 ? result.elapsed_s : 1.0));
-  if (cache) {
-    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
-                result.cache_misses, cache->dir().c_str());
-  }
+  if (cache) print_cache_line(*cache);
 
+  obs::Span write_span(phase_metrics().write);
   if (!cli.csv_path.empty()) {
     if (!write_output_file(cli.csv_path, curves.to_csv())) {
       std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
@@ -538,6 +647,16 @@ int cmd_simulate_sweep(int argc, char** argv) {
     }
     std::printf("wrote %s\n", cli.json_path.c_str());
   }
+  write_span.stop();
+  if (!cli.metrics_path.empty()) {
+    dist::ShardSpec ds;
+    ds.mode = dist::SweepMode::Sim;
+    ds.spec = cli.spec;
+    if (!emit_manifest(cli.metrics_path, "simulate", argc, argv, ds,
+                       cli.spec.sweep.total_scenarios(), runner.threads(), t0_ns)) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -548,6 +667,7 @@ int cmd_optimize(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage();
   }
+  const std::int64_t t0_ns = arm_observability(cli.metrics_path, cli.progress);
 
   engine::SweepRunner runner(cli.threads);
   std::printf("optimize: %zu scenarios (%zu points x %zu), %s masters x %zu streams, "
@@ -560,8 +680,12 @@ int cmd_optimize(int argc, char** argv) {
               static_cast<unsigned long long>(cli.spec.sweep.seed));
   std::unique_ptr<dist::ResultCache> cache;
   if (!cli.cache_dir.empty()) cache = std::make_unique<dist::ResultCache>(cli.cache_dir);
+  obs::Span run_span(phase_metrics().run);
   const opt::OptimizeResult result = opt::run_optimize(runner, cli.spec, cache.get());
+  run_span.stop();
+  obs::Span agg_span(phase_metrics().aggregate);
   const opt::OptimizeTable table = opt::aggregate_optimize(cli.spec, result);
+  agg_span.stop();
 
   // Median breakdown utilization per policy — the headline synthesis answer;
   // the full distributions go to --csv/--json.
@@ -577,11 +701,9 @@ int cmd_optimize(int argc, char** argv) {
   }
   std::printf("\n%zu scenarios x %zu policies in %.3f s (3 bisections each)\n",
               result.outcomes.size(), cli.spec.sweep.policies.size(), result.elapsed_s);
-  if (cache) {
-    std::printf("result cache: %zu hits / %zu misses (%s)\n", result.cache_hits,
-                result.cache_misses, cache->dir().c_str());
-  }
+  if (cache) print_cache_line(*cache);
 
+  obs::Span write_span(phase_metrics().write);
   if (!cli.csv_path.empty()) {
     if (!write_output_file(cli.csv_path, table.to_csv())) {
       std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
@@ -596,6 +718,17 @@ int cmd_optimize(int argc, char** argv) {
     }
     std::printf("wrote %s\n", cli.json_path.c_str());
   }
+  write_span.stop();
+  if (!cli.metrics_path.empty()) {
+    dist::ShardSpec ds;
+    ds.mode = dist::SweepMode::Optimize;
+    ds.spec.sweep = cli.spec.sweep;
+    ds.optimize = cli.spec.options;
+    if (!emit_manifest(cli.metrics_path, "optimize", argc, argv, ds,
+                       cli.spec.sweep.total_scenarios(), runner.threads(), t0_ns)) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -606,6 +739,7 @@ int cmd_shard(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage();
   }
+  const std::int64_t t0_ns = arm_observability(cli.metrics_path, cli.progress);
 
   dist::ShardRunner runner(cli.threads);
   std::unique_ptr<dist::ResultCache> cache;
@@ -619,23 +753,30 @@ int cmd_shard(int argc, char** argv) {
               runner.threads() == 1 ? "" : "s",
               static_cast<unsigned long long>(cli.shard.spec.sweep.seed));
 
+  obs::Span run_span(phase_metrics().run);
   const dist::ShardArtifact artifact = runner.run(cli.shard, cli.index, cli.count, cache.get());
+  run_span.stop();
+  obs::Span write_span(phase_metrics().write);
   if (!write_output_file(cli.out_path, artifact.to_text())) {
     std::fprintf(stderr, "error: cannot write %s\n", cli.out_path.c_str());
     return 1;
   }
-  if (cache) {
-    // The artifact carries the SweepRunner's counters, which — unlike the
-    // ResultCache's raw load statistics — count an undecodable or mismatched
-    // entry as the recompute it was, matching what sweep/simulate report.
-    std::printf("result cache: %zu hits / %zu misses (%s)\n", artifact.cache_hits,
-                artifact.cache_misses, cache->dir().c_str());
-  }
+  write_span.stop();
+  // Registry-fed like every other subcommand: the record-level cache.*
+  // counters — unlike the ResultCache's raw load statistics — count an
+  // undecodable or mismatched entry as the recompute it was.
+  if (cache) print_cache_line(*cache);
   // The range comes from the artifact itself, so what we report is exactly
   // what a merge will validate — not a second ShardPlan computation.
   std::printf("wrote %s (scenarios [%llu, %llu))\n", cli.out_path.c_str(),
               static_cast<unsigned long long>(artifact.range.begin),
               static_cast<unsigned long long>(artifact.range.end));
+  if (!cli.metrics_path.empty()) {
+    if (!emit_manifest(cli.metrics_path, "shard", argc, argv, cli.shard,
+                       artifact.range.size(), runner.threads(), t0_ns)) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -646,7 +787,9 @@ int cmd_merge(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return usage();
   }
+  const std::int64_t t0_ns = arm_observability(cli.metrics_path, /*progress=*/false);
 
+  obs::Span run_span(phase_metrics().run);
   std::vector<dist::ShardArtifact> artifacts;
   artifacts.reserve(cli.inputs.size());
   for (const std::string& path : cli.inputs) {
@@ -661,6 +804,7 @@ int cmd_merge(int argc, char** argv) {
   }
 
   const dist::MergedSweep merged = dist::merge_shards(artifacts);
+  run_span.stop();
   const engine::SimSweepSpec& spec = merged.spec.spec;
   std::printf("merged %zu shard%s: %llu scenarios (%s mode)\n", artifacts.size(),
               artifacts.size() == 1 ? "" : "s",
@@ -678,31 +822,45 @@ int cmd_merge(int argc, char** argv) {
     return true;
   };
   const auto emit_both = [&](const auto& serializable) {
+    const obs::Span write_span(phase_metrics().write);
     if (!cli.csv_path.empty() && !emit(cli.csv_path, serializable.to_csv())) return 1;
     if (!cli.json_path.empty() && !emit(cli.json_path, serializable.to_json())) return 1;
     return 0;
   };
+  int rc = 0;
   switch (merged.spec.mode) {
     case dist::SweepMode::Analysis:
-      return emit_both(engine::aggregate(spec.sweep, merged.analysis));
+      rc = emit_both(engine::aggregate(spec.sweep, merged.analysis));
+      break;
     case dist::SweepMode::Sim:
-      return emit_both(engine::aggregate_sim(spec, merged.sim));
+      rc = emit_both(engine::aggregate_sim(spec, merged.sim));
+      break;
     case dist::SweepMode::Combined: {
       const engine::ConsistencyTable table = engine::consistency_table(spec, merged.combined);
       std::printf("bound violations: %llu; analysis-accepts-but-sim-misses: %zu\n",
                   static_cast<unsigned long long>(table.total_bound_violations()),
                   table.accept_but_miss_count());
-      const int rc = emit_both(table);
-      if (rc != 0) return rc;
+      rc = emit_both(table);
       // Same contract as `simulate --combined`: a consistency violation
       // falsifies the corresponding analysis, so the merge fails loudly too.
-      return (table.accept_but_miss_count() > 0 || table.total_bound_violations() > 0) ? 1 : 0;
+      if (rc == 0 &&
+          (table.accept_but_miss_count() > 0 || table.total_bound_violations() > 0)) {
+        rc = 1;
+      }
+      break;
     }
     case dist::SweepMode::Optimize:
-      return emit_both(opt::aggregate_optimize(
+      rc = emit_both(opt::aggregate_optimize(
           opt::OptimizeSpec{spec.sweep, merged.spec.optimize}, merged.optimize));
+      break;
   }
-  return 0;
+  if (!cli.metrics_path.empty()) {
+    if (!emit_manifest(cli.metrics_path, "merge", argc, argv, merged.spec,
+                       merged.spec.total_scenarios(), /*threads=*/1, t0_ns)) {
+      return 1;
+    }
+  }
+  return rc;
 }
 
 }  // namespace
