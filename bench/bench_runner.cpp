@@ -1,10 +1,10 @@
-// bench_runner — the tracked benchmark-regression harness (BENCH_pr8.json).
+// bench_runner — the tracked benchmark-regression harness (BENCH_pr9.json).
 //
 // Unlike the e01–e17 experiment benches (google-benchmark, paper tables),
 // this binary exists to pin the repo's measured performance trajectory: it
 // times the three hot kernels the PR-4 overhaul reworked and emits one flat
 // JSON file CI uploads and diffs against the committed baseline
-// (bench/baseline_pr4.json, checked by tools/bench_check.py):
+// (bench/baseline_pr9.json, checked by tools/bench_check.py):
 //
 //   * per-scenario analyze ns/op — the core fixed-priority / EDF whole-set
 //     analyses, measured BOTH through the retained reference implementations
@@ -13,16 +13,21 @@
 //     in-binary and is robust to machine noise;
 //   * warm-start u-grid sweeps — run_usweep cold vs warm: wall time plus the
 //     deterministic fixed-point iteration counts (machine-independent);
+//   * SIMD dispatch ratios — the same fast paths timed with the vector
+//     kernels live vs force_scalar(true), from one binary, with every result
+//     (verdicts, WCRTs, iteration counts) compared bit-for-bit between the
+//     two runs; ratio keys are only meaningful when simd_active == 1;
 //   * engine scenarios/sec and simulator events/sec — end-to-end rates of
 //     the two sweep backends.
 //
-// Every ref/opt pair is also cross-checked for identical results — a
-// disagreement aborts with a non-zero exit, so CI's "fail on crash" also
-// covers silent divergence.
+// Every ref/opt and scalar/vector pair is also cross-checked for identical
+// results — a disagreement aborts with a non-zero exit, so CI's "fail on
+// crash" also covers silent divergence.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -31,6 +36,7 @@
 #include "core/priority_assignment.hpp"
 #include "core/response_time_edf.hpp"
 #include "core/response_time_fp.hpp"
+#include "core/simd.hpp"
 #include "core/usweep.hpp"
 #include "engine/sweep_runner.hpp"
 #include "sim/network_sim.hpp"
@@ -41,7 +47,7 @@ namespace profisched::bench {
 namespace {
 
 struct Options {
-  std::string json_path = "BENCH_pr8.json";
+  std::string json_path = "BENCH_pr9.json";
   bool quick = false;  ///< CI smoke: shorter timing windows
 };
 
@@ -325,6 +331,134 @@ void usweep_metrics(const Options& opt, JsonObject& out, Table& table) {
                  2)});
 }
 
+/// Vector-vs-scalar dispatch ratios: the same optimized paths, same binary,
+/// timed with the lane kernels live and with force_scalar(true). Results are
+/// compared bit-for-bit between the two runs first — any divergence aborts.
+/// When no backend is active (non-AVX2 host, -DPROFISCHED_NO_SIMD=ON,
+/// PROFISCHED_SIMD=0) only simd_active / simd_backend are emitted, so
+/// tools/bench_check.py knows to skip the ratio gates.
+void simd_metrics(const Options& opt, JsonObject& out, Table& table) {
+  const bool active = simd::active() != nullptr;
+  out.put("simd_active", static_cast<std::uint64_t>(active ? 1 : 0));
+  out.put("simd_backend", std::string(simd::backend_name()));
+  table.row({"SIMD backend", "-", simd::backend_name(), active ? "live" : "off"});
+  if (!active) return;
+
+  const std::vector<TaskSet> pool = task_pool(opt.quick ? 16 : 48, 12, 0.78);
+  const int fuel = 1 << 16;
+  std::vector<PriorityOrder> orders;
+  orders.reserve(pool.size());
+  for (const TaskSet& ts : pool) orders.push_back(deadline_monotonic_order(ts));
+  RtaScratch scratch;
+  const EdfRtaOptions edf_opt;
+
+  // Cross-check: scalar and vector runs of every pool set must agree on
+  // verdicts, WCRTs and iteration counts exactly.
+  for (std::size_t s = 0; s < pool.size(); ++s) {
+    const FpAnalysis fp_vec =
+        analyze_nonpreemptive_fp(pool[s], orders[s], kDefaultFormulation, fuel, scratch);
+    const EdfAnalysis edf_vec = analyze_preemptive_edf(pool[s], edf_opt, scratch);
+    simd::force_scalar(true);
+    const FpAnalysis fp_sc =
+        analyze_nonpreemptive_fp(pool[s], orders[s], kDefaultFormulation, fuel, scratch);
+    const EdfAnalysis edf_sc = analyze_preemptive_edf(pool[s], edf_opt, scratch);
+    simd::force_scalar(false);
+    if (fp_sc.schedulable != fp_vec.schedulable) die("simd np-dm analyze");
+    for (std::size_t i = 0; i < fp_sc.per_task.size(); ++i) {
+      if (!same(fp_sc.per_task[i], fp_vec.per_task[i])) die("simd np-dm analyze");
+    }
+    if (edf_sc.schedulable != edf_vec.schedulable) die("simd edf analyze");
+    for (std::size_t i = 0; i < edf_sc.per_task.size(); ++i) {
+      if (edf_sc.per_task[i].converged != edf_vec.per_task[i].converged ||
+          edf_sc.per_task[i].response != edf_vec.per_task[i].response ||
+          edf_sc.per_task[i].offsets_examined != edf_vec.per_task[i].offsets_examined) {
+        die("simd edf analyze");
+      }
+    }
+  }
+
+  const auto timed = [&](auto&& body) {
+    simd::force_scalar(false);
+    const double vec_ns = time_ns_per_op(body, min_seconds(opt));
+    simd::force_scalar(true);
+    const double sc_ns = time_ns_per_op(body, min_seconds(opt));
+    simd::force_scalar(false);
+    return std::pair<double, double>{sc_ns, vec_ns};
+  };
+
+  auto [np_sc, np_vec] = timed([&] {
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+      const FpAnalysis a =
+          analyze_nonpreemptive_fp(pool[s], orders[s], kDefaultFormulation, fuel, scratch);
+      sink(&a);
+    }
+  });
+  out.put("core_np_dm_simd_ratio", np_sc / np_vec);
+  table.row({"NP-DM analyze scalar/vector", fmt(np_sc / static_cast<double>(pool.size()), 0),
+             fmt(np_vec / static_cast<double>(pool.size()), 0), fmt(np_sc / np_vec, 2)});
+
+  auto [edf_sc_ns, edf_vec_ns] = timed([&] {
+    for (const TaskSet& ts : pool) {
+      const EdfAnalysis a = analyze_preemptive_edf(ts, edf_opt, scratch);
+      sink(&a);
+    }
+  });
+  out.put("core_edf_simd_ratio", edf_sc_ns / edf_vec_ns);
+  table.row({"EDF analyze scalar/vector", fmt(edf_sc_ns / static_cast<double>(pool.size()), 0),
+             fmt(edf_vec_ns / static_cast<double>(pool.size()), 0),
+             fmt(edf_sc_ns / edf_vec_ns, 2)});
+
+  std::vector<TaskSetArena> arenas(pool.size());
+  std::vector<const TaskSetView*> views;
+  views.reserve(pool.size());
+  for (std::size_t s = 0; s < pool.size(); ++s) views.push_back(&arenas[s].bind(pool[s]));
+  auto [bp_sc, bp_vec] = timed([&] {
+    for (const TaskSetView* v : views) {
+      const BusyPeriod b = synchronous_busy_period(*v);
+      sink(&b);
+    }
+  });
+  out.put("core_busy_simd_ratio", bp_sc / bp_vec);
+  table.row({"busy period scalar/vector", fmt(bp_sc / static_cast<double>(pool.size()), 0),
+             fmt(bp_vec / static_cast<double>(pool.size()), 0), fmt(bp_sc / bp_vec, 2)});
+
+  // Warm FP-only sweep — the usweep acceptance metric — under both dispatches.
+  sim::Rng rng(424242);
+  workload::TaskSetParams p;
+  p.n = opt.quick ? 10 : 14;
+  p.total_u = 0.5;
+  p.deadline_lo = 0.9;
+  p.deadline_hi = 1.0;
+  const TaskSet base = workload::random_task_set(p, rng);
+  USweepSpec spec;
+  const std::size_t fp_points = opt.quick ? 64 : 160;
+  for (std::size_t k = 0; k < fp_points; ++k) {
+    spec.u_grid.push_back(0.55 +
+                          0.445 * static_cast<double>(k) / static_cast<double>(fp_points - 1));
+  }
+  spec.policies = {Policy::RateMonotonic, Policy::DeadlineMonotonic,
+                   Policy::NpDeadlineMonotonic};
+  spec.warm_start = true;
+  USweepResult sweep_vec = run_usweep(base, spec);
+  simd::force_scalar(true);
+  const USweepResult sweep_sc = run_usweep(base, spec);
+  simd::force_scalar(false);
+  if (sweep_sc.fp_iterations != sweep_vec.fp_iterations) die("simd usweep");
+  for (std::size_t k = 0; k < sweep_sc.points.size(); ++k) {
+    for (std::size_t c = 0; c < sweep_sc.points[k].cells.size(); ++c) {
+      if (sweep_sc.points[k].cells[c].schedulable != sweep_vec.points[k].cells[c].schedulable ||
+          sweep_sc.points[k].cells[c].worst_response !=
+              sweep_vec.points[k].cells[c].worst_response) {
+        die("simd usweep");
+      }
+    }
+  }
+  auto [usweep_sc, usweep_vec] = timed([&] { sweep_vec = run_usweep(base, spec); });
+  out.put("usweep_fp_warm_simd_ratio", usweep_sc / usweep_vec);
+  table.row({"u-grid FP-only warm scalar/vector (ms)", fmt(usweep_sc / 1e6, 3),
+             fmt(usweep_vec / 1e6, 3), fmt(usweep_sc / usweep_vec, 2)});
+}
+
 void engine_metrics(const Options& opt, JsonObject& out, Table& table) {
   engine::SweepSpec spec;
   spec.base.n_masters = 3;
@@ -373,7 +507,7 @@ void sim_metrics(const Options& opt, JsonObject& out, Table& table) {
 
 int run(const Options& opt) {
   JsonObject out;
-  out.put("schema", std::string("profisched-bench-pr4-v1"));
+  out.put("schema", std::string("profisched-bench-pr9-v1"));
 #ifdef NDEBUG
   out.put("build", std::string("Release"));
 #else
@@ -381,10 +515,11 @@ int run(const Options& opt) {
 #endif
   out.put("quick", static_cast<std::uint64_t>(opt.quick ? 1 : 0));
 
-  banner("bench_runner", "hot-path kernel regression harness (PR 4)");
+  banner("bench_runner", "hot-path kernel regression harness (PR 9)");
   Table table({"kernel", "reference", "optimized", "speedup"});
   core_analyze_metrics(opt, out, table);
   usweep_metrics(opt, out, table);
+  simd_metrics(opt, out, table);
   engine_metrics(opt, out, table);
   sim_metrics(opt, out, table);
   table.print();

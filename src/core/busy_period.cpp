@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
+
 namespace profisched {
 
 BusyPeriod synchronous_busy_period(const TaskSet& ts, int fuel) {
@@ -39,6 +41,17 @@ BusyPeriod synchronous_busy_period(const TaskSetView& v, int fuel, Ticks warm_l)
   }
 
   Ticks L = std::max(v.total_execution(), warm_l);
+  // The busy-period recurrence is the FP interference sum with base 0 over
+  // the full (padded) set — same vector kernel, same fallback contract.
+  if (const simd::Kernels* k = v.simd_ok ? simd::active() : nullptr) {
+    const simd::FixedPointResult r = k->fp_fixed_point(v.C, v.T, v.J, v.recip_t, v.n_padded,
+                                                       /*base=*/0, L, /*ceil_form=*/true, fuel);
+    if (r.status == simd::Status::kOk) {
+      out.iterations = r.iterations;
+      out.length = r.converged ? r.value : kNoBound;
+      return out;
+    }
+  }
   for (int it = 0; it < fuel; ++it) {
     Ticks next = 0;
     for (std::size_t i = 0; i < v.n; ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
+
 namespace profisched {
 
 std::vector<Ticks> edf_candidate_offsets(const TaskSet& ts, std::size_t i, Ticks horizon) {
@@ -189,6 +191,15 @@ OffsetOutcomeView offset_preemptive_view(const TaskSetView& v, std::size_t i, Ti
   const Ticks own = sat_mul(floor_div_plus1(a, v.T[i]), v.C[i]);
   const Ticks abs_deadline = sat_add(a, v.D[i]);
   Ticks L = std::max(own, warm_l);
+  if (const simd::Kernels* k = v.simd_ok ? simd::active() : nullptr) {
+    const simd::EdfOffsetResult r =
+        k->edf_offset_fixed_point(v.C, v.T, v.D, v.J, v.recip_t, v.n_padded, i, abs_deadline,
+                                  own, L, /*start_time_form=*/false, fuel);
+    if (r.status == simd::Status::kOk) {
+      if (!r.converged) return {};
+      return {true, std::max(v.C[i], r.fixed_point - a), r.fixed_point};
+    }
+  }
   for (int it = 0; it < fuel; ++it) {
     const Ticks next = sat_add(hp_workload_view(v, i, abs_deadline, L, false), own);
     if (next == L) return {true, std::max(v.C[i], L - a), L};
@@ -207,6 +218,18 @@ OffsetOutcomeView offset_nonpreemptive_view(const TaskSetView& v, std::size_t i,
     if (v.D[j] - v.J[j] > abs_deadline) blocking = std::max(blocking, v.C[j] - 1);
   }
   const Ticks own_prior = sat_mul(floor_div(a, v.T[i]), v.C[i]);
+  if (const simd::Kernels* k = v.simd_ok ? simd::active() : nullptr) {
+    // base = blocking + own_prior: sat_add over non-negative terms is
+    // order-insensitive, so folding it up front matches the reference sum.
+    const simd::EdfOffsetResult r =
+        k->edf_offset_fixed_point(v.C, v.T, v.D, v.J, v.recip_t, v.n_padded, i, abs_deadline,
+                                  sat_add(blocking, own_prior), /*l0=*/0,
+                                  /*start_time_form=*/true, fuel);
+    if (r.status == simd::Status::kOk) {
+      if (!r.converged) return {};
+      return {true, sat_add(v.C[i], std::max<Ticks>(0, r.fixed_point - a)), r.fixed_point};
+    }
+  }
   Ticks L = 0;
   for (int it = 0; it < fuel; ++it) {
     const Ticks next =
@@ -218,60 +241,158 @@ OffsetOutcomeView offset_nonpreemptive_view(const TaskSetView& v, std::size_t i,
   return {};
 }
 
-EdfAnalysis analyze_view_edf(const TaskSet& ts, const EdfRtaOptions& opt, RtaScratch& scratch,
-                             bool warm_start, bool preemptive) {
-  EdfAnalysis out;
-  out.per_task.resize(ts.size());
-  out.schedulable = true;
+/// Shared candidate-deadline set: every s = k·T_j + D_j − J_j within
+/// [0, limit], sorted and deduplicated. Task i's candidate offsets are
+/// exactly {0} ∪ {s − D_i : s ∈ S, D_i <= s <= horizon + D_i} — the map
+/// a = s − D_i is a bijection between the reference's per-task candidates
+/// and the slice elements — so one sort serves all tasks where the
+/// reference sorts once per task. Requires limit = horizon + max_j D_j to
+/// be unsaturated (callers fall back to per-task generation otherwise: a
+/// saturated limit would make this enumeration run to kNoBound even when
+/// every per-task horizon is small).
+void shared_candidate_deadlines(const TaskSetView& v, Ticks limit, std::vector<Ticks>& out) {
+  out.clear();
+  for (std::size_t j = 0; j < v.n; ++j) {
+    const Ticks base = v.D[j] - v.J[j];
+    const Ticks k0 = base >= 0 ? 0 : ceil_div(-base, v.T[j]);
+    for (Ticks k = k0;; ++k) {
+      const Ticks s = sat_add(sat_mul(k, v.T[j]), base);
+      if (s > limit || s == kNoBound) break;
+      out.push_back(s);
+    }
+  }
+  std::ranges::sort(out);
+  const auto dup = std::ranges::unique(out);
+  out.erase(dup.begin(), dup.end());
+}
 
+/// max_a r_i(a) over the offsets produced (in ascending order) by
+/// `for_each_offset(visit)`, which must call visit per offset and stop when
+/// it returns false. Folds exactly like the reference max_over_offsets.
+template <typename OffsetsFn>
+EdfRtaResult edf_scan_offsets(const TaskSetView& v, std::size_t i, bool preemptive, int fuel,
+                              OffsetsFn for_each_offset) {
+  EdfRtaResult r;
+  Ticks best = 0;
+  Ticks best_a = 0;
+  Ticks warm_l = 0;
+  bool ok = true;
+  for_each_offset([&](Ticks a) {
+    ++r.offsets_examined;
+    const OffsetOutcomeView o = preemptive
+                                    ? offset_preemptive_view(v, i, a, fuel, warm_l)
+                                    : offset_nonpreemptive_view(v, i, a, fuel);
+    if (!o.converged) {
+      ok = false;
+      return false;
+    }
+    if (preemptive) warm_l = o.fixed_point;
+    if (o.response > best) {
+      best = o.response;
+      best_a = a;
+    }
+    return true;
+  });
+  if (ok) {
+    r.converged = true;
+    r.response = sat_add(best, v.J[i]);
+    r.critical_offset = best_a;
+  }
+  return r;
+}
+
+/// Whole-set driver shared by the EdfAnalysis and EdfCellResult entry
+/// points: binds the view, hoists the per-task guards (the reference
+/// evaluates them per task, but they are task-independent — identical
+/// verdict either way), builds the shared candidate set when usable, and
+/// hands each task's EdfRtaResult to `sink(i, r, D_i)`.
+template <typename SinkFn>
+void analyze_edf_common(const TaskSet& ts, const EdfRtaOptions& opt, RtaScratch& scratch,
+                        bool warm_start, bool preemptive, int& busy_iterations, SinkFn sink) {
   const TaskSetView& v = scratch.arena.bind(ts);
-  // The reference evaluates these guards per task; they are task-independent,
-  // so hoist them (identical verdict either way).
   const bool overloaded = v.utilization() > 1.0;
   BusyPeriod bp;
   if (!overloaded) {
     bp = synchronous_busy_period(v, 1 << 20, warm_start ? scratch.warm_busy : 0);
     if (bp.bounded()) scratch.warm_busy = bp.length;
-    out.busy_iterations = bp.iterations;
+    busy_iterations = bp.iterations;
   }
+  const bool have_horizon = !overloaded && bp.bounded();
+
+  Ticks max_d = 0;
+  for (std::size_t j = 0; j < v.n; ++j) max_d = std::max(max_d, v.D[j]);
+  const Ticks limit = have_horizon ? sat_add(bp.length, max_d) : kNoBound;
+  const bool shared = have_horizon && limit != kNoBound;
+  if (shared) shared_candidate_deadlines(v, limit, scratch.offsets);
+  const std::vector<Ticks>& cand = scratch.offsets;
 
   for (std::size_t i = 0; i < v.n; ++i) {
-    EdfRtaResult& r = out.per_task[i];
-    if (!overloaded && bp.bounded()) {
-      candidate_offsets_view(v, i, bp.length, scratch.offsets);
-      if (scratch.offsets.size() <= opt.max_offsets) {
-        Ticks best = 0;
-        Ticks best_a = 0;
-        Ticks warm_l = 0;
-        bool ok = true;
-        for (const Ticks a : scratch.offsets) {
-          ++r.offsets_examined;
-          const OffsetOutcomeView o =
-              preemptive ? offset_preemptive_view(v, i, a, opt.fixed_point_fuel, warm_l)
-                         : offset_nonpreemptive_view(v, i, a, opt.fixed_point_fuel);
-          if (!o.converged) {
-            ok = false;
-            break;
-          }
-          if (preemptive) warm_l = o.fixed_point;
-          if (o.response > best) {
-            best = o.response;
-            best_a = a;
-          }
+    EdfRtaResult r;
+    if (have_horizon) {
+      if (shared) {
+        const Ticks di = v.D[i];
+        const auto lo = std::lower_bound(cand.begin(), cand.end(), di);
+        const auto hi = std::upper_bound(lo, cand.end(), sat_add(bp.length, di));
+        // Offset 0 is prepended; the slice's first element re-yields it when
+        // s == D_i, so the deduplicated count drops by one in that case.
+        const bool dup0 = lo != hi && *lo == di;
+        const std::size_t n_offsets =
+            1 + static_cast<std::size_t>(hi - lo) - static_cast<std::size_t>(dup0);
+        if (n_offsets <= opt.max_offsets) {
+          r = edf_scan_offsets(v, i, preemptive, opt.fixed_point_fuel, [&](auto visit) {
+            if (!visit(Ticks{0})) return;
+            for (auto it = lo; it != hi; ++it) {
+              const Ticks a = *it - di;
+              if (a == 0) continue;
+              if (!visit(a)) return;
+            }
+          });
         }
-        if (ok) {
-          r.converged = true;
-          r.response = sat_add(best, v.J[i]);
-          r.critical_offset = best_a;
+      } else {
+        candidate_offsets_view(v, i, bp.length, scratch.offsets);
+        if (scratch.offsets.size() <= opt.max_offsets) {
+          r = edf_scan_offsets(v, i, preemptive, opt.fixed_point_fuel, [&](auto visit) {
+            for (const Ticks a : scratch.offsets) {
+              if (!visit(a)) return;
+            }
+          });
         }
       }
     }
-    if (!r.meets(v.D[i])) out.schedulable = false;
+    sink(i, r, v.D[i]);
   }
+}
+
+EdfAnalysis analyze_view_edf(const TaskSet& ts, const EdfRtaOptions& opt, RtaScratch& scratch,
+                             bool warm_start, bool preemptive) {
+  EdfAnalysis out;
+  out.per_task.resize(ts.size());
+  out.schedulable = true;
+  analyze_edf_common(ts, opt, scratch, warm_start, preemptive, out.busy_iterations,
+                     [&](std::size_t i, const EdfRtaResult& r, Ticks d) {
+                       out.per_task[i] = r;
+                       if (!r.meets(d)) out.schedulable = false;
+                     });
   return out;
 }
 
 }  // namespace
+
+EdfCellResult analyze_edf_cell(const TaskSet& ts, bool preemptive, const EdfRtaOptions& opt,
+                               RtaScratch& scratch, bool warm_start) {
+  EdfCellResult out;
+  out.schedulable = true;
+  Ticks worst = 0;
+  analyze_edf_common(ts, opt, scratch, warm_start, preemptive, out.busy_iterations,
+                     [&](std::size_t, const EdfRtaResult& r, Ticks d) {
+                       out.offsets_examined += static_cast<std::uint64_t>(r.offsets_examined);
+                       worst = (!r.converged || worst == kNoBound) ? kNoBound
+                                                                   : std::max(worst, r.response);
+                       if (!r.meets(d)) out.schedulable = false;
+                     });
+  out.worst_response = worst;
+  return out;
+}
 
 EdfAnalysis analyze_preemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt) {
   RtaScratch scratch;

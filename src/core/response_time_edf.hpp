@@ -33,6 +33,7 @@
 // C fields are T_cycle).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/busy_period.hpp"
@@ -115,5 +116,21 @@ struct EdfRtaOptions {
 [[nodiscard]] EdfAnalysis analyze_nonpreemptive_edf(const TaskSet& ts, const EdfRtaOptions& opt,
                                                     RtaScratch& scratch,
                                                     bool warm_start = false);
+
+/// Whole-set outcome folded down to what a sweep cell needs — exactly what
+/// run_usweep derives from an EdfAnalysis, computed without materializing
+/// the per-task vector so a warm sweep step performs zero allocations. The
+/// fold is order-independent (sticky kNoBound, max over responses, summed
+/// counters), hence bit-identical to folding analyze_*_edf's per_task.
+struct EdfCellResult {
+  bool schedulable = false;
+  Ticks worst_response = 0;  ///< kNoBound if any task failed to converge
+  int busy_iterations = 0;
+  std::uint64_t offsets_examined = 0;  ///< Σ per-task offsets examined
+};
+
+[[nodiscard]] EdfCellResult analyze_edf_cell(const TaskSet& ts, bool preemptive,
+                                             const EdfRtaOptions& opt, RtaScratch& scratch,
+                                             bool warm_start);
 
 }  // namespace profisched

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
+
 namespace profisched {
 
 namespace {
@@ -84,13 +86,15 @@ RtaResult response_time_nonpreemptive(const TaskSet& ts, std::size_t i,
 namespace {
 
 /// Σ_j I_j(w) over the priority prefix [0, hp_count) of a permuted view —
-/// the same sum as interference() above, streamed from flat arrays.
-Ticks interference(const TaskSetView& pv, std::size_t hp_count, Ticks w, Formulation form) {
+/// the same sum as interference() above, streamed from flat arrays. The
+/// Formulation branch is hoisted to a template parameter so the loop body is
+/// branch-free (Ceil == PaperLiteral's ceil_div_plus).
+template <bool Ceil>
+Ticks interference(const TaskSetView& pv, std::size_t hp_count, Ticks w) {
   Ticks sum = 0;
   for (std::size_t j = 0; j < hp_count; ++j) {
     const Ticks arg = sat_add(w, pv.J[j]);
-    const Ticks jobs = (form == Formulation::PaperLiteral) ? ceil_div_plus(arg, pv.T[j])
-                                                           : floor_div_plus1(arg, pv.T[j]);
+    const Ticks jobs = Ceil ? ceil_div_plus(arg, pv.T[j]) : floor_div_plus1(arg, pv.T[j]);
     sum = sat_add(sum, sat_mul(jobs, pv.C[j]));
   }
   return sum;
@@ -109,13 +113,14 @@ struct FixedPoint {
   Ticks w = 0;
 };
 
-FixedPoint iterate(const TaskSetView& pv, std::size_t hp_count, Ticks base, Ticks w0,
-                   Formulation form, int fuel) {
+template <bool Ceil>
+FixedPoint iterate_scalar(const TaskSetView& pv, std::size_t hp_count, Ticks base, Ticks w0,
+                          int fuel) {
   FixedPoint out;
   Ticks w = w0;
   for (int it = 0; it < fuel; ++it) {
     out.w = w;
-    const Ticks next = sat_add(base, interference(pv, hp_count, w, form));
+    const Ticks next = sat_add(base, interference<Ceil>(pv, hp_count, w));
     out.result.iterations = it + 1;
     if (next == w) {
       out.result.converged = true;
@@ -128,49 +133,120 @@ FixedPoint iterate(const TaskSetView& pv, std::size_t hp_count, Ticks base, Tick
   return out;
 }
 
-FixedPoint preemptive_fixed_point(const TaskSetView& pv, std::size_t rank, int fuel,
-                                  Ticks warm_w) {
+FixedPoint iterate(const TaskSetView& pv, const simd::Kernels* k, std::size_t hp_count,
+                   Ticks base, Ticks w0, Formulation form, int fuel) {
+  const bool ceil_form = form == Formulation::PaperLiteral;
+  // Below one full lane block the kernel body degenerates to its scalar tail,
+  // so the call is pure overhead — warm sweeps spend most ranks there.
+  if (k != nullptr && hp_count >= 4) {
+    const simd::FixedPointResult r =
+        k->fp_fixed_point(pv.C, pv.T, pv.J, pv.recip_t, hp_count, base, w0, ceil_form, fuel);
+    if (r.status == simd::Status::kOk) {
+      FixedPoint out;
+      out.result.converged = r.converged;
+      out.result.iterations = r.iterations;
+      if (r.converged) out.result.response = r.value;
+      out.w = r.last;
+      return out;
+    }
+    // A gate tripped mid-iteration: recompute entirely from the original seed
+    // on the exact scalar path (deterministic, so the result is identical to
+    // a scalar-only run).
+  }
+  return ceil_form ? iterate_scalar<true>(pv, hp_count, base, w0, fuel)
+                   : iterate_scalar<false>(pv, hp_count, base, w0, fuel);
+}
+
+FixedPoint preemptive_fixed_point(const TaskSetView& pv, const simd::Kernels* k,
+                                  std::size_t rank, int fuel, Ticks warm_w) {
   const Ticks ci = pv.C[rank];
   FixedPoint fp =
-      iterate(pv, rank, ci, std::max(ci, warm_w), Formulation::PaperLiteral, fuel);
+      iterate(pv, k, rank, ci, std::max(ci, warm_w), Formulation::PaperLiteral, fuel);
   if (fp.result.converged) fp.result.response = sat_add(fp.result.response, pv.J[rank]);
   return fp;
 }
 
-FixedPoint nonpreemptive_fixed_point(const TaskSetView& pv, std::size_t rank, Formulation form,
-                                     int fuel, Ticks warm_w) {
-  const Ticks b = blocking_factor(pv, rank + 1, form);
-  Ticks w0 = b;
-  for (std::size_t j = 0; j < rank; ++j) w0 = sat_add(w0, pv.C[j]);
-  FixedPoint fp = iterate(pv, rank, b, std::max(w0, warm_w), form, fuel);
+/// `b` is blocking_factor(pv, rank + 1, form); `hp_exec` is the saturating
+/// Σ_{j < rank} C_j. Both folds are order-insensitive over non-negative
+/// operands, so the whole-set drivers precompute them incrementally (suffix
+/// max / running prefix) with results identical to the per-rank scans.
+FixedPoint nonpreemptive_fixed_point(const TaskSetView& pv, const simd::Kernels* k,
+                                     std::size_t rank, Formulation form, int fuel, Ticks warm_w,
+                                     Ticks b, Ticks hp_exec) {
+  FixedPoint fp = iterate(pv, k, rank, b, std::max(sat_add(b, hp_exec), warm_w), form, fuel);
   if (fp.result.converged) {
     fp.result.response = sat_add(sat_add(fp.result.response, pv.C[rank]), pv.J[rank]);
   }
   return fp;
 }
 
-FpAnalysis analyze_view(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
-                        Formulation form, int fuel, RtaScratch& scratch, bool warm_start) {
+/// Whole-set driver shared by the FpAnalysis and FpCellResult entry points;
+/// hands each rank's result to `sink(rank, fp.result, D_rank)`.
+template <typename SinkFn>
+void analyze_fp_common(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+                       Formulation form, int fuel, RtaScratch& scratch, bool warm_start,
+                       SinkFn sink) {
   const TaskSetView& pv = scratch.arena.bind(ts, order);
+  const simd::Kernels* k = pv.simd_ok ? simd::active() : nullptr;
   const bool seed = warm_start && scratch.warm.size() == pv.n;
   scratch.warm.resize(pv.n);
 
+  if (!preemptive) {
+    // Suffix-max blocking factors: np_blocking[r] == blocking_factor(pv,
+    // r + 1, form), filled back-to-front in one pass.
+    scratch.np_blocking.resize(pv.n);
+    Ticks acc = 0;
+    for (std::size_t r = pv.n; r-- > 0;) {
+      scratch.np_blocking[r] = acc;
+      const Ticks c =
+          form == Formulation::PaperLiteral ? pv.C[r] : std::max<Ticks>(pv.C[r] - 1, 0);
+      acc = std::max(acc, c);
+    }
+  }
+
+  Ticks hp_exec = 0;  // running Σ_{j < rank} C_j (saturating)
+  for (std::size_t rank = 0; rank < pv.n; ++rank) {
+    const Ticks warm_w = seed ? scratch.warm[rank] : 0;
+    const FixedPoint fp =
+        preemptive ? preemptive_fixed_point(pv, k, rank, fuel, warm_w)
+                   : nonpreemptive_fixed_point(pv, k, rank, form, fuel, warm_w,
+                                               scratch.np_blocking[rank], hp_exec);
+    scratch.warm[rank] = fp.w;  // last iterate: sound even without convergence
+    hp_exec = sat_add(hp_exec, pv.C[rank]);
+    sink(rank, pv.index[rank], fp.result, pv.D[rank]);
+  }
+}
+
+FpAnalysis analyze_view(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+                        Formulation form, int fuel, RtaScratch& scratch, bool warm_start) {
   FpAnalysis out;
   out.per_task.resize(ts.size());
   out.schedulable = true;
-  for (std::size_t rank = 0; rank < pv.n; ++rank) {
-    const Ticks warm_w = seed ? scratch.warm[rank] : 0;
-    const FixedPoint fp = preemptive
-                              ? preemptive_fixed_point(pv, rank, fuel, warm_w)
-                              : nonpreemptive_fixed_point(pv, rank, form, fuel, warm_w);
-    scratch.warm[rank] = fp.w;  // last iterate: sound even without convergence
-    out.per_task[pv.index[rank]] = fp.result;
-    if (!fp.result.meets(pv.D[rank])) out.schedulable = false;
-  }
+  analyze_fp_common(ts, order, preemptive, form, fuel, scratch, warm_start,
+                    [&](std::size_t, std::size_t i, const RtaResult& r, Ticks d) {
+                      out.per_task[i] = r;
+                      if (!r.meets(d)) out.schedulable = false;
+                    });
   return out;
 }
 
 }  // namespace
+
+FpCellResult analyze_fp_cell(const TaskSet& ts, const PriorityOrder& order, bool preemptive,
+                             Formulation form, int fuel, RtaScratch& scratch, bool warm_start) {
+  FpCellResult out;
+  out.schedulable = true;
+  Ticks worst = 0;
+  analyze_fp_common(ts, order, preemptive, form, fuel, scratch, warm_start,
+                    [&](std::size_t, std::size_t, const RtaResult& r, Ticks d) {
+                      out.iterations += static_cast<std::uint64_t>(r.iterations);
+                      worst = (!r.converged || worst == kNoBound) ? kNoBound
+                                                                  : std::max(worst, r.response);
+                      if (!r.meets(d)) out.schedulable = false;
+                    });
+  out.worst_response = worst;
+  return out;
+}
 
 Ticks blocking_factor(const TaskSetView& pv, std::size_t first_lower, Formulation form) {
   Ticks b = 0;
@@ -183,12 +259,18 @@ Ticks blocking_factor(const TaskSetView& pv, std::size_t first_lower, Formulatio
 
 RtaResult response_time_preemptive(const TaskSetView& pv, std::size_t rank, int fuel,
                                    Ticks warm_w) {
-  return preemptive_fixed_point(pv, rank, fuel, warm_w).result;
+  const simd::Kernels* k = pv.simd_ok ? simd::active() : nullptr;
+  return preemptive_fixed_point(pv, k, rank, fuel, warm_w).result;
 }
 
 RtaResult response_time_nonpreemptive(const TaskSetView& pv, std::size_t rank, Formulation form,
                                       int fuel, Ticks warm_w) {
-  return nonpreemptive_fixed_point(pv, rank, form, fuel, warm_w).result;
+  const simd::Kernels* k = pv.simd_ok ? simd::active() : nullptr;
+  Ticks hp_exec = 0;
+  for (std::size_t j = 0; j < rank; ++j) hp_exec = sat_add(hp_exec, pv.C[j]);
+  return nonpreemptive_fixed_point(pv, k, rank, form, fuel, warm_w,
+                                   blocking_factor(pv, rank + 1, form), hp_exec)
+      .result;
 }
 
 FpAnalysis analyze_preemptive_fp(const TaskSet& ts, const PriorityOrder& order, int fuel) {

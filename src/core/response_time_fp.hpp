@@ -31,6 +31,7 @@
 // missed").
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -136,6 +137,22 @@ struct FpAnalysis {
 [[nodiscard]] FpAnalysis analyze_nonpreemptive_fp(const TaskSet& ts, const PriorityOrder& order,
                                                   Formulation form, int fuel, RtaScratch& scratch,
                                                   bool warm_start = false);
+
+/// Whole-set outcome folded down to what a sweep cell needs — exactly the
+/// information run_usweep derives from an FpAnalysis, but computed without
+/// materializing the per-task result vector, so a warm sweep step performs
+/// zero allocations. The fold is order-independent (sticky kNoBound on any
+/// non-convergence, max over responses, summed iterations), hence
+/// bit-identical to folding analyze_*_fp's per_task output.
+struct FpCellResult {
+  bool schedulable = false;
+  Ticks worst_response = 0;  ///< kNoBound if any task diverged / ran out of fuel
+  std::uint64_t iterations = 0;  ///< Σ per-task fixed-point iterations
+};
+
+[[nodiscard]] FpCellResult analyze_fp_cell(const TaskSet& ts, const PriorityOrder& order,
+                                           bool preemptive, Formulation form, int fuel,
+                                           RtaScratch& scratch, bool warm_start);
 
 /// LevelFeasibility adaptor for Audsley's OPA using the non-preemptive RTA:
 /// task `i` is feasible at a level iff its NP response time — interference

@@ -1,0 +1,24 @@
+// simd_avx2.cpp — the only TU compiled with -mavx2 (see CMakeLists). The
+// dispatcher calls avx2_kernels() strictly after __builtin_cpu_supports
+// confirms AVX2, so no AVX2 instruction ever executes on a host without it.
+// On non-x86 targets (or when the build didn't enable AVX2 for this file)
+// the symbol still exists and reports "not available".
+#include "core/simd.hpp"
+#include "core/simd_lanes.hpp"
+
+namespace profisched::simd {
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+const Kernels* avx2_kernels() noexcept {
+  static const Kernels table = detail::make_kernels<detail::Avx2Backend>("avx2");
+  return &table;
+}
+
+#else
+
+const Kernels* avx2_kernels() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace profisched::simd

@@ -1,0 +1,21 @@
+// simd_neon.cpp — NEON kernel table. NEON is baseline on aarch64, so unlike
+// AVX2 this needs no per-file flags or runtime cpu check.
+#include "core/simd.hpp"
+#include "core/simd_lanes.hpp"
+
+namespace profisched::simd {
+
+#if defined(__aarch64__)
+
+const Kernels* neon_kernels() noexcept {
+  static const Kernels table = detail::make_kernels<detail::NeonBackend>("neon");
+  return &table;
+}
+
+#else
+
+const Kernels* neon_kernels() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace profisched::simd

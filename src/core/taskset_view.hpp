@@ -35,6 +35,21 @@ struct TaskSetView {
   const std::size_t* index = nullptr;  ///< view position -> TaskSet position
   std::size_t n = 0;
 
+  /// Arena-bound views pad the four arrays out to this count (a multiple of
+  /// the widest lane width) with neutral slots (C=0, T=1, D=0, J=0) so the
+  /// full-set vector kernels need no tail handling; the padding contributes
+  /// exactly zero to every sum. n_padded == n for hand-built views.
+  std::size_t n_padded = 0;
+
+  /// Per-element 1.0 / T[i] (padded like the arrays), or nullptr for
+  /// hand-built views. Precomputed at bind so the lane kernels never divide.
+  const double* recip_t = nullptr;
+
+  /// True when this view satisfies the vector-kernel input gate (every
+  /// C/T/D/J ≤ simd::kMaxValue, 0 ≤ C ≤ T, n ≤ simd::kMaxTasks) and recip_t
+  /// is bound.
+  bool simd_ok = false;
+
   [[nodiscard]] bool empty() const noexcept { return n == 0; }
 
   /// Σ C_i / T_i summed in view order (== TaskSet::utilization() for an
@@ -75,6 +90,7 @@ class TaskSetArena {
   const TaskSetView& fill(const TaskSet& ts, const std::size_t* order, std::size_t n);
 
   std::vector<Ticks> c_, t_, d_, j_;
+  std::vector<double> recip_t_;
   std::vector<std::size_t> idx_;
   TaskSetView view_;
 };
@@ -94,6 +110,7 @@ struct RtaScratch {
   Ticks warm_busy = 0;            ///< converged busy-period length
   std::vector<Ticks> offsets;     ///< EDF candidate-offset buffer
   std::vector<Ticks> checkpoints; ///< feasibility deadline-checkpoint buffer
+  std::vector<Ticks> np_blocking; ///< per-rank suffix-max blocking factors
 };
 
 }  // namespace profisched

@@ -24,30 +24,20 @@ TaskSet scale_to_utilization(const TaskSet& base, double u) {
 
 namespace {
 
-USweepCell cell_from_fp(const FpAnalysis& a, std::uint64_t& fp_iterations) {
-  USweepCell cell;
-  cell.schedulable = a.schedulable;
-  Ticks worst = 0;
-  for (const RtaResult& r : a.per_task) {
-    fp_iterations += static_cast<std::uint64_t>(r.iterations);
-    worst = (!r.converged || worst == kNoBound) ? kNoBound : std::max(worst, r.response);
-  }
-  cell.worst_response = worst;
-  return cell;
+// The cell analyses fold per-task outcomes inside the analysis loop (see
+// analyze_fp_cell / analyze_edf_cell): same order-independent fold this file
+// used to perform over the per_task vectors, minus the vector.
+
+USweepCell cell_from_fp(const FpCellResult& a, std::uint64_t& fp_iterations) {
+  fp_iterations += a.iterations;
+  return {a.schedulable, a.worst_response};
 }
 
-USweepCell cell_from_edf(const EdfAnalysis& a, std::uint64_t& busy_iterations,
+USweepCell cell_from_edf(const EdfCellResult& a, std::uint64_t& busy_iterations,
                          std::uint64_t& edf_offsets) {
-  USweepCell cell;
-  cell.schedulable = a.schedulable;
   busy_iterations += static_cast<std::uint64_t>(a.busy_iterations);
-  Ticks worst = 0;
-  for (const EdfRtaResult& r : a.per_task) {
-    edf_offsets += r.offsets_examined;
-    worst = (!r.converged || worst == kNoBound) ? kNoBound : std::max(worst, r.response);
-  }
-  cell.worst_response = worst;
-  return cell;
+  edf_offsets += a.offsets_examined;
+  return {a.schedulable, a.worst_response};
 }
 
 }  // namespace
@@ -87,25 +77,29 @@ USweepResult run_usweep(const TaskSet& base, const USweepSpec& spec) {
       RtaScratch& s = scratch[p];
       switch (spec.policies[p]) {
         case Policy::RateMonotonic:
-          pt.cells.push_back(
-              cell_from_fp(analyze_preemptive_fp(ts, rm, spec.fuel, s, warm), out.fp_iterations));
+          pt.cells.push_back(cell_from_fp(
+              analyze_fp_cell(ts, rm, /*preemptive=*/true, spec.form, spec.fuel, s, warm),
+              out.fp_iterations));
           break;
         case Policy::DeadlineMonotonic:
-          pt.cells.push_back(
-              cell_from_fp(analyze_preemptive_fp(ts, dm, spec.fuel, s, warm), out.fp_iterations));
+          pt.cells.push_back(cell_from_fp(
+              analyze_fp_cell(ts, dm, /*preemptive=*/true, spec.form, spec.fuel, s, warm),
+              out.fp_iterations));
           break;
         case Policy::NpDeadlineMonotonic:
           pt.cells.push_back(cell_from_fp(
-              analyze_nonpreemptive_fp(ts, dm, spec.form, spec.fuel, s, warm),
+              analyze_fp_cell(ts, dm, /*preemptive=*/false, spec.form, spec.fuel, s, warm),
               out.fp_iterations));
           break;
         case Policy::Edf:
-          pt.cells.push_back(cell_from_edf(analyze_preemptive_edf(ts, edf_opt, s, warm),
-                                           out.busy_iterations, out.edf_offsets));
+          pt.cells.push_back(
+              cell_from_edf(analyze_edf_cell(ts, /*preemptive=*/true, edf_opt, s, warm),
+                            out.busy_iterations, out.edf_offsets));
           break;
         case Policy::NpEdf:
-          pt.cells.push_back(cell_from_edf(analyze_nonpreemptive_edf(ts, edf_opt, s, warm),
-                                           out.busy_iterations, out.edf_offsets));
+          pt.cells.push_back(
+              cell_from_edf(analyze_edf_cell(ts, /*preemptive=*/false, edf_opt, s, warm),
+                            out.busy_iterations, out.edf_offsets));
           break;
       }
     }

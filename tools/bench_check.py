@@ -14,7 +14,14 @@ Checks, in order:
   4. regression: no tracked speedup ratio may fall below half its baseline
      value, and no throughput metric below half the baseline (the ">2x
      regression fails" contract — ratios are machine-independent, the two
-     throughput floors are the coarse backstop).
+     throughput floors are the coarse backstop);
+  5. SIMD dispatch: when the current run had a vector backend live
+     (simd_active == 1) every scalar/vector ratio key must be present, show
+     the vector path at least as fast as scalar (>= 0.9, noise margin), and
+     not regress below half its baseline ratio. Runs without an active
+     backend (-DPROFISCHED_NO_SIMD=ON builds, non-SIMD hosts) skip these
+     gates — bench_runner itself exits non-zero on any scalar/vector result
+     divergence, so CI still covers exactness there.
 
 Exit code 0 = pass, 1 = fail (reasons on stderr).
 """
@@ -28,6 +35,14 @@ SPEEDUP_PAIRS = [
     ("usweep_fp_cold_iters", "usweep_fp_warm_iters", "FP u-grid iterations"),
 ]
 THROUGHPUT_KEYS = ["engine_scenarios_per_sec", "sim_events_per_sec"]
+SIMD_RATIO_KEYS = [
+    ("core_np_dm_simd_ratio", "NP-DM analyze scalar/vector"),
+    ("core_edf_simd_ratio", "EDF analyze scalar/vector"),
+    ("core_busy_simd_ratio", "busy period scalar/vector"),
+    ("usweep_fp_warm_simd_ratio", "FP u-grid warm sweep scalar/vector"),
+]
+# The vector path may not be slower than scalar beyond timing noise.
+SIMD_RATIO_FLOOR = 0.9
 WARM_LESS_THAN_COLD = [
     ("usweep_warm_fp_iters", "usweep_cold_fp_iters"),
     ("usweep_warm_busy_iters", "usweep_cold_busy_iters"),
@@ -93,6 +108,27 @@ def main():
 
     if best < 2.0:
         rc |= fail(f"no tracked kernel reached the 2x acceptance bar (best {best:.2f}x)")
+
+    if cur.get("simd_active") == 1:
+        for key, label in SIMD_RATIO_KEYS:
+            cur_r = cur.get(key)
+            if cur_r is None:
+                rc |= fail(f"simd_active but missing ratio {key}")
+                continue
+            if cur_r < SIMD_RATIO_FLOOR:
+                rc |= fail(f"{label} ratio {cur_r:.2f} below floor {SIMD_RATIO_FLOOR}")
+            base_r = base.get(key) if base.get("simd_active") == 1 else None
+            if base_r is not None and cur_r < base_r / 2.0:
+                rc |= fail(
+                    f"{label} regressed >2x: {cur_r:.2f}x now vs {base_r:.2f}x baseline"
+                )
+            base_txt = f"{base_r:.2f}x" if base_r is not None else "n/a"
+            print(f"bench_check: {label}: {cur_r:.2f}x (baseline {base_txt})")
+    else:
+        print(
+            f"bench_check: no vector backend active "
+            f"(backend={cur.get('simd_backend')!r}) — SIMD ratio gates skipped"
+        )
 
     for key in THROUGHPUT_KEYS:
         cur_v, base_v = cur.get(key), base.get(key)
