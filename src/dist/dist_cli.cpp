@@ -99,6 +99,9 @@ bool parse_shard_args(const std::vector<std::string>& args, ShardCli& out, std::
 
   if (!have_shard) return fail("--shard k/K is required");
   if (cli.out_path.empty()) return fail("--out FILE is required");
+  // --cache/--metrics went through the delegated parsers' up-front checks;
+  // --out is shard's own flag, so it gets the same treatment here.
+  if (!engine::validate_cli_output_file(cli.out_path, "--out", error)) return false;
   out = std::move(cli);
   error.clear();
   return true;
@@ -134,6 +137,18 @@ bool parse_merge_args(const std::vector<std::string>& args, MergeCli& out, std::
     }
   }
   if (cli.inputs.empty()) return fail("merge needs at least one shard artifact file");
+  if (!cli.csv_path.empty() &&
+      !engine::validate_cli_output_file(cli.csv_path, "--csv", error)) {
+    return false;
+  }
+  if (!cli.json_path.empty() &&
+      !engine::validate_cli_output_file(cli.json_path, "--json", error)) {
+    return false;
+  }
+  if (!cli.metrics_path.empty() &&
+      !engine::validate_cli_output_file(cli.metrics_path, "--metrics", error)) {
+    return false;
+  }
   out = std::move(cli);
   error.clear();
   return true;

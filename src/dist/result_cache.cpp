@@ -38,12 +38,44 @@ std::string ResultCache::entry_path(const engine::CacheKey& key) const {
   return dir_ + '/' + name.substr(0, 2) + '/' + name;
 }
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::chrono::seconds orphan_min_age)
+    : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (!fs::is_directory(dir_, ec)) {
     throw std::runtime_error("ResultCache: cannot create cache directory '" + dir_ + "'");
   }
+  sweep_orphaned_tmp(orphan_min_age);
+}
+
+std::uint64_t ResultCache::sweep_orphaned_tmp(std::chrono::seconds min_age) {
+  // A writer that died between create and rename() leaves its scratch file
+  // behind forever — nothing else ever opens a `*.tmp.*` name. The age gate
+  // is what makes the sweep safe against writers that are merely alive in
+  // another process right now: their scratch files are seconds old.
+  std::uint64_t reaped = 0;
+  std::error_code ec;
+  const auto now = fs::file_time_type::clock::now();
+  fs::recursive_directory_iterator it(dir_, fs::directory_options::skip_permission_denied, ec);
+  const fs::recursive_directory_iterator end;
+  while (!ec && it != end) {
+    const fs::path path = it->path();
+    const bool is_file = it->is_regular_file(ec);
+    if (!ec && is_file && path.filename().string().find(".tmp.") != std::string::npos) {
+      const auto mtime = fs::last_write_time(path, ec);
+      if (!ec && now - mtime >= min_age) {
+        std::error_code rm_ec;
+        if (fs::remove(path, rm_ec)) ++reaped;
+      }
+    }
+    ec.clear();
+    it.increment(ec);
+  }
+  if (reaped > 0) {
+    orphans_reaped_.fetch_add(reaped);
+    obs_orphans_.add(reaped);
+  }
+  return reaped;
 }
 
 bool ResultCache::load(const engine::CacheKey& key, std::string& payload) {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -33,9 +34,18 @@ class ResultCache final : public engine::ScenarioCache {
   /// Bump to invalidate every existing on-disk entry (the header carries it).
   static constexpr std::uint32_t kFormatVersion = 1;
 
+  /// A `*.tmp.*` writer scratch file older than this at open time is treated
+  /// as an orphan (its writer died between create and rename) and reaped. Any
+  /// live writer renames within seconds, so 15 minutes is a wide safety
+  /// margin for concurrent processes sharing the directory.
+  static constexpr std::chrono::seconds kDefaultOrphanMinAge{15 * 60};
+
   /// Creates `dir` (and parents) if missing; throws std::runtime_error when
-  /// the directory cannot be created at all.
-  explicit ResultCache(std::string dir);
+  /// the directory cannot be created at all. On open, sweeps orphaned temp
+  /// files at least `orphan_min_age` old (age-gated so a concurrent writer's
+  /// in-flight temp file is never touched).
+  explicit ResultCache(std::string dir,
+                       std::chrono::seconds orphan_min_age = kDefaultOrphanMinAge);
 
   bool load(const engine::CacheKey& key, std::string& payload) override;
   void store(const engine::CacheKey& key, const std::string& payload) override;
@@ -44,6 +54,8 @@ class ResultCache final : public engine::ScenarioCache {
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.load(); }
   [[nodiscard]] std::uint64_t misses() const noexcept { return misses_.load(); }
   [[nodiscard]] std::uint64_t stores() const noexcept { return stores_.load(); }
+  /// Orphaned temp files reaped by the open-time sweep.
+  [[nodiscard]] std::uint64_t orphans_reaped() const noexcept { return orphans_reaped_.load(); }
 
   /// Entry file name for a key: 32 lower-case hex digits.
   [[nodiscard]] static std::string entry_name(const engine::CacheKey& key);
@@ -52,10 +64,16 @@ class ResultCache final : public engine::ScenarioCache {
   [[nodiscard]] std::string entry_path(const engine::CacheKey& key) const;
 
  private:
+  /// Delete `*.tmp.*` scratch files under dir_ whose mtime is at least
+  /// `min_age` in the past; returns how many were removed. Advisory like all
+  /// cache I/O: any filesystem error just leaves the file for the next open.
+  std::uint64_t sweep_orphaned_tmp(std::chrono::seconds min_age);
+
   std::string dir_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> orphans_reaped_{0};
   std::atomic<std::uint64_t> tmp_seq_{0};  ///< unique temp-file suffix source
 
   // File-level telemetry, distinct from the runner's record-level cache.*
@@ -66,6 +84,7 @@ class ResultCache final : public engine::ScenarioCache {
   obs::Counter obs_misses_ = obs::Registry::global().counter("cache.file.misses");
   obs::Counter obs_heals_ = obs::Registry::global().counter("cache.file.corruption_heals");
   obs::Counter obs_stores_ = obs::Registry::global().counter("cache.file.stores");
+  obs::Counter obs_orphans_ = obs::Registry::global().counter("cache.file.orphans_reaped");
   obs::Counter obs_bytes_read_ = obs::Registry::global().counter("cache.file.bytes_read");
   obs::Counter obs_bytes_written_ = obs::Registry::global().counter("cache.file.bytes_written");
 };

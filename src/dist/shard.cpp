@@ -338,6 +338,17 @@ std::string serialize_spec(const ShardSpec& spec) {
   return out;
 }
 
+ShardSpec parse_spec(const std::string& text) {
+  LineReader r(text);
+  const ShardSpec spec = read_spec(r);
+  // A spec block is exactly what serialize_spec emitted — anything after the
+  // last spec line means the sender framed it wrong.
+  if (!r.peek_keyword().empty()) {
+    throw std::invalid_argument("shard spec: trailing data after spec block");
+  }
+  return spec;
+}
+
 std::string ShardArtifact::to_text() const {
   const std::size_t n_pol = spec.spec.sweep.policies.size();
   std::string out = kMagic;

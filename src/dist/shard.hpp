@@ -98,6 +98,11 @@ struct ShardArtifact {
 /// compares these byte-for-byte to reject mixed-spec shard sets.
 [[nodiscard]] std::string serialize_spec(const ShardSpec& spec);
 
+/// Inverse of serialize_spec: parse one standalone spec block (the serve
+/// protocol ships specs in exactly this form). Throws std::invalid_argument
+/// on any malformed, truncated, or trailing-data input.
+[[nodiscard]] ShardSpec parse_spec(const std::string& text);
+
 /// Executes single shards through the engine's ranged sweep entry points.
 class ShardRunner {
  public:

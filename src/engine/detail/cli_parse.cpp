@@ -2,8 +2,12 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 
 namespace profisched::engine {
+
+namespace fs = std::filesystem;
 
 bool parse_cli_count(const std::string& s, std::size_t& out, std::size_t max) {
   char* end = nullptr;
@@ -58,6 +62,41 @@ bool parse_cli_u_grid(const std::string& s, double& u_lo, double& u_hi, std::siz
   return c2 != std::string::npos && parse_cli_nonneg_double(s.substr(0, c1), u_lo) &&
          parse_cli_nonneg_double(s.substr(c1 + 1, c2 - c1 - 1), u_hi) &&
          parse_cli_count(s.substr(c2 + 1), u_steps, 1'000'000);
+}
+
+bool validate_cli_output_file(const std::string& path, const char* flag, std::string& error) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    error = std::string(flag) + " destination '" + path + "' is a directory, not a file";
+    return false;
+  }
+  fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  if (!fs::is_directory(parent, ec)) {
+    error = std::string(flag) + " destination '" + path + "': parent directory '" +
+            parent.string() + "' does not exist";
+    return false;
+  }
+  return true;
+}
+
+bool validate_cli_output_dir(const std::string& path, const char* flag, std::string& error) {
+  // Walk up to the first component that exists; create_directories will build
+  // everything below it, so that ancestor being a non-directory is the only
+  // statically-detectable failure.
+  std::error_code ec;
+  fs::path probe = fs::path(path);
+  while (!probe.empty() && !fs::exists(probe, ec)) {
+    const fs::path up = probe.parent_path();
+    if (up == probe) break;
+    probe = up;
+  }
+  if (!probe.empty() && fs::exists(probe, ec) && !fs::is_directory(probe, ec)) {
+    error = std::string(flag) + " destination '" + path + "': '" + probe.string() +
+            "' exists and is not a directory";
+    return false;
+  }
+  return true;
 }
 
 namespace {

@@ -31,6 +31,23 @@ namespace profisched::engine {
 [[nodiscard]] bool parse_cli_u_grid(const std::string& s, double& u_lo, double& u_hi,
                                     std::size_t& u_steps);
 
+/// Up-front check that an output FILE destination (--out/--csv/--json/
+/// --metrics) is writable-in-principle: its parent directory must already
+/// exist and the path must not name a directory. Checked at parse time so a
+/// doomed destination fails before the sweep runs, not after; `error` gets a
+/// one-line diagnostic naming `flag`. Deliberately does not create or
+/// truncate anything — the subcommand still opens the file itself at emit
+/// time.
+[[nodiscard]] bool validate_cli_output_file(const std::string& path, const char* flag,
+                                            std::string& error);
+
+/// Same idea for an output DIRECTORY destination (--cache): the path, or the
+/// nearest existing ancestor that create_directories would build from, must
+/// be a directory — a file sitting where a path component should go is the
+/// up-front error.
+[[nodiscard]] bool validate_cli_output_dir(const std::string& path, const char* flag,
+                                           std::string& error);
+
 /// The multi-axis grid flags of a sweep-style subcommand (sweep, simulate,
 /// shard), collected raw — an empty string means "flag absent". One struct so
 /// every subcommand validates and expands the u × beta × masters cross

@@ -223,6 +223,21 @@ bool parse_sim_sweep_args(const std::vector<std::string>& args, SimSweepCli& out
     return fail("sweep too large (" + std::to_string(cli.spec.sweep.total_scenarios()) +
                 " scenarios); shrink the grid axes or --scenarios");
   }
+  // Output destinations are checked here, before any scenario runs: a typo'd
+  // directory must not cost the whole sweep.
+  if (!cli.csv_path.empty() && !validate_cli_output_file(cli.csv_path, "--csv", error)) {
+    return false;
+  }
+  if (!cli.json_path.empty() && !validate_cli_output_file(cli.json_path, "--json", error)) {
+    return false;
+  }
+  if (!cli.metrics_path.empty() &&
+      !validate_cli_output_file(cli.metrics_path, "--metrics", error)) {
+    return false;
+  }
+  if (!cli.cache_dir.empty() && !validate_cli_output_dir(cli.cache_dir, "--cache", error)) {
+    return false;
+  }
   out = std::move(cli);
   error.clear();
   return true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 
 namespace profisched::engine {
 
@@ -13,17 +14,30 @@ ThreadPool::ThreadPool(unsigned threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  stop();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(mu_);
     stop_ = true;
   }
   cv_job_.notify_all();
-  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::stopped() const {
+  std::lock_guard lock(mu_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard lock(mu_);
+    // The worker loop exits once stop_ is set and the queue drains, so a job
+    // accepted here would never run. The old behaviour — enqueue and silently
+    // drop — turned shutdown races into vanished work; fail loudly instead.
+    if (stop_) throw std::logic_error("ThreadPool: submit after stop()");
     queue_.push_back(std::move(job));
     queue_hwm_.update_max(queue_.size());
   }

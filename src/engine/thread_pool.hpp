@@ -6,6 +6,13 @@
 // dynamic (work-stealing-ish) load balance with zero per-item allocation.
 // Determinism of sweep results does NOT depend on which worker runs which
 // index: workers write into disjoint slots of a pre-sized output vector.
+//
+// Shutdown contract: stop() (also run by the destructor) lets the workers
+// drain every job already queued, then retires them. A submit() AFTER stop
+// throws std::logic_error — the queue it would push into has no readers left,
+// so accepting the job would drop it on the floor silently. Long-running
+// callers layering their own queue on top (the serve scheduler) rely on the
+// post-stop path being this loud.
 #pragma once
 
 #include <condition_variable>
@@ -32,8 +39,18 @@ class ThreadPool {
 
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueue one job. Never blocks (unbounded queue).
+  /// Enqueue one job. Never blocks (unbounded queue). Throws std::logic_error
+  /// once stop() has run: the workers are draining out, so the job would sit
+  /// in a queue nobody reads — a silent drop this pool refuses to make.
   void submit(std::function<void()> job);
+
+  /// Begin shutdown: already-queued jobs still run to completion, but any
+  /// further submit() throws. Idempotent; the destructor calls it and then
+  /// joins the workers.
+  void stop();
+
+  /// True once stop() has run (further submissions will throw).
+  [[nodiscard]] bool stopped() const;
 
   /// Block until every submitted job has finished.
   void wait_idle();
@@ -52,7 +69,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_job_;   // signalled when a job arrives / stop
   std::condition_variable cv_idle_;  // signalled when the pool drains
   std::deque<std::function<void()>> queue_;

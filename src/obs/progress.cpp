@@ -9,8 +9,6 @@ namespace profisched::obs {
 
 namespace {
 
-constexpr std::int64_t kHeartbeatNs = 250'000'000;  // 250 ms between lines
-
 std::atomic<bool> g_progress{false};
 
 }  // namespace
@@ -19,15 +17,18 @@ bool progress_enabled() noexcept { return g_progress.load(std::memory_order_rela
 
 void set_progress_enabled(bool on) noexcept { g_progress.store(on, std::memory_order_relaxed); }
 
-ProgressMeter::ProgressMeter(std::string label, std::uint64_t total)
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total, std::int64_t heartbeat_ns)
     : label_(std::move(label)),
       total_(total),
+      heartbeat_ns_(heartbeat_ns),
       start_ns_(now_ns()),
-      next_print_ns_(start_ns_ + kHeartbeatNs) {}
+      next_print_ns_(start_ns_ + heartbeat_ns) {}
 
 ProgressMeter::~ProgressMeter() {
   // A sub-heartbeat run stays silent; once a heartbeat went out, close the
-  // story with the final count so logs never end mid-flight.
+  // story with the final count so logs never end mid-flight. print_line
+  // serializes against any still-in-flight winning tick and skips the write
+  // when that tick already reported this exact count.
   if (printed_.load(std::memory_order_relaxed)) {
     print_line(done_.load(std::memory_order_relaxed), now_ns());
   }
@@ -39,22 +40,39 @@ void ProgressMeter::tick(std::uint64_t n) {
   std::int64_t deadline = next_print_ns_.load(std::memory_order_relaxed);
   if (now < deadline) return;
   // One winner per heartbeat window prints; everyone else moves on.
-  if (next_print_ns_.compare_exchange_strong(deadline, now + kHeartbeatNs,
+  if (next_print_ns_.compare_exchange_strong(deadline, now + heartbeat_ns_,
                                              std::memory_order_relaxed)) {
     printed_.store(true, std::memory_order_relaxed);
     print_line(done, now);
   }
 }
 
-void ProgressMeter::print_line(std::uint64_t done, std::int64_t now) {
+std::string ProgressMeter::line(std::uint64_t done, std::int64_t now) const {
   const double secs = static_cast<double>(now - start_ns_) / 1e9;
   const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
   const double pct =
       total_ > 0 ? 100.0 * static_cast<double>(done) / static_cast<double>(total_) : 0.0;
   const std::uint64_t left = done < total_ ? total_ - done : 0;
-  const double eta = rate > 0.0 ? static_cast<double>(left) / rate : 0.0;
-  std::fprintf(stderr, "progress: %s %" PRIu64 "/%" PRIu64 " (%.1f%%) %.0f/s eta %.1fs\n",
-               label_.c_str(), done, total_, pct, rate, eta);
+  char buf[192];
+  if (rate > 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "progress: %s %" PRIu64 "/%" PRIu64 " (%.1f%%) %.0f/s eta %.1fs",
+                  label_.c_str(), done, total_, pct, rate,
+                  static_cast<double>(left) / rate);
+  } else {
+    // No completions observed yet — an extrapolated "eta 0.0s" would be a
+    // lie, so mark the ETA unknown instead.
+    std::snprintf(buf, sizeof buf, "progress: %s %" PRIu64 "/%" PRIu64 " (%.1f%%) 0/s eta ?",
+                  label_.c_str(), done, total_, pct);
+  }
+  return buf;
+}
+
+void ProgressMeter::print_line(std::uint64_t done, std::int64_t now) {
+  std::lock_guard lock(print_mu_);
+  if (done == last_printed_done_) return;  // final line already told this story
+  last_printed_done_ = done;
+  std::fprintf(stderr, "%s\n", line(done, now).c_str());
 }
 
 }  // namespace profisched::obs

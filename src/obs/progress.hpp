@@ -1,14 +1,17 @@
 // progress.hpp — opt-in stderr heartbeat for long sweeps. A ProgressMeter
 // counts completed work items and prints a rate-limited one-line report
-// (done/total, percent, items/s, ETA) at most every 250 ms, from whichever
-// worker thread happens to cross the deadline — the claim is a single CAS,
-// so ticks never serialize. The meter is only constructed when --progress
-// was given (obs::progress_enabled()); primary outputs are untouched either
-// way, since everything goes to stderr.
+// (done/total, percent, items/s, ETA) at most once per heartbeat window,
+// from whichever worker thread happens to cross the deadline — the claim is
+// a single CAS, so ticks never serialize on the hot path. Only the actual
+// stderr write is mutex-guarded, so the final destructor line can never
+// interleave with (or duplicate) a concurrently winning tick. The meter is
+// only constructed when --progress was given (obs::progress_enabled());
+// primary outputs are untouched either way, since everything goes to stderr.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace profisched::obs {
@@ -19,23 +22,37 @@ void set_progress_enabled(bool on) noexcept;
 
 class ProgressMeter {
  public:
-  ProgressMeter(std::string label, std::uint64_t total);
+  /// Default spacing between heartbeat lines (250 ms).
+  static constexpr std::int64_t kDefaultHeartbeatNs = 250'000'000;
+
+  /// `heartbeat_ns` is injectable so tests can force every tick to win a
+  /// window (0) without wall-clock sleeps.
+  ProgressMeter(std::string label, std::uint64_t total,
+                std::int64_t heartbeat_ns = kDefaultHeartbeatNs);
   ProgressMeter(const ProgressMeter&) = delete;
   ProgressMeter& operator=(const ProgressMeter&) = delete;
-  /// Prints the final 100% line if any heartbeat was emitted.
+  /// Prints the final 100% line if any heartbeat was emitted — unless the
+  /// last heartbeat already reported the final count (no duplicate close).
   ~ProgressMeter();
 
   void tick(std::uint64_t n = 1);
+
+  /// Render one report line (no trailing newline). Exposed so tests can pin
+  /// the format, notably the `eta ?` marker when the rate is still zero.
+  [[nodiscard]] std::string line(std::uint64_t done, std::int64_t now) const;
 
  private:
   void print_line(std::uint64_t done, std::int64_t now);
 
   std::string label_;
   std::uint64_t total_;
+  std::int64_t heartbeat_ns_;
   std::int64_t start_ns_;
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::int64_t> next_print_ns_;
   std::atomic<bool> printed_{false};
+  std::mutex print_mu_;  // serializes stderr writes; guards last_printed_done_
+  std::uint64_t last_printed_done_ = UINT64_MAX;  // sentinel: nothing printed
 };
 
 }  // namespace profisched::obs

@@ -167,6 +167,22 @@ bool parse_optimize_args(const std::vector<std::string>& args, OptimizeCli& out,
     return fail("sweep too large (" + std::to_string(cli.spec.sweep.total_scenarios()) +
                 " scenarios); shrink the grid axes or --scenarios");
   }
+  // Fail doomed output destinations at parse time, not after the search.
+  if (!cli.csv_path.empty() && !engine::validate_cli_output_file(cli.csv_path, "--csv", error)) {
+    return false;
+  }
+  if (!cli.json_path.empty() &&
+      !engine::validate_cli_output_file(cli.json_path, "--json", error)) {
+    return false;
+  }
+  if (!cli.metrics_path.empty() &&
+      !engine::validate_cli_output_file(cli.metrics_path, "--metrics", error)) {
+    return false;
+  }
+  if (!cli.cache_dir.empty() &&
+      !engine::validate_cli_output_dir(cli.cache_dir, "--cache", error)) {
+    return false;
+  }
   out = std::move(cli);
   error.clear();
   return true;

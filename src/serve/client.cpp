@@ -1,0 +1,85 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace profisched::serve {
+
+namespace {
+
+/// RAII socket so every throw path below closes the fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+std::string Client::call(std::string_view payload, int connect_retry_ms) const {
+  sockaddr_un addr{};
+  if (socket_path_.empty() || socket_path_.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("submit: socket path must be 1.." +
+                             std::to_string(sizeof(addr.sun_path) - 1) + " bytes, got '" +
+                             socket_path_ + "'");
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  Fd sock;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(connect_retry_ms);
+  for (;;) {
+    sock.fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (sock.fd < 0) {
+      throw std::runtime_error(std::string("submit: socket(): ") + std::strerror(errno));
+    }
+    if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      break;
+    }
+    const std::string why = std::strerror(errno);
+    ::close(sock.fd);
+    sock.fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("submit: cannot connect to '" + socket_path_ + "': " + why);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  const std::string wire = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      throw std::runtime_error("submit: connection lost while sending request");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[64 * 1024];
+  for (;;) {
+    const FrameDecode frame = decode_frame(buffer);
+    if (frame.status == FrameDecode::Status::Ok) return frame.payload;
+    if (frame.status == FrameDecode::Status::Error) {
+      throw std::runtime_error("submit: malformed response frame: " + frame.error);
+    }
+    const ssize_t n = ::recv(sock.fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      throw std::runtime_error("submit: connection closed before a full response arrived");
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace profisched::serve

@@ -1,0 +1,31 @@
+// serve/client.hpp — the blocking one-shot client under `profisched submit`.
+//
+// The protocol is strictly request/response, one frame each way, so the
+// client keeps no connection state: every call() opens a fresh AF_UNIX
+// connection, sends one framed request, reads one framed response, and
+// closes. Connect retries (for the daemon-still-starting race in CI) are the
+// only policy it carries; interpreting `ok`/`err` payloads is the caller's
+// job.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace profisched::serve {
+
+class Client {
+ public:
+  explicit Client(std::string socket_path) : socket_path_(std::move(socket_path)) {}
+
+  /// Round-trip one request payload; returns the response payload. Retries
+  /// the connect for up to `connect_retry_ms` (0 = one attempt) in 50 ms
+  /// steps. Throws std::runtime_error on connect, send, or framing failures.
+  [[nodiscard]] std::string call(std::string_view payload, int connect_retry_ms = 0) const;
+
+  [[nodiscard]] const std::string& socket_path() const noexcept { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+};
+
+}  // namespace profisched::serve

@@ -1,0 +1,131 @@
+#include "serve/job_queue.hpp"
+
+namespace profisched::serve {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::uint64_t JobQueue::submit(Request job) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard lock(mu_);
+    id = next_id_++;
+    Entry e;
+    e.priority = job.priority;
+    e.job = std::move(job);
+    jobs_.emplace(id, std::move(e));
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool JobQueue::cancel(std::uint64_t id, std::string& error) {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    error = "unknown job " + std::to_string(id);
+    return false;
+  }
+  Entry& e = it->second;
+  switch (e.state) {
+    case JobState::Queued:
+      e.state = JobState::Cancelled;
+      e.detail = "cancelled while queued";
+      return true;
+    case JobState::Running:
+      // The executor checks the flag at every oversplit-range boundary; the
+      // state flips to Cancelled when it yields.
+      e.cancelled->store(true, std::memory_order_relaxed);
+      return true;
+    case JobState::Done:
+    case JobState::Failed:
+    case JobState::Cancelled:
+      error = "job " + std::to_string(id) + " already " + to_string(e.state);
+      return false;
+  }
+  return false;
+}
+
+std::vector<JobInfo> JobQueue::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<JobInfo> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, e] : jobs_) {
+    out.push_back(JobInfo{id, e.state, e.job.spec.mode, e.priority, e.detail});
+  }
+  return out;
+}
+
+std::optional<JobInfo> JobQueue::info(std::uint64_t id) const {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  const Entry& e = it->second;
+  return JobInfo{id, e.state, e.job.spec.mode, e.priority, e.detail};
+}
+
+std::optional<JobQueue::Claimed> JobQueue::claim_next() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    // Best queued job: highest priority, lowest id within it. The map is id-
+    // ordered, so the first match at the top priority wins the FIFO tie.
+    auto best = jobs_.end();
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->second.state != JobState::Queued) continue;
+      if (best == jobs_.end() || it->second.priority > best->second.priority) best = it;
+    }
+    if (best != jobs_.end()) {
+      best->second.state = JobState::Running;
+      return Claimed{best->first, best->second.job, best->second.cancelled};
+    }
+    if (closed_) return std::nullopt;
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::complete(std::uint64_t id, JobState terminal, std::string detail) {
+  std::lock_guard lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  it->second.state = terminal;
+  it->second.detail = std::move(detail);
+  if (terminal == JobState::Done) {
+    scenarios_done_ += it->second.job.spec.total_scenarios();
+  }
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    for (auto& [id, e] : jobs_) {
+      if (e.state == JobState::Queued) {
+        e.state = JobState::Cancelled;
+        e.detail = "cancelled by shutdown";
+      } else if (e.state == JobState::Running) {
+        e.cancelled->store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::uint64_t JobQueue::scenarios_completed() const {
+  std::lock_guard lock(mu_);
+  return scenarios_done_;
+}
+
+}  // namespace profisched::serve

@@ -1,0 +1,102 @@
+// serve/job_queue.hpp — the persistent work queue behind `profisched serve`.
+//
+// Connection threads submit and cancel; one scheduler thread claims jobs and
+// reports completions. Ordering is (priority descending, id ascending): a
+// higher --priority job always drains first, ties run in submission order.
+// Cancellation is two-sided: a still-queued job flips straight to Cancelled,
+// a running job gets its shared cancel flag raised and the executor honours
+// it at the next oversplit-range boundary (that is the documented cancel
+// granularity — ranges are never torn mid-way, so a partially-cancelled job
+// can never emit output).
+//
+// The queue deliberately does NOT own threads or sockets; it is plain
+// mutex+cv state, which is what makes it unit-testable without a daemon.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace profisched::serve {
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+
+[[nodiscard]] const char* to_string(JobState s);
+
+/// A snapshot row for STATUS responses.
+struct JobInfo {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+  dist::SweepMode mode = dist::SweepMode::Analysis;
+  std::uint64_t priority = 0;
+  std::string detail;  ///< failure/cancel reason or completion note
+};
+
+class JobQueue {
+ public:
+  /// Enqueue one submitted job; returns its id (monotonic from 1).
+  std::uint64_t submit(Request job);
+
+  /// Cancel a job. Queued jobs flip to Cancelled immediately; running jobs
+  /// get their flag raised (state stays Running until the executor yields).
+  /// Returns false with a diagnostic for unknown ids and jobs already in a
+  /// terminal state.
+  bool cancel(std::uint64_t id, std::string& error);
+
+  /// Every job ever submitted, id order — STATUS shows the full lifecycle.
+  [[nodiscard]] std::vector<JobInfo> snapshot() const;
+
+  /// Fetch one job's info; nullopt for unknown ids.
+  [[nodiscard]] std::optional<JobInfo> info(std::uint64_t id) const;
+
+  /// What the scheduler claimed: the job plus its live cancel flag.
+  struct Claimed {
+    std::uint64_t id = 0;
+    Request job;
+    std::shared_ptr<std::atomic<bool>> cancelled;
+  };
+
+  /// Block until a queued job exists (returning the best one, now Running) or
+  /// the queue is closed and drained (returning nullopt — the scheduler's
+  /// exit signal).
+  [[nodiscard]] std::optional<Claimed> claim_next();
+
+  /// Report the outcome of a claimed job.
+  void complete(std::uint64_t id, JobState terminal, std::string detail);
+
+  /// Shutdown: cancel every queued job, raise the running job's flag, and
+  /// wake the scheduler so claim_next() returns nullopt.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+
+  /// Total scenarios of every job that reached Done (feeds the STATS
+  /// manifest's run.scenarios).
+  [[nodiscard]] std::uint64_t scenarios_completed() const;
+
+ private:
+  struct Entry {
+    Request job;
+    JobState state = JobState::Queued;
+    std::uint64_t priority = 0;
+    std::string detail;
+    std::shared_ptr<std::atomic<bool>> cancelled = std::make_shared<std::atomic<bool>>(false);
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signalled on submit/close
+  std::map<std::uint64_t, Entry> jobs_;  // id-ordered, also the STATUS order
+  std::uint64_t next_id_ = 1;
+  std::uint64_t scenarios_done_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace profisched::serve

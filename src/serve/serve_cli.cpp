@@ -1,0 +1,182 @@
+#include "serve/serve_cli.hpp"
+
+#include <utility>
+
+#include "engine/sim_cli.hpp"
+#include "opt/opt_cli.hpp"
+
+namespace profisched::serve {
+
+bool parse_serve_args(const std::vector<std::string>& args, ServeCli& out, std::string& error) {
+  ServeCli cli;
+  const auto fail = [&](const std::string& msg) {
+    error = msg;
+    return false;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&](std::string& v) {
+      if (i + 1 >= args.size()) return false;
+      v = args[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--socket") {
+      if (!next(v) || v.empty()) return fail("--socket needs a path");
+      cli.socket_path = v;
+    } else if (arg == "--threads") {
+      std::size_t n = 0;
+      if (!next(v) || !engine::parse_cli_count(v, n, 4096) || n == 0) {
+        return fail("--threads needs an integer in [1, 4096]");
+      }
+      cli.threads = static_cast<unsigned>(n);
+    } else if (arg == "--cache") {
+      if (!next(v) || v.empty()) return fail("--cache needs a directory path");
+      cli.cache_dir = v;
+    } else if (arg == "--metrics") {
+      if (!next(v) || v.empty()) return fail("--metrics needs a file path");
+      cli.metrics_path = v;
+    } else {
+      return fail("unknown serve flag '" + arg + "'");
+    }
+  }
+  if (cli.socket_path.empty()) return fail("--socket PATH is required");
+  if (!engine::validate_cli_output_file(cli.socket_path, "--socket", error)) return false;
+  if (!cli.cache_dir.empty() &&
+      !engine::validate_cli_output_dir(cli.cache_dir, "--cache", error)) {
+    return false;
+  }
+  if (!cli.metrics_path.empty() &&
+      !engine::validate_cli_output_file(cli.metrics_path, "--metrics", error)) {
+    return false;
+  }
+  out = std::move(cli);
+  error.clear();
+  return true;
+}
+
+bool parse_submit_args(const std::vector<std::string>& args, SubmitCli& out, std::string& error) {
+  SubmitCli cli;
+  cli.job.kind = Request::Kind::Submit;
+  dist::SweepMode mode = dist::SweepMode::Analysis;
+  engine::EngineOptions engine_opts;  // --method survives the delegated parse
+  int actions = 0;
+  const auto fail = [&](const std::string& msg) {
+    error = msg;
+    return false;
+  };
+
+  // First pass: peel off the submit-specific flags, leaving the sweep flags
+  // for the shared batch parsers — the same delegation `shard` does, and for
+  // the same reason: a submitted job must describe its sweep exactly as the
+  // batch subcommand it is byte-compared against.
+  std::vector<std::string> sweep_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&](std::string& v) {
+      if (i + 1 >= args.size()) return false;
+      v = args[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--socket") {
+      if (!next(v) || v.empty()) return fail("--socket needs a path");
+      cli.socket_path = v;
+    } else if (arg == "--mode") {
+      if (!next(v)) return fail("--mode needs sweep|simulate|combined|optimize");
+      if (v == "sweep") mode = dist::SweepMode::Analysis;
+      else if (v == "simulate") mode = dist::SweepMode::Sim;
+      else if (v == "combined") mode = dist::SweepMode::Combined;
+      else if (v == "optimize") mode = dist::SweepMode::Optimize;
+      else return fail("--mode needs sweep|simulate|combined|optimize");
+    } else if (arg == "--priority") {
+      std::size_t n = 0;
+      if (!next(v) || !engine::parse_cli_count(v, n, 1'000'000)) {
+        return fail("--priority needs an integer in [0, 1000000]");
+      }
+      cli.job.priority = n;
+    } else if (arg == "--oversplit") {
+      std::size_t n = 0;
+      if (!next(v) || !engine::parse_cli_count(v, n, 1'000'000) || n == 0) {
+        return fail("--oversplit needs an integer in [1, 1000000]");
+      }
+      cli.job.oversplit = n;
+    } else if (arg == "--method") {
+      if (!next(v)) return fail("--method needs paper|refined");
+      if (v == "paper") engine_opts.method = profibus::TcycleMethod::PaperEq13;
+      else if (v == "refined") engine_opts.method = profibus::TcycleMethod::PerMasterRefined;
+      else return fail("--method needs paper|refined");
+    } else if (arg == "--wait") {
+      cli.wait = true;
+    } else if (arg == "--status") {
+      cli.action = SubmitCli::Action::Status;
+      ++actions;
+    } else if (arg == "--stats") {
+      cli.action = SubmitCli::Action::Stats;
+      ++actions;
+    } else if (arg == "--shutdown") {
+      cli.action = SubmitCli::Action::Shutdown;
+      ++actions;
+    } else if (arg == "--cancel") {
+      std::size_t n = 0;
+      if (!next(v) || !engine::parse_cli_count(v, n, 1'000'000'000) || n == 0) {
+        return fail("--cancel needs a job id");
+      }
+      cli.action = SubmitCli::Action::Cancel;
+      cli.cancel_id = n;
+      ++actions;
+    } else {
+      sweep_args.push_back(arg);
+    }
+  }
+
+  if (cli.socket_path.empty()) return fail("--socket PATH is required");
+  if (actions > 1) {
+    return fail("--status, --cancel, --stats, and --shutdown are mutually exclusive");
+  }
+  if (cli.action != SubmitCli::Action::Submit) {
+    if (!sweep_args.empty()) {
+      return fail("control action takes no sweep flags (got '" + sweep_args.front() + "')");
+    }
+    if (cli.wait) return fail("--wait only applies when submitting a job");
+    out = std::move(cli);
+    error.clear();
+    return true;
+  }
+
+  if (mode == dist::SweepMode::Optimize) {
+    opt::OptimizeCli opt_cli;
+    if (!opt::parse_optimize_args(sweep_args, opt_cli, error)) return false;
+    if (!opt_cli.cache_dir.empty() || opt_cli.threads != 0) {
+      return fail("--cache/--threads are serve-side flags; pass them to `profisched serve`");
+    }
+    cli.job.spec.spec.sweep = std::move(opt_cli.spec.sweep);
+    cli.job.spec.optimize = opt_cli.spec.options;
+    cli.job.csv_path = std::move(opt_cli.csv_path);
+    cli.job.json_path = std::move(opt_cli.json_path);
+    cli.job.metrics_path = std::move(opt_cli.metrics_path);
+    cli.job.progress = opt_cli.progress;
+  } else {
+    engine::SimSweepCli sweep_cli;
+    if (!engine::parse_sim_sweep_args(sweep_args, sweep_cli, error,
+                                      /*simulable_only=*/mode != dist::SweepMode::Analysis)) {
+      return false;
+    }
+    if (!sweep_cli.cache_dir.empty() || sweep_cli.threads != 0) {
+      return fail("--cache/--threads are serve-side flags; pass them to `profisched serve`");
+    }
+    if (sweep_cli.combined) return fail("use --mode combined instead of --combined");
+    cli.job.spec.spec = std::move(sweep_cli.spec);
+    cli.job.csv_path = std::move(sweep_cli.csv_path);
+    cli.job.json_path = std::move(sweep_cli.json_path);
+    cli.job.metrics_path = std::move(sweep_cli.metrics_path);
+    cli.job.progress = sweep_cli.progress;
+  }
+  cli.job.spec.mode = mode;
+  cli.job.spec.spec.sweep.engine = engine_opts;
+  out = std::move(cli);
+  error.clear();
+  return true;
+}
+
+}  // namespace profisched::serve

@@ -83,6 +83,17 @@ TEST(ShardCliParse, RejectsBadInvocations) {
   (void)shard_fail({"--mode", "simulate", "--policies", "opa", "--shard", "1/1", "--out", "s"});
 }
 
+TEST(ShardCliParse, OutputDestinationsAreValidatedUpFront) {
+  EXPECT_NE(shard_fail({"--shard", "1/1", "--out", "/nonexistent_profisched/s.1"}).find("--out"),
+            std::string::npos);
+  EXPECT_NE(shard_fail({"--shard", "1/1", "--out", "s", "--cache", "/dev/null/c"}).find("--cache"),
+            std::string::npos);
+  EXPECT_NE(shard_fail({"--shard", "1/1", "--out", "s", "--metrics",
+                        "/nonexistent_profisched/m.json"})
+                .find("--metrics"),
+            std::string::npos);
+}
+
 MergeCli merge_ok(const std::vector<std::string>& args) {
   MergeCli cli;
   std::string error;
@@ -107,6 +118,11 @@ TEST(MergeCliParse, RejectsBadInvocations) {
   EXPECT_FALSE(parse_merge_args({"--csv", "x"}, cli, error));        // still no inputs
   EXPECT_FALSE(parse_merge_args({"--csv"}, cli, error));             // dangling value
   EXPECT_FALSE(parse_merge_args({"--wat", "s.1"}, cli, error));      // unknown flag
+  // Output destinations fail up front, before any shard artifact is read.
+  EXPECT_FALSE(parse_merge_args({"--csv", "/nonexistent_profisched/o.csv", "s.1"}, cli, error));
+  EXPECT_NE(error.find("--csv"), std::string::npos) << error;
+  EXPECT_FALSE(parse_merge_args({"--json", "/nonexistent_profisched/o.json", "s.1"}, cli, error));
+  EXPECT_NE(error.find("--json"), std::string::npos) << error;
 }
 
 }  // namespace

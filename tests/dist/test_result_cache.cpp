@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -258,6 +259,54 @@ TEST(ResultCache, EqualContentDifferentSeedScenariosDoNotShareSimRecords) {
     EXPECT_EQ(warm.outcomes[i].observed_max, plain.outcomes[i].observed_max) << i;
     EXPECT_EQ(warm.outcomes[i].misses, plain.outcomes[i].misses) << i;
   }
+}
+
+TEST(ResultCache, OpenSweepsOldOrphanTmpFilesButSparesFreshOnes) {
+  const CacheDir dir("orphans");
+  const engine::CacheKey key{0xabcd, 0xef01};
+  fs::path real_entry;
+  {
+    // Populate one real entry, then plant writer scratch files around it as
+    // if two processes died mid-store: one long ago, one a moment ago.
+    ResultCache seeder(dir.path());
+    seeder.store(key, "kept payload");
+    real_entry = seeder.entry_path(key);
+  }
+  const fs::path old_orphan = real_entry.string() + ".tmp.4242.77.0";
+  const fs::path fresh_orphan = real_entry.string() + ".tmp.4243.88.1";
+  std::ofstream(old_orphan) << "half-written";
+  std::ofstream(fresh_orphan) << "still being written";
+  fs::last_write_time(old_orphan, fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  ResultCache cache(dir.path(), /*orphan_min_age=*/std::chrono::minutes(5));
+  EXPECT_EQ(cache.orphans_reaped(), 1u);
+  EXPECT_FALSE(fs::exists(old_orphan));      // the dead writer's leak is gone
+  EXPECT_TRUE(fs::exists(fresh_orphan));     // a live writer's file survives
+  std::string payload;
+  EXPECT_TRUE(cache.load(key, payload));     // real entries are never touched
+  EXPECT_EQ(payload, "kept payload");
+}
+
+TEST(ResultCache, OrphanSweepIgnoresNonTmpNamesAndEmptyDirs) {
+  const CacheDir dir("orphans_safe");
+  // Opening a brand-new (empty) directory sweeps nothing and must not throw.
+  ResultCache first(dir.path(), std::chrono::seconds(0));
+  EXPECT_EQ(first.orphans_reaped(), 0u);
+
+  // With min_age 0 every tmp file qualifies immediately; entry files and
+  // oddly-named bystanders still survive because only `*.tmp.*` is reaped.
+  const engine::CacheKey key{7, 9};
+  first.store(key, "payload");
+  const fs::path bystander = fs::path(dir.path()) / "README";
+  std::ofstream(bystander) << "not a scratch file";
+  std::ofstream(first.entry_path(key) + ".tmp.1.2.3") << "orphan";
+
+  ResultCache second(dir.path(), std::chrono::seconds(0));
+  EXPECT_EQ(second.orphans_reaped(), 1u);
+  EXPECT_TRUE(fs::exists(bystander));
+  std::string payload;
+  EXPECT_TRUE(second.load(key, payload));
+  EXPECT_EQ(payload, "payload");
 }
 
 TEST(ResultCache, ConcurrentWritersSharingOneDirectory) {

@@ -197,6 +197,33 @@ TEST(CliGrid, RejectsAstronomicalCrossProductsBeforeExpanding) {
   EXPECT_NE(err.find("shrink the axis STEPS"), std::string::npos);
 }
 
+TEST(CliOutputPath, FileDestinationsNeedAnExistingParentDirectory) {
+  std::string error;
+  EXPECT_TRUE(validate_cli_output_file("out.csv", "--csv", error));  // parent "."
+  EXPECT_TRUE(validate_cli_output_file("/tmp/profisched_out.json", "--json", error));
+
+  EXPECT_FALSE(validate_cli_output_file("/nonexistent_profisched/out.csv", "--csv", error));
+  EXPECT_NE(error.find("--csv"), std::string::npos) << error;
+  EXPECT_NE(error.find("does not exist"), std::string::npos) << error;
+
+  // A directory is never a valid output FILE.
+  EXPECT_FALSE(validate_cli_output_file("/tmp", "--metrics", error));
+  EXPECT_NE(error.find("--metrics"), std::string::npos) << error;
+}
+
+TEST(CliOutputPath, DirDestinationsRejectFileAncestors) {
+  std::string error;
+  EXPECT_TRUE(validate_cli_output_dir("/tmp", "--cache", error));
+  // Creatable-from-scratch trees are fine: create_directories builds them.
+  EXPECT_TRUE(validate_cli_output_dir("/tmp/profisched_new/a/b", "--cache", error));
+  EXPECT_TRUE(validate_cli_output_dir("relative_new_dir", "--cache", error));
+
+  // /dev/null exists and is not a directory — no component can go below it.
+  EXPECT_FALSE(validate_cli_output_dir("/dev/null/cache", "--cache", error));
+  EXPECT_NE(error.find("--cache"), std::string::npos) << error;
+  EXPECT_NE(error.find("not a directory"), std::string::npos) << error;
+}
+
 TEST(CliGrid, ScalarParsersStillStrict) {
   double lo = 0, hi = 0;
   std::size_t steps = 0;

@@ -130,6 +130,19 @@ TEST(SimCli, CacheFlagCarriesTheDirectory) {
   (void)parse_fail({"--cache"});
 }
 
+TEST(SimCli, OutputDestinationsAreValidatedUpFront) {
+  // A doomed destination must fail at parse time (before the sweep runs),
+  // with the offending flag named in the diagnostic.
+  EXPECT_NE(parse_fail({"--csv", "/nonexistent_profisched/out.csv"}).find("--csv"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--json", "/nonexistent_profisched/out.json"}).find("--json"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--metrics", "/nonexistent_profisched/m.json"}).find("--metrics"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--cache", "/dev/null/cache"}).find("--cache"), std::string::npos);
+  EXPECT_NE(parse_fail({"--csv", "/tmp"}).find("is a directory"), std::string::npos);
+}
+
 TEST(SimCli, FaultsFlagFillsEveryKnob) {
   const SimSweepCli cli = parse_ok(
       {"--faults",

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace profisched::engine {
@@ -57,6 +60,65 @@ TEST(ThreadPool, ParallelForHandlesZeroAndFewerItemsThanWorkers) {
     counter.fetch_add(1);
   });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopped());
+  pool.stop();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  // stop() is idempotent and the contract holds on repeat.
+  pool.stop();
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPool, JobsQueuedBeforeStopStillRun) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    // One slow job pins the single worker so the rest provably sit queued
+    // when stop() lands.
+    pool.submit([] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.stop();
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownRaceNeverDropsWorkSilently) {
+  // Hammer submit from several threads while stop() lands mid-stream: every
+  // submission must either run to completion or throw — a silent drop shows
+  // up as accepted > executed.
+  ThreadPool pool(4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> executed{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          pool.submit([&executed] { executed.fetch_add(1, std::memory_order_relaxed); });
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::logic_error&) {
+          return;  // pool stopped underneath us — the loud path
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.stop();
+  for (std::thread& t : submitters) t.join();
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+  // Accepted jobs were queued before stop_, so the drain-then-retire shutdown
+  // runs them all.
+  pool.wait_idle();
+  EXPECT_EQ(executed.load(), accepted.load());
 }
 
 TEST(ThreadPool, ReusableAcrossCalls) {

@@ -1,0 +1,108 @@
+// Unit tests for the --progress stderr heartbeat, pinning the two lifecycle
+// fixes: the destructor's final line is serialized against (and deduplicated
+// with) concurrent winning ticks, and a zero-rate report says "eta ?" rather
+// than extrapolating a bogus 0.0s.
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace profisched::obs {
+namespace {
+
+TEST(ProgressMeter, ZeroRateLineMarksEtaUnknown) {
+  ProgressMeter meter("analysis", 100);
+  // Non-positive elapsed (here: a `now` before construction, the clock-skew
+  // guard) forces rate 0 — the line must not claim "eta 0.0s".
+  const std::string at_start = meter.line(0, now_ns() - 3'600'000'000'000);
+  EXPECT_NE(at_start.find("eta ?"), std::string::npos) << at_start;
+  EXPECT_EQ(at_start.find("eta 0.0s"), std::string::npos) << at_start;
+}
+
+TEST(ProgressMeter, PositiveRateLineStillReportsNumericEta) {
+  ProgressMeter meter("analysis", 100);
+  // 50 items in ~1s → rate ~50/s, 50 left → eta ~1.0s.
+  const std::string line = meter.line(50, now_ns() + 1'000'000'000);
+  EXPECT_NE(line.find("50/100"), std::string::npos) << line;
+  EXPECT_NE(line.find("eta "), std::string::npos) << line;
+  EXPECT_EQ(line.find("eta ?"), std::string::npos) << line;
+}
+
+TEST(ProgressMeter, FinalLineIsNotDuplicatedWhenLastTickAlreadyReportedIt) {
+  testing::internal::CaptureStderr();
+  {
+    // heartbeat 0: every tick wins a print window, so the last tick emits
+    // "3/3" and the destructor would previously repeat it verbatim.
+    ProgressMeter meter("dedupe", 3, /*heartbeat_ns=*/0);
+    meter.tick();
+    meter.tick();
+    meter.tick();
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  std::size_t finals = 0;
+  for (std::size_t pos = err.find("3/3"); pos != std::string::npos;
+       pos = err.find("3/3", pos + 1)) {
+    ++finals;
+  }
+  EXPECT_EQ(finals, 1u) << err;
+}
+
+TEST(ProgressMeter, DestructorClosesWithFinalCountAfterQuietTail) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter meter("close", 3, /*heartbeat_ns=*/50'000'000);
+    meter.tick();  // sub-heartbeat: silent
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    meter.tick();  // crosses the deadline: prints 2/3, next window +50 ms
+    meter.tick();  // inside the fresh window: silent — final count unreported
+  }  // the destructor owes the close
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("close 2/3"), std::string::npos) << err;
+  EXPECT_NE(err.find("close 3/3"), std::string::npos) << err;
+}
+
+TEST(ProgressMeter, SubHeartbeatRunsStaySilent) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter meter("quiet", 10);  // default 250 ms heartbeat: never due
+    for (int i = 0; i < 10; ++i) meter.tick();
+  }
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(ProgressMeter, ConcurrentTicksAndDestructionEmitWholeLines) {
+  testing::internal::CaptureStderr();
+  {
+    ProgressMeter meter("race", 4000, /*heartbeat_ns=*/0);
+    std::vector<std::thread> workers;
+    workers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&meter] {
+        for (int i = 0; i < 1000; ++i) meter.tick();
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }  // destructor races nothing here, but every printed line must be whole
+  const std::string err = testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(err.empty());
+  // Interleaved writes would corrupt the line structure: every line must
+  // start with the meter prefix and end with an eta field.
+  std::size_t begin = 0;
+  while (begin < err.size()) {
+    std::size_t end = err.find('\n', begin);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = err.substr(begin, end - begin);
+    EXPECT_EQ(line.rfind("progress: race ", 0), 0u) << line;
+    EXPECT_NE(line.find(" eta "), std::string::npos) << line;
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace profisched::obs

@@ -87,5 +87,15 @@ TEST(OptCli, RejectsMalformedFlags) {
   (void)parse_fail({"--csv"});             // missing value
 }
 
+TEST(OptCli, OutputDestinationsAreValidatedUpFront) {
+  EXPECT_NE(parse_fail({"--csv", "/nonexistent_profisched/out.csv"}).find("--csv"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--json", "/nonexistent_profisched/o.json"}).find("--json"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--metrics", "/nonexistent_profisched/m.json"}).find("--metrics"),
+            std::string::npos);
+  EXPECT_NE(parse_fail({"--cache", "/dev/null/cache"}).find("--cache"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace profisched::opt

@@ -1,0 +1,111 @@
+// JobQueue semantics: priority-then-FIFO claiming, two-sided cancellation
+// (queued jobs flip immediately, running jobs get a flag), shutdown draining,
+// and the scenarios-completed accounting STATS reports.
+#include "serve/job_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace profisched::serve {
+namespace {
+
+Request job_with(std::uint64_t priority, std::uint64_t scenarios_per_point = 4) {
+  Request req;
+  req.kind = Request::Kind::Submit;
+  req.priority = priority;
+  req.spec.mode = dist::SweepMode::Analysis;
+  req.spec.spec.sweep.points = {engine::SweepPoint{0.5, 0.5, 1.0}};
+  req.spec.spec.sweep.scenarios_per_point = scenarios_per_point;
+  req.spec.spec.sweep.policies = {engine::Policy::Fcfs};
+  return req;
+}
+
+TEST(JobQueue, ClaimsByPriorityThenSubmissionOrder) {
+  JobQueue q;
+  const std::uint64_t low = q.submit(job_with(1));
+  const std::uint64_t high = q.submit(job_with(9));
+  const std::uint64_t low2 = q.submit(job_with(1));
+  ASSERT_EQ(q.claim_next()->id, high);
+  ASSERT_EQ(q.claim_next()->id, low);  // FIFO within equal priority
+  ASSERT_EQ(q.claim_next()->id, low2);
+}
+
+TEST(JobQueue, CancelQueuedIsImmediateCancelRunningRaisesTheFlag) {
+  JobQueue q;
+  const std::uint64_t running = q.submit(job_with(5));
+  const std::uint64_t queued = q.submit(job_with(1));
+  const auto claimed = q.claim_next();
+  ASSERT_EQ(claimed->id, running);
+
+  std::string error;
+  EXPECT_TRUE(q.cancel(queued, error));
+  EXPECT_EQ(q.info(queued)->state, JobState::Cancelled);
+
+  EXPECT_FALSE(claimed->cancelled->load());
+  EXPECT_TRUE(q.cancel(running, error));
+  EXPECT_TRUE(claimed->cancelled->load());  // cooperative: state still Running
+  EXPECT_EQ(q.info(running)->state, JobState::Running);
+  q.complete(running, JobState::Cancelled, "cancelled at range boundary 1/4");
+  EXPECT_EQ(q.info(running)->state, JobState::Cancelled);
+}
+
+TEST(JobQueue, CancelRejectsUnknownAndTerminalJobs) {
+  JobQueue q;
+  std::string error;
+  EXPECT_FALSE(q.cancel(77, error));
+  EXPECT_NE(error.find("unknown job 77"), std::string::npos);
+
+  const std::uint64_t id = q.submit(job_with(0));
+  (void)q.claim_next();
+  q.complete(id, JobState::Done, "ok");
+  EXPECT_FALSE(q.cancel(id, error));
+  EXPECT_NE(error.find("already done"), std::string::npos);
+}
+
+TEST(JobQueue, CloseCancelsQueuedJobsAndUnblocksTheScheduler) {
+  JobQueue q;
+  const std::uint64_t queued = q.submit(job_with(3));
+
+  // A scheduler blocked in claim_next() must wake and drain on close().
+  std::thread scheduler([&] {
+    while (auto claimed = q.claim_next()) {
+      q.complete(claimed->id, JobState::Cancelled, "cancelled by shutdown");
+    }
+  });
+  // The single queued job is claimed by the scheduler or cancelled by close —
+  // either way the scheduler must exit and the job must end Cancelled.
+  q.close();
+  scheduler.join();
+  EXPECT_EQ(q.info(queued)->state, JobState::Cancelled);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(JobQueue, ScenariosCompletedCountsOnlyDoneJobs) {
+  JobQueue q;
+  const std::uint64_t done = q.submit(job_with(0, 6));
+  const std::uint64_t failed = q.submit(job_with(0, 100));
+  (void)q.claim_next();
+  q.complete(done, JobState::Done, "ok");
+  (void)q.claim_next();
+  q.complete(failed, JobState::Failed, "boom");
+  EXPECT_EQ(q.scenarios_completed(), 6u);  // 1 point x 6 x 1 policy
+}
+
+TEST(JobQueue, SnapshotShowsTheFullLifecycleInIdOrder) {
+  JobQueue q;
+  (void)q.submit(job_with(2));
+  (void)q.submit(job_with(8));
+  const auto claimed = q.claim_next();
+  ASSERT_EQ(claimed->id, 2u);
+  const std::vector<JobInfo> rows = q.snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 1u);
+  EXPECT_EQ(rows[0].state, JobState::Queued);
+  EXPECT_EQ(rows[1].id, 2u);
+  EXPECT_EQ(rows[1].state, JobState::Running);
+  EXPECT_EQ(rows[1].priority, 8u);
+}
+
+}  // namespace
+}  // namespace profisched::serve

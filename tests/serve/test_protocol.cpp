@@ -1,0 +1,190 @@
+// The serve wire protocol's totality contract: the frame decoder must answer
+// Ok / NeedMore / Error for EVERY byte sequence — truncated, oversized, or
+// junk — without crashing or waiting forever, and parse_request must either
+// return a request or throw a diagnostic std::invalid_argument. The fuzz-ish
+// sweeps below are deterministic (xorshift-seeded) so a failure reproduces.
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace profisched::serve {
+namespace {
+
+dist::ShardSpec small_spec(dist::SweepMode mode) {
+  dist::ShardSpec sh;
+  sh.mode = mode;
+  sh.spec.sweep.base.n_masters = 2;
+  sh.spec.sweep.base.streams_per_master = 3;
+  sh.spec.sweep.base.ttr = 3'000;
+  sh.spec.sweep.points = {engine::SweepPoint{0.3, 0.5, 1.0}, engine::SweepPoint{0.7, 0.5, 1.0}};
+  sh.spec.sweep.scenarios_per_point = 6;
+  sh.spec.sweep.policies = {engine::Policy::Fcfs, engine::Policy::Dm, engine::Policy::Edf};
+  sh.spec.sweep.seed = 99;
+  sh.spec.replications = 2;
+  return sh;
+}
+
+TEST(ServeFrame, RoundTripsPayloadsIncludingBinaryAndEmpty) {
+  for (const std::string payload :
+       {std::string(), std::string("status"), std::string("a\nb\nc\n"),
+        std::string("\x00\x01\xff\n\x7f", 5), std::string(100'000, 'x')}) {
+    const std::string wire = encode_frame(payload);
+    const FrameDecode d = decode_frame(wire);
+    ASSERT_EQ(d.status, FrameDecode::Status::Ok) << d.error;
+    EXPECT_EQ(d.payload, payload);
+    EXPECT_EQ(d.consumed, wire.size());
+  }
+}
+
+TEST(ServeFrame, DecodesIncrementallyOneByteAtATime) {
+  const std::string wire = encode_frame("submit sweep 0 1\nspec\n...");
+  std::string buffer;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer += wire[i];
+    EXPECT_EQ(decode_frame(buffer).status, FrameDecode::Status::NeedMore) << "at byte " << i;
+  }
+  buffer += wire.back();
+  const FrameDecode d = decode_frame(buffer);
+  ASSERT_EQ(d.status, FrameDecode::Status::Ok);
+  EXPECT_EQ(d.payload, "submit sweep 0 1\nspec\n...");
+}
+
+TEST(ServeFrame, ConsumesExactlyOneFrameLeavingTheRest) {
+  const std::string wire = encode_frame("first") + encode_frame("second");
+  const FrameDecode d1 = decode_frame(wire);
+  ASSERT_EQ(d1.status, FrameDecode::Status::Ok);
+  EXPECT_EQ(d1.payload, "first");
+  const FrameDecode d2 = decode_frame(std::string_view(wire).substr(d1.consumed));
+  ASSERT_EQ(d2.status, FrameDecode::Status::Ok);
+  EXPECT_EQ(d2.payload, "second");
+}
+
+TEST(ServeFrame, RejectsOversizedJunkAndMalformedPrefixes) {
+  // A declared length above the cap is an error even before the bytes arrive.
+  EXPECT_EQ(decode_frame("99999999999\n").status, FrameDecode::Status::Error);
+  EXPECT_EQ(decode_frame(std::to_string(kMaxFrameBytes + 1) + "\n").status,
+            FrameDecode::Status::Error);
+  // Non-digit prefixes error as soon as the offending byte is visible — with
+  // or without a newline in the buffer yet.
+  EXPECT_EQ(decode_frame("12a4\n").status, FrameDecode::Status::Error);
+  EXPECT_EQ(decode_frame("hello").status, FrameDecode::Status::Error);
+  EXPECT_EQ(decode_frame("\n").status, FrameDecode::Status::Error);
+  EXPECT_EQ(decode_frame("-5\n").status, FrameDecode::Status::Error);
+  // A digits-only run longer than any admissible prefix can never become a
+  // frame: error now rather than NeedMore forever.
+  EXPECT_EQ(decode_frame("123456789012345").status, FrameDecode::Status::Error);
+  // Plausible prefixes wait for more bytes.
+  EXPECT_EQ(decode_frame("").status, FrameDecode::Status::NeedMore);
+  EXPECT_EQ(decode_frame("123").status, FrameDecode::Status::NeedMore);
+  EXPECT_EQ(decode_frame("5\nabc").status, FrameDecode::Status::NeedMore);
+}
+
+TEST(ServeFrame, EncoderRefusesWhatTheDecoderRejects) {
+  EXPECT_THROW((void)encode_frame(std::string(kMaxFrameBytes + 1, 'x')),
+               std::invalid_argument);
+}
+
+// Deterministic fuzz: random buffers must always produce a verdict, and a
+// valid frame prefixed by its own bytes must still decode from the front.
+TEST(ServeFrame, FuzzedBuffersAlwaysGetAVerdict) {
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 500; ++round) {
+    std::string buffer;
+    const std::size_t len = next() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      buffer += static_cast<char>(next() % 256);
+    }
+    const FrameDecode d = decode_frame(buffer);  // must not crash
+    if (d.status == FrameDecode::Status::Ok) {
+      EXPECT_LE(d.consumed, buffer.size());
+      EXPECT_EQ(encode_frame(d.payload), buffer.substr(0, d.consumed));
+    }
+  }
+}
+
+TEST(ServeFrame, FuzzedTruncationsOfAValidFrameNeverError) {
+  const std::string wire = encode_frame(format_submit([] {
+    Request req;
+    req.kind = Request::Kind::Submit;
+    req.spec = small_spec(dist::SweepMode::Combined);
+    return req;
+  }()));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const FrameDecode d = decode_frame(std::string_view(wire).substr(0, cut));
+    EXPECT_EQ(d.status, FrameDecode::Status::NeedMore) << "truncated at " << cut;
+  }
+}
+
+TEST(ServeRequest, SubmitRoundTripsEveryModeAndOption) {
+  for (const dist::SweepMode mode :
+       {dist::SweepMode::Analysis, dist::SweepMode::Sim, dist::SweepMode::Combined,
+        dist::SweepMode::Optimize}) {
+    Request req;
+    req.kind = Request::Kind::Submit;
+    req.spec = small_spec(mode);
+    req.priority = 7;
+    req.oversplit = 3;
+    req.csv_path = "/tmp/out.csv";
+    req.json_path = "/tmp/out.json";
+    req.metrics_path = "/tmp/out-metrics.json";
+    req.progress = true;
+
+    const Request back = parse_request(format_submit(req));
+    EXPECT_EQ(back.kind, Request::Kind::Submit);
+    EXPECT_EQ(back.spec.mode, mode);
+    EXPECT_EQ(dist::serialize_spec(back.spec), dist::serialize_spec(req.spec));
+    EXPECT_EQ(back.priority, 7u);
+    EXPECT_EQ(back.oversplit, 3u);
+    EXPECT_EQ(back.csv_path, req.csv_path);
+    EXPECT_EQ(back.json_path, req.json_path);
+    EXPECT_EQ(back.metrics_path, req.metrics_path);
+    EXPECT_TRUE(back.progress);
+  }
+}
+
+TEST(ServeRequest, ControlVerbsRoundTrip) {
+  EXPECT_EQ(parse_request(format_status()).kind, Request::Kind::Status);
+  EXPECT_EQ(parse_request(format_stats()).kind, Request::Kind::Stats);
+  EXPECT_EQ(parse_request(format_shutdown()).kind, Request::Kind::Shutdown);
+  const Request cancel = parse_request(format_cancel(42));
+  EXPECT_EQ(cancel.kind, Request::Kind::Cancel);
+  EXPECT_EQ(cancel.cancel_id, 42u);
+}
+
+TEST(ServeRequest, MalformedRequestsThrowDiagnostics) {
+  const std::string spec_block = dist::serialize_spec(small_spec(dist::SweepMode::Analysis));
+  EXPECT_THROW((void)parse_request(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("frobnicate"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("status now"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("status\ntrailing"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("cancel"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("cancel one"), std::invalid_argument);
+  EXPECT_THROW((void)parse_request("submit sweep 0 1"), std::invalid_argument);  // no spec
+  EXPECT_THROW((void)parse_request("submit warp 0 1\nspec\n" + spec_block),
+               std::invalid_argument);  // bad mode
+  EXPECT_THROW((void)parse_request("submit sweep -1 1\nspec\n" + spec_block),
+               std::invalid_argument);  // bad priority
+  EXPECT_THROW((void)parse_request("submit sweep 0 0\nspec\n" + spec_block),
+               std::invalid_argument);  // oversplit of zero
+  EXPECT_THROW((void)parse_request("submit sweep 0 1\nteleport there\nspec\n" + spec_block),
+               std::invalid_argument);  // unknown option line
+  EXPECT_THROW((void)parse_request("submit simulate 0 1\nspec\n" + spec_block),
+               std::invalid_argument);  // header mode != spec block mode
+  EXPECT_THROW((void)parse_request("submit sweep 0 1\nspec\n" + spec_block + "extra\n"),
+               std::invalid_argument);  // trailing bytes after the spec
+  EXPECT_THROW((void)parse_request("submit sweep 0 1\nspec\ngarbage"),
+               std::invalid_argument);  // unparseable spec
+}
+
+}  // namespace
+}  // namespace profisched::serve

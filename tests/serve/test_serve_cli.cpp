@@ -1,0 +1,148 @@
+// Argument parsing for `profisched serve` / `profisched submit`: required
+// flags, the shard-style delegation to the shared sweep/optimize parsers
+// (what keeps a submitted job's spec byte-identical to the batch
+// subcommand's), serve-side flag rejection, and control-action exclusivity.
+#include "serve/serve_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace profisched::serve {
+namespace {
+
+ServeCli parse_serve_ok(const std::vector<std::string>& args) {
+  ServeCli cli;
+  std::string error;
+  EXPECT_TRUE(parse_serve_args(args, cli, error)) << error;
+  return cli;
+}
+
+std::string parse_serve_fail(const std::vector<std::string>& args) {
+  ServeCli cli;
+  std::string error;
+  EXPECT_FALSE(parse_serve_args(args, cli, error));
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+SubmitCli parse_submit_ok(const std::vector<std::string>& args) {
+  SubmitCli cli;
+  std::string error;
+  EXPECT_TRUE(parse_submit_args(args, cli, error)) << error;
+  return cli;
+}
+
+std::string parse_submit_fail(const std::vector<std::string>& args) {
+  SubmitCli cli;
+  std::string error;
+  EXPECT_FALSE(parse_submit_args(args, cli, error));
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(ServeCliParse, AcceptsTheFullFlagSet) {
+  const ServeCli cli = parse_serve_ok(
+      {"--socket", "/tmp/s.sock", "--threads", "4", "--cache", "/tmp", "--metrics", "/tmp/m.json"});
+  EXPECT_EQ(cli.socket_path, "/tmp/s.sock");
+  EXPECT_EQ(cli.threads, 4u);
+  EXPECT_EQ(cli.cache_dir, "/tmp");
+  EXPECT_EQ(cli.metrics_path, "/tmp/m.json");
+}
+
+TEST(ServeCliParse, RejectsBadInvocations) {
+  EXPECT_NE(parse_serve_fail({}).find("--socket PATH is required"), std::string::npos);
+  EXPECT_NE(parse_serve_fail({"--socket"}).find("--socket needs a path"), std::string::npos);
+  EXPECT_NE(parse_serve_fail({"--socket", "/tmp/s.sock", "--threads", "0"}).find("--threads"),
+            std::string::npos);
+  EXPECT_NE(parse_serve_fail({"--socket", "/tmp/s.sock", "--frob"}).find("unknown serve flag"),
+            std::string::npos);
+  // Destination validation is up-front and names the flag.
+  EXPECT_NE(parse_serve_fail({"--socket", "/nonexistent_profisched/s.sock"}).find("--socket"),
+            std::string::npos);
+  EXPECT_NE(parse_serve_fail({"--socket", "/tmp/s.sock", "--cache", "/dev/null/c"})
+                .find("--cache"),
+            std::string::npos);
+  EXPECT_NE(parse_serve_fail({"--socket", "/tmp/s.sock", "--metrics", "/nonexistent_p/m.json"})
+                .find("--metrics"),
+            std::string::npos);
+}
+
+TEST(SubmitCliParse, BuildsAJobThroughTheDelegatedSweepParser) {
+  const SubmitCli cli = parse_submit_ok(
+      {"--socket", "/tmp/s.sock", "--mode", "combined", "--priority", "5", "--oversplit", "8",
+       "--wait", "--scenarios", "12", "--u", "0.3:0.7:2", "--seed", "42", "--reps", "3",
+       "--csv", "/tmp/out.csv", "--json", "/tmp/out.json", "--metrics", "/tmp/m.json",
+       "--progress"});
+  EXPECT_EQ(cli.action, SubmitCli::Action::Submit);
+  EXPECT_TRUE(cli.wait);
+  EXPECT_EQ(cli.job.spec.mode, dist::SweepMode::Combined);
+  EXPECT_EQ(cli.job.priority, 5u);
+  EXPECT_EQ(cli.job.oversplit, 8u);
+  EXPECT_EQ(cli.job.spec.spec.sweep.scenarios_per_point, 12u);
+  EXPECT_EQ(cli.job.spec.spec.sweep.seed, 42u);
+  EXPECT_EQ(cli.job.spec.spec.replications, 3u);
+  EXPECT_EQ(cli.job.csv_path, "/tmp/out.csv");
+  EXPECT_EQ(cli.job.json_path, "/tmp/out.json");
+  EXPECT_EQ(cli.job.metrics_path, "/tmp/m.json");
+  EXPECT_TRUE(cli.job.progress);
+}
+
+TEST(SubmitCliParse, OptimizeModeUsesTheOptimizeFlagTable) {
+  const SubmitCli cli = parse_submit_ok({"--socket", "/tmp/s.sock", "--mode", "optimize",
+                                         "--scenarios", "4", "--ttr-cap", "9000", "--method",
+                                         "refined"});
+  EXPECT_EQ(cli.job.spec.mode, dist::SweepMode::Optimize);
+  EXPECT_EQ(cli.job.spec.optimize.ttr_cap, 9'000);
+  EXPECT_EQ(cli.job.spec.spec.sweep.engine.method, profibus::TcycleMethod::PerMasterRefined);
+  // The bracket flags belong to optimize mode only.
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--ttr-cap", "9000"}).find("ttr-cap"),
+            std::string::npos);
+}
+
+TEST(SubmitCliParse, RejectsServeSideAndMisplacedFlags) {
+  EXPECT_NE(parse_submit_fail({"--scenarios", "4"}).find("--socket PATH is required"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--threads", "4"})
+                .find("serve-side"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--cache", "/tmp"})
+                .find("serve-side"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--combined"})
+                .find("--mode combined"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--mode", "warp"}).find("--mode"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--oversplit", "0"})
+                .find("--oversplit"),
+            std::string::npos);
+}
+
+TEST(SubmitCliParse, ControlActionsAreExclusiveAndBare) {
+  const SubmitCli status = parse_submit_ok({"--socket", "/tmp/s.sock", "--status"});
+  EXPECT_EQ(status.action, SubmitCli::Action::Status);
+  const SubmitCli cancel = parse_submit_ok({"--socket", "/tmp/s.sock", "--cancel", "7"});
+  EXPECT_EQ(cancel.action, SubmitCli::Action::Cancel);
+  EXPECT_EQ(cancel.cancel_id, 7u);
+  EXPECT_EQ(parse_submit_ok({"--socket", "/tmp/s.sock", "--stats"}).action,
+            SubmitCli::Action::Stats);
+  EXPECT_EQ(parse_submit_ok({"--socket", "/tmp/s.sock", "--shutdown"}).action,
+            SubmitCli::Action::Shutdown);
+
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--status", "--stats"})
+                .find("mutually exclusive"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--status", "--scenarios", "4"})
+                .find("no sweep flags"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--shutdown", "--wait"})
+                .find("--wait"),
+            std::string::npos);
+  EXPECT_NE(parse_submit_fail({"--socket", "/tmp/s.sock", "--cancel", "0"}).find("--cancel"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace profisched::serve

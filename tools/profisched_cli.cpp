@@ -48,6 +48,20 @@
 //   profisched merge    [--csv FILE] [--json FILE] SHARD_FILE...
 //     (validates that the artifacts tile the sweep exactly and emits output
 //      byte-identical to the equivalent single-process run)
+//   profisched serve    --socket PATH [--threads N] [--cache DIR]
+//                       [--metrics FILE]
+//     (resident sweep service: accepts framed jobs over an AF_UNIX socket,
+//      runs them one at a time as oversplit shard ranges through the same
+//      ranged runner + merge path, so served output files are byte-identical
+//      to the batch subcommands')
+//   profisched submit   --socket PATH [--mode sweep|simulate|combined|optimize]
+//                       [--priority N] [--oversplit K] [--wait]
+//                       [every matching sweep/optimize flag; --csv/--json/
+//                        --metrics name server-side destinations]
+//   profisched submit   --socket PATH --status | --cancel ID | --stats |
+//                       --shutdown
+//     (thin client: enqueue one job, or poke the daemon; --stats prints the
+//      daemon's metrics manifest JSON, --wait polls until the job settles)
 //
 // Every sweep-style subcommand additionally accepts --metrics FILE (write a
 // versioned metrics + run-manifest JSON sidecar, see obs/manifest.hpp) and
@@ -55,6 +69,7 @@
 // primary CSV/JSON/artifact bytes are identical with or without them.
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -63,6 +78,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "config/network_loader.hpp"
@@ -71,6 +87,7 @@
 #include "dist/shard.hpp"
 #include "engine/aggregate.hpp"
 #include "engine/detail/hash.hpp"
+#include "engine/detail/serialize.hpp"
 #include "engine/sim_aggregate.hpp"
 #include "engine/sim_cli.hpp"
 #include "obs/manifest.hpp"
@@ -81,6 +98,10 @@
 #include "profibus/dispatching.hpp"
 #include "profibus/priority_assignment.hpp"
 #include "profibus/ttr_setting.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/serve_cli.hpp"
+#include "serve/server.hpp"
 #include "sim/network_sim.hpp"
 
 namespace {
@@ -127,7 +148,15 @@ int usage() {
                "                      [--cache DIR] [--metrics FILE] [--progress]\n"
                "                      [sweep/simulate/optimize flags]\n"
                "  profisched merge    [--csv FILE] [--json FILE] [--metrics FILE]\n"
-               "                      SHARD_FILE...\n");
+               "                      SHARD_FILE...\n"
+               "  profisched serve    --socket PATH [--threads N] [--cache DIR]\n"
+               "                      [--metrics FILE]\n"
+               "  profisched submit   --socket PATH [--mode sweep|simulate|combined|\n"
+               "                      optimize] [--priority N] [--oversplit K] [--wait]\n"
+               "                      [sweep/optimize flags; --csv/--json/--metrics\n"
+               "                      name server-side destinations]\n"
+               "  profisched submit   --socket PATH --status | --cancel ID | --stats |\n"
+               "                      --shutdown\n");
   return 2;
 }
 
@@ -413,6 +442,16 @@ int cmd_sweep(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+  // Doomed output destinations fail here, before a single scenario runs.
+  std::string path_error;
+  if ((!csv_path.empty() && !engine::validate_cli_output_file(csv_path, "--csv", path_error)) ||
+      (!json_path.empty() && !engine::validate_cli_output_file(json_path, "--json", path_error)) ||
+      (!metrics_path.empty() &&
+       !engine::validate_cli_output_file(metrics_path, "--metrics", path_error)) ||
+      (!cache_dir.empty() && !engine::validate_cli_output_dir(cache_dir, "--cache", path_error))) {
+    std::fprintf(stderr, "error: %s\n", path_error.c_str());
+    return 2;
   }
   const std::int64_t t0_ns = arm_observability(metrics_path, progress);
 
@@ -863,6 +902,127 @@ int cmd_merge(int argc, char** argv) {
   return rc;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServeCli cli;
+  std::string error;
+  if (!serve::parse_serve_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+  serve::ServeOptions opts;
+  opts.socket_path = cli.socket_path;
+  opts.threads = cli.threads;
+  opts.cache_dir = cli.cache_dir;
+  opts.argv.assign(argv, argv + argc);
+  serve::Server server(std::move(opts));
+  std::printf("serve: listening on %s\n", cli.socket_path.c_str());
+  std::fflush(stdout);  // the CI smoke job greps this line for readiness
+  const std::uint64_t done = server.run();
+  std::printf("serve: shutdown after %llu completed job%s\n",
+              static_cast<unsigned long long>(done), done == 1 ? "" : "s");
+  if (!cli.metrics_path.empty()) {
+    if (!obs::write_manifest_file(cli.metrics_path, server.stats_manifest())) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.metrics_path.c_str());
+  }
+  return 0;
+}
+
+/// Find our job's line in an `ok jobs N` STATUS payload; empty when missing.
+std::string status_line_for(const std::string& payload, std::uint64_t id) {
+  const std::string needle = "job " + std::to_string(id) + ' ';
+  std::size_t pos = payload.find('\n');
+  while (pos != std::string::npos) {
+    const std::size_t start = pos + 1;
+    std::size_t end = payload.find('\n', start);
+    const std::string line =
+        payload.substr(start, end == std::string::npos ? end : end - start);
+    if (line.rfind(needle, 0) == 0) return line;
+    pos = end;
+  }
+  return {};
+}
+
+int cmd_submit(int argc, char** argv) {
+  serve::SubmitCli cli;
+  std::string error;
+  if (!serve::parse_submit_args(std::vector<std::string>(argv, argv + argc), cli, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+  const serve::Client client(cli.socket_path);
+  // The daemon may still be binding when CI fires the first submit; retry
+  // the connect briefly instead of making every caller script a sleep.
+  constexpr int kConnectRetryMs = 5'000;
+  const auto call_ok = [&](const std::string& payload, std::string& response) {
+    response = client.call(payload, kConnectRetryMs);
+    if (response.rfind("err ", 0) == 0 || response == "err") {
+      std::fprintf(stderr, "error: server: %s\n",
+                   response.size() > 4 ? response.c_str() + 4 : "(no detail)");
+      return false;
+    }
+    return true;
+  };
+
+  std::string response;
+  switch (cli.action) {
+    case serve::SubmitCli::Action::Status:
+      if (!call_ok(serve::format_status(), response)) return 1;
+      std::printf("%s\n", response.c_str());
+      return 0;
+    case serve::SubmitCli::Action::Cancel:
+      if (!call_ok(serve::format_cancel(cli.cancel_id), response)) return 1;
+      std::printf("%s\n", response.c_str());
+      return 0;
+    case serve::SubmitCli::Action::Stats: {
+      if (!call_ok(serve::format_stats(), response)) return 1;
+      // Payload is `ok stats\n<json>`; print only the JSON so the output
+      // pipes straight into tools/metrics_check.py.
+      const std::size_t nl = response.find('\n');
+      std::printf("%s\n", nl == std::string::npos ? "" : response.c_str() + nl + 1);
+      return 0;
+    }
+    case serve::SubmitCli::Action::Shutdown:
+      if (!call_ok(serve::format_shutdown(), response)) return 1;
+      std::printf("%s\n", response.c_str());
+      return 0;
+    case serve::SubmitCli::Action::Submit:
+      break;
+  }
+
+  if (!call_ok(serve::format_submit(cli.job), response)) return 1;
+  std::size_t id = 0;
+  if (response.rfind("ok id ", 0) != 0 ||
+      !engine::parse_cli_count(response.substr(6), id, std::numeric_limits<std::size_t>::max() / 2)) {
+    std::fprintf(stderr, "error: unexpected submit response '%s'\n", response.c_str());
+    return 1;
+  }
+  std::printf("submitted job %llu\n", static_cast<unsigned long long>(id));
+  if (!cli.wait) return 0;
+
+  for (;;) {
+    if (!call_ok(serve::format_status(), response)) return 1;
+    const std::string line = status_line_for(response, id);
+    if (line.empty()) {
+      std::fprintf(stderr, "error: job %llu vanished from STATUS\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+    const std::vector<std::string> fields = engine::detail::split(line, ' ');
+    const std::string& state = fields.size() > 2 ? fields[2] : line;
+    if (state == "queued" || state == "running") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    std::printf("%s\n", line.c_str());
+    if (state == "done") return 0;
+    if (state == "cancelled") return 3;
+    return 1;  // failed (or an unknown state, which is its own failure)
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -894,6 +1054,22 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "merge") == 0) {
     try {
       return cmd_merge(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (std::strcmp(argv[1], "serve") == 0) {
+    try {
+      return cmd_serve(argc - 2, argv + 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (std::strcmp(argv[1], "submit") == 0) {
+    try {
+      return cmd_submit(argc - 2, argv + 2);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
